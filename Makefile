@@ -1,0 +1,23 @@
+# Convenience targets for the reproduction workflow.
+
+.PHONY: install test bench quick-bench clean-cache loc
+
+install:
+	pip install -e .
+
+test:
+	pytest tests/
+
+# Regenerates every table/figure; first run simulates (~25 min), later
+# runs replay from benchmarks/.quicbench_cache.
+bench:
+	pytest benchmarks/ --benchmark-only
+
+quick-bench:
+	pytest benchmarks/test_bench_stack_tables.py benchmarks/test_bench_fig01_clustered_pe.py --benchmark-only
+
+clean-cache:
+	rm -rf benchmarks/.quicbench_cache benchmarks/output
+
+loc:
+	@find src tests benchmarks examples -name '*.py' | xargs wc -l | tail -1

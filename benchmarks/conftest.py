@@ -1,0 +1,64 @@
+"""Shared benchmark infrastructure.
+
+Every benchmark regenerates one table or figure of the paper.  Simulation
+results (sampled point clouds, bandwidth shares) are cached on disk under
+``benchmarks/.quicbench_cache`` so re-runs only pay for the analysis; the
+rendered text artifacts land in ``benchmarks/output/`` for inspection.
+
+Benchmarks run the underlying experiment exactly once
+(``benchmark.pedantic(..., rounds=1)``) — the interesting output is the
+reproduced numbers, not the timing.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.harness.cache import ResultCache
+from repro.harness.config import ExperimentConfig
+
+BENCH_DIR = Path(__file__).parent
+OUTPUT_DIR = BENCH_DIR / "output"
+CACHE_DIR = BENCH_DIR / ".quicbench_cache"
+
+#: Bench-scale protocol: long enough for BBR's 10 s ProbeRTT cycles to
+#: repeat within every trial (see DESIGN.md scaling note).
+BENCH_CONFIG = ExperimentConfig(duration_s=100.0, trials=3)
+
+#: Shorter protocol for the big pairwise matrices, where only mean shares
+#: matter.
+SHARE_CONFIG = ExperimentConfig(duration_s=40.0, trials=2)
+
+_SHARED_CACHE = ResultCache(directory=CACHE_DIR)
+
+
+@pytest.fixture(scope="session")
+def bench_cache():
+    return _SHARED_CACHE
+
+
+@pytest.fixture(scope="session")
+def bench_config():
+    return BENCH_CONFIG
+
+
+@pytest.fixture(scope="session")
+def share_config():
+    return SHARE_CONFIG
+
+
+@pytest.fixture(scope="session")
+def save_artifact():
+    OUTPUT_DIR.mkdir(exist_ok=True)
+
+    def save(name: str, text: str) -> None:
+        (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n[saved to benchmarks/output/{name}.txt]")
+
+    return save
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,57 @@
+"""Tables 1 and 2: the stack inventory."""
+
+from conftest import run_once
+
+from repro.harness import reporting
+from repro.stacks import registry
+
+
+def test_table1_studied_stacks(benchmark, save_artifact):
+    def build():
+        rows = []
+        for profile in registry.STACKS.values():
+            rows.append(
+                [
+                    profile.organization,
+                    profile.name,
+                    profile.version[:16],
+                    "yes" if profile.supports("cubic") else "no",
+                    "yes" if profile.supports("bbr") else "no",
+                    "yes" if profile.supports("reno") else "no",
+                ]
+            )
+        return reporting.format_table(
+            ["Organization", "Stack", "Version/Commit", "CUBIC", "BBR", "Reno"],
+            rows,
+            title="Table 1: QUIC/TCP stacks studied and their available CCAs",
+        )
+
+    text = run_once(benchmark, build)
+    save_artifact("table1_stacks", text)
+    assert "quiche" in text and "xquic" in text
+
+
+def test_table2_known_stacks(benchmark, save_artifact):
+    def build():
+        rows = [
+            [
+                k.organization,
+                k.stack,
+                "yes" if k.open_source else "no",
+                "yes" if k.implements_cc else "no",
+                "yes" if k.stable else "no",
+                "yes" if k.deployed else "no",
+                "yes" if k.studied else "no",
+            ]
+            for k in registry.KNOWN_STACKS
+        ]
+        return reporting.format_table(
+            ["Organization", "Stack", "Open Source", "Implements CC",
+             "Stable Rel.", "Deployed", "Studied?"],
+            rows,
+            title="Table 2: known IETF QUIC/TCP stacks",
+        )
+
+    text = run_once(benchmark, build)
+    save_artifact("table2_known_stacks", text)
+    assert text.count("yes") > 30

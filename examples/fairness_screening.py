@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Fairness screening: will a new CCA implementation play nicely?
+
+The scenario from the paper's §4.3: even an implementation with decent
+conformance can be unfair, so before deploying a QUIC stack you screen it
+against the implementations it will share bottlenecks with.
+
+This example screens three CUBIC implementations (a conformant one, the
+aggressive quiche variant and its fixed version) against kernel CUBIC and
+kernel BBR, and prints a verdict per pairing.
+
+Run:  python examples/fairness_screening.py
+"""
+
+from repro import ExperimentConfig, Impl, bandwidth_share, scenarios
+from repro.harness import reporting
+
+CANDIDATES = [
+    Impl("quicgo", "cubic"),
+    Impl("quiche", "cubic"),
+    Impl("quiche", "cubic", "fixed"),
+]
+INCUMBENTS = [Impl("linux", "cubic"), Impl("linux", "bbr")]
+
+
+def verdict(share: float) -> str:
+    if share > 0.65:
+        return "AGGRESSIVE (starves incumbent)"
+    if share < 0.35:
+        return "weak (starved by incumbent)"
+    return "fair"
+
+
+def main() -> None:
+    condition = scenarios.fairness_condition()  # 20 Mbps, 50 ms, 1 BDP
+    config = ExperimentConfig(duration_s=40.0, trials=2)
+
+    rows = []
+    for candidate in CANDIDATES:
+        for incumbent in INCUMBENTS:
+            print(f"running {candidate} vs {incumbent}...")
+            share = bandwidth_share(candidate, incumbent, condition, config)
+            rows.append([str(candidate), str(incumbent), round(share, 2), verdict(share)])
+
+    print()
+    print(reporting.format_table(
+        ["candidate", "incumbent", "share", "verdict"],
+        rows,
+        title=f"Bandwidth-share screening at {condition.describe()} "
+        "(share > 0.5 = candidate wins)",
+    ))
+    print()
+    print("Note how disabling quiche's RFC8312bis rollback (the 'fixed'")
+    print("variant, paper Table 4) moves it from AGGRESSIVE back to fair.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Quickstart: measure one QUIC implementation's conformance.
+
+Runs the paper's core experiment at reduced scale: Cloudflare quiche's
+CUBIC against kernel CUBIC through a 20 Mbps / 10 ms / 1 BDP bottleneck,
+builds the Performance Envelopes and prints the full metric set —
+Conformance, Conformance-T and the (Δ-throughput, Δ-delay) hints.
+
+Expected outcome (paper Table 3): quiche CUBIC is badly non-conformant
+(its RFC8312bis rollback undoes congestion back-offs), Conformance-T is
+much higher, and Δ-throughput is strongly positive.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ExperimentConfig, measure_conformance, scenarios
+from repro.harness import reporting
+
+
+def main() -> None:
+    condition = scenarios.shallow_buffer()  # 20 Mbps, 10 ms RTT, 1 BDP
+    config = ExperimentConfig(duration_s=60.0, trials=3)
+
+    print(f"Measuring quiche/cubic at {condition.describe()} "
+          f"({config.trials} trials x {config.duration_s:.0f} s)...")
+    measurement = measure_conformance("quiche", "cubic", condition, config)
+    result = measurement.result
+
+    print()
+    row = measurement.row()
+    print(reporting.format_table(list(row.keys()), [list(row.values())]))
+    print()
+    print("Reading the hints (paper §3.3):")
+    print(f"  Conformance   = {result.conformance:.2f}  -> "
+          f"{'conformant' if result.conformance >= 0.5 else 'NON-conformant'}")
+    print(f"  Conformance-T = {result.conformance_t:.2f}  -> "
+          f"{'high: fixable by parameter tuning' if result.conformance_t > result.conformance + 0.15 else 'translation does not help much'}")
+    dt, dd = result.delta_throughput_mbps, result.delta_delay_ms
+    if dt > 1 and abs(dd) < 2:
+        knob = "sending rate set too high (pacing-style overshoot)"
+    elif dt > 1 and dd > 1:
+        knob = "congestion window set too large (cwnd-style overshoot)"
+    elif dt < -1:
+        knob = "stack-level throughput deficit"
+    else:
+        knob = "no systematic offset"
+    print(f"  Δ-tput={dt:+.1f} Mbps, Δ-delay={dd:+.1f} ms -> {knob}")
+
+    print()
+    print(reporting.format_envelope_ascii(
+        result.test_envelope.hulls,
+        result.test_envelope.all_points,
+        title="quiche CUBIC Performance Envelope (delay->x, throughput->y)",
+    ))
+    print()
+    print(reporting.format_envelope_ascii(
+        result.reference_envelope.hulls,
+        result.reference_envelope.all_points,
+        title="kernel CUBIC reference envelope",
+    ))
+
+
+if __name__ == "__main__":
+    main()

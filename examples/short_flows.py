@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Beyond steady state: short flows and late-comers.
+
+§6 of the paper asks how start times, flow durations and application-
+level metrics change the fairness picture.  This example measures
+
+1. flow completion times of web-object-sized transfers, alone and behind
+   a long-running background flow, and
+2. the share a late-starting flow converges to against an established
+   one — with a conformant CUBIC vs the aggressive quiche variant.
+
+Run:  python examples/short_flows.py
+"""
+
+from repro import ExperimentConfig, Impl, NetworkCondition
+from repro.harness import reporting
+from repro.harness.shortflows import fct_sweep, staggered_fairness
+
+CONDITION = NetworkCondition(bandwidth_mbps=20, rtt_ms=20, buffer_bdp=1)
+SIZES = [50_000, 500_000, 5_000_000]  # 50 kB page asset .. 5 MB download
+
+
+def main() -> None:
+    print("Flow completion times (kernel CUBIC), alone vs contended...")
+    alone = fct_sweep(Impl("linux", "cubic"), SIZES, CONDITION)
+    contended = fct_sweep(
+        Impl("linux", "cubic"), SIZES, CONDITION, competing=Impl("linux", "cubic")
+    )
+    rows = []
+    for size, a, c in zip(SIZES, alone, contended):
+        rows.append(
+            [
+                f"{size//1000} kB",
+                f"{a.fct_s:.2f}" if a.completed else "-",
+                f"{c.fct_s:.2f}" if c.completed else "-",
+            ]
+        )
+    print(reporting.format_table(
+        ["transfer", "FCT alone (s)", "FCT contended (s)"],
+        rows,
+        title="Completion times at 20 Mbps / 20 ms / 1 BDP",
+    ))
+
+    print("\nLate-comer fairness (flow starts 5 s after an established kernel CUBIC)...")
+    cfg = ExperimentConfig(duration_s=40.0, trials=2)
+    rows = []
+    for late in (Impl("quicgo", "cubic"), Impl("quiche", "cubic")):
+        share = staggered_fairness(Impl("linux", "cubic"), late, CONDITION, cfg)
+        rows.append([str(late), round(share, 2)])
+    print(reporting.format_table(
+        ["late flow", "share over overlap"],
+        rows,
+        title="Late-comer share (0.5 = converges to fair)",
+    ))
+    print("\nThe aggressive quiche variant grabs more than its share even as")
+    print("a late-comer — low conformance hurts whoever was there first.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""repro — a conformance-testing framework for QUIC congestion control.
+
+Reproduction of Mishra & Leong, "Containing the Cambrian Explosion in
+QUIC Congestion Control" (IMC 2023).  The package measures how closely a
+QUIC stack's congestion-control implementation matches its Linux-kernel
+reference using Performance Envelopes, and reports the paper's metric
+set: Conformance, Conformance-T, Δ-throughput and Δ-delay.
+
+Layout
+------
+``repro.netsim``    discrete-event network simulator (the testbed)
+``repro.cca``       NewReno / CUBIC+HyStart / BBRv1 implementations
+``repro.stacks``    emulated QUIC stacks with their documented deviations
+``repro.core``      Performance-Envelope analytics (the paper's metrics)
+``repro.harness``   experiment orchestration, fairness, reporting
+``repro.analysis``  fix verification, parameter sweeps, transitivity
+
+Quick start
+-----------
+>>> from repro import measure_conformance, scenarios
+>>> m = measure_conformance("quiche", "cubic", scenarios.shallow_buffer())
+>>> round(m.conformance, 2) <= round(m.conformance_t, 2)
+True
+"""
+
+from repro.harness import scenarios
+from repro.harness.config import (
+    ExperimentConfig,
+    NetworkCondition,
+    paper_experiment_config,
+    quick_experiment_config,
+)
+from repro.harness.conformance import (
+    ConformanceMeasurement,
+    conformance_heatmap,
+    measure_conformance,
+)
+from repro.harness.fairness import (
+    FairnessMatrix,
+    bandwidth_share,
+    inter_cca_matrix,
+    intra_cca_matrix,
+)
+from repro.harness.internet import measure_conformance_internet
+from repro.harness.runner import Impl
+from repro.core.envelope import PerformanceEnvelope, build_envelope
+from repro.core.conformance import (
+    conformance,
+    conformance_post_translation,
+    evaluate_conformance,
+)
+from repro.stacks import registry as stacks_registry
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ExperimentConfig",
+    "NetworkCondition",
+    "paper_experiment_config",
+    "quick_experiment_config",
+    "ConformanceMeasurement",
+    "conformance_heatmap",
+    "measure_conformance",
+    "measure_conformance_internet",
+    "FairnessMatrix",
+    "bandwidth_share",
+    "inter_cca_matrix",
+    "intra_cca_matrix",
+    "Impl",
+    "PerformanceEnvelope",
+    "build_envelope",
+    "conformance",
+    "conformance_post_translation",
+    "evaluate_conformance",
+    "stacks_registry",
+    "scenarios",
+    "__version__",
+]

@@ -1,0 +1,42 @@
+"""Root-cause analysis and fix verification (§5, §6 and Fig. 5 of the paper)."""
+
+from repro.analysis.fixes import (
+    FIXES,
+    FixCase,
+    FixOutcome,
+    evaluate_fix,
+    evaluate_all_fixes,
+    cwnd_time_series,
+)
+from repro.analysis.sweeps import cwnd_gain_sweep, SweepPoint
+from repro.analysis.rootcause import (
+    RootCauseHint,
+    StackDiagnosis,
+    Suspect,
+    classify,
+    diagnose_stack,
+)
+from repro.analysis.transitivity import (
+    beats_matrix,
+    transitivity_violations,
+    TransitivityReport,
+)
+
+__all__ = [
+    "FIXES",
+    "FixCase",
+    "FixOutcome",
+    "evaluate_fix",
+    "evaluate_all_fixes",
+    "cwnd_time_series",
+    "cwnd_gain_sweep",
+    "SweepPoint",
+    "RootCauseHint",
+    "StackDiagnosis",
+    "Suspect",
+    "classify",
+    "diagnose_stack",
+    "beats_matrix",
+    "transitivity_violations",
+    "TransitivityReport",
+]

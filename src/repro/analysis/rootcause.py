@@ -1,0 +1,188 @@
+"""Automatic root-cause hints from conformance metrics.
+
+§6 "Systematic Root Cause Analysis" sketches the paper's future work:
+correlate the metric set (Conformance, Conformance-T, Δ-throughput,
+Δ-delay) with the knob most likely mistuned.  This module implements that
+classifier using the paper's own reasoning (§3.3):
+
+* high Conf-T with (Δ-tput > 0, Δ-delay ≈ 0) — the implementation pushes
+  more *rate* without queueing more: a pacing/sending-rate overshoot
+  (mvfst BBR's 1.25x pacing);
+* high Conf-T with (Δ-tput > 0, Δ-delay > 0) — more data in flight *and*
+  more queueing: a cwnd-style overshoot (BBR cwnd gain, CUBIC emulated
+  connections);
+* high Conf-T with Δ-tput < 0 — a systematic deficit; with the CCA code
+  verified compliant this indicates a stack-level artifact (xquic Reno,
+  neqo CUBIC);
+* low Conf-T — the envelope *shape* differs, pointing at algorithmic or
+  missing-mechanism differences (e.g. missing HyStart) rather than
+  parameter tuning.
+
+It also implements the paper's stack-level screen: if all CCAs of one
+stack deviate the same qualitative way, suspect the stack, not the CCAs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Iterable, List
+
+from repro.core.conformance import ConformanceResult
+from repro.harness.conformance import ConformanceMeasurement
+
+
+class Suspect(Enum):
+    """The knob (or layer) a deviation points at."""
+
+    CONFORMANT = "conformant"
+    SENDING_RATE = "sending-rate/pacing overshoot"
+    CWND_OVERSHOOT = "cwnd overshoot"
+    STACK_DEFICIT = "stack-level throughput deficit"
+    DELAY_SHIFT = "queueing/delay offset"
+    ALGORITHMIC = "algorithmic or missing-mechanism difference"
+
+
+@dataclass(frozen=True)
+class RootCauseHint:
+    """Classifier verdict for one implementation."""
+
+    suspect: Suspect
+    #: How confidently the metric pattern matches the verdict, [0, 1].
+    confidence: float
+    rationale: str
+
+    def __str__(self) -> str:
+        return f"{self.suspect.value} (confidence {self.confidence:.2f}): {self.rationale}"
+
+
+#: Thresholds, in the units the metrics are reported in.
+CONFORMANT_THRESHOLD = 0.5
+TUNABLE_GAP = 0.15
+TPUT_EPS_MBPS = 1.0
+DELAY_EPS_MS = 1.5
+
+
+def classify(result: ConformanceResult) -> RootCauseHint:
+    """Map one metric set to a root-cause hint (§3.3 reasoning)."""
+    conf = result.conformance
+    conf_t = result.conformance_t
+    dt = result.delta_throughput_mbps
+    dd = result.delta_delay_ms
+
+    if conf >= CONFORMANT_THRESHOLD:
+        return RootCauseHint(
+            Suspect.CONFORMANT,
+            confidence=min(1.0, conf),
+            rationale=f"conformance {conf:.2f} is above the {CONFORMANT_THRESHOLD} bar",
+        )
+
+    translatable = conf_t - conf >= TUNABLE_GAP
+    if not translatable:
+        return RootCauseHint(
+            Suspect.ALGORITHMIC,
+            confidence=min(1.0, 1 - conf_t + conf),
+            rationale=(
+                f"Conf-T {conf_t:.2f} barely improves on Conf {conf:.2f}: the "
+                "envelope shape itself differs, so suspect the algorithm or a "
+                "missing mechanism, not a parameter"
+            ),
+        )
+
+    # The envelope is a translated copy: read the translation vector.
+    if dt > TPUT_EPS_MBPS and abs(dd) <= DELAY_EPS_MS:
+        return RootCauseHint(
+            Suspect.SENDING_RATE,
+            confidence=_confidence(conf_t, conf),
+            rationale=(
+                f"Δ-tput {dt:+.1f} Mbps with Δ-delay {dd:+.1f} ms: more "
+                "throughput without more queueing points at the sending "
+                "rate (pacing) knob"
+            ),
+        )
+    if dt > TPUT_EPS_MBPS and dd > DELAY_EPS_MS:
+        return RootCauseHint(
+            Suspect.CWND_OVERSHOOT,
+            confidence=_confidence(conf_t, conf),
+            rationale=(
+                f"Δ-tput {dt:+.1f} Mbps and Δ-delay {dd:+.1f} ms both "
+                "positive: more data in flight points at the cwnd knob"
+            ),
+        )
+    if dt < -TPUT_EPS_MBPS:
+        return RootCauseHint(
+            Suspect.STACK_DEFICIT,
+            confidence=_confidence(conf_t, conf),
+            rationale=(
+                f"Δ-tput {dt:+.1f} Mbps: a systematic deficit; if the CCA "
+                "code audits clean, suspect the surrounding stack"
+            ),
+        )
+    return RootCauseHint(
+        Suspect.DELAY_SHIFT,
+        confidence=0.5 * _confidence(conf_t, conf),
+        rationale=(
+            f"throughput matches (Δ-tput {dt:+.1f} Mbps) but the envelope "
+            f"is shifted in delay (Δ-delay {dd:+.1f} ms)"
+        ),
+    )
+
+
+def _confidence(conf_t: float, conf: float) -> float:
+    return max(0.0, min(1.0, conf_t - conf + 0.4))
+
+
+@dataclass(frozen=True)
+class StackDiagnosis:
+    """Stack-level screen over all of one stack's CCA implementations."""
+
+    stack: str
+    per_cca: Dict[str, RootCauseHint]
+    stack_level_suspected: bool
+    rationale: str
+
+
+def diagnose_stack(
+    stack: str,
+    measurements: Iterable[ConformanceMeasurement],
+) -> StackDiagnosis:
+    """§6: same qualitative deviation across all CCAs -> blame the stack.
+
+    ``measurements`` must all belong to ``stack`` (one per CCA).
+    """
+    per_cca: Dict[str, RootCauseHint] = {}
+    signs: List[int] = []
+    nonconformant = 0
+    for m in measurements:
+        if m.impl.stack != stack:
+            raise ValueError(f"measurement {m.impl} does not belong to {stack!r}")
+        hint = classify(m.result)
+        per_cca[m.impl.cca] = hint
+        if hint.suspect is not Suspect.CONFORMANT:
+            nonconformant += 1
+            dt = m.result.delta_throughput_mbps
+            signs.append(0 if abs(dt) <= TPUT_EPS_MBPS else (1 if dt > 0 else -1))
+
+    if not per_cca:
+        raise ValueError("no measurements supplied")
+
+    same_direction = len(set(signs)) == 1 and signs and signs[0] != 0
+    stack_level = nonconformant == len(per_cca) and len(per_cca) >= 2 and same_direction
+    if stack_level:
+        direction = "below" if signs[0] < 0 else "above"
+        rationale = (
+            f"all {len(per_cca)} CCA implementations of {stack} deviate "
+            f"{direction} the reference in the same direction: the root "
+            "cause likely lies in the stack, not the CCAs"
+        )
+    else:
+        rationale = (
+            f"{nonconformant}/{len(per_cca)} CCA implementations deviate; "
+            "no common direction, so treat each CCA separately"
+        )
+    return StackDiagnosis(
+        stack=stack,
+        per_cca=per_cca,
+        stack_level_suspected=stack_level,
+        rationale=rationale,
+    )

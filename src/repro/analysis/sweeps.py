@@ -1,0 +1,116 @@
+"""Parameter sweeps (Fig. 5): Conformance vs Conformance-T for modified BBR.
+
+The paper's sanity check for Conformance-T: take the *kernel* BBR, vary
+``cwnd_gain`` from 1.0 to 4.0 (default 2.0), and measure each modified
+version against vanilla kernel BBR.  Conformance should peak at 2.0 and
+fall off as the gain departs from the default, while Conformance-T stays
+high — a parameter-mistuned implementation is exactly a translated
+envelope.  Δ-throughput and Δ-delay should grow with the gain (a cwnd
+knob moves both axes, §3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.cca.bbr import BBR, BBRConfig
+from repro.core.conformance import evaluate_conformance
+from repro.core.sampling import sample_points
+from repro.harness.cache import DEFAULT_CACHE, ResultCache, cache_key
+from repro.harness.config import ExperimentConfig, NetworkCondition
+from repro.harness import scenarios
+from repro.netsim.network import Network
+from repro.stacks import registry
+
+
+@dataclass
+class SweepPoint:
+    """One x-position of Fig. 5."""
+
+    cwnd_gain: float
+    conformance: float
+    conformance_t: float
+    delta_throughput_mbps: float
+    delta_delay_ms: float
+
+    def row(self) -> dict:
+        return {
+            "cwnd_gain": self.cwnd_gain,
+            "conf": round(self.conformance, 3),
+            "conf_t": round(self.conformance_t, 3),
+            "delta_tput_mbps": round(self.delta_throughput_mbps, 2),
+            "delta_delay_ms": round(self.delta_delay_ms, 2),
+        }
+
+
+def _modified_bbr_trial(
+    cwnd_gain: float,
+    condition: NetworkCondition,
+    config: ExperimentConfig,
+    trial: int,
+    cache: ResultCache,
+) -> np.ndarray:
+    key = cache_key(
+        kind="bbr_gain_sweep",
+        gain=cwnd_gain,
+        condition=(condition.bandwidth_mbps, condition.rtt_ms, condition.buffer_bdp),
+        duration=config.duration_s,
+        trial=trial,
+        seed=config.seed,
+    )
+
+    def compute() -> np.ndarray:
+        linux = registry.reference()
+        test_spec = linux.flow_spec("bbr", label=f"bbr-gain-{cwnd_gain}")
+        mss = test_spec.sender_config.mss
+        test_spec.cca_factory = lambda: BBR(mss, BBRConfig(cwnd_gain=cwnd_gain))
+        ref_spec = linux.flow_spec("bbr", label="bbr-ref")
+        seed = int(cache_key(kind="seed", base=key)[:8], 16)
+        network = Network(
+            condition.link_config(),
+            [test_spec, ref_spec],
+            seed=seed,
+            base_jitter_s=condition.jitter_s(),
+            start_spread_s=0.5,
+        )
+        results = network.run(config.duration_s)
+        return sample_points(
+            results[0].trace, base_rtt_s=condition.rtt_s, config=config.sampling
+        )
+
+    return cache.get_or_compute(key, compute)
+
+
+def cwnd_gain_sweep(
+    gains: Sequence[float] = (1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0),
+    condition: Optional[NetworkCondition] = None,
+    config: ExperimentConfig = ExperimentConfig(),
+    cache: Optional[ResultCache] = None,
+) -> List[SweepPoint]:
+    """Reproduce Fig. 5 over the given cwnd-gain values."""
+    condition = condition or scenarios.shallow_buffer()
+    cache = cache or DEFAULT_CACHE
+    reference_trials = [
+        _modified_bbr_trial(2.0, condition, config, trial + 1000, cache)
+        for trial in range(config.trials)
+    ]
+    points: List[SweepPoint] = []
+    for gain in gains:
+        test_trials = [
+            _modified_bbr_trial(gain, condition, config, trial, cache)
+            for trial in range(config.trials)
+        ]
+        result = evaluate_conformance(test_trials, reference_trials, config.envelope)
+        points.append(
+            SweepPoint(
+                cwnd_gain=gain,
+                conformance=result.conformance,
+                conformance_t=result.conformance_t,
+                delta_throughput_mbps=result.delta_throughput_mbps,
+                delta_delay_ms=result.delta_delay_ms,
+            )
+        )
+    return points

@@ -1,0 +1,90 @@
+"""Transitivity of the "beats" relation (§6 "Transitivity").
+
+The paper reports that among the 11 QUIC stacks, *intra*-CCA performance
+is transitive (if X beats Y and Y beats Z, X beats Z for implementations
+of the same CCA) while *inter*-CCA performance is not (their example:
+lsquic CUBIC beats msquic CUBIC, msquic CUBIC beats chromium BBR, but
+lsquic CUBIC does not beat chromium BBR in deep buffers).
+
+This module derives the beats relation from bandwidth shares and counts
+the violating triples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.harness.cache import ResultCache
+from repro.harness.config import ExperimentConfig, NetworkCondition
+from repro.harness.fairness import bandwidth_share
+from repro.harness.runner import Impl
+from repro.harness import scenarios
+
+
+@dataclass
+class TransitivityReport:
+    impls: List[Impl]
+    #: beats[i][j] True when impl i's share against j exceeds 0.5.
+    beats: np.ndarray
+    violations: List[Tuple[Impl, Impl, Impl]]
+
+    @property
+    def is_transitive(self) -> bool:
+        return not self.violations
+
+
+def beats_matrix(
+    impls: Sequence[Impl],
+    condition: Optional[NetworkCondition] = None,
+    config: ExperimentConfig = ExperimentConfig(),
+    threshold: float = 0.5,
+    cache: Optional[ResultCache] = None,
+) -> np.ndarray:
+    """Pairwise beats relation from bandwidth shares."""
+    condition = condition or scenarios.fairness_condition()
+    n = len(impls)
+    beats = np.zeros((n, n), dtype=bool)
+    for i, a in enumerate(impls):
+        for j, b in enumerate(impls):
+            if i == j:
+                continue
+            share = bandwidth_share(a, b, condition, config, cache=cache)
+            beats[i, j] = share > threshold
+    return beats
+
+
+def transitivity_violations(
+    impls: Sequence[Impl],
+    beats: np.ndarray,
+) -> List[Tuple[Impl, Impl, Impl]]:
+    """All (X, Y, Z) with X>Y, Y>Z but not X>Z."""
+    n = len(impls)
+    violations = []
+    for i in range(n):
+        for j in range(n):
+            if i == j or not beats[i, j]:
+                continue
+            for k in range(n):
+                if k in (i, j):
+                    continue
+                if beats[j, k] and not beats[i, k]:
+                    violations.append((impls[i], impls[j], impls[k]))
+    return violations
+
+
+def analyze(
+    impls: Sequence[Impl],
+    condition: Optional[NetworkCondition] = None,
+    config: ExperimentConfig = ExperimentConfig(),
+    cache: Optional[ResultCache] = None,
+) -> TransitivityReport:
+    """Beats matrix plus its transitivity violations for a set of implementations."""
+    beats = beats_matrix(impls, condition, config, cache=cache)
+    return TransitivityReport(
+        impls=list(impls),
+        beats=beats,
+        violations=transitivity_violations(impls, beats),
+    )

@@ -1,0 +1,33 @@
+"""Congestion-control algorithms.
+
+From-scratch implementations of the three CCAs the paper studies — NewReno,
+CUBIC (RFC 8312, with HyStart per RFC 9406) and BBR v1 — plus the parameter
+and feature knobs that the paper identifies as the root causes of
+non-conformance in QUIC stacks (pacing-gain scaling, cwnd-gain overrides,
+N-connection emulation, RFC8312bis spurious-loss rollback, HyStart
+presence).
+
+The controllers are transport-agnostic: they see only
+:class:`~repro.cca.base.AckEvent` / congestion notifications from the
+hosting sender and expose a congestion window and an optional pacing rate.
+"""
+
+from repro.cca.base import AckEvent, CongestionController
+from repro.cca.reno import NewReno
+from repro.cca.cubic import Cubic, CubicConfig
+from repro.cca.bbr import BBR, BBRConfig
+from repro.cca.windowed_filter import WindowedMaxFilter, WindowedMinFilter
+from repro.cca.rtt import RttEstimator
+
+__all__ = [
+    "AckEvent",
+    "CongestionController",
+    "NewReno",
+    "Cubic",
+    "CubicConfig",
+    "BBR",
+    "BBRConfig",
+    "WindowedMaxFilter",
+    "WindowedMinFilter",
+    "RttEstimator",
+]

@@ -1,0 +1,321 @@
+"""BBR v1 congestion control (Cardwell et al., as deployed in Linux).
+
+Implements the four-state machine (STARTUP, DRAIN, PROBE_BW, PROBE_RTT),
+the windowed-max bandwidth filter over 10 round trips, the windowed-min RTT
+filter over 10 seconds, the PROBE_BW pacing-gain cycle, and pacing/cwnd
+derivation from the (btl_bw, min_rtt) model.
+
+The knobs the paper's non-conformant stacks turn are exposed directly:
+
+* ``pacing_rate_scale`` — mvfst multiplies its final sending rate by 1.25
+  ("120 %" in the paper's prose; Table 4 says pacing gain 1.25 -> 1).
+* ``cwnd_gain`` — xquic sets 2.5 instead of the default 2 (§5, Fig. 14).
+
+BBR v1's *model* is loss-agnostic — congestion events never change the
+bandwidth/RTT estimates — but, like Linux, the window itself applies
+packet conservation inside loss recovery and restores the saved window on
+recovery exit.  That recovery path is what makes ``cwnd_gain`` an
+effective aggressiveness knob in loss-prone scenarios; an RTO collapses
+the window to the 4-packet floor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cca.base import AckEvent, CongestionController
+from repro.cca.windowed_filter import WindowedMaxFilter
+
+#: Linux ``bbr_cwnd_min_target``: BBR never lets cwnd fall below 4
+#: packets (outside PROBE_RTT, where exactly 4 is the target).
+MIN_CWND_PACKETS = 4
+
+#: 2/ln(2): the minimum gain that can double delivered data every round.
+STARTUP_GAIN = 2.885
+#: PROBE_BW gain cycle (one phase per min_rtt).
+PACING_GAIN_CYCLE = (1.25, 0.75, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0)
+
+
+@dataclass
+class BBRConfig:
+    """Tunables; defaults mirror Linux ``tcp_bbr.c``."""
+
+    initial_cwnd_packets: int = 10
+    cwnd_gain: float = 2.0
+    #: Scale applied to the final pacing rate (mvfst deviation: 1.25).
+    pacing_rate_scale: float = 1.0
+    #: Bandwidth filter window, in round trips.
+    bw_window_rounds: int = 10
+    #: min_rtt filter window, seconds.
+    min_rtt_window_s: float = 10.0
+    #: PROBE_RTT duration, seconds.
+    probe_rtt_duration_s: float = 0.2
+    #: Startup exits when bw grew by less than this for 3 rounds.
+    full_bw_threshold: float = 1.25
+
+    def validate(self) -> None:
+        if self.initial_cwnd_packets <= 0:
+            raise ValueError("initial cwnd must be positive")
+        if self.cwnd_gain <= 0:
+            raise ValueError("cwnd gain must be positive")
+        if self.pacing_rate_scale <= 0:
+            raise ValueError("pacing scale must be positive")
+        if self.bw_window_rounds <= 0:
+            raise ValueError("bw window must be positive")
+
+
+class BBR(CongestionController):
+    name = "bbr"
+
+    STARTUP = "STARTUP"
+    DRAIN = "DRAIN"
+    PROBE_BW = "PROBE_BW"
+    PROBE_RTT = "PROBE_RTT"
+
+    def __init__(self, mss: int, config: Optional[BBRConfig] = None):
+        config = config or BBRConfig()
+        config.validate()
+        super().__init__(mss)
+        self.config = config
+        self.state = self.STARTUP
+        self.pacing_gain = STARTUP_GAIN
+        self.cwnd_gain = STARTUP_GAIN
+
+        self._bw_filter = WindowedMaxFilter(window=config.bw_window_rounds)
+        # Kernel-style min_rtt: a single value kept until the 10 s window
+        # expires, at which point the current sample replaces it
+        # (``bbr_update_min_rtt``).  A sliding-window min would drift
+        # upward mid-window whenever the queue holds a standing load,
+        # inflating the BDP estimate and with it the whole cwnd target.
+        self._min_rtt: Optional[float] = None
+        self._min_rtt_timestamp = 0.0
+        self._min_rtt_expired = False
+        self._probe_rtt_done_time: Optional[float] = None
+        self._probe_rtt_round_done = False
+
+        self._round = 0
+        self._full_bw = 0.0
+        self._full_bw_count = 0
+        self._filled_pipe = False
+
+        self._cycle_index = 0
+        self._cycle_start = 0.0
+
+        self._cwnd = config.initial_cwnd_packets * mss
+        self._prior_cwnd = 0
+        #: Initial pacing rate before any bandwidth sample exists, derived
+        #: from the initial window over the assumed initial RTT.
+        self._init_pacing = self._cwnd / 0.1 * STARTUP_GAIN
+
+    # -- model accessors ---------------------------------------------------
+    @property
+    def btl_bw(self) -> Optional[float]:
+        """Bottleneck bandwidth estimate, bytes/s."""
+        return self._bw_filter.get()
+
+    @property
+    def min_rtt(self) -> Optional[float]:
+        return self._min_rtt
+
+    def bdp(self, gain: float = 1.0) -> Optional[int]:
+        bw = self.btl_bw
+        rtt = self.min_rtt
+        if bw is None or rtt is None:
+            return None
+        return int(gain * bw * rtt)
+
+    # -- controller interface ----------------------------------------------
+    @property
+    def cwnd(self) -> int:
+        return self._cwnd
+
+    @property
+    def in_slow_start(self) -> bool:
+        return self.state == self.STARTUP
+
+    def pacing_rate(self) -> Optional[float]:
+        bw = self.btl_bw
+        if bw is None:
+            rate = self._init_pacing
+        else:
+            rate = self.pacing_gain * bw
+        return rate * self.config.pacing_rate_scale
+
+    def on_ack(self, event: AckEvent) -> None:
+        now = event.now
+        new_round = event.round_count > self._round
+        if new_round:
+            self._round = event.round_count
+
+        if event.delivery_rate is not None and (
+            not event.is_app_limited
+            or event.delivery_rate > (self.btl_bw or 0.0)
+        ):
+            self._bw_filter.update(self._round, event.delivery_rate)
+
+        self._min_rtt_expired = (
+            now - self._min_rtt_timestamp > self.config.min_rtt_window_s
+        )
+        if event.rtt_sample is not None:
+            # Linux ``bbr_update_min_rtt``: adopt the sample when it beats
+            # the current minimum or the window expired.  Merely
+            # *observing* the standing minimum inside a full queue must
+            # NOT postpone PROBE_RTT, so the stamp moves only here.  The
+            # expiry flag computed above still drives the PROBE_RTT entry
+            # on this very ACK, as in the kernel.
+            if (
+                self._min_rtt is None
+                or event.rtt_sample <= self._min_rtt
+                or self._min_rtt_expired
+            ):
+                self._min_rtt = event.rtt_sample
+                self._min_rtt_timestamp = now
+
+        if new_round:
+            self._check_full_pipe(event)
+        self._update_state_machine(event, new_round)
+        self._set_cwnd(event)
+
+    def on_congestion_event(self, now: float, bytes_in_flight: int) -> None:
+        """Packet conservation on loss (Linux ``bbr_set_cwnd`` recovery).
+
+        BBR v1's *model* is loss-agnostic, but the Linux implementation
+        still snaps cwnd down to the data in flight when entering loss
+        recovery and then regrows it by acked bytes up to the
+        ``cwnd_gain * BDP`` target.  This is what makes the cwnd gain an
+        effective aggressiveness knob in loss-prone (shallow/competing)
+        scenarios — the mechanism behind the paper's Fig. 5 sweep and the
+        xquic cwnd-gain deviation (Fig. 14).
+        """
+        self._prior_cwnd = max(self._prior_cwnd, self._cwnd)
+        self._cwnd = max(bytes_in_flight, MIN_CWND_PACKETS * self.mss)
+
+    def on_recovery_exit(self, now: float) -> None:
+        """Restore the pre-recovery window (Linux ``bbr_prior_cwnd``)."""
+        if self._prior_cwnd:
+            self._cwnd = max(self._cwnd, self._prior_cwnd)
+            self._prior_cwnd = 0
+
+    def on_rto(self, now: float) -> None:
+        self._prior_cwnd = self._cwnd
+        self._cwnd = MIN_CWND_PACKETS * self.mss
+
+    # -- internals -----------------------------------------------------
+    def _check_full_pipe(self, event: AckEvent) -> None:
+        if self._filled_pipe or event.is_app_limited:
+            return
+        bw = self.btl_bw or 0.0
+        if bw >= self._full_bw * self.config.full_bw_threshold:
+            self._full_bw = bw
+            self._full_bw_count = 0
+            return
+        self._full_bw_count += 1
+        if self._full_bw_count >= 3:
+            self._filled_pipe = True
+
+    def _update_state_machine(self, event: AckEvent, new_round: bool) -> None:
+        now = event.now
+        if self.state == self.STARTUP and self._filled_pipe:
+            self.state = self.DRAIN
+            self.pacing_gain = 1.0 / STARTUP_GAIN
+            self.cwnd_gain = STARTUP_GAIN
+        if self.state == self.DRAIN:
+            target = self.bdp()
+            if target is not None and event.bytes_in_flight <= target:
+                self._enter_probe_bw(now)
+        if self.state == self.PROBE_BW:
+            self._advance_cycle_phase(event)
+        self._maybe_enter_or_exit_probe_rtt(event, new_round)
+
+    def _enter_probe_bw(self, now: float) -> None:
+        self.state = self.PROBE_BW
+        self.cwnd_gain = self.config.cwnd_gain
+        # Linux starts the cycle at a random phase other than 0.75; we use
+        # phase 2 (gain 1.0) deterministically.
+        self._cycle_index = 2
+        self._cycle_start = now
+        self.pacing_gain = PACING_GAIN_CYCLE[self._cycle_index]
+
+    def _advance_cycle_phase(self, event: AckEvent) -> None:
+        now = event.now
+        rtt = self.min_rtt or 0.1
+        elapsed = now - self._cycle_start
+        gain = PACING_GAIN_CYCLE[self._cycle_index]
+        should_advance = elapsed > rtt
+        # Stay in the 0.75 phase only until in_flight drains to the BDP.
+        if gain < 1.0:
+            target = self.bdp() or 0
+            should_advance = elapsed > rtt or event.bytes_in_flight <= target
+        # Stay in the 1.25 phase a full RTT even under losses.
+        if should_advance:
+            self._cycle_index = (self._cycle_index + 1) % len(PACING_GAIN_CYCLE)
+            self._cycle_start = now
+            self.pacing_gain = PACING_GAIN_CYCLE[self._cycle_index]
+
+    def _maybe_enter_or_exit_probe_rtt(self, event: AckEvent, new_round: bool) -> None:
+        now = event.now
+        min_rtt_expired = self._min_rtt_expired
+        if (
+            self.state != self.PROBE_RTT
+            and min_rtt_expired
+            and self._filled_pipe
+        ):
+            self.state = self.PROBE_RTT
+            self.pacing_gain = 1.0
+            self.cwnd_gain = 1.0
+            self._prior_cwnd = self._cwnd
+            self._probe_rtt_done_time = None
+            self._probe_rtt_round_done = False
+        if self.state == self.PROBE_RTT:
+            probe_cwnd = 4 * self.mss
+            if (
+                self._probe_rtt_done_time is None
+                and event.bytes_in_flight <= probe_cwnd
+            ):
+                self._probe_rtt_done_time = now + self.config.probe_rtt_duration_s
+                self._probe_rtt_round_done = False
+            elif self._probe_rtt_done_time is not None:
+                if new_round:
+                    self._probe_rtt_round_done = True
+                if self._probe_rtt_round_done and now >= self._probe_rtt_done_time:
+                    self._min_rtt_timestamp = now
+                    self._exit_probe_rtt(now)
+
+    def _exit_probe_rtt(self, now: float) -> None:
+        self._cwnd = max(self._cwnd, self._prior_cwnd)
+        if self._filled_pipe:
+            self._enter_probe_bw(now)
+        else:
+            self.state = self.STARTUP
+            self.pacing_gain = STARTUP_GAIN
+            self.cwnd_gain = STARTUP_GAIN
+
+    def _set_cwnd(self, event: AckEvent) -> None:
+        if self.state == self.PROBE_RTT:
+            self._cwnd = min(self._cwnd, 4 * self.mss)
+            return
+        target = self.bdp(self.cwnd_gain)
+        if target is None:
+            # No model yet: grow like slow start.
+            self._cwnd += event.bytes_acked
+            return
+        target = max(target, MIN_CWND_PACKETS * self.mss)
+        if self._filled_pipe:
+            self._cwnd = min(self._cwnd + event.bytes_acked, target)
+        else:
+            # In STARTUP, never shrink toward the (still growing) target.
+            if self._cwnd < target:
+                self._cwnd += event.bytes_acked
+
+    def debug_state(self) -> dict:
+        state = super().debug_state()
+        state.update(
+            state=self.state,
+            pacing_gain=self.pacing_gain,
+            cwnd_gain=self.cwnd_gain,
+            btl_bw=self.btl_bw,
+            min_rtt=self.min_rtt,
+            filled_pipe=self._filled_pipe,
+        )
+        return state

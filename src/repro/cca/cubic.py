@@ -1,0 +1,275 @@
+"""CUBIC congestion control (RFC 8312) with HyStart++ (RFC 9406).
+
+This is the reference implementation the paper compares QUIC stacks
+against, plus the exact deviation knobs the paper root-caused:
+
+* ``emulated_connections`` — Chromium's CUBIC emulates N connections by
+  softening the multiplicative decrease and scaling the Reno-friendly
+  additive increase (Table 4: "Emulated flows reduced from 2 to 1").
+* ``enable_hystart`` — xquic CUBIC ships without HyStart; its classic slow
+  start overshoots deep buffers (§5, "Missing Mechanism").
+* ``spurious_loss_rollback`` — quiche CUBIC implements the RFC8312bis §4.9
+  undo: when a congestion event turns out to be spurious the window,
+  ssthresh and W_max are restored (§5, Fig. 15).  The Linux kernel does
+  *not* implement this, which is exactly why it hurts conformance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cca.base import AckEvent, CongestionController, min_cwnd
+
+
+@dataclass
+class CubicConfig:
+    """Tunables; defaults mirror the Linux kernel."""
+
+    initial_cwnd_packets: int = 10
+    #: RFC 8312 constant C, in (segments / s^3).
+    c: float = 0.4
+    #: Multiplicative-decrease factor (kernel: 0.7).
+    beta: float = 0.7
+    fast_convergence: bool = True
+    #: Reno-friendly region on/off (kernel: on).
+    tcp_friendliness: bool = True
+    #: HyStart++ delay-based slow-start exit (kernel: on).
+    enable_hystart: bool = True
+    #: Chromium-style N-connection emulation (1 = standard behaviour).
+    emulated_connections: int = 1
+    #: quiche-style RFC8312bis undo of spurious congestion events.
+    spurious_loss_rollback: bool = False
+
+    def validate(self) -> None:
+        if self.initial_cwnd_packets <= 0:
+            raise ValueError("initial cwnd must be positive")
+        if self.c <= 0:
+            raise ValueError("CUBIC C must be positive")
+        if not 0 < self.beta < 1:
+            raise ValueError("beta must be in (0, 1)")
+        if self.emulated_connections < 1:
+            raise ValueError("emulated_connections must be >= 1")
+
+
+class _HyStartPlusPlus:
+    """HyStart++ (RFC 9406): leave slow start on a per-round RTT increase.
+
+    Implements the standard algorithm: per-round min-RTT sampling (at
+    least ``N_RTT_SAMPLE`` samples), the clamped RTT threshold, and the
+    Conservative Slow Start (CSS) phase with spurious-exit detection.
+    """
+
+    N_RTT_SAMPLE = 8
+    MIN_RTT_THRESH = 0.004
+    MAX_RTT_THRESH = 0.016
+    CSS_GROWTH_DIVISOR = 4
+    CSS_ROUNDS = 5
+
+    def __init__(self) -> None:
+        self.current_round_min_rtt = float("inf")
+        self.last_round_min_rtt = float("inf")
+        self.rtt_sample_count = 0
+        self.round = -1
+        self.in_css = False
+        self.css_baseline_min_rtt = float("inf")
+        self.css_round_count = 0
+        self.exit_slow_start = False
+
+    def on_round_start(self, round_count: int) -> None:
+        self.round = round_count
+        self.last_round_min_rtt = self.current_round_min_rtt
+        self.current_round_min_rtt = float("inf")
+        self.rtt_sample_count = 0
+        if self.in_css:
+            self.css_round_count += 1
+            if self.css_round_count >= self.CSS_ROUNDS:
+                self.exit_slow_start = True
+
+    def on_rtt_sample(self, rtt: float) -> None:
+        self.rtt_sample_count += 1
+        if rtt < self.current_round_min_rtt:
+            self.current_round_min_rtt = rtt
+        if self.rtt_sample_count < self.N_RTT_SAMPLE:
+            return
+        if self.in_css:
+            # Spurious CSS entry: delay fell back below the baseline.
+            if self.current_round_min_rtt < self.css_baseline_min_rtt:
+                self.in_css = False
+                self.css_round_count = 0
+            return
+        if self.last_round_min_rtt == float("inf"):
+            return
+        eta = min(
+            max(self.MIN_RTT_THRESH, self.last_round_min_rtt / 8),
+            self.MAX_RTT_THRESH,
+        )
+        if self.current_round_min_rtt >= self.last_round_min_rtt + eta:
+            self.in_css = True
+            self.css_baseline_min_rtt = self.last_round_min_rtt
+            self.css_round_count = 0
+
+    @property
+    def growth_divisor(self) -> int:
+        return self.CSS_GROWTH_DIVISOR if self.in_css else 1
+
+
+class Cubic(CongestionController):
+    name = "cubic"
+
+    def __init__(self, mss: int, config: Optional[CubicConfig] = None):
+        config = config or CubicConfig()
+        config.validate()
+        super().__init__(mss)
+        self.config = config
+        self._cwnd = float(config.initial_cwnd_packets * mss)
+        self.ssthresh = float("inf")
+        # CUBIC epoch state (segment units inside the cubic formula).
+        self._w_max = 0.0
+        self._k = 0.0
+        self._epoch_start: Optional[float] = None
+        self._ack_count = 0
+        self._w_est = 0.0
+        self._srtt = 0.1
+        self._last_round = -1
+        self._hystart = _HyStartPlusPlus() if config.enable_hystart else None
+        # Snapshot for RFC8312bis undo.
+        self._undo_state: Optional[dict] = None
+
+    # -- derived constants ---------------------------------------------
+    @property
+    def _beta_n(self) -> float:
+        """Effective decrease factor with N-connection emulation."""
+        n = self.config.emulated_connections
+        return (n - 1 + self.config.beta) / n
+
+    @property
+    def _alpha_n(self) -> float:
+        """Reno-friendly additive-increase factor (RFC 8312 §4.2).
+
+        With N emulated connections the aggregate additive increase is N
+        per-connection increases computed at the softened beta — the
+        aggregate-equivalent form of Chromium's per-connection emulation.
+        """
+        n = self.config.emulated_connections
+        beta = self._beta_n
+        return 3 * n * (1 - beta) / (1 + beta)
+
+    # -- interface -------------------------------------------------------
+    @property
+    def cwnd(self) -> int:
+        return int(self._cwnd)
+
+    @property
+    def in_slow_start(self) -> bool:
+        return self._cwnd < self.ssthresh
+
+    def on_ack(self, event: AckEvent) -> None:
+        if event.rtt_sample is not None:
+            # EWMA matching the host stack's smoothing closely enough for
+            # the Reno-friendly time axis.
+            self._srtt += (event.rtt_sample - self._srtt) / 8
+        if self.in_slow_start:
+            self._slow_start_ack(event)
+            return
+        self._congestion_avoidance_ack(event)
+
+    def _slow_start_ack(self, event: AckEvent) -> None:
+        hystart = self._hystart
+        divisor = 1
+        if hystart is not None:
+            if event.round_count != self._last_round:
+                self._last_round = event.round_count
+                hystart.on_round_start(event.round_count)
+            if event.rtt_sample is not None:
+                hystart.on_rtt_sample(event.rtt_sample)
+            if hystart.exit_slow_start:
+                self.ssthresh = self._cwnd
+                return
+            divisor = hystart.growth_divisor
+        self._cwnd += event.bytes_acked / divisor
+        if self._cwnd >= self.ssthresh:
+            self._cwnd = float(self.ssthresh)
+
+    def _congestion_avoidance_ack(self, event: AckEvent) -> None:
+        now = event.now
+        seg = self.mss
+        cwnd_seg = self._cwnd / seg
+        if self._epoch_start is None:
+            self._epoch_start = now
+            self._ack_count = 0
+            if self._w_max <= cwnd_seg:
+                self._w_max = cwnd_seg
+                self._k = 0.0
+            else:
+                self._k = ((self._w_max - cwnd_seg) / self.config.c) ** (1 / 3)
+            self._w_est = cwnd_seg
+        t = now - self._epoch_start
+        # Target window one RTT ahead (RFC 8312 §4.1).
+        rtt = self._srtt
+        w_cubic = (
+            self.config.c * (t + rtt - self._k) ** 3 + self._w_max
+        )
+        # Kernel clamps growth to 1.5x per RTT.
+        target = min(max(w_cubic, cwnd_seg), 1.5 * cwnd_seg)
+
+        # Reno-friendly region (RFC 8312 §4.2).
+        self._w_est += self._alpha_n * event.bytes_acked / self._cwnd
+        if self.config.tcp_friendliness and self._w_est > target:
+            target = self._w_est
+
+        if target > cwnd_seg:
+            # RFC 8312 §4.1: grow by (target - cwnd)/cwnd segments per
+            # acked segment, i.e. reach the target after one full window
+            # of acknowledgments.
+            increment_bytes = (target - cwnd_seg) / cwnd_seg * event.bytes_acked
+            self._cwnd = min(self._cwnd + increment_bytes, target * seg)
+
+    def on_congestion_event(self, now: float, bytes_in_flight: int) -> None:
+        if self.config.spurious_loss_rollback:
+            self._undo_state = {
+                "cwnd": self._cwnd,
+                "ssthresh": self.ssthresh,
+                "w_max": self._w_max,
+                "k": self._k,
+                "epoch_start": self._epoch_start,
+                "w_est": self._w_est,
+            }
+        cwnd_seg = self._cwnd / self.mss
+        if self.config.fast_convergence and cwnd_seg < self._w_max:
+            self._w_max = cwnd_seg * (2 - self._beta_n) / 2
+        else:
+            self._w_max = cwnd_seg
+        self._cwnd = max(self._cwnd * self._beta_n, min_cwnd(self.mss))
+        self.ssthresh = self._cwnd
+        self._epoch_start = None
+
+    def on_spurious_congestion(self, now: float) -> None:
+        if not self.config.spurious_loss_rollback or self._undo_state is None:
+            return
+        state = self._undo_state
+        self._undo_state = None
+        # RFC8312bis §4.9: restore cwnd, ssthresh and W_max as if the
+        # congestion event never happened.
+        self._cwnd = max(state["cwnd"], self._cwnd)
+        self.ssthresh = max(state["ssthresh"], self.ssthresh)
+        self._w_max = state["w_max"]
+        self._k = state["k"]
+        self._epoch_start = state["epoch_start"]
+        self._w_est = state["w_est"]
+
+    def on_rto(self, now: float) -> None:
+        self.ssthresh = max(self._cwnd * self._beta_n, min_cwnd(self.mss))
+        self._cwnd = float(min_cwnd(self.mss))
+        self._epoch_start = None
+        self._w_max = max(self._w_max, self.ssthresh / self.mss)
+
+    def debug_state(self) -> dict:
+        state = super().debug_state()
+        state.update(
+            ssthresh=self.ssthresh,
+            w_max=self._w_max,
+            slow_start=self.in_slow_start,
+            hystart_css=bool(self._hystart and self._hystart.in_css),
+        )
+        return state

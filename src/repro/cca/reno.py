@@ -1,0 +1,74 @@
+"""TCP NewReno congestion control (RFC 5681 / RFC 6582 semantics).
+
+Slow start doubles the window per round; congestion avoidance adds one MSS
+per window of acknowledged data; a congestion event multiplies the window
+by 0.5 (kernel/QUIC Reno convention).  The ``beta`` and additive-increase
+scaling are exposed so stack variants can deviate the way the paper's
+non-conformant implementations do.
+"""
+
+from __future__ import annotations
+
+from repro.cca.base import AckEvent, CongestionController, min_cwnd
+
+
+class NewReno(CongestionController):
+    name = "reno"
+
+    def __init__(
+        self,
+        mss: int,
+        initial_cwnd_packets: int = 10,
+        beta: float = 0.5,
+        ai_scale: float = 1.0,
+        ssthresh: float = float("inf"),
+    ):
+        super().__init__(mss)
+        if not 0 < beta < 1:
+            raise ValueError("beta must be in (0, 1)")
+        if ai_scale <= 0:
+            raise ValueError("additive-increase scale must be positive")
+        self.beta = beta
+        self.ai_scale = ai_scale
+        self._cwnd = float(initial_cwnd_packets * mss)
+        self.ssthresh = ssthresh
+        #: Bytes acked since the last cwnd bump in congestion avoidance.
+        self._bytes_acked_ca = 0.0
+
+    # -- interface ---------------------------------------------------------
+    @property
+    def cwnd(self) -> int:
+        return int(self._cwnd)
+
+    @property
+    def in_slow_start(self) -> bool:
+        return self._cwnd < self.ssthresh
+
+    def on_ack(self, event: AckEvent) -> None:
+        if self.in_slow_start:
+            self._cwnd += event.bytes_acked
+            if self._cwnd >= self.ssthresh:
+                # Burn off any overshoot into the CA accumulator.
+                self._bytes_acked_ca = self._cwnd - self.ssthresh
+                self._cwnd = float(self.ssthresh)
+            return
+        # Congestion avoidance: cwnd += ai_scale * mss per cwnd of data.
+        self._bytes_acked_ca += event.bytes_acked
+        while self._bytes_acked_ca >= self._cwnd:
+            self._bytes_acked_ca -= self._cwnd
+            self._cwnd += self.ai_scale * self.mss
+
+    def on_congestion_event(self, now: float, bytes_in_flight: int) -> None:
+        self.ssthresh = max(self._cwnd * self.beta, min_cwnd(self.mss))
+        self._cwnd = float(self.ssthresh)
+        self._bytes_acked_ca = 0.0
+
+    def on_rto(self, now: float) -> None:
+        self.ssthresh = max(self._cwnd * self.beta, min_cwnd(self.mss))
+        self._cwnd = float(min_cwnd(self.mss))
+        self._bytes_acked_ca = 0.0
+
+    def debug_state(self) -> dict:
+        state = super().debug_state()
+        state.update(ssthresh=self.ssthresh, slow_start=self.in_slow_start)
+        return state

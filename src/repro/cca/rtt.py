@@ -1,0 +1,86 @@
+"""RTT estimation (RFC 6298 smoothing + running minimum).
+
+Shared by the sender's loss-detection/RTO machinery and by controllers
+that need a smoothed RTT (CUBIC's TCP-friendly region, HyStart).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class RttEstimator:
+    """Keeps srtt/rttvar per RFC 6298 plus the running minimum RTT."""
+
+    #: RFC 6298 constants.
+    ALPHA = 1 / 8
+    BETA = 1 / 4
+    K = 4
+
+    def __init__(self, initial_rtt: float = 0.1):
+        if initial_rtt <= 0:
+            raise ValueError("initial RTT must be positive")
+        self.initial_rtt = initial_rtt
+        self.srtt: Optional[float] = None
+        self.rttvar: Optional[float] = None
+        self.latest: Optional[float] = None
+        self.min_rtt: Optional[float] = None
+
+    def update(self, sample: float) -> None:
+        if sample <= 0:
+            raise ValueError("RTT sample must be positive")
+        self.latest = sample
+        if self.min_rtt is None or sample < self.min_rtt:
+            self.min_rtt = sample
+        if self.srtt is None:
+            self.srtt = sample
+            self.rttvar = sample / 2
+        else:
+            assert self.rttvar is not None
+            self.rttvar = (1 - self.BETA) * self.rttvar + self.BETA * abs(
+                self.srtt - sample
+            )
+            self.srtt = (1 - self.ALPHA) * self.srtt + self.ALPHA * sample
+
+    @property
+    def smoothed(self) -> float:
+        """srtt, falling back to the configured initial RTT pre-handshake."""
+        return self.srtt if self.srtt is not None else self.initial_rtt
+
+    def rto(self, min_rto: float = 0.2, max_rto: float = 60.0) -> float:
+        """RFC 6298 retransmission timeout with kernel-style clamping."""
+        if self.srtt is None or self.rttvar is None:
+            return max(min_rto, min(1.0, max_rto))
+        rto = self.srtt + self.K * self.rttvar
+        return max(min_rto, min(rto, max_rto))
+
+    def loss_time_threshold(self) -> float:
+        """QUIC time-threshold for loss declaration (RFC 9002 §6.1.2).
+
+        Deliberately tight: 9/8 of the larger of srtt and the latest
+        sample.  When queueing delay inflates faster than the smoothed
+        RTT tracks it (deep buffers), this threshold fires on packets
+        that are merely queued — a QUIC-standard artifact that kernel
+        RACK-TLP avoids with its variance-padded window (see
+        :meth:`rack_time_threshold`).
+        """
+        basis = max(self.smoothed, self.latest or self.smoothed)
+        return 9 / 8 * basis
+
+    def rack_time_threshold(self) -> float:
+        """Kernel RACK-style reordering window: srtt plus a variance pad.
+
+        Linux RACK uses a quarter-min-RTT reordering window on top of the
+        latest RTT and backs off further on detected spurious marks; the
+        variance term keeps the threshold out of the way while the queue
+        is growing.  Exposed for experimentation; the default sender uses
+        the QUIC threshold for both modes (see
+        ``Sender._detect_losses``) because an asymmetric threshold biases
+        kernel-vs-QUIC BBR competition.
+        """
+        basis = max(self.smoothed, self.latest or self.smoothed)
+        pad = max(
+            4 * (self.rttvar if self.rttvar is not None else basis / 4),
+            (self.min_rtt or basis) / 4,
+        )
+        return basis + pad

@@ -1,0 +1,100 @@
+"""Windowed min/max filters.
+
+Direct reimplementation of the Kathleen Nichols style windowed filter used
+by Linux BBR (``lib/win_minmax.c``): it tracks the best (max or min) sample
+over a sliding window using three estimates, giving O(1) updates without
+storing the whole window.
+
+Like the kernel original, the filter assumes non-decreasing sample times;
+its guarantee is that the reported best is never *worse* than the true
+windowed best (it may keep a slightly stale best up to one window long,
+exactly as the kernel filter does).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass
+class _Sample:
+    time: float
+    value: float
+
+
+class _WindowedFilter:
+    """Shared machinery; ``_better`` decides max (>=) or min (<=)."""
+
+    def __init__(self, window: float):
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.window = window
+        self._estimates: list[Optional[_Sample]] = [None, None, None]
+
+    def _better(self, a: float, b: float) -> bool:  # pragma: no cover
+        raise NotImplementedError
+
+    def reset(self, time: float, value: float) -> None:
+        self._estimates = [
+            _Sample(time, value),
+            _Sample(time, value),
+            _Sample(time, value),
+        ]
+
+    def update(self, time: float, value: float) -> float:
+        """Insert a sample at ``time``; returns the current best estimate."""
+        est = self._estimates
+        best = est[0]
+        # New overall best, or the window has fully passed: hard reset.
+        if best is None or self._better(value, best.value) or (
+            time - best.time > self.window
+        ):
+            self.reset(time, value)
+            return value
+
+        sample = _Sample(time, value)
+        if self._better(value, est[1].value):  # type: ignore[union-attr]
+            est[1] = sample
+            est[2] = sample
+        elif self._better(value, est[2].value):  # type: ignore[union-attr]
+            est[2] = sample
+
+        # Sub-window aging (kernel minmax_subwin_update).
+        dt = time - est[0].time  # type: ignore[union-attr]
+        if dt > self.window:
+            est[0] = est[1]
+            est[1] = est[2]
+            est[2] = sample
+            if time - est[0].time > self.window:  # type: ignore[union-attr]
+                est[0] = est[1]
+                est[1] = est[2]
+                est[2] = sample
+        elif est[1].time == est[0].time and dt > self.window / 4:  # type: ignore[union-attr]
+            est[1] = sample
+            est[2] = sample
+        elif est[2].time == est[1].time and dt > self.window / 2:  # type: ignore[union-attr]
+            est[2] = sample
+        return est[0].value  # type: ignore[union-attr]
+
+    def get(self) -> Optional[float]:
+        best = self._estimates[0]
+        return None if best is None else best.value
+
+
+class WindowedMaxFilter(_WindowedFilter):
+    """Running maximum over a sliding window (BBR bandwidth filter).
+
+    BBR's bandwidth filter windows over *round trips*; callers pass the
+    round count as the "time" axis in that case.
+    """
+
+    def _better(self, a: float, b: float) -> bool:
+        return a >= b
+
+
+class WindowedMinFilter(_WindowedFilter):
+    """Running minimum over a sliding window (BBR min_rtt filter)."""
+
+    def _better(self, a: float, b: float) -> bool:
+        return a <= b

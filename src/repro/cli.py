@@ -1,0 +1,482 @@
+"""Command-line interface: ``quicbench`` (or ``python -m repro``).
+
+Subcommands mirror the paper's experiments:
+
+* ``quicbench stacks`` — Table 1 / Table 2 stack inventory.
+* ``quicbench conformance --stack quiche --cca cubic`` — one measurement
+  with the full metric set and an ASCII envelope plot.
+* ``quicbench heatmap --buffer 1`` — a Fig. 6 style conformance bar list.
+* ``quicbench fairness --cca cubic`` — a Fig. 12 bandwidth-share matrix.
+* ``quicbench intercca`` — a Fig. 13 CUBIC x BBR matrix.
+* ``quicbench fixes`` — Table 4 before/after fix verification.
+* ``quicbench sweep`` — the Fig. 5 cwnd-gain sweep.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.harness import reporting
+from repro.harness.config import ExperimentConfig, NetworkCondition
+from repro.harness.conformance import conformance_heatmap, measure_conformance
+from repro.harness.fairness import inter_cca_matrix, intra_cca_matrix
+from repro.stacks import registry
+
+
+def _add_condition_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--bandwidth", type=float, default=20.0, help="Mbps")
+    parser.add_argument("--rtt", type=float, default=10.0, help="ms")
+    parser.add_argument("--buffer", type=float, default=1.0, help="x BDP")
+
+
+def _add_experiment_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--duration", type=float, default=None, help="seconds")
+    parser.add_argument("--trials", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=None)
+
+
+def _condition(args) -> NetworkCondition:
+    return NetworkCondition(
+        bandwidth_mbps=args.bandwidth, rtt_ms=args.rtt, buffer_bdp=args.buffer
+    )
+
+
+def _config(args) -> ExperimentConfig:
+    base = ExperimentConfig()
+    kwargs = {}
+    if args.duration is not None:
+        kwargs["duration_s"] = args.duration
+    if args.trials is not None:
+        kwargs["trials"] = args.trials
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    if not kwargs:
+        return base
+    from dataclasses import replace
+
+    return replace(base, **kwargs)
+
+
+def cmd_stacks(args) -> int:
+    """Print Tables 1 and 2 (stack inventory)."""
+    rows = []
+    for profile in registry.STACKS.values():
+        rows.append(
+            [
+                profile.organization,
+                profile.name,
+                profile.version[:12],
+                "y" if profile.supports("cubic") else "-",
+                "y" if profile.supports("bbr") else "-",
+                "y" if profile.supports("reno") else "-",
+            ]
+        )
+    print(
+        reporting.format_table(
+            ["Organization", "Stack", "Version", "CUBIC", "BBR", "Reno"],
+            rows,
+            title="Studied stacks and available CCAs (paper Table 1)",
+        )
+    )
+    print()
+    rows = [
+        [k.organization, k.stack]
+        + ["y" if f else "-" for f in (k.open_source, k.implements_cc, k.stable, k.deployed, k.studied)]
+        for k in registry.KNOWN_STACKS
+    ]
+    print(
+        reporting.format_table(
+            ["Organization", "Stack", "Open", "CC", "Stable", "Deployed", "Studied"],
+            rows,
+            title="All known IETF QUIC stacks (paper Table 2)",
+        )
+    )
+    return 0
+
+
+def cmd_conformance(args) -> int:
+    """Measure one implementation and print the full metric set."""
+    measurement = measure_conformance(
+        args.stack, args.cca, _condition(args), _config(args), variant=args.variant
+    )
+    row = measurement.row()
+    print(
+        reporting.format_table(
+            list(row.keys()), [list(row.values())], title="Conformance measurement"
+        )
+    )
+    if args.svg:
+        from repro.viz.charts import envelope_figure
+
+        envelope_figure(
+            {
+                f"{args.stack} {args.cca}": measurement.result.test_envelope,
+                f"kernel {args.cca}": measurement.result.reference_envelope,
+            },
+            title=f"{args.stack}/{args.cca} vs reference "
+            f"(Conf={measurement.conformance:.2f})",
+        ).save(args.svg)
+        print(f"wrote envelope figure to {args.svg}")
+    if args.plot:
+        pe = measurement.result.test_envelope
+        print()
+        print(
+            reporting.format_envelope_ascii(
+                pe.hulls, pe.all_points, title=f"{args.stack}/{args.cca} envelope"
+            )
+        )
+        ref = measurement.result.reference_envelope
+        print()
+        print(
+            reporting.format_envelope_ascii(
+                ref.hulls, ref.all_points, title="kernel reference envelope"
+            )
+        )
+    return 0
+
+
+def cmd_heatmap(args) -> int:
+    """Fig 6-style conformance bars for every implementation."""
+    condition = _condition(args)
+    measurements = conformance_heatmap(condition, _config(args))
+    values = {key: m.conformance for key, m in measurements.items()}
+    print(
+        reporting.format_conformance_bars(
+            values,
+            title=f"Conformance at {condition.describe()} (paper Fig. 6)",
+        )
+    )
+    return 0
+
+
+def cmd_fairness(args) -> int:
+    """Fig 12-style intra-CCA bandwidth-share matrix."""
+    condition = NetworkCondition(
+        bandwidth_mbps=args.bandwidth, rtt_ms=args.rtt, buffer_bdp=args.buffer
+    )
+    matrix = intra_cca_matrix(args.cca, condition, _config(args))
+    print(
+        reporting.format_heatmap(
+            matrix.rows,
+            matrix.cols,
+            matrix.shares,
+            title=f"Bandwidth shares, {args.cca} (paper Fig. 12); "
+            "row value > 0.5 = row wins",
+        )
+    )
+    aggressive = matrix.unfair_rows()
+    if aggressive:
+        print("\nOverly aggressive:", ", ".join(aggressive))
+    return 0
+
+
+def cmd_intercca(args) -> int:
+    """Fig 13-style BBR x CUBIC interaction matrix."""
+    condition = NetworkCondition(
+        bandwidth_mbps=args.bandwidth, rtt_ms=args.rtt, buffer_bdp=args.buffer
+    )
+    matrix = inter_cca_matrix("bbr", "cubic", condition, _config(args))
+    print(
+        reporting.format_heatmap(
+            matrix.rows,
+            matrix.cols,
+            matrix.shares,
+            title="BBR (rows) vs CUBIC (cols) bandwidth share (paper Fig. 13)",
+        )
+    )
+    return 0
+
+
+def cmd_fixes(args) -> int:
+    """Table 4 fix verification (before/after conformance)."""
+    from repro.analysis.fixes import evaluate_all_fixes
+
+    outcomes = evaluate_all_fixes(_condition(args), _config(args))
+    headers = [
+        "stack", "cca", "conf", "conf-T", "dtput", "ddelay",
+        "conf'", "conf-T'", "LoC", "remark",
+    ]
+    rows = []
+    for outcome in outcomes:
+        r = outcome.row()
+        rows.append(
+            [
+                r["stack"], r["cca"], r["conf_before"], r["conf_t_before"],
+                r["dtput_before"], r["ddelay_before"],
+                r.get("conf_after", "-"), r.get("conf_t_after", "-"),
+                r["loc"] if r["loc"] is not None else "-", r["remark"],
+            ]
+        )
+    print(reporting.format_table(headers, rows, title="Fix verification (paper Table 4)"))
+    return 0
+
+
+def cmd_rootcause(args) -> int:
+    """Classify a stack's deviations and run the stack-level screen."""
+    from repro.analysis.rootcause import classify, diagnose_stack
+
+    profile = registry.get_stack(args.stack)
+    condition = _condition(args)
+    config = _config(args)
+    measurements = []
+    rows = []
+    for cca in profile.available_ccas():
+        measurement = measure_conformance(args.stack, cca, condition, config)
+        measurements.append(measurement)
+        hint = classify(measurement.result)
+        rows.append(
+            [cca, round(measurement.conformance, 2),
+             round(measurement.conformance_t, 2),
+             f"{measurement.result.delta_throughput_mbps:+.1f}",
+             f"{measurement.result.delta_delay_ms:+.1f}",
+             hint.suspect.value]
+        )
+    print(
+        reporting.format_table(
+            ["CCA", "Conf", "Conf-T", "d-tput", "d-delay", "suspected knob"],
+            rows,
+            title=f"Root-cause hints for {args.stack} (paper §3.3/§5 reasoning)",
+        )
+    )
+    diagnosis = diagnose_stack(args.stack, measurements)
+    print(f"\nstack-level screen: {diagnosis.rationale}")
+    return 0
+
+
+def cmd_regression(args) -> int:
+    """Conformance across kernel milestones (§6)."""
+    from repro.harness.regression import MILESTONES, flipped_verdicts, regression_matrix
+
+    impls = None
+    if args.stack:
+        profile = registry.get_stack(args.stack)
+        impls = [(args.stack, cca) for cca in profile.available_ccas()]
+    rows_data = regression_matrix(
+        implementations=impls, condition=_condition(args), config=_config(args)
+    )
+    milestone_names = [m.name for m in MILESTONES]
+    rows = [
+        [r.stack, r.cca] + [round(r.conformance[m], 2) for m in milestone_names]
+        + ["FLIPS" if r.verdict_flips else ""]
+        for r in rows_data
+    ]
+    print(
+        reporting.format_table(
+            ["Stack", "CCA"] + milestone_names + ["verdict"],
+            rows,
+            title="Conformance across kernel milestones (§6 'Keeping up with the kernel')",
+        )
+    )
+    flips = flipped_verdicts(rows_data)
+    if flips:
+        print("\nimplementations whose verdict depends on the kernel version:")
+        for r in flips:
+            print(f"  {r.stack}/{r.cca}")
+    return 0
+
+
+def cmd_select(args) -> int:
+    """Rank kernel CCAs for an application's desired region."""
+    from repro.core.apps import DesiredRegion, select_cca
+    from repro.core.envelope import build_envelope
+    from repro.harness.conformance import reference_trials
+
+    condition = _condition(args)
+    config = _config(args)
+    region = DesiredRegion(
+        max_delay_ms=args.max_delay,
+        min_throughput_mbps=args.min_tput,
+        label="cli",
+    )
+    candidates = {}
+    for cca in registry.CCAS:
+        trials = reference_trials(cca, condition, config)
+        candidates[cca] = build_envelope(trials)
+    scores = select_cca(region, candidates)
+    rows = [
+        [s.name, round(s.point_fraction, 2), round(s.area_fraction, 2)]
+        for s in scores
+    ]
+    print(
+        reporting.format_table(
+            ["CCA", "points in region", "area in region"],
+            rows,
+            title=f"CCA ranking for delay<={args.max_delay} ms, "
+            f"tput>={args.min_tput} Mbps at {condition.describe()} "
+            "(§6 'Extending the PE to other applications')",
+        )
+    )
+    print(f"\nbest match: {scores[0].name}")
+    return 0
+
+
+def cmd_qlog(args) -> int:
+    """Run one flow vs the reference and export its qlog/pcap traces."""
+    from repro.harness.runner import Impl, reference_impl, run_pair
+    from repro.netsim.qlog import write_qlog
+
+    condition = _condition(args)
+    config = _config(args)
+    result = run_pair(
+        Impl(args.stack, args.cca, args.variant),
+        reference_impl(args.cca),
+        condition,
+        duration_s=config.duration_s,
+        seed=config.seed,
+    )
+    write_qlog(result.first.trace, args.out, title=f"{args.stack}/{args.cca}")
+    print(f"wrote qlog trace of {args.stack}/{args.cca} to {args.out}")
+    print("(view with qvis: https://qvis.quictools.info)")
+    if args.pcap:
+        from repro.netsim.pcap import write_pcap
+
+        count = write_pcap(result.first.trace, args.pcap)
+        print(f"wrote {count}-packet pcap to {args.pcap} (open with wireshark/tcptrace)")
+    return 0
+
+
+def cmd_matrix(args) -> int:
+    """Sweep implementations over conditions; export the dataset as CSV."""
+    from repro.harness.matrix import run_matrix
+    from repro.harness.scenarios import buffer_sweep
+
+    conditions = buffer_sweep(bandwidth_mbps=args.bandwidth, rtt_ms=args.rtt)
+    implementations = None
+    if args.stack:
+        profile = registry.get_stack(args.stack)
+        implementations = [(args.stack, cca) for cca in profile.available_ccas()]
+    result = run_matrix(
+        conditions=conditions,
+        implementations=implementations,
+        config=_config(args),
+        progress=lambda msg: print(f"  running {msg}", flush=True),
+    )
+    result.save_csv(args.out)
+    print(f"wrote {len(result.measurements)} measurements to {args.out}")
+    worst = result.worst_cells(3)
+    for m in worst:
+        print(
+            f"  lowest conformance: {m.impl} @ {m.condition.describe()} "
+            f"-> {m.conformance:.2f}"
+        )
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    """Fig 5 cwnd-gain sweep for modified kernel BBR."""
+    from repro.analysis.sweeps import cwnd_gain_sweep
+
+    points = cwnd_gain_sweep(config=_config(args))
+    rows = [list(p.row().values()) for p in points]
+    print(
+        reporting.format_table(
+            ["cwnd_gain", "conf", "conf-T", "dtput", "ddelay"],
+            rows,
+            title="Kernel BBR cwnd-gain sweep (paper Fig. 5)",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The quicbench argument parser (one subcommand per experiment)."""
+    parser = argparse.ArgumentParser(
+        prog="quicbench",
+        description="Conformance testing for QUIC congestion control "
+        "(reproduction of Mishra & Leong, IMC 2023).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("stacks", help="list studied and known stacks").set_defaults(
+        fn=cmd_stacks
+    )
+
+    p = sub.add_parser("conformance", help="measure one implementation")
+    p.add_argument("--stack", required=True, choices=sorted(registry.STACKS))
+    p.add_argument("--cca", required=True, choices=list(registry.CCAS))
+    p.add_argument("--variant", default="default")
+    p.add_argument("--plot", action="store_true", help="ASCII envelope plots")
+    p.add_argument("--svg", default=None, help="write an SVG envelope figure")
+    _add_condition_args(p)
+    _add_experiment_args(p)
+    p.set_defaults(fn=cmd_conformance)
+
+    p = sub.add_parser("heatmap", help="conformance of all implementations")
+    _add_condition_args(p)
+    _add_experiment_args(p)
+    p.set_defaults(fn=cmd_heatmap)
+
+    p = sub.add_parser("fairness", help="intra-CCA bandwidth-share matrix")
+    p.add_argument("--cca", required=True, choices=list(registry.CCAS))
+    _add_condition_args(p)
+    p.set_defaults(bandwidth=20.0, rtt=50.0, buffer=1.0)
+    _add_experiment_args(p)
+    p.set_defaults(fn=cmd_fairness)
+
+    p = sub.add_parser("intercca", help="BBR vs CUBIC interaction matrix")
+    _add_condition_args(p)
+    p.set_defaults(bandwidth=20.0, rtt=50.0, buffer=1.0)
+    _add_experiment_args(p)
+    p.set_defaults(fn=cmd_intercca)
+
+    p = sub.add_parser("fixes", help="Table 4 fix verification")
+    _add_condition_args(p)
+    _add_experiment_args(p)
+    p.set_defaults(fn=cmd_fixes)
+
+    p = sub.add_parser("sweep", help="Fig. 5 cwnd-gain sweep")
+    _add_condition_args(p)
+    _add_experiment_args(p)
+    p.set_defaults(fn=cmd_sweep)
+
+    p = sub.add_parser("rootcause", help="classify a stack's deviations")
+    p.add_argument("--stack", required=True, choices=sorted(registry.STACKS))
+    _add_condition_args(p)
+    _add_experiment_args(p)
+    p.set_defaults(fn=cmd_rootcause)
+
+    p = sub.add_parser("regression", help="conformance across kernel milestones")
+    p.add_argument("--stack", default=None, choices=sorted(registry.STACKS))
+    _add_condition_args(p)
+    _add_experiment_args(p)
+    p.set_defaults(fn=cmd_regression)
+
+    p = sub.add_parser("select", help="rank CCAs for an application's region")
+    p.add_argument("--max-delay", type=float, required=True, help="ms")
+    p.add_argument("--min-tput", type=float, default=0.0, help="Mbps")
+    _add_condition_args(p)
+    _add_experiment_args(p)
+    p.set_defaults(fn=cmd_select)
+
+    p = sub.add_parser("qlog", help="export a flow's qlog (and pcap) trace")
+    p.add_argument("--stack", required=True, choices=sorted(registry.STACKS))
+    p.add_argument("--cca", required=True, choices=list(registry.CCAS))
+    p.add_argument("--variant", default="default")
+    p.add_argument("--out", required=True)
+    p.add_argument("--pcap", default=None, help="also write a pcap here")
+    _add_condition_args(p)
+    _add_experiment_args(p)
+    p.set_defaults(fn=cmd_qlog)
+
+    p = sub.add_parser("matrix", help="buffer-sweep dataset export (CSV)")
+    p.add_argument("--stack", default=None, choices=sorted(registry.STACKS),
+                   help="restrict to one stack (default: all 22 impls)")
+    p.add_argument("--out", required=True)
+    _add_condition_args(p)
+    _add_experiment_args(p)
+    p.set_defaults(fn=cmd_matrix)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

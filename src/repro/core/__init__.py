@@ -1,0 +1,74 @@
+"""The paper's primary contribution: Performance-Envelope conformance.
+
+Pipeline (one conformance measurement):
+
+1. :mod:`repro.core.timeseries` — turn packet traces into throughput and
+   delay time series, computed offline exactly like the paper's
+   trace-based post-processing.
+2. :mod:`repro.core.sampling` — truncate 10 % at both ends and sample
+   (delay, throughput) pairs every 10 RTTs.
+3. :mod:`repro.core.envelope` — cluster each trial's point cloud
+   (k selected by the IOU-drop rule), build per-cluster convex hulls and
+   intersect them across trials (outlier removal).
+4. :mod:`repro.core.conformance` — Conformance (point-weighted overlap of
+   the two envelopes), Conformance-T (max conformance over translations),
+   and the translation vector (Δ-throughput, Δ-delay).
+"""
+
+from repro.core.geometry import (
+    convex_hull,
+    polygon_area,
+    convex_intersection,
+    point_in_convex_polygon,
+    polygon_centroid,
+)
+from repro.core.timeseries import FlowTimeSeries, compute_time_series
+from repro.core.sampling import sample_points, SamplingConfig
+from repro.core.clustering import kmeans, select_k, KMeansResult
+from repro.core.envelope import PerformanceEnvelope, build_envelope, EnvelopeConfig
+from repro.core.conformance import (
+    conformance,
+    conformance_legacy,
+    conformance_post_translation,
+    evaluate_conformance,
+    ConformanceResult,
+    TranslationResult,
+)
+from repro.core.apps import (
+    DesiredRegion,
+    MatchScore,
+    bulk_transfer_region,
+    live_streaming_region,
+    match_envelope,
+    select_cca,
+)
+
+__all__ = [
+    "convex_hull",
+    "polygon_area",
+    "convex_intersection",
+    "point_in_convex_polygon",
+    "polygon_centroid",
+    "FlowTimeSeries",
+    "compute_time_series",
+    "sample_points",
+    "SamplingConfig",
+    "kmeans",
+    "select_k",
+    "KMeansResult",
+    "PerformanceEnvelope",
+    "build_envelope",
+    "EnvelopeConfig",
+    "conformance",
+    "conformance_legacy",
+    "conformance_post_translation",
+    "evaluate_conformance",
+    "ConformanceResult",
+    "TranslationResult",
+    "DesiredRegion",
+    "MatchScore",
+    "bulk_transfer_region",
+    "live_streaming_region",
+    "match_envelope",
+    "select_cca",
+]

@@ -1,0 +1,131 @@
+"""Application-driven CCA selection via envelope matching.
+
+§6 "Extending the Performance Envelope to other applications": an
+application knows the delay/throughput region it wants to operate in
+(live streaming wants low delay, bulk transfer wants high throughput);
+pick the congestion control whose Performance Envelope overlaps that
+desired region the most.
+
+The desired region is expressed as an axis-aligned box (or any convex
+polygon) on the delay-throughput plane; candidates are ranked by the
+fraction of their envelope points inside the region, tie-broken by area
+overlap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.envelope import PerformanceEnvelope
+from repro.core.geometry import (
+    convex_intersection,
+    points_in_convex_polygon,
+    polygon_area,
+)
+
+
+@dataclass(frozen=True)
+class DesiredRegion:
+    """An application's target operating region on the (delay, tput) plane."""
+
+    max_delay_ms: float = float("inf")
+    min_delay_ms: float = 0.0
+    min_throughput_mbps: float = 0.0
+    max_throughput_mbps: float = float("inf")
+    label: str = ""
+
+    def validate(self) -> None:
+        if self.min_delay_ms < 0 or self.min_throughput_mbps < 0:
+            raise ValueError("bounds must be non-negative")
+        if self.min_delay_ms >= self.max_delay_ms:
+            raise ValueError("empty delay range")
+        if self.min_throughput_mbps >= self.max_throughput_mbps:
+            raise ValueError("empty throughput range")
+
+    def polygon(self, delay_cap_ms: float = 10_000.0, tput_cap_mbps: float = 100_000.0) -> np.ndarray:
+        """The region as a convex polygon (infinite bounds clamped)."""
+        self.validate()
+        x0 = self.min_delay_ms
+        x1 = min(self.max_delay_ms, delay_cap_ms)
+        y0 = self.min_throughput_mbps
+        y1 = min(self.max_throughput_mbps, tput_cap_mbps)
+        return np.array([[x0, y0], [x1, y0], [x1, y1], [x0, y1]], dtype=float)
+
+    def contains(self, points: Sequence) -> np.ndarray:
+        pts = np.asarray(points, dtype=float)
+        if pts.size == 0:
+            return np.zeros(0, dtype=bool)
+        return (
+            (pts[:, 0] >= self.min_delay_ms)
+            & (pts[:, 0] <= self.max_delay_ms)
+            & (pts[:, 1] >= self.min_throughput_mbps)
+            & (pts[:, 1] <= self.max_throughput_mbps)
+        )
+
+
+#: Ready-made profiles for the §6 examples.
+def live_streaming_region(rtt_budget_ms: float, min_rate_mbps: float) -> DesiredRegion:
+    """Latency-sensitive: bounded delay, modest rate floor."""
+    return DesiredRegion(
+        max_delay_ms=rtt_budget_ms,
+        min_throughput_mbps=min_rate_mbps,
+        label="live-streaming",
+    )
+
+
+def bulk_transfer_region(min_rate_mbps: float) -> DesiredRegion:
+    """Throughput-hungry: rate floor, delay-indifferent."""
+    return DesiredRegion(min_throughput_mbps=min_rate_mbps, label="bulk-transfer")
+
+
+@dataclass
+class MatchScore:
+    """How well one candidate envelope fits the desired region."""
+
+    name: str
+    #: Fraction of the envelope's points inside the region.
+    point_fraction: float
+    #: Fraction of the envelope's hull area inside the region.
+    area_fraction: float
+
+    @property
+    def score(self) -> float:
+        # Points carry the behaviour; area breaks ties between candidates
+        # whose clouds sit fully inside the region.
+        return self.point_fraction + 0.01 * self.area_fraction
+
+
+def match_envelope(region: DesiredRegion, envelope: PerformanceEnvelope) -> Tuple[float, float]:
+    """(point_fraction, area_fraction) of an envelope inside the region."""
+    region.validate()
+    points = envelope.all_points
+    point_fraction = float(region.contains(points).mean()) if len(points) else 0.0
+
+    region_poly = region.polygon()
+    total_area = envelope.total_area()
+    if total_area <= 0:
+        return point_fraction, 0.0
+    inside_area = sum(
+        polygon_area(convex_intersection(hull, region_poly)) for hull in envelope.hulls
+    )
+    return point_fraction, float(inside_area / total_area)
+
+
+def select_cca(
+    region: DesiredRegion,
+    candidates: Dict[str, PerformanceEnvelope],
+) -> List[MatchScore]:
+    """Rank candidate CCAs for an application, best first."""
+    if not candidates:
+        raise ValueError("no candidate envelopes supplied")
+    scores = []
+    for name, envelope in candidates.items():
+        point_fraction, area_fraction = match_envelope(region, envelope)
+        scores.append(
+            MatchScore(name=name, point_fraction=point_fraction, area_fraction=area_fraction)
+        )
+    scores.sort(key=lambda s: s.score, reverse=True)
+    return scores

@@ -1,0 +1,220 @@
+"""2-D computational geometry for Performance Envelopes.
+
+Everything the PE needs is convex: hulls of point clouds (Andrew's
+monotone chain), intersection of convex polygons (Sutherland–Hodgman
+clipping), areas (shoelace) and point-in-polygon tests.  Implemented from
+scratch on plain numpy arrays; polygons are (N, 2) float arrays in
+counter-clockwise order without a repeated closing vertex.
+
+Degenerate results (fewer than 3 vertices after hull or clipping) are
+represented as empty polygons — an envelope cluster that degenerates to a
+segment carries no area and contains no points, matching how the paper's
+intersection-over-trials naturally discards unstable clusters.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+#: Geometric tolerance for orientation tests, in squared input units.
+EPS = 1e-12
+
+
+def _as_points(points: Sequence) -> np.ndarray:
+    arr = np.asarray(points, dtype=float)
+    if arr.size == 0:
+        return arr.reshape(0, 2)
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise ValueError(f"expected an (N, 2) array, got shape {arr.shape}")
+    return arr
+
+
+def cross(o: np.ndarray, a: np.ndarray, b: np.ndarray) -> float:
+    """Z-component of (a - o) x (b - o); >0 means a left turn."""
+    return (a[0] - o[0]) * (b[1] - o[1]) - (a[1] - o[1]) * (b[0] - o[0])
+
+
+def convex_hull(points: Sequence) -> np.ndarray:
+    """Convex hull via Andrew's monotone chain, CCW order.
+
+    Collinear boundary points are dropped.  Returns an empty (0, 2) array
+    for degenerate inputs (fewer than 3 distinct, non-collinear points).
+    """
+    arr = _as_points(points)
+    if len(arr) < 3:
+        return np.empty((0, 2))
+    unique = np.unique(arr, axis=0)
+    if len(unique) < 3:
+        return np.empty((0, 2))
+    pts = unique[np.lexsort((unique[:, 1], unique[:, 0]))]
+
+    def half(iterable: Iterable[np.ndarray]) -> List[np.ndarray]:
+        chain: List[np.ndarray] = []
+        for p in iterable:
+            # Pop on non-left turns with the exact zero threshold: an
+            # absolute epsilon here can discard true extreme vertices
+            # when a chain is nearly collinear at tiny scales.
+            while len(chain) >= 2 and cross(chain[-2], chain[-1], p) <= 0:
+                chain.pop()
+            chain.append(p)
+        return chain
+
+    lower = half(pts)
+    upper = half(reversed(pts))
+    hull = lower[:-1] + upper[:-1]
+    if len(hull) < 3:
+        return np.empty((0, 2))
+    return np.array(hull)
+
+
+def polygon_area(polygon: Sequence) -> float:
+    """Shoelace area; 0 for degenerate polygons."""
+    poly = _as_points(polygon)
+    if len(poly) < 3:
+        return 0.0
+    x = poly[:, 0]
+    y = poly[:, 1]
+    return 0.5 * abs(
+        float(np.dot(x, np.roll(y, -1)) - np.dot(y, np.roll(x, -1)))
+    )
+
+
+def polygon_centroid(polygon: Sequence) -> Optional[np.ndarray]:
+    """Area centroid of a convex polygon; None when degenerate."""
+    poly = _as_points(polygon)
+    if len(poly) < 3:
+        return None
+    x = poly[:, 0]
+    y = poly[:, 1]
+    cross_terms = x * np.roll(y, -1) - np.roll(x, -1) * y
+    area6 = 3 * (np.sum(cross_terms))
+    if abs(area6) < EPS:
+        return poly.mean(axis=0)
+    cx = float(np.sum((x + np.roll(x, -1)) * cross_terms) / area6)
+    cy = float(np.sum((y + np.roll(y, -1)) * cross_terms) / area6)
+    return np.array([cx, cy])
+
+
+def _ensure_ccw(polygon: np.ndarray) -> np.ndarray:
+    x = polygon[:, 0]
+    y = polygon[:, 1]
+    signed = float(np.dot(x, np.roll(y, -1)) - np.dot(y, np.roll(x, -1)))
+    if signed < 0:
+        return polygon[::-1]
+    return polygon
+
+
+def convex_intersection(poly_a: Sequence, poly_b: Sequence) -> np.ndarray:
+    """Intersection of two convex polygons (Sutherland–Hodgman).
+
+    Returns the (possibly empty) intersection polygon in CCW order.
+    """
+    a = _as_points(poly_a)
+    b = _as_points(poly_b)
+    if len(a) < 3 or len(b) < 3:
+        return np.empty((0, 2))
+    subject = _ensure_ccw(a)
+    clipper = _ensure_ccw(b)
+
+    output: List[np.ndarray] = list(subject)
+    n = len(clipper)
+    for i in range(n):
+        if not output:
+            return np.empty((0, 2))
+        edge_start = clipper[i]
+        edge_end = clipper[(i + 1) % n]
+        input_pts = output
+        output = []
+        prev = input_pts[-1]
+        prev_inside = cross(edge_start, edge_end, prev) >= -EPS
+        for current in input_pts:
+            inside = cross(edge_start, edge_end, current) >= -EPS
+            if inside:
+                if not prev_inside:
+                    output.append(_segment_intersection(prev, current, edge_start, edge_end))
+                output.append(current)
+            elif prev_inside:
+                output.append(_segment_intersection(prev, current, edge_start, edge_end))
+            prev = current
+            prev_inside = inside
+    if len(output) < 3:
+        return np.empty((0, 2))
+    result = np.array(output)
+    # Clipping can produce duplicate/collinear vertices; re-hull to clean up.
+    cleaned = convex_hull(result)
+    return cleaned if len(cleaned) >= 3 else np.empty((0, 2))
+
+
+def _segment_intersection(
+    p1: np.ndarray, p2: np.ndarray, q1: np.ndarray, q2: np.ndarray
+) -> np.ndarray:
+    """Intersection of line p1p2 with line q1q2 (callers guarantee crossing)."""
+    d1 = p2 - p1
+    d2 = q2 - q1
+    denom = d1[0] * d2[1] - d1[1] * d2[0]
+    if abs(denom) < EPS:
+        return p2.copy()
+    t = ((q1[0] - p1[0]) * d2[1] - (q1[1] - p1[1]) * d2[0]) / denom
+    return p1 + t * d1
+
+
+def intersect_polygons(polygons: Sequence[Sequence]) -> np.ndarray:
+    """Intersection of many convex polygons (the over-trials PE operation)."""
+    polys = [(_as_points(p)) for p in polygons]
+    if not polys:
+        return np.empty((0, 2))
+    result = polys[0]
+    for poly in polys[1:]:
+        result = convex_intersection(result, poly)
+        if len(result) < 3:
+            return np.empty((0, 2))
+    return result
+
+
+def point_in_convex_polygon(point: Sequence, polygon: Sequence) -> bool:
+    """True when ``point`` lies inside or on the convex polygon."""
+    poly = _as_points(polygon)
+    if len(poly) < 3:
+        return False
+    p = np.asarray(point, dtype=float)
+    n = len(poly)
+    for i in range(n):
+        if cross(poly[i], poly[(i + 1) % n], p) < -1e-9 * _scale(poly):
+            return False
+    return True
+
+
+def points_in_convex_polygon(points: Sequence, polygon: Sequence) -> np.ndarray:
+    """Vectorized membership test: boolean mask over ``points``."""
+    pts = _as_points(points)
+    poly = _as_points(polygon)
+    if len(poly) < 3 or len(pts) == 0:
+        return np.zeros(len(pts), dtype=bool)
+    poly = _ensure_ccw(poly)
+    mask = np.ones(len(pts), dtype=bool)
+    tol = -1e-9 * _scale(poly)
+    n = len(poly)
+    for i in range(n):
+        o = poly[i]
+        e = poly[(i + 1) % n]
+        crossv = (e[0] - o[0]) * (pts[:, 1] - o[1]) - (e[1] - o[1]) * (
+            pts[:, 0] - o[0]
+        )
+        mask &= crossv >= tol
+        if not mask.any():
+            break
+    return mask
+
+
+def _scale(poly: np.ndarray) -> float:
+    """Characteristic squared length used for relative tolerances."""
+    span = poly.max(axis=0) - poly.min(axis=0)
+    return max(float(span[0] * span[1]), 1e-6)
+
+
+def translate_polygon(polygon: Sequence, offset: Sequence) -> np.ndarray:
+    """The polygon rigidly shifted by ``offset``."""
+    poly = _as_points(polygon)
+    return poly + np.asarray(offset, dtype=float)

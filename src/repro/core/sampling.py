@@ -1,0 +1,55 @@
+"""(delay, throughput) sampling for Performance Envelopes.
+
+Methodology from §3.1 of the paper: run the flow to steady state,
+truncate 10 % of the trace at both ends to drop transients, then sample
+the throughput and delay time series every 10 RTTs and plot the pairs on
+the delay-throughput plane.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.timeseries import compute_time_series
+from repro.netsim.trace import FlowTrace
+
+
+@dataclass(frozen=True)
+class SamplingConfig:
+    """PE sampling parameters (paper defaults)."""
+
+    #: Sampling period in units of base RTTs (§3.1: every 10 RTTs).
+    sample_rtts: float = 10.0
+    #: Fraction truncated at each end of the trace (§3.1: 10 %).
+    truncate_fraction: float = 0.10
+
+    def validate(self) -> None:
+        if self.sample_rtts <= 0:
+            raise ValueError("sample period must be positive")
+        if not 0 <= self.truncate_fraction < 0.5:
+            raise ValueError("truncation must be in [0, 0.5)")
+
+
+def sample_points(
+    trace: FlowTrace,
+    base_rtt_s: float,
+    config: SamplingConfig = SamplingConfig(),
+) -> np.ndarray:
+    """Produce the (delay_ms, throughput_mbps) point cloud for one trial.
+
+    Each sample aggregates one ``sample_rtts * base_rtt`` window, which is
+    equivalent to sampling the windowed time series at that period.
+    """
+    config.validate()
+    if base_rtt_s <= 0:
+        raise ValueError("base RTT must be positive")
+    window = config.sample_rtts * base_rtt_s
+    series = compute_time_series(
+        trace,
+        window_s=window,
+        reverse_delay_s=base_rtt_s / 2,
+    )
+    series = series.truncated(config.truncate_fraction)
+    return series.points()

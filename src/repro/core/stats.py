@@ -1,0 +1,104 @@
+"""Statistical utilities for conformance measurements.
+
+The paper reports single conformance values per condition.  With a
+simulator we can afford uncertainty estimates: bootstrap confidence
+intervals obtained by resampling *trials* (the natural unit of
+independent variation) and re-running the envelope pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.conformance import conformance
+from repro.core.envelope import EnvelopeConfig, build_envelope
+
+
+@dataclass(frozen=True)
+class BootstrapResult:
+    """A point estimate with a percentile bootstrap interval."""
+
+    estimate: float
+    low: float
+    high: float
+    samples: int
+
+    @property
+    def width(self) -> float:
+        return self.high - self.low
+
+    def __str__(self) -> str:
+        return f"{self.estimate:.2f} [{self.low:.2f}, {self.high:.2f}]"
+
+
+def bootstrap_metric(
+    values_fn: Callable[[Sequence[int]], float],
+    n_trials: int,
+    resamples: int = 200,
+    confidence: float = 0.90,
+    seed: int = 0,
+) -> BootstrapResult:
+    """Generic trial-level bootstrap.
+
+    ``values_fn`` receives a list of trial indices (with replacement) and
+    returns the metric computed on that resample.
+    """
+    if n_trials < 1:
+        raise ValueError("need at least one trial")
+    if not 0 < confidence < 1:
+        raise ValueError("confidence must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    estimate = values_fn(list(range(n_trials)))
+    samples = [
+        values_fn(list(rng.integers(0, n_trials, size=n_trials)))
+        for _ in range(resamples)
+    ]
+    alpha = (1 - confidence) / 2
+    low, high = np.quantile(samples, [alpha, 1 - alpha])
+    return BootstrapResult(
+        estimate=float(estimate), low=float(low), high=float(high), samples=resamples
+    )
+
+
+def bootstrap_conformance(
+    test_trials: Sequence[np.ndarray],
+    reference_trials: Sequence[np.ndarray],
+    config: EnvelopeConfig = EnvelopeConfig(),
+    resamples: int = 100,
+    confidence: float = 0.90,
+    seed: int = 0,
+) -> BootstrapResult:
+    """Bootstrap CI for the conformance of one measurement.
+
+    Trials are resampled with replacement on both sides; degenerate
+    resamples (a single repeated trial makes the cross-trial intersection
+    trivial) are legitimate members of the bootstrap distribution.
+    """
+    test_trials = [np.asarray(t) for t in test_trials]
+    reference_trials = [np.asarray(t) for t in reference_trials]
+    n = min(len(test_trials), len(reference_trials))
+
+    def metric(indices: Sequence[int]) -> float:
+        test = [test_trials[i % len(test_trials)] for i in indices]
+        ref = [reference_trials[i % len(reference_trials)] for i in indices]
+        return conformance(build_envelope(test, config), build_envelope(ref, config))
+
+    return bootstrap_metric(
+        metric, n_trials=n, resamples=resamples, confidence=confidence, seed=seed
+    )
+
+
+def jains_fairness_index(throughputs: Sequence[float]) -> float:
+    """Jain's index over per-flow throughputs: 1 = perfectly fair."""
+    values = np.asarray(list(throughputs), dtype=float)
+    if values.size == 0:
+        raise ValueError("need at least one throughput")
+    if (values < 0).any():
+        raise ValueError("throughputs must be non-negative")
+    denom = values.size * float((values**2).sum())
+    if denom == 0:
+        return 1.0
+    return float(values.sum() ** 2 / denom)

@@ -1,0 +1,121 @@
+"""Offline throughput/delay time series from packet traces.
+
+The paper computes both series "offline via packet trace" (§3.1).  We do
+the same: the only input is the receiver-side delivery trace.  Throughput
+over a window is delivered payload divided by window length; delay is the
+mean RTT experienced by the packets delivered in the window, reconstructed
+as (one-way forward delay, which includes all queueing) plus the constant
+reverse-path propagation delay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.netsim.trace import FlowTrace
+
+
+@dataclass
+class FlowTimeSeries:
+    """Evenly-windowed throughput/delay series for one flow."""
+
+    #: Window start times, seconds.
+    times: np.ndarray
+    #: Mbps delivered per window.
+    throughput_mbps: np.ndarray
+    #: Mean RTT per window, milliseconds.
+    delay_ms: np.ndarray
+    window_s: float
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def truncated(self, fraction: float) -> "FlowTimeSeries":
+        """Drop ``fraction`` of the windows at each end (paper: 10 %)."""
+        if not 0 <= fraction < 0.5:
+            raise ValueError("truncation fraction must be in [0, 0.5)")
+        n = len(self.times)
+        cut = int(n * fraction)
+        sl = slice(cut, n - cut if cut else n)
+        return FlowTimeSeries(
+            times=self.times[sl],
+            throughput_mbps=self.throughput_mbps[sl],
+            delay_ms=self.delay_ms[sl],
+            window_s=self.window_s,
+        )
+
+    def points(self) -> np.ndarray:
+        """(delay_ms, throughput_mbps) pairs — the PE point cloud axes."""
+        return np.column_stack([self.delay_ms, self.throughput_mbps])
+
+
+def compute_time_series(
+    trace: FlowTrace,
+    window_s: float,
+    reverse_delay_s: float,
+    start: Optional[float] = None,
+    end: Optional[float] = None,
+) -> FlowTimeSeries:
+    """Window the delivery trace of one flow.
+
+    ``reverse_delay_s`` is the constant reverse-path propagation used to
+    turn measured one-way delays into RTT estimates.  Windows with no
+    deliveries inherit zero throughput and the previous window's delay
+    (a silent flow still observes the path's last known delay).
+    """
+    if window_s <= 0:
+        raise ValueError("window must be positive")
+    records = trace.records
+    if not records:
+        return FlowTimeSeries(
+            times=np.empty(0),
+            throughput_mbps=np.empty(0),
+            delay_ms=np.empty(0),
+            window_s=window_s,
+        )
+    arrivals = np.fromiter((r.arrival_time for r in records), dtype=float, count=len(records))
+    sizes = np.fromiter((r.payload_bytes for r in records), dtype=float, count=len(records))
+    owds = np.fromiter((r.one_way_delay for r in records), dtype=float, count=len(records))
+
+    t0 = arrivals[0] if start is None else start
+    t1 = arrivals[-1] if end is None else end
+    if t1 <= t0:
+        return FlowTimeSeries(
+            times=np.empty(0),
+            throughput_mbps=np.empty(0),
+            delay_ms=np.empty(0),
+            window_s=window_s,
+        )
+    n_windows = max(int((t1 - t0) / window_s), 1)
+    edges = t0 + np.arange(n_windows + 1) * window_s
+    index = np.clip(np.searchsorted(edges, arrivals, side="right") - 1, 0, n_windows - 1)
+    in_range = (arrivals >= t0) & (arrivals < edges[-1])
+
+    throughput = np.zeros(n_windows)
+    delay_sum = np.zeros(n_windows)
+    counts = np.zeros(n_windows)
+    np.add.at(throughput, index[in_range], sizes[in_range])
+    np.add.at(delay_sum, index[in_range], owds[in_range])
+    np.add.at(counts, index[in_range], 1)
+
+    throughput_mbps = throughput * 8 / window_s / 1e6
+    rtts = np.zeros(n_windows)
+    have = counts > 0
+    rtts[have] = delay_sum[have] / counts[have] + reverse_delay_s
+    # Forward-fill delay through silent windows.
+    last = rtts[have][0] if have.any() else 0.0
+    for i in range(n_windows):
+        if have[i]:
+            last = rtts[i]
+        else:
+            rtts[i] = last
+
+    return FlowTimeSeries(
+        times=edges[:-1],
+        throughput_mbps=throughput_mbps,
+        delay_ms=rtts * 1e3,
+        window_s=window_s,
+    )

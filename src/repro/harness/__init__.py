@@ -1,0 +1,69 @@
+"""The measurement harness (the reproduction's "QUICBench").
+
+Orchestrates simulator runs into the paper's experiments: conformance
+measurements against the kernel reference (§4.1), the in-the-wild
+variant (§4.2), pairwise fairness matrices (§4.3) and the CUBIC/BBR
+interaction matrices (§4.4).
+"""
+
+from repro.harness.config import (
+    ExperimentConfig,
+    NetworkCondition,
+    paper_experiment_config,
+)
+from repro.harness.cache import ResultCache, cache_key
+from repro.harness.runner import run_pair, sampled_points, PairResult
+from repro.harness.conformance import (
+    ConformanceMeasurement,
+    measure_conformance,
+    conformance_heatmap,
+)
+from repro.harness.fairness import (
+    bandwidth_share,
+    intra_cca_matrix,
+    inter_cca_matrix,
+    FairnessMatrix,
+)
+from repro.harness.internet import (
+    internet_condition,
+    internet_heatmap,
+    measure_conformance_internet,
+)
+from repro.harness.shortflows import (
+    CompletionResult,
+    fct_sweep,
+    flow_completion_time,
+    staggered_fairness,
+)
+from repro.harness.matrix import MatrixResult, run_matrix
+from repro.harness import regression, reporting, scenarios
+
+__all__ = [
+    "ExperimentConfig",
+    "NetworkCondition",
+    "paper_experiment_config",
+    "ResultCache",
+    "cache_key",
+    "run_pair",
+    "sampled_points",
+    "PairResult",
+    "ConformanceMeasurement",
+    "measure_conformance",
+    "conformance_heatmap",
+    "bandwidth_share",
+    "intra_cca_matrix",
+    "inter_cca_matrix",
+    "FairnessMatrix",
+    "internet_condition",
+    "internet_heatmap",
+    "measure_conformance_internet",
+    "CompletionResult",
+    "fct_sweep",
+    "flow_completion_time",
+    "staggered_fairness",
+    "MatrixResult",
+    "run_matrix",
+    "regression",
+    "reporting",
+    "scenarios",
+]

@@ -1,0 +1,91 @@
+"""Caching of sampled point clouds.
+
+A full paper-scale sweep re-runs the same (stack, CCA, network, seed)
+simulation many times — most obviously the kernel-vs-kernel reference
+runs shared by every conformance measurement.  The cache stores the
+*sampled PE points* (the only thing downstream analysis needs) in memory
+and optionally on disk as ``.npy`` files.
+
+Disk caching is keyed by a content hash of every parameter that affects
+the result plus a schema-version salt; bump :data:`CACHE_SCHEMA_VERSION`
+whenever simulator or sampling semantics change.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+#: Bump to invalidate disk caches after behavioural changes.
+CACHE_SCHEMA_VERSION = 6
+
+#: Environment variable overriding the disk-cache directory.
+CACHE_DIR_ENV = "QUICBENCH_CACHE_DIR"
+
+
+def cache_key(**params) -> str:
+    """Stable content hash of keyword parameters."""
+    payload = json.dumps(
+        {"schema": CACHE_SCHEMA_VERSION, **params},
+        sort_keys=True,
+        default=str,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()[:32]
+
+
+class ResultCache:
+    """Two-level (memory, disk) cache of numpy arrays."""
+
+    def __init__(self, directory: Optional[Path] = None, enabled: bool = True):
+        self.enabled = enabled
+        env_dir = os.environ.get(CACHE_DIR_ENV)
+        if directory is None and env_dir:
+            directory = Path(env_dir)
+        self.directory = directory
+        self._memory: Dict[str, np.ndarray] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get_or_compute(
+        self, key: str, compute: Callable[[], np.ndarray]
+    ) -> np.ndarray:
+        if not self.enabled:
+            return compute()
+        if key in self._memory:
+            self.hits += 1
+            return self._memory[key]
+        path = self._path(key)
+        if path is not None and path.exists():
+            try:
+                value = np.load(path)
+                self._memory[key] = value
+                self.hits += 1
+                return value
+            except (OSError, ValueError):
+                path.unlink(missing_ok=True)
+        self.misses += 1
+        value = np.asarray(compute())
+        self._memory[key] = value
+        if path is not None:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(".tmp.npy")
+            np.save(tmp, value)
+            os.replace(tmp, path)
+        return value
+
+    def _path(self, key: str) -> Optional[Path]:
+        if self.directory is None:
+            return None
+        return self.directory / f"{key}.npy"
+
+    def clear_memory(self) -> None:
+        self._memory.clear()
+
+
+#: Process-wide default cache (memory-only unless QUICBENCH_CACHE_DIR set).
+DEFAULT_CACHE = ResultCache()

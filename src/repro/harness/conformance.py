@@ -1,0 +1,143 @@
+"""Conformance measurements (§4.1): the harness's main entry point.
+
+``measure_conformance(stack, cca, condition)`` reproduces one cell of the
+paper's heatmaps: the QUIC implementation runs against the kernel
+reference, the reference runs against itself, and the two Performance
+Envelopes are compared with the full metric set (Conformance,
+Conformance-T, Conf-old, Δ-throughput, Δ-delay).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.conformance import ConformanceResult, evaluate_conformance
+from repro.harness.cache import ResultCache
+from repro.harness.config import ExperimentConfig, NetworkCondition
+from repro.harness.runner import Impl, reference_impl, sampled_points
+from repro.netsim.crosstraffic import CrossTrafficConfig
+from repro.netsim.path import NetemConfig
+from repro.stacks import registry
+
+
+@dataclass
+class ConformanceMeasurement:
+    """One (implementation, network condition) conformance record."""
+
+    impl: Impl
+    condition: NetworkCondition
+    result: ConformanceResult
+
+    @property
+    def conformance(self) -> float:
+        return self.result.conformance
+
+    @property
+    def conformance_t(self) -> float:
+        return self.result.conformance_t
+
+    def row(self) -> dict:
+        return {
+            "stack": self.impl.stack,
+            "cca": self.impl.cca,
+            "variant": self.impl.variant,
+            "condition": self.condition.describe(),
+            **self.result.summary_row(),
+        }
+
+
+def gather_trials(
+    test: Impl,
+    competitor: Impl,
+    condition: NetworkCondition,
+    config: ExperimentConfig,
+    cache: Optional[ResultCache] = None,
+    cross_traffic: Optional[CrossTrafficConfig] = None,
+    wan_netem: Optional[NetemConfig] = None,
+) -> List[np.ndarray]:
+    """Sampled point clouds of the test flow, one per trial."""
+    return [
+        sampled_points(
+            test,
+            competitor,
+            condition,
+            config,
+            trial,
+            cache=cache,
+            cross_traffic=cross_traffic,
+            wan_netem=wan_netem,
+        )
+        for trial in range(config.trials)
+    ]
+
+
+def reference_trials(
+    cca: str,
+    condition: NetworkCondition,
+    config: ExperimentConfig,
+    cache: Optional[ResultCache] = None,
+    cross_traffic: Optional[CrossTrafficConfig] = None,
+    wan_netem: Optional[NetemConfig] = None,
+) -> List[np.ndarray]:
+    """Kernel-vs-kernel trials defining the reference PE for a CCA."""
+    ref = reference_impl(cca)
+    return gather_trials(
+        ref,
+        ref,
+        condition,
+        config,
+        cache=cache,
+        cross_traffic=cross_traffic,
+        wan_netem=wan_netem,
+    )
+
+
+def measure_conformance(
+    stack: str,
+    cca: str,
+    condition: NetworkCondition,
+    config: ExperimentConfig = ExperimentConfig(),
+    variant: str = "default",
+    cache: Optional[ResultCache] = None,
+    reference_variant: str = "default",
+) -> ConformanceMeasurement:
+    """Full conformance measurement for one implementation.
+
+    ``reference_variant`` selects a non-default kernel reference, e.g.
+    ``"nohystart"`` for the paper's Table 4 comparison of xquic CUBIC
+    against TCP CUBIC with HyStart disabled.
+    """
+    impl = Impl(stack, cca, variant)
+    reference = Impl(registry.REFERENCE_STACK, cca, reference_variant)
+    test_trials = gather_trials(impl, reference, condition, config, cache=cache)
+    ref_trials = gather_trials(reference, reference, condition, config, cache=cache)
+    result = evaluate_conformance(test_trials, ref_trials, config.envelope)
+    return ConformanceMeasurement(impl=impl, condition=condition, result=result)
+
+
+def conformance_heatmap(
+    condition: NetworkCondition,
+    config: ExperimentConfig = ExperimentConfig(),
+    ccas: Sequence[str] = registry.CCAS,
+    stacks: Optional[Sequence[str]] = None,
+    cache: Optional[ResultCache] = None,
+) -> Dict[Tuple[str, str], ConformanceMeasurement]:
+    """One full heatmap (paper Fig. 6): every stack x CCA at a condition."""
+    measurements: Dict[Tuple[str, str], ConformanceMeasurement] = {}
+    stack_names = (
+        list(stacks)
+        if stacks is not None
+        else [p.name for p in registry.quic_stacks()]
+    )
+    for stack_name in stack_names:
+        profile = registry.get_stack(stack_name)
+        for cca in ccas:
+            if not profile.supports(cca):
+                continue
+            measurements[(stack_name, cca)] = measure_conformance(
+                stack_name, cca, condition, config, cache=cache
+            )
+    return measurements

@@ -1,0 +1,152 @@
+"""Bandwidth-share fairness analysis (§4.3, §4.4).
+
+The paper complements conformance with a sanity check: pairwise
+bandwidth shares of all implementation combinations at 20 Mbps / 50 ms /
+1 BDP.  ``share > 0.5`` means the row implementation takes more than its
+fair share.  §4.4 applies the same machinery across CCAs (every CUBIC vs
+every BBR) in shallow and deep buffers to show low-conformance
+implementations subverting the expected CUBIC/BBR dynamics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.harness.cache import DEFAULT_CACHE, ResultCache, cache_key
+from repro.harness.config import ExperimentConfig, NetworkCondition
+from repro.harness.runner import Impl, run_pair, _trial_seed
+from repro.stacks import registry
+
+
+def bandwidth_share(
+    first: Impl,
+    second: Impl,
+    condition: NetworkCondition,
+    config: ExperimentConfig = ExperimentConfig(),
+    cache: Optional[ResultCache] = None,
+) -> float:
+    """Mean share T_first / (T_first + T_second) over the trials."""
+    cache = cache or DEFAULT_CACHE
+    key = cache_key(
+        kind="bandwidth_share",
+        first=first.key(),
+        second=second.key(),
+        condition=(
+            condition.bandwidth_mbps,
+            condition.rtt_ms,
+            condition.buffer_bdp,
+        ),
+        duration=config.duration_s,
+        trials=config.trials,
+        seed=config.seed,
+    )
+
+    def compute() -> np.ndarray:
+        shares = []
+        for trial in range(config.trials):
+            seed = _trial_seed(
+                config.seed, "fair", first, second, condition.physical_key(), trial
+            )
+            result = run_pair(
+                first, second, condition, duration_s=config.duration_s, seed=seed
+            )
+            t1, t2 = result.throughputs_mbps
+            total = t1 + t2
+            shares.append(0.5 if total <= 0 else t1 / total)
+        return np.array(shares)
+
+    shares = cache.get_or_compute(key, compute)
+    return float(np.mean(shares))
+
+
+@dataclass
+class FairnessMatrix:
+    """A labelled share matrix: entry [i][j] = share of row i vs col j."""
+
+    rows: List[str]
+    cols: List[str]
+    shares: np.ndarray
+
+    def share(self, row: str, col: str) -> float:
+        return float(self.shares[self.rows.index(row), self.cols.index(col)])
+
+    def unfair_rows(self, threshold: float = 0.6) -> List[str]:
+        """Row implementations whose *median* share against the other
+        implementations exceeds ``threshold`` (overly aggressive)."""
+        out = []
+        for i, row in enumerate(self.rows):
+            others = [
+                self.shares[i, j]
+                for j, col in enumerate(self.cols)
+                if col != row and not np.isnan(self.shares[i, j])
+            ]
+            if others and float(np.median(others)) > threshold:
+                out.append(row)
+        return out
+
+
+def _impl_label(impl: Impl) -> str:
+    return f"{impl.stack}-{impl.cca}"
+
+
+def intra_cca_matrix(
+    cca: str,
+    condition: NetworkCondition,
+    config: ExperimentConfig = ExperimentConfig(),
+    include_reference: bool = True,
+    stacks: Optional[Sequence[str]] = None,
+    cache: Optional[ResultCache] = None,
+) -> FairnessMatrix:
+    """Pairwise shares between all implementations of one CCA (Fig. 12)."""
+    impls = _implementations(cca, include_reference, stacks)
+    labels = [_impl_label(i) for i in impls]
+    n = len(impls)
+    shares = np.full((n, n), np.nan)
+    for i, a in enumerate(impls):
+        shares[i, i] = 0.5
+        for j in range(i + 1, n):
+            # One experiment yields both directions, exactly as the paper
+            # computes T_x/(T_x+T_y) and T_y/(T_x+T_y) from a single run.
+            share = bandwidth_share(a, impls[j], condition, config, cache=cache)
+            shares[i, j] = share
+            shares[j, i] = 1.0 - share
+    return FairnessMatrix(rows=labels, cols=labels, shares=shares)
+
+
+def inter_cca_matrix(
+    row_cca: str,
+    col_cca: str,
+    condition: NetworkCondition,
+    config: ExperimentConfig = ExperimentConfig(),
+    include_reference: bool = True,
+    row_stacks: Optional[Sequence[str]] = None,
+    col_stacks: Optional[Sequence[str]] = None,
+    cache: Optional[ResultCache] = None,
+) -> FairnessMatrix:
+    """Shares of every ``row_cca`` impl vs every ``col_cca`` impl (Fig. 13)."""
+    rows = _implementations(row_cca, include_reference, row_stacks)
+    cols = _implementations(col_cca, include_reference, col_stacks)
+    shares = np.full((len(rows), len(cols)), np.nan)
+    for i, a in enumerate(rows):
+        for j, b in enumerate(cols):
+            shares[i, j] = bandwidth_share(a, b, condition, config, cache=cache)
+    return FairnessMatrix(
+        rows=[_impl_label(i) for i in rows],
+        cols=[_impl_label(i) for i in cols],
+        shares=shares,
+    )
+
+
+def _implementations(
+    cca: str, include_reference: bool, stacks: Optional[Sequence[str]]
+) -> List[Impl]:
+    if stacks is not None:
+        names = list(stacks)
+    else:
+        names = [p.name for p in registry.implementations(cca)]
+        if include_reference:
+            names.insert(0, registry.REFERENCE_STACK)
+    return [Impl(name, cca) for name in names]

@@ -1,0 +1,105 @@
+"""Kernel-regression testing: "Keeping up with the kernel" (§6).
+
+The kernel reference is itself a moving target: HyStart landed, RFC8312bis
+is scheduled, algorithms get retuned.  The paper recommends re-running
+conformance tests "every time a new milestone kernel version with
+significant changes to the TCP stack is released".
+
+This module implements that workflow: a :class:`KernelMilestone` describes
+a reference variant (e.g. CUBIC without HyStart for pre-2.6.29 kernels, or
+CUBIC *with* the RFC8312bis undo for the scheduled future kernel), and
+:func:`regression_matrix` measures every QUIC implementation against each
+milestone, flagging implementations whose conformance verdict flips.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.harness.cache import ResultCache
+from repro.harness.config import ExperimentConfig, NetworkCondition
+from repro.harness.conformance import measure_conformance
+from repro.harness import scenarios
+from repro.stacks import registry
+
+
+@dataclass(frozen=True)
+class KernelMilestone:
+    """One kernel reference flavour to regress against."""
+
+    name: str
+    #: CCA -> kernel variant name to use as the reference implementation.
+    reference_variants: Dict[str, str] = field(default_factory=dict)
+    note: str = ""
+
+    def variant_for(self, cca: str) -> str:
+        return self.reference_variants.get(cca, "default")
+
+
+#: The milestones the paper's narrative mentions.
+MILESTONES: List[KernelMilestone] = [
+    KernelMilestone(
+        name="5.13-stock",
+        note="the paper's reference kernel (HyStart on, no RFC8312bis undo)",
+    ),
+    KernelMilestone(
+        name="pre-hystart",
+        reference_variants={"cubic": "nohystart"},
+        note="CUBIC before HyStart (the mechanism xquic is missing)",
+    ),
+]
+
+
+@dataclass
+class RegressionRow:
+    """One implementation's conformance across kernel milestones."""
+
+    stack: str
+    cca: str
+    #: milestone name -> conformance.
+    conformance: Dict[str, float]
+
+    def verdicts(self, threshold: float = 0.5) -> Dict[str, bool]:
+        return {k: v >= threshold for k, v in self.conformance.items()}
+
+    @property
+    def verdict_flips(self) -> bool:
+        verdicts = set(self.verdicts().values())
+        return len(verdicts) > 1
+
+
+def regression_matrix(
+    milestones: Sequence[KernelMilestone] = tuple(MILESTONES),
+    implementations: Optional[Sequence[Tuple[str, str]]] = None,
+    condition: Optional[NetworkCondition] = None,
+    config: ExperimentConfig = ExperimentConfig(),
+    cache: Optional[ResultCache] = None,
+) -> List[RegressionRow]:
+    """Conformance of each implementation against each kernel milestone."""
+    condition = condition or scenarios.shallow_buffer()
+    if implementations is None:
+        implementations = [
+            (profile.name, cca) for profile, cca in registry.iter_implementations()
+        ]
+    rows: List[RegressionRow] = []
+    for stack, cca in implementations:
+        values: Dict[str, float] = {}
+        for milestone in milestones:
+            measurement = measure_conformance(
+                stack,
+                cca,
+                condition,
+                config,
+                cache=cache,
+                reference_variant=milestone.variant_for(cca),
+            )
+            values[milestone.name] = measurement.conformance
+        rows.append(RegressionRow(stack=stack, cca=cca, conformance=values))
+    return rows
+
+
+def flipped_verdicts(rows: Sequence[RegressionRow]) -> List[RegressionRow]:
+    """Implementations whose conformant/non-conformant verdict depends on
+    the kernel milestone — the cases §6 warns about."""
+    return [row for row in rows if row.verdict_flips]

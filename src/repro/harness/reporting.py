@@ -1,0 +1,163 @@
+"""Plain-text rendering of the paper's tables and heatmaps.
+
+Everything the benchmark harness prints goes through these helpers so
+that table/figure reproductions share one consistent look: aligned
+columns, shaded unicode heatmaps, and CSV export for downstream tooling.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: Unicode shade ramp for heat cells (low -> high).
+_SHADES = " ░▒▓█"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: Optional[str] = None,
+) -> str:
+    """Fixed-width table with right-aligned numeric columns."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in str_rows)) if str_rows else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(
+            "  ".join(
+                cell.rjust(w) if _numeric(cell) else cell.ljust(w)
+                for cell, w in zip(row, widths)
+            )
+        )
+    return "\n".join(lines)
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def _numeric(cell: str) -> bool:
+    try:
+        float(cell.replace("+", ""))
+        return True
+    except ValueError:
+        return False
+
+
+def format_heatmap(
+    rows: Sequence[str],
+    cols: Sequence[str],
+    values: np.ndarray,
+    title: Optional[str] = None,
+    vmin: float = 0.0,
+    vmax: float = 1.0,
+    fmt: str = "{:.2f}",
+) -> str:
+    """Numeric heatmap with a unicode shade per cell (NaN renders as '.')."""
+    values = np.asarray(values, dtype=float)
+    cell_width = max(
+        max((len(c) for c in cols), default=4), len(fmt.format(vmax)) + 2
+    )
+    row_width = max((len(r) for r in rows), default=4)
+    lines = []
+    if title:
+        lines.append(title)
+    header = " " * (row_width + 2) + " ".join(c.rjust(cell_width) for c in cols)
+    lines.append(header)
+    span = max(vmax - vmin, 1e-9)
+    for i, row in enumerate(rows):
+        cells = []
+        for j in range(len(cols)):
+            v = values[i, j]
+            if np.isnan(v):
+                cells.append(".".rjust(cell_width))
+                continue
+            level = int(np.clip((v - vmin) / span, 0, 1) * (len(_SHADES) - 1))
+            cells.append((fmt.format(v) + _SHADES[level]).rjust(cell_width))
+        lines.append(row.ljust(row_width + 2) + " ".join(cells))
+    return "\n".join(lines)
+
+
+def format_conformance_bars(
+    items: Mapping[Tuple[str, str], float],
+    title: Optional[str] = None,
+    low_threshold: float = 0.5,
+    width: int = 40,
+) -> str:
+    """Fig.-6-style bar list, sorted ascending, low-conformance flagged."""
+    lines = []
+    if title:
+        lines.append(title)
+    entries = sorted(items.items(), key=lambda kv: kv[1])
+    label_width = max((len(f"{s}/{c}") for (s, c) in items), default=8)
+    for (stack, cca), value in entries:
+        bar = "#" * int(round(np.clip(value, 0, 1) * width))
+        flag = "  << low conformance" if value < low_threshold else ""
+        lines.append(
+            f"{(stack + '/' + cca).ljust(label_width)}  {value:5.2f} |{bar.ljust(width)}|{flag}"
+        )
+    return "\n".join(lines)
+
+
+def to_csv(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Rows as a CSV string (header first), for downstream tooling."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(headers)
+    writer.writerows(rows)
+    return buffer.getvalue()
+
+
+def format_envelope_ascii(
+    hulls: Sequence[np.ndarray],
+    points: np.ndarray,
+    width: int = 60,
+    height: int = 18,
+    title: Optional[str] = None,
+) -> str:
+    """ASCII scatter of a PE: points as '.', hull vertices as 'o'.
+
+    A rough textual stand-in for the paper's delay-throughput scatter
+    plots (Figs. 1-3, 7-10), good enough to eyeball cluster structure.
+    """
+    pts = np.asarray(points, dtype=float)
+    if pts.size == 0:
+        return "(empty envelope)"
+    all_xy = [pts] + [h for h in hulls if len(h)]
+    stacked = np.vstack(all_xy)
+    lo = stacked.min(axis=0)
+    hi = stacked.max(axis=0)
+    span = np.where(hi - lo < 1e-9, 1.0, hi - lo)
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def plot(xy: np.ndarray, char: str) -> None:
+        for x, y in xy:
+            col = int((x - lo[0]) / span[0] * (width - 1))
+            row = int((y - lo[1]) / span[1] * (height - 1))
+            grid[height - 1 - row][col] = char
+
+    plot(pts, ".")
+    for hull in hulls:
+        if len(hull):
+            plot(hull, "o")
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"throughput {lo[1]:.1f}..{hi[1]:.1f} Mbps (y), delay {lo[0]:.1f}..{hi[0]:.1f} ms (x)")
+    lines.extend("|" + "".join(row) + "|" for row in grid)
+    return "\n".join(lines)

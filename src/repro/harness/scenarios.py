@@ -1,0 +1,71 @@
+"""The paper's network-condition matrix (§4).
+
+All evaluations vary: RTT ∈ {10, 50} ms, bottleneck bandwidth ∈ {20,
+100} Mbps, buffer ∈ {0.5, 1, 3, 5} BDP.  The representative conditions
+used for the headline results are also named individually.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.harness.config import NetworkCondition
+
+RTTS_MS = (10.0, 50.0)
+BANDWIDTHS_MBPS = (20.0, 100.0)
+BUFFER_BDPS = (0.5, 1.0, 3.0, 5.0)
+
+
+def full_matrix() -> List[NetworkCondition]:
+    """All 16 combinations evaluated in §4."""
+    return [
+        NetworkCondition(bandwidth_mbps=bw, rtt_ms=rtt, buffer_bdp=buf)
+        for bw in BANDWIDTHS_MBPS
+        for rtt in RTTS_MS
+        for buf in BUFFER_BDPS
+    ]
+
+
+def buffer_sweep(
+    bandwidth_mbps: float = 20.0, rtt_ms: float = 10.0
+) -> List[NetworkCondition]:
+    """The buffer axis at one (bw, rtt) — the axis Figs. 7-10 vary."""
+    return [
+        NetworkCondition(bandwidth_mbps=bandwidth_mbps, rtt_ms=rtt_ms, buffer_bdp=buf)
+        for buf in BUFFER_BDPS
+    ]
+
+
+def shallow_buffer() -> NetworkCondition:
+    """Fig. 6b / Table 3: 1 BDP, 10 ms RTT, 20 Mbps."""
+    return NetworkCondition(
+        bandwidth_mbps=20.0, rtt_ms=10.0, buffer_bdp=1.0, label="shallow-1bdp"
+    )
+
+
+def deep_buffer() -> NetworkCondition:
+    """Fig. 6a: 5 BDP, 10 ms RTT, 20 Mbps."""
+    return NetworkCondition(
+        bandwidth_mbps=20.0, rtt_ms=10.0, buffer_bdp=5.0, label="deep-5bdp"
+    )
+
+
+def fairness_condition() -> NetworkCondition:
+    """§4.3 / Fig. 12: 20 Mbps, 50 ms RTT, 1 BDP."""
+    return NetworkCondition(
+        bandwidth_mbps=20.0, rtt_ms=50.0, buffer_bdp=1.0, label="fairness"
+    )
+
+
+def inter_cca_shallow() -> NetworkCondition:
+    """Fig. 13a: CUBIC vs BBR in a shallow (1 BDP) buffer."""
+    return NetworkCondition(
+        bandwidth_mbps=20.0, rtt_ms=50.0, buffer_bdp=1.0, label="intercca-shallow"
+    )
+
+
+def inter_cca_deep() -> NetworkCondition:
+    """Fig. 13b: CUBIC vs BBR in a deep (5 BDP) buffer."""
+    return NetworkCondition(
+        bandwidth_mbps=20.0, rtt_ms=50.0, buffer_bdp=5.0, label="intercca-deep"
+    )

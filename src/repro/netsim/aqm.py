@@ -1,0 +1,221 @@
+"""Active queue management disciplines (RED, CoDel).
+
+The paper measures over plain drop-tail buffers on purpose — deviations
+should come from the implementation, not the network.  These disciplines
+extend the testbed beyond the paper (its §6 calls for wider network
+conditions): RED (random early detection, Floyd & Jacobson) and CoDel
+(controlled delay, Nichols & Jacobson), both plugging into
+:class:`~repro.netsim.link.BottleneckLink` through the same
+offer/pop/bytes_queued interface as the drop-tail queue.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Callable, Optional
+
+from repro.netsim.packet import Packet
+
+
+class REDQueue:
+    """Random Early Detection with the classic gentle-RED drop curve.
+
+    Drop probability rises linearly from 0 at ``min_thresh`` to
+    ``max_p`` at ``max_thresh`` (computed over an EWMA of the queue size),
+    then linearly to 1 at ``2*max_thresh``; hard drop beyond capacity.
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        min_thresh_fraction: float = 0.25,
+        max_thresh_fraction: float = 0.75,
+        max_p: float = 0.1,
+        weight: float = 0.002,
+        rng: Optional[random.Random] = None,
+    ):
+        if capacity_bytes <= 0:
+            raise ValueError("capacity must be positive")
+        if not 0 < min_thresh_fraction < max_thresh_fraction <= 1:
+            raise ValueError("thresholds must satisfy 0 < min < max <= 1")
+        if not 0 < max_p <= 1:
+            raise ValueError("max_p must be in (0, 1]")
+        self.capacity_bytes = capacity_bytes
+        self.min_thresh = min_thresh_fraction * capacity_bytes
+        self.max_thresh = max_thresh_fraction * capacity_bytes
+        self.max_p = max_p
+        self.weight = weight
+        self._rng = rng or random.Random(0)
+        self._queue: deque[Packet] = deque()
+        self._bytes = 0
+        self._avg = 0.0
+        self.enqueued = 0
+        self.dropped = 0
+        self.early_drops = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def bytes_queued(self) -> int:
+        return self._bytes
+
+    def _drop_probability(self) -> float:
+        avg = self._avg
+        if avg < self.min_thresh:
+            return 0.0
+        if avg < self.max_thresh:
+            return self.max_p * (avg - self.min_thresh) / (
+                self.max_thresh - self.min_thresh
+            )
+        # Gentle region up to 2*max_thresh.
+        gentle_top = min(2 * self.max_thresh, self.capacity_bytes)
+        if avg < gentle_top:
+            return self.max_p + (1 - self.max_p) * (avg - self.max_thresh) / max(
+                gentle_top - self.max_thresh, 1e-9
+            )
+        return 1.0
+
+    def offer(self, packet: Packet) -> bool:
+        self._avg = (1 - self.weight) * self._avg + self.weight * self._bytes
+        if self._bytes + packet.size > self.capacity_bytes:
+            self.dropped += 1
+            return False
+        if self._rng.random() < self._drop_probability():
+            self.dropped += 1
+            self.early_drops += 1
+            return False
+        self._queue.append(packet)
+        self._bytes += packet.size
+        self.enqueued += 1
+        return True
+
+    def pop(self) -> Optional[Packet]:
+        if not self._queue:
+            return None
+        packet = self._queue.popleft()
+        self._bytes -= packet.size
+        return packet
+
+
+class CoDelQueue:
+    """Controlled-Delay AQM (simplified ACM Queue pseudocode version).
+
+    Packets carry their enqueue time; at dequeue, if the sojourn time has
+    stayed above ``target`` for at least ``interval``, CoDel enters a
+    dropping state and drops at intervals shrinking with the square root
+    of the drop count.  Requires a clock callable so the sojourn time can
+    be measured.
+    """
+
+    TARGET = 0.005
+    INTERVAL = 0.100
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        clock: Callable[[], float],
+        target_s: float = TARGET,
+        interval_s: float = INTERVAL,
+    ):
+        if capacity_bytes <= 0:
+            raise ValueError("capacity must be positive")
+        if target_s <= 0 or interval_s <= 0:
+            raise ValueError("target and interval must be positive")
+        self.capacity_bytes = capacity_bytes
+        self.target = target_s
+        self.interval = interval_s
+        self._clock = clock
+        self._queue: deque[Packet] = deque()
+        self._bytes = 0
+        self.enqueued = 0
+        self.dropped = 0
+        self.early_drops = 0
+        # Dropping-state machinery.
+        self._first_above_time = 0.0
+        self._dropping = False
+        self._drop_next = 0.0
+        self._drop_count = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def bytes_queued(self) -> int:
+        return self._bytes
+
+    def offer(self, packet: Packet) -> bool:
+        if self._bytes + packet.size > self.capacity_bytes:
+            self.dropped += 1
+            return False
+        packet.enqueue_time = self._clock()
+        self._queue.append(packet)
+        self._bytes += packet.size
+        self.enqueued += 1
+        return True
+
+    def _should_drop(self, packet: Packet, now: float) -> bool:
+        sojourn = now - packet.enqueue_time
+        if sojourn < self.target or self._bytes < 2 * 1500:
+            self._first_above_time = 0.0
+            return False
+        if self._first_above_time == 0.0:
+            self._first_above_time = now + self.interval
+            return False
+        return now >= self._first_above_time
+
+    def pop(self) -> Optional[Packet]:
+        now = self._clock()
+        packet = self._dequeue()
+        if packet is None:
+            self._dropping = False
+            return None
+        drop = self._should_drop(packet, now)
+        if self._dropping:
+            if not drop:
+                self._dropping = False
+            else:
+                while now >= self._drop_next and self._dropping:
+                    self.dropped += 1
+                    self.early_drops += 1
+                    self._drop_count += 1
+                    packet = self._dequeue()
+                    if packet is None or not self._should_drop(packet, now):
+                        self._dropping = False
+                        break
+                    self._drop_next += self.interval / (self._drop_count ** 0.5)
+        elif drop:
+            self._dropping = True
+            self.dropped += 1
+            self.early_drops += 1
+            survivor = self._dequeue()
+            self._drop_count = max(self._drop_count - 2, 1)
+            self._drop_next = now + self.interval / (self._drop_count ** 0.5)
+            return survivor
+        return packet
+
+    def _dequeue(self) -> Optional[Packet]:
+        if not self._queue:
+            return None
+        packet = self._queue.popleft()
+        self._bytes -= packet.size
+        return packet
+
+
+def make_queue(
+    discipline: str,
+    capacity_bytes: int,
+    clock: Callable[[], float],
+    rng: Optional[random.Random] = None,
+):
+    """Factory used by the network wiring: 'droptail' | 'red' | 'codel'."""
+    from repro.netsim.link import DropTailQueue
+
+    if discipline == "droptail":
+        return DropTailQueue(capacity_bytes)
+    if discipline == "red":
+        return REDQueue(capacity_bytes, rng=rng)
+    if discipline == "codel":
+        return CoDelQueue(capacity_bytes, clock=clock)
+    raise ValueError(f"unknown queue discipline {discipline!r}")

@@ -1,0 +1,99 @@
+"""Background cross-traffic sources.
+
+The controlled-testbed experiments in the paper deliberately avoid
+background traffic; the "in the wild" experiments (§4.2) run over the
+Internet, where flows share the path with uncontrolled traffic.  The
+:class:`OnOffSource` models that: an unresponsive UDP sender alternating
+exponentially-distributed ON bursts at a configurable rate with OFF
+silences, the classic Internet cross-traffic model.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.netsim.engine import EventLoop
+from repro.netsim.packet import Packet
+
+
+@dataclass(frozen=True)
+class CrossTrafficConfig:
+    """On/off burst parameters."""
+
+    #: Sending rate during ON periods, bits per second.
+    rate_bps: float = 2e6
+    #: Mean ON duration, seconds (exponentially distributed).
+    mean_on_s: float = 0.5
+    #: Mean OFF duration, seconds (exponentially distributed).
+    mean_off_s: float = 2.0
+    packet_size: int = 1200
+
+    def validate(self) -> None:
+        if self.rate_bps <= 0:
+            raise ValueError("rate must be positive")
+        if self.mean_on_s <= 0 or self.mean_off_s <= 0:
+            raise ValueError("on/off durations must be positive")
+        if self.packet_size <= 0:
+            raise ValueError("packet size must be positive")
+
+
+class OnOffSource:
+    """Unresponsive on/off UDP traffic injected at the bottleneck."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        flow_id: int,
+        transmit: Callable[[Packet], None],
+        config: CrossTrafficConfig,
+        rng: random.Random,
+    ):
+        config.validate()
+        self._loop = loop
+        self.flow_id = flow_id
+        self._transmit = transmit
+        self.config = config
+        self._rng = rng
+        self._on = False
+        self._seq = 0
+        self.packets_sent = 0
+        self._stopped = False
+
+    def start(self) -> None:
+        self._schedule_toggle()
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def _schedule_toggle(self) -> None:
+        if self._stopped:
+            return
+        if self._on:
+            duration = self._rng.expovariate(1.0 / self.config.mean_on_s)
+        else:
+            duration = self._rng.expovariate(1.0 / self.config.mean_off_s)
+
+        def toggle() -> None:
+            self._on = not self._on
+            if self._on:
+                self._send_next()
+            self._schedule_toggle()
+
+        self._loop.schedule(duration, toggle)
+
+    def _send_next(self) -> None:
+        if not self._on or self._stopped:
+            return
+        packet = Packet(
+            flow_id=self.flow_id,
+            seq=self._seq,
+            size=self.config.packet_size,
+            sent_time=self._loop.now,
+        )
+        self._seq += 1
+        self.packets_sent += 1
+        self._transmit(packet)
+        interval = self.config.packet_size * 8 / self.config.rate_bps
+        self._loop.schedule(interval, self._send_next)

@@ -1,0 +1,184 @@
+"""The discrete-event engine.
+
+A single :class:`EventLoop` drives one simulated experiment.  Events are
+``(time, sequence, callback)`` triples kept in a binary heap; the sequence
+number breaks ties so that events scheduled earlier run first, which makes
+every simulation fully deterministic for a given seed.
+
+The engine is deliberately minimal: all protocol behaviour lives in the
+components (links, paths, endpoints) that schedule callbacks on the loop.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation is driven into an invalid state."""
+
+
+class Event:
+    """A scheduled callback.  Returned by :meth:`EventLoop.schedule` so the
+    caller can cancel it later (e.g. retransmission timers)."""
+
+    __slots__ = ("time", "seq", "fn", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable[[], None]):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled; it will be skipped when popped."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+
+class EventLoop:
+    """A deterministic discrete-event scheduler.
+
+    Time is a float number of seconds.  The loop never advances past
+    ``horizon`` (set by :meth:`run`), so components may schedule periodic
+    events without worrying about termination.
+    """
+
+    def __init__(self) -> None:
+        self._queue: list[Event] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def schedule(self, delay: float, fn: Callable[[], None]) -> Event:
+        """Schedule ``fn`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        return self.schedule_at(self._now + delay, fn)
+
+    def schedule_at(self, time: float, fn: Callable[[], None]) -> Event:
+        """Schedule ``fn`` to run at absolute simulated time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time:.9f}, now is {self._now:.9f}"
+            )
+        event = Event(time, next(self._seq), fn)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def run(self, until: float) -> None:
+        """Run events in time order until simulated time ``until``.
+
+        The clock is left at ``until`` even if the queue drains early, so a
+        subsequent ``run`` continues from there.
+        """
+        if self._running:
+            raise SimulationError("event loop is not reentrant")
+        self._running = True
+        try:
+            queue = self._queue
+            while queue and queue[0].time <= until:
+                event = heapq.heappop(queue)
+                if event.cancelled:
+                    continue
+                self._now = event.time
+                event.fn()
+            self._now = max(self._now, until)
+        finally:
+            self._running = False
+
+    def run_until_idle(self, max_time: float = float("inf")) -> None:
+        """Run until no events remain or ``max_time`` is reached."""
+        if self._running:
+            raise SimulationError("event loop is not reentrant")
+        self._running = True
+        try:
+            queue = self._queue
+            while queue and queue[0].time <= max_time:
+                event = heapq.heappop(queue)
+                if event.cancelled:
+                    continue
+                self._now = event.time
+                event.fn()
+        finally:
+            self._running = False
+
+    def pending(self) -> int:
+        """Number of queued (possibly cancelled) events, for diagnostics."""
+        return len(self._queue)
+
+
+class Clock:
+    """Read-only view of an :class:`EventLoop`'s time.
+
+    Handed to components that must observe time but must not schedule,
+    e.g. trace sinks.
+    """
+
+    __slots__ = ("_loop",)
+
+    def __init__(self, loop: EventLoop):
+        self._loop = loop
+
+    @property
+    def now(self) -> float:
+        return self._loop.now
+
+
+def make_timer(loop: EventLoop) -> "Timer":
+    """Convenience factory mirroring kernel-style rearmable timers."""
+    return Timer(loop)
+
+
+class Timer:
+    """A rearmable one-shot timer built on :class:`EventLoop`.
+
+    Mirrors how retransmission (RTO) and probe timers behave in real
+    stacks: re-arming cancels the previous deadline.
+    """
+
+    __slots__ = ("_loop", "_event", "_callback")
+
+    def __init__(self, loop: EventLoop, callback: Optional[Callable[[], None]] = None):
+        self._loop = loop
+        self._event: Optional[Event] = None
+        self._callback = callback
+
+    @property
+    def armed(self) -> bool:
+        return self._event is not None and not self._event.cancelled
+
+    @property
+    def deadline(self) -> Optional[float]:
+        if self.armed:
+            return self._event.time  # type: ignore[union-attr]
+        return None
+
+    def arm(self, delay: float, callback: Optional[Callable[[], None]] = None) -> None:
+        """(Re-)arm the timer ``delay`` seconds from now."""
+        self.cancel()
+        fn = callback or self._callback
+        if fn is None:
+            raise SimulationError("timer armed without a callback")
+
+        def fire() -> None:
+            self._event = None
+            fn()
+
+        self._event = self._loop.schedule(delay, fire)
+
+    def cancel(self) -> None:
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None

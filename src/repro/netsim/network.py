@@ -1,0 +1,281 @@
+"""Experiment topology: N flows through one shared bottleneck.
+
+This mirrors the paper's dumbbell: senders on one machine, receivers on the
+other, a single shaped bottleneck in between (tc/Mahimahi), and an
+uncongested reverse path for ACKs.
+
+The forward one-way delay is split so that the propagation happens after
+the bottleneck (as with Mahimahi's delay shell); the reverse path carries
+the other half of the base RTT.  Per-flow delay jitter models the natural
+run-to-run variation of a real testbed and is what makes repeated trials
+differ, which the paper's outlier-removal (intersection over trials)
+relies on.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.cca.base import CongestionController
+from repro.netsim.crosstraffic import CrossTrafficConfig, OnOffSource
+from repro.netsim.engine import EventLoop
+from repro.netsim.link import BottleneckLink, bdp_bytes
+from repro.netsim.endpoint import Receiver, ReceiverConfig, Sender, SenderConfig
+from repro.netsim.packet import Packet
+from repro.netsim.path import NetemConfig, Path, PERFECT
+from repro.netsim.trace import FlowTrace
+
+
+@dataclass(frozen=True)
+class LinkConfig:
+    """The bottleneck and base path."""
+
+    bandwidth_bps: float = 20e6
+    rtt_s: float = 0.05
+    #: Queue capacity as a multiple of the bandwidth-delay product.
+    buffer_bdp: float = 1.0
+    #: Absolute override for the queue size in bytes (wins over buffer_bdp).
+    buffer_bytes: Optional[int] = None
+    #: Bottleneck queue discipline: "droptail" (the paper's setting),
+    #: "red" or "codel" (extensions, see repro.netsim.aqm).
+    queue_discipline: str = "droptail"
+
+    def queue_capacity(self) -> int:
+        if self.buffer_bytes is not None:
+            return self.buffer_bytes
+        capacity = int(self.buffer_bdp * bdp_bytes(self.bandwidth_bps, self.rtt_s))
+        # Even "zero" buffers fit a couple of packets in real shapers.
+        return max(capacity, 3 * 1500)
+
+    def validate(self) -> None:
+        if self.bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.rtt_s <= 0:
+            raise ValueError("RTT must be positive")
+        if self.buffer_bdp <= 0 and self.buffer_bytes is None:
+            raise ValueError("buffer must be positive")
+        if self.queue_discipline not in ("droptail", "red", "codel"):
+            raise ValueError(f"unknown queue discipline {self.queue_discipline!r}")
+
+
+@dataclass
+class FlowSpec:
+    """One flow: a CCA factory plus the stack's sender/receiver behaviour."""
+
+    label: str
+    cca_factory: Callable[[], CongestionController]
+    sender_config: SenderConfig = field(default_factory=SenderConfig)
+    receiver_config: ReceiverConfig = field(default_factory=ReceiverConfig)
+    start_time: float = 0.0
+    #: Extra netem impairments on this flow's forward path.
+    forward_netem: NetemConfig = PERFECT
+    #: Extra one-way delay relative to the base RTT (keeps both flows at
+    #: the same RTT in conformance runs, per the paper's methodology).
+    extra_delay_s: float = 0.0
+
+
+@dataclass
+class FlowResult:
+    """Outcome of one flow in a finished run."""
+
+    label: str
+    trace: FlowTrace
+    packets_sent: int
+    retransmissions: int
+    congestion_events: int
+    spurious_events: int
+
+    @property
+    def mean_throughput_bps(self) -> float:
+        return self.trace.mean_throughput_bps()
+
+
+class Network:
+    """A wired-up dumbbell experiment, ready to run."""
+
+    def __init__(
+        self,
+        link: LinkConfig,
+        flows: List[FlowSpec],
+        seed: int = 0,
+        cross_traffic: Optional[CrossTrafficConfig] = None,
+        base_jitter_s: float = 0.0,
+        start_spread_s: float = 0.0,
+    ):
+        link.validate()
+        if not flows:
+            raise ValueError("at least one flow is required")
+        self.link_config = link
+        self.loop = EventLoop()
+        self._rng = random.Random(seed)
+        #: Random per-flow start offsets: real flows never start in the
+        #: same microsecond (handshakes, process scheduling), and launching
+        #: them in lockstep locks deterministic startup phases together.
+        self._start_offsets = [
+            self._rng.uniform(0.0, start_spread_s) if start_spread_s > 0 else 0.0
+            for _ in flows
+        ]
+
+        from repro.netsim.aqm import make_queue
+
+        # NOTE: seeded independently of self._rng so the per-flow RNG draw
+        # sequence (and thus every droptail result) is unchanged by the
+        # AQM extension.
+        queue = make_queue(
+            link.queue_discipline,
+            link.queue_capacity(),
+            clock=lambda: self.loop.now,
+            rng=random.Random(seed ^ 0x51ED),
+        )
+        self._receiver_by_flow: dict[int, Receiver] = {}
+        self._trace_by_flow: dict[int, FlowTrace] = {}
+        #: Bottleneck drops per flow id (diagnostics).
+        self.drops_by_flow: dict[int, int] = {}
+        self.link = BottleneckLink(
+            self.loop,
+            link.bandwidth_bps,
+            queue,
+            on_deliver=self._after_bottleneck,
+            on_drop=self._on_bottleneck_drop,
+        )
+
+        self.senders: List[Sender] = []
+        self.receivers: List[Receiver] = []
+        self.traces: List[FlowTrace] = []
+        self._post_paths: dict[int, Path] = {}
+        self._specs = flows
+
+        one_way = link.rtt_s / 2
+        for flow_id, spec in enumerate(flows):
+            trace = FlowTrace(flow_id, label=spec.label)
+            self.traces.append(trace)
+            self._trace_by_flow[flow_id] = trace
+
+            # Forward: sender -> bottleneck -> delay -> receiver.
+            post_netem = NetemConfig(
+                jitter_s=max(spec.forward_netem.jitter_s, base_jitter_s),
+                loss_rate=spec.forward_netem.loss_rate,
+                reorder_rate=spec.forward_netem.reorder_rate,
+                reorder_extra_s=spec.forward_netem.reorder_extra_s,
+            )
+            post_path = Path(
+                self.loop,
+                one_way + spec.extra_delay_s,
+                deliver=self._make_receiver_delivery(flow_id),
+                netem=post_netem,
+                rng=random.Random(self._rng.getrandbits(32)),
+            )
+            self._post_paths[flow_id] = post_path
+
+            # Reverse: receiver -> delay -> sender (uncongested).
+            sender_box: list[Sender] = []
+            return_path = Path(
+                self.loop,
+                one_way + spec.extra_delay_s,
+                deliver=lambda pkt, box=sender_box: box[0].on_ack(pkt),
+                rng=random.Random(self._rng.getrandbits(32)),
+            )
+            receiver = Receiver(
+                self.loop,
+                flow_id,
+                send_ack=return_path.send,
+                config=spec.receiver_config,
+                trace=trace,
+            )
+            self.receivers.append(receiver)
+            self._receiver_by_flow[flow_id] = receiver
+
+            sender = Sender(
+                self.loop,
+                flow_id,
+                cca=spec.cca_factory(),
+                transmit=self.link.send,
+                config=spec.sender_config,
+                trace=trace,
+            )
+            sender_box.append(sender)
+            self.senders.append(sender)
+
+        self.cross_source: Optional[OnOffSource] = None
+        if cross_traffic is not None:
+            self.cross_source = OnOffSource(
+                self.loop,
+                flow_id=len(flows),
+                transmit=self.link.send,
+                config=cross_traffic,
+                rng=random.Random(self._rng.getrandbits(32)),
+            )
+
+    # -- plumbing -----------------------------------------------------
+    def _make_receiver_delivery(self, flow_id: int):
+        def deliver(packet: Packet) -> None:
+            self._receiver_by_flow[flow_id].on_packet(packet)
+        return deliver
+
+    def _after_bottleneck(self, packet: Packet) -> None:
+        path = self._post_paths.get(packet.flow_id)
+        if path is not None:
+            path.send(packet)
+        # Cross-traffic packets vanish after the bottleneck: only their
+        # queue occupancy matters.
+
+    def _on_bottleneck_drop(self, packet: Packet) -> None:
+        # The sender discovers the loss later through its own loss
+        # detection; here we only keep the bottleneck's tally (a tcpdump
+        # at the switch would see exactly this).
+        self.drops_by_flow[packet.flow_id] = (
+            self.drops_by_flow.get(packet.flow_id, 0) + 1
+        )
+
+    # -- execution -------------------------------------------------------
+    def run(self, duration: float) -> List[FlowResult]:
+        """Run the experiment for ``duration`` seconds and collect results."""
+        for sender, spec, offset in zip(self.senders, self._specs, self._start_offsets):
+            start_at = spec.start_time + offset
+            if start_at <= self.loop.now:
+                sender.start()
+            else:
+                self.loop.schedule_at(start_at, sender.start)
+        if self.cross_source is not None:
+            self.cross_source.start()
+        self.loop.run(duration)
+        for sender in self.senders:
+            sender.stop()
+        if self.cross_source is not None:
+            self.cross_source.stop()
+        results = []
+        for sender, spec, trace in zip(self.senders, self._specs, self.traces):
+            results.append(
+                FlowResult(
+                    label=spec.label,
+                    trace=trace,
+                    packets_sent=sender.packets_sent,
+                    retransmissions=sender.retransmissions,
+                    congestion_events=sender._congestion_events,
+                    spurious_events=sender.spurious_events,
+                )
+            )
+        return results
+
+
+def run_flows(
+    link: LinkConfig,
+    flows: List[FlowSpec],
+    duration: float,
+    seed: int = 0,
+    cross_traffic: Optional[CrossTrafficConfig] = None,
+    base_jitter_s: float = 0.0,
+    start_spread_s: float = 0.0,
+) -> List[FlowResult]:
+    """Convenience one-shot experiment runner."""
+    network = Network(
+        link,
+        flows,
+        seed=seed,
+        cross_traffic=cross_traffic,
+        base_jitter_s=base_jitter_s,
+        start_spread_s=start_spread_s,
+    )
+    return network.run(duration)

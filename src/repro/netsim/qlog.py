@@ -1,0 +1,129 @@
+"""qlog-style structured event export.
+
+The QUIC ecosystem debugs transport behaviour with qlog traces rendered
+by qvis — the toolchain Marx et al. used for the speciation study the
+paper builds on.  This module serializes a finished flow into a
+qlog-compatible JSON document (draft-ietf-quic-qlog main schema, trimmed
+to the recovery events this simulator produces):
+
+* ``recovery:metrics_updated`` — congestion window / pacing samples,
+* ``recovery:packet_lost`` — loss declarations,
+* ``transport:packet_received`` — deliveries at the receiver.
+
+The output loads in qvis for visual inspection and round-trips through
+:func:`load_qlog` for programmatic use.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.netsim.trace import FlowTrace
+
+QLOG_VERSION = "0.3"
+
+
+def _event(time_s: float, name: str, data: dict) -> dict:
+    return {"time": round(time_s * 1000, 6), "name": name, "data": data}
+
+
+def trace_to_qlog(
+    trace: FlowTrace,
+    title: str = "",
+    vantage_point: str = "server",
+) -> dict:
+    """Build a qlog document (as a dict) from one flow's trace."""
+    events: List[dict] = []
+    for time, cwnd in trace.cwnd_samples:
+        events.append(
+            _event(time, "recovery:metrics_updated", {"congestion_window": int(cwnd)})
+        )
+    for time, rate in trace.rate_samples:
+        events.append(
+            _event(
+                time,
+                "recovery:metrics_updated",
+                {"pacing_rate": int(rate * 8)},  # qlog uses bits/s
+            )
+        )
+    for loss in trace.losses:
+        events.append(
+            _event(
+                loss.time,
+                "recovery:packet_lost",
+                {"header": {"packet_number": loss.seq}},
+            )
+        )
+    for record in trace.records:
+        events.append(
+            _event(
+                record.arrival_time,
+                "transport:packet_received",
+                {
+                    "header": {"packet_number": record.seq},
+                    "raw": {"length": record.payload_bytes},
+                    "is_retransmission": record.is_retransmission,
+                },
+            )
+        )
+    events.sort(key=lambda e: e["time"])
+    return {
+        "qlog_version": QLOG_VERSION,
+        "title": title or trace.label or f"flow-{trace.flow_id}",
+        "traces": [
+            {
+                "vantage_point": {"type": vantage_point},
+                "common_fields": {"time_format": "relative", "reference_time": 0},
+                "events": events,
+            }
+        ],
+    }
+
+
+def write_qlog(trace: FlowTrace, path: str, title: str = "") -> None:
+    """Serialize one flow's qlog document to ``path``."""
+    with open(path, "w") as f:
+        json.dump(trace_to_qlog(trace, title=title), f)
+
+
+@dataclass
+class QlogSummary:
+    """Cheap aggregate view of a loaded qlog document."""
+
+    title: str
+    events: int
+    packets_received: int
+    packets_lost: int
+    cwnd_updates: int
+
+    @property
+    def loss_rate(self) -> float:
+        total = self.packets_received + self.packets_lost
+        return self.packets_lost / total if total else 0.0
+
+
+def load_qlog(path: str) -> QlogSummary:
+    """Load a qlog file and summarize its recovery events."""
+    with open(path) as f:
+        doc = json.load(f)
+    if "traces" not in doc or not doc["traces"]:
+        raise ValueError("not a qlog document: missing traces")
+    events = doc["traces"][0].get("events", [])
+    counts: Dict[str, int] = {}
+    for event in events:
+        counts[event.get("name", "?")] = counts.get(event.get("name", "?"), 0) + 1
+    cwnd_updates = sum(
+        1
+        for event in events
+        if event.get("name") == "recovery:metrics_updated"
+        and "congestion_window" in event.get("data", {})
+    )
+    return QlogSummary(
+        title=doc.get("title", ""),
+        events=len(events),
+        packets_received=counts.get("transport:packet_received", 0),
+        packets_lost=counts.get("recovery:packet_lost", 0),
+        cwnd_updates=cwnd_updates,
+    )

@@ -1,0 +1,41 @@
+"""Emulated QUIC stacks and the kernel-TCP reference.
+
+Each module in this package profiles one stack from Table 1 of the paper
+and encodes the implementation deviations the paper root-caused (§5).
+The :mod:`repro.stacks.registry` module aggregates them and carries the
+Table 2 metadata of all known IETF QUIC stacks.
+"""
+
+from repro.stacks.base import (
+    CCAVariant,
+    StackProfile,
+    UnknownCCAError,
+    UnknownVariantError,
+)
+
+__all__ = [
+    "CCAVariant",
+    "StackProfile",
+    "UnknownCCAError",
+    "UnknownVariantError",
+    "get_stack",
+    "reference",
+    "quic_stacks",
+    "implementations",
+    "iter_implementations",
+    "STACKS",
+    "CCAS",
+    "REFERENCE_STACK",
+    "KNOWN_STACKS",
+    "KnownStack",
+]
+
+
+def __getattr__(name):
+    # registry imports the per-stack modules, which import this package's
+    # base module; resolve registry names lazily to avoid the cycle.
+    if name in __all__:
+        from repro.stacks import registry
+
+        return getattr(registry, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

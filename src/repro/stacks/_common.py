@@ -1,0 +1,51 @@
+"""Shared variant builders for stack profiles."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.cca.bbr import BBR, BBRConfig
+from repro.cca.cubic import Cubic, CubicConfig
+from repro.cca.reno import NewReno
+from repro.stacks.base import CCAVariant
+
+
+def cubic_variant(
+    name: str = "default",
+    note: str = "",
+    **config_kwargs,
+) -> CCAVariant:
+    """A CUBIC CCAVariant with the given CubicConfig overrides."""
+    def factory(mss: int) -> Cubic:
+        return Cubic(mss, CubicConfig(**config_kwargs))
+
+    return CCAVariant(name=name, factory=factory, note=note)
+
+
+def reno_variant(
+    name: str = "default",
+    note: str = "",
+    **reno_kwargs,
+) -> CCAVariant:
+    """A NewReno CCAVariant with the given constructor overrides."""
+    def factory(mss: int) -> NewReno:
+        return NewReno(mss, **reno_kwargs)
+
+    return CCAVariant(name=name, factory=factory, note=note)
+
+
+def bbr_variant(
+    name: str = "default",
+    note: str = "",
+    **config_kwargs,
+) -> CCAVariant:
+    """A BBR CCAVariant with the given BBRConfig overrides."""
+    def factory(mss: int) -> BBR:
+        return BBR(mss, BBRConfig(**config_kwargs))
+
+    return CCAVariant(name=name, factory=factory, note=note)
+
+
+def variants(*items: CCAVariant) -> Dict[str, CCAVariant]:
+    """Index CCAVariants by their variant name."""
+    return {v.name: v for v in items}

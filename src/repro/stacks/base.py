@@ -1,0 +1,104 @@
+"""Stack profiles: how a QUIC stack (or kernel TCP) wraps a CCA.
+
+A :class:`StackProfile` bundles everything that distinguishes one stack's
+flow from another's in the paper's experiments:
+
+* which CCAs the stack implements (Table 1),
+* stack-level transport behaviour (loss-detection style, ACK policy,
+  send-timer granularity, MSS),
+* per-CCA parameter/feature deviations (the root causes from §5), and
+* optional "fixed" variants implementing the modifications of Table 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Optional
+
+from repro.cca.base import CongestionController
+from repro.netsim.endpoint import ReceiverConfig, SenderConfig
+from repro.netsim.network import FlowSpec
+
+
+class UnknownCCAError(KeyError):
+    """Raised when a stack does not implement the requested CCA."""
+
+
+class UnknownVariantError(KeyError):
+    """Raised when a (stack, CCA) has no variant with the given name."""
+
+
+@dataclass(frozen=True)
+class CCAVariant:
+    """One buildable congestion-controller configuration."""
+
+    #: Variant name: "default" is what the stack ships; "fixed" applies
+    #: the paper's Table 4 modification.
+    name: str
+    factory: Callable[[int], CongestionController]
+    #: Free-text description of the deviation or fix (shown in reports).
+    note: str = ""
+
+
+@dataclass(frozen=True)
+class StackProfile:
+    """A stack's transport behaviour plus its CCA implementations."""
+
+    name: str
+    organization: str
+    #: Version or commit hash studied by the paper (Table 1).
+    version: str
+    sender_config: SenderConfig = field(default_factory=SenderConfig)
+    receiver_config: ReceiverConfig = field(default_factory=ReceiverConfig)
+    #: cca name -> variant name -> CCAVariant.
+    ccas: Dict[str, Dict[str, CCAVariant]] = field(default_factory=dict)
+    #: Per-CCA overrides of sender_config fields, e.g. a stack whose
+    #: send-path artifact does not bite a pacing-driven CCA.
+    sender_overrides: Dict[str, dict] = field(default_factory=dict)
+    #: True for the kernel-TCP reference stack.
+    is_reference: bool = False
+
+    def available_ccas(self) -> list[str]:
+        return sorted(self.ccas)
+
+    def supports(self, cca: str) -> bool:
+        return cca in self.ccas
+
+    def variant(self, cca: str, variant: str = "default") -> CCAVariant:
+        try:
+            variants = self.ccas[cca]
+        except KeyError:
+            raise UnknownCCAError(
+                f"stack {self.name!r} does not implement {cca!r} "
+                f"(available: {self.available_ccas()})"
+            ) from None
+        try:
+            return variants[variant]
+        except KeyError:
+            raise UnknownVariantError(
+                f"{self.name}/{cca} has no variant {variant!r} "
+                f"(available: {sorted(variants)})"
+            ) from None
+
+    def flow_spec(
+        self,
+        cca: str,
+        variant: str = "default",
+        label: Optional[str] = None,
+        start_time: float = 0.0,
+    ) -> FlowSpec:
+        """Build a ready-to-run flow for this stack's CCA implementation."""
+        chosen = self.variant(cca, variant)
+        mss = self.sender_config.mss
+
+        def factory() -> CongestionController:
+            return chosen.factory(mss)
+
+        overrides = self.sender_overrides.get(cca, {})
+        return FlowSpec(
+            label=label or f"{self.name}-{cca}" + ("" if variant == "default" else f"-{variant}"),
+            cca_factory=factory,
+            sender_config=replace(self.sender_config, **overrides),
+            receiver_config=replace(self.receiver_config),
+            start_time=start_time,
+        )

@@ -1,0 +1,38 @@
+"""Google chromium (the QUIC stack inside Chrome).
+
+Table 1: implements CUBIC and BBR (no Reno).  chromium CUBIC emulates
+two connections — the multiplicative decrease and the Reno-friendly
+additive increase are both computed as if the flow were 2 flows — which
+the paper's predecessor root-caused and Table 4 fixes by "Emulated flows
+reduced from 2 to 1" (1 LoC).  The deviation shows up as Δ-tput = +3 Mbps
+with Δ-delay = 0 and conformance 0.6 at 1 BDP (Table 3).
+"""
+
+from __future__ import annotations
+
+from repro.netsim.endpoint import ReceiverConfig, SenderConfig
+from repro.stacks._common import bbr_variant, cubic_variant, variants
+from repro.stacks.base import StackProfile
+
+PROFILE = StackProfile(
+    name="chromium",
+    organization="Google",
+    version="82a3c71cf5bf2502d5ad90489fe20ce8f8cb3fab",
+    sender_config=SenderConfig(mss=1448, loss_style="quic"),
+    receiver_config=ReceiverConfig(ack_frequency=2, max_ack_delay=0.025),
+    ccas={
+        "cubic": variants(
+            cubic_variant(
+                "default",
+                note="emulates 2 connections (low conformance, Table 3)",
+                emulated_connections=2,
+            ),
+            cubic_variant(
+                "fixed",
+                note="Table 4 fix: emulated flows reduced from 2 to 1",
+                emulated_connections=1,
+            ),
+        ),
+        "bbr": variants(bbr_variant("default", note="conformant BBR v1")),
+    },
+)

@@ -1,0 +1,43 @@
+"""The Linux kernel TCP reference stack.
+
+This is the stack every QUIC implementation is measured against: kernel
+5.13-era TCP with CUBIC (HyStart on), NewReno semantics and BBR v1.
+Transport behaviour: SACK-style loss detection with the classic dup
+threshold, delayed ACKs (every 2 segments, 40 ms timer), no pacing for
+window-based CCAs, fine-grained (hrtimer) send timers.
+
+The extra ``cubic-nohystart`` variant reproduces the paper's Table 4
+check that xquic CUBIC is conformant to *TCP CUBIC with HyStart
+disabled*.
+"""
+
+from __future__ import annotations
+
+from repro.netsim.endpoint import ReceiverConfig, SenderConfig
+from repro.stacks._common import bbr_variant, cubic_variant, reno_variant, variants
+from repro.stacks.base import StackProfile
+
+PROFILE = StackProfile(
+    name="linux",
+    organization="Linux kernel",
+    version="Linux 5.13.0-44-generic",
+    is_reference=True,
+    sender_config=SenderConfig(
+        mss=1448,
+        loss_style="tcp",
+        send_timer_granularity=0.0,
+    ),
+    receiver_config=ReceiverConfig(ack_frequency=2, max_ack_delay=0.040),
+    ccas={
+        "cubic": variants(
+            cubic_variant("default", note="kernel CUBIC, HyStart enabled"),
+            cubic_variant(
+                "nohystart",
+                note="kernel CUBIC with HyStart disabled (Table 4 reference)",
+                enable_hystart=False,
+            ),
+        ),
+        "reno": variants(reno_variant("default", note="kernel NewReno")),
+        "bbr": variants(bbr_variant("default", note="kernel BBR v1")),
+    },
+)

@@ -1,0 +1,33 @@
+"""LiteSpeed lsquic.
+
+Table 1: implements CUBIC and BBR.  lsquic CUBIC is the paper's example
+that conformance and fairness are correlated but not identical: it scores
+a *high* conformance of 0.76 yet "shows some degree of unfairness" in the
+pairwise bandwidth-share analysis (§4.3).  We model that as a slightly
+softened multiplicative decrease — close enough to kernel CUBIC to keep
+the PE overlapping, aggressive enough to tilt bandwidth shares.
+"""
+
+from __future__ import annotations
+
+from repro.netsim.endpoint import ReceiverConfig, SenderConfig
+from repro.stacks._common import bbr_variant, cubic_variant, variants
+from repro.stacks.base import StackProfile
+
+PROFILE = StackProfile(
+    name="lsquic",
+    organization="LiteSpeed",
+    version="108c4e7629a8c10b9a73e3d95be0a1652e620fb9",
+    sender_config=SenderConfig(mss=1448, loss_style="quic"),
+    receiver_config=ReceiverConfig(ack_frequency=2, max_ack_delay=0.025),
+    ccas={
+        "cubic": variants(
+            cubic_variant(
+                "default",
+                note="high conformance (0.76) yet mildly unfair (§4.3)",
+                beta=0.75,
+            ),
+        ),
+        "bbr": variants(bbr_variant("default", note="conformant BBR v1")),
+    },
+)

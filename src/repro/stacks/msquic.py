@@ -1,0 +1,22 @@
+"""Microsoft msquic.
+
+Table 1: implements CUBIC only (no BBR or Reno at the studied commit).
+The paper found msquic CUBIC conformant; no deviations are modelled.
+"""
+
+from __future__ import annotations
+
+from repro.netsim.endpoint import ReceiverConfig, SenderConfig
+from repro.stacks._common import cubic_variant, variants
+from repro.stacks.base import StackProfile
+
+PROFILE = StackProfile(
+    name="msquic",
+    organization="Microsoft",
+    version="e6110b62cd8e0d84e6436bde2504e6bc0702921a",
+    sender_config=SenderConfig(mss=1448, loss_style="quic"),
+    receiver_config=ReceiverConfig(ack_frequency=2, max_ack_delay=0.025),
+    ccas={
+        "cubic": variants(cubic_variant("default", note="conformant CUBIC")),
+    },
+)

@@ -1,0 +1,38 @@
+"""Facebook mvfst.
+
+Table 1: implements CUBIC, BBR and Reno.  The paper (and its IMC'22
+predecessor) found mvfst BBR multiplies its final sending rate by ~120 %
+to improve throughput, which shows up as Δ-tput = +9 Mbps with Δ-delay =
+0 — the signature of a pacing (not cwnd) overshoot (§3.3, Fig. 9).
+Table 4's fix reduces the pacing gain back to 1 (2 LoC).
+"""
+
+from __future__ import annotations
+
+from repro.netsim.endpoint import ReceiverConfig, SenderConfig
+from repro.stacks._common import bbr_variant, cubic_variant, reno_variant, variants
+from repro.stacks.base import StackProfile
+
+PROFILE = StackProfile(
+    name="mvfst",
+    organization="Facebook",
+    version="65a9c066e742620becacc99b7c0ca86200e6a4c4",
+    sender_config=SenderConfig(mss=1448, loss_style="quic"),
+    receiver_config=ReceiverConfig(ack_frequency=2, max_ack_delay=0.025),
+    ccas={
+        "cubic": variants(cubic_variant("default", note="conformant CUBIC")),
+        "reno": variants(reno_variant("default", note="conformant Reno")),
+        "bbr": variants(
+            bbr_variant(
+                "default",
+                note="sending rate scaled to 120% (low conformance, Table 3)",
+                pacing_rate_scale=1.25,
+            ),
+            bbr_variant(
+                "fixed",
+                note="Table 4 fix: pacing gain reduced from 1.25 to 1",
+                pacing_rate_scale=1.0,
+            ),
+        ),
+    },
+)

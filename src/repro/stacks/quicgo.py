@@ -1,0 +1,23 @@
+"""quic-go, the de-facto standard QUIC library for Go.
+
+Table 1: implements CUBIC and Reno.  Both were found conformant; no
+deviations are modelled.
+"""
+
+from __future__ import annotations
+
+from repro.netsim.endpoint import ReceiverConfig, SenderConfig
+from repro.stacks._common import cubic_variant, reno_variant, variants
+from repro.stacks.base import StackProfile
+
+PROFILE = StackProfile(
+    name="quicgo",
+    organization="Go",
+    version="424a66389c01d10678bfb980cfe6faa8524b42b6",
+    sender_config=SenderConfig(mss=1448, loss_style="quic"),
+    receiver_config=ReceiverConfig(ack_frequency=2, max_ack_delay=0.025),
+    ccas={
+        "cubic": variants(cubic_variant("default", note="conformant CUBIC")),
+        "reno": variants(reno_variant("default", note="conformant Reno")),
+    },
+)

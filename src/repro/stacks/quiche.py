@@ -1,0 +1,52 @@
+"""Cloudflare quiche.
+
+Table 1: implements CUBIC and Reno (no BBR at the studied commit).
+
+quiche CUBIC implements the RFC8312bis §4.9 spurious-congestion-event
+rollback — a mechanism *not* present in the Linux kernel: any back-off
+whose triggering loss is later deemed spurious is undone.  The paper
+found this makes quiche CUBIC dramatically non-conformant (Conformance
+0.08 at 1 BDP, Δ-tput = +5.5 Mbps) and that disabling the mechanism
+(14 LoC) restores conformance to 0.55 (§5, Fig. 15, Table 4).
+
+Here the rollback lives in two places, mirroring the real split between
+stack and CCA: the sender's spurious-loss detector
+(:class:`repro.netsim.endpoint.SpuriousUndoConfig`) decides *when* an
+event was spurious, and the CUBIC variant with
+``spurious_loss_rollback=True`` performs the state restore.  The "fixed"
+variant disables both.
+"""
+
+from __future__ import annotations
+
+from repro.netsim.endpoint import ReceiverConfig, SenderConfig, SpuriousUndoConfig
+from repro.stacks._common import cubic_variant, reno_variant, variants
+from repro.stacks.base import StackProfile
+
+PROFILE = StackProfile(
+    name="quiche",
+    organization="Cloudflare",
+    version="9dfeaafb625b08760218def7beb8db133e3f50cb",
+    sender_config=SenderConfig(
+        mss=1448,
+        loss_style="quic",
+        spurious_undo=SpuriousUndoConfig(window_rtts=1.0, max_episode_losses=3),
+    ),
+    receiver_config=ReceiverConfig(ack_frequency=2, max_ack_delay=0.025),
+    ccas={
+        "cubic": variants(
+            cubic_variant(
+                "default",
+                note="RFC8312bis spurious-loss rollback enabled "
+                "(low conformance, Table 3)",
+                spurious_loss_rollback=True,
+            ),
+            cubic_variant(
+                "fixed",
+                note="Table 4 fix: RFC8312bis rollback disabled",
+                spurious_loss_rollback=False,
+            ),
+        ),
+        "reno": variants(reno_variant("default", note="conformant Reno")),
+    },
+)

@@ -1,0 +1,23 @@
+"""H2O quicly.
+
+Table 1: implements CUBIC and Reno.  Both were found conformant; no
+deviations are modelled.
+"""
+
+from __future__ import annotations
+
+from repro.netsim.endpoint import ReceiverConfig, SenderConfig
+from repro.stacks._common import cubic_variant, reno_variant, variants
+from repro.stacks.base import StackProfile
+
+PROFILE = StackProfile(
+    name="quicly",
+    organization="H2O",
+    version="d44cc8b21ed0d27ab6d209d0775c3961b2f89f38",
+    sender_config=SenderConfig(mss=1448, loss_style="quic"),
+    receiver_config=ReceiverConfig(ack_frequency=2, max_ack_delay=0.025),
+    ccas={
+        "cubic": variants(cubic_variant("default", note="conformant CUBIC")),
+        "reno": variants(reno_variant("default", note="conformant Reno")),
+    },
+)

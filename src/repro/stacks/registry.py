@@ -1,0 +1,127 @@
+"""Registry of the studied stacks (Table 1) and all known stacks (Table 2).
+
+The registry is the single lookup point the harness uses: profiles for
+the 11 QUIC stacks the paper measures plus the Linux-kernel TCP
+reference, and the metadata table of the 22 known IETF QUIC stacks with
+the paper's selection criteria (open source / implements CC / stable /
+deployed / studied).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+from repro.stacks import (
+    chromium,
+    linux_tcp,
+    lsquic,
+    msquic,
+    mvfst,
+    neqo,
+    quiche,
+    quicgo,
+    quicly,
+    quinn,
+    s2n_quic,
+    xquic,
+)
+from repro.stacks.base import StackProfile
+
+#: The reference implementation every conformance test compares against.
+REFERENCE_STACK = "linux"
+
+#: All profiles, reference first (presentation order follows Table 1).
+STACKS: Dict[str, StackProfile] = {
+    profile.name: profile
+    for profile in (
+        linux_tcp.PROFILE,
+        mvfst.PROFILE,
+        chromium.PROFILE,
+        msquic.PROFILE,
+        quiche.PROFILE,
+        lsquic.PROFILE,
+        quicgo.PROFILE,
+        quicly.PROFILE,
+        quinn.PROFILE,
+        s2n_quic.PROFILE,
+        xquic.PROFILE,
+        neqo.PROFILE,
+    )
+}
+
+#: The three CCAs the paper studies, in its presentation order.
+CCAS = ("cubic", "bbr", "reno")
+
+
+def get_stack(name: str) -> StackProfile:
+    """Look up a stack profile by name; raises KeyError with hints."""
+    try:
+        return STACKS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown stack {name!r}; known stacks: {sorted(STACKS)}"
+        ) from None
+
+
+def reference() -> StackProfile:
+    """The Linux-kernel TCP reference profile."""
+    return STACKS[REFERENCE_STACK]
+
+
+def quic_stacks() -> List[StackProfile]:
+    """The 11 studied QUIC stacks (excludes the kernel reference)."""
+    return [p for p in STACKS.values() if not p.is_reference]
+
+
+def implementations(cca: str) -> List[StackProfile]:
+    """All QUIC stacks implementing ``cca``, in Table 1 order."""
+    return [p for p in quic_stacks() if p.supports(cca)]
+
+
+def iter_implementations() -> Iterator[Tuple[StackProfile, str]]:
+    """Every studied (stack, cca) pair — the paper's 22 implementations."""
+    for profile in quic_stacks():
+        for cca in CCAS:
+            if profile.supports(cca):
+                yield profile, cca
+
+
+@dataclass(frozen=True)
+class KnownStack:
+    """One row of Table 2: the selection criteria for the study."""
+
+    organization: str
+    stack: str
+    open_source: bool
+    implements_cc: bool
+    stable: bool
+    deployed: bool
+    studied: bool
+
+
+#: Table 2 verbatim ("-" entries for closed-source stacks map to False).
+KNOWN_STACKS: List[KnownStack] = [
+    KnownStack("Facebook", "mvfst", True, True, True, True, True),
+    KnownStack("Google", "chromium", True, True, True, True, True),
+    KnownStack("Microsoft", "msquic", True, True, True, True, True),
+    KnownStack("Cloudflare", "quiche", True, True, True, True, True),
+    KnownStack("LiteSpeed", "lsquic", True, True, True, True, True),
+    KnownStack("Go", "quicgo", True, True, True, True, True),
+    KnownStack("H2O", "quicly", True, True, True, True, True),
+    KnownStack("Rust", "quinn", True, True, True, True, True),
+    KnownStack("Amazon Web Services", "s2n-quic", True, True, True, True, True),
+    KnownStack("Alibaba", "xquic", True, True, True, True, True),
+    KnownStack("Mozilla", "neqo", True, True, True, True, True),
+    KnownStack("Akamai", "akamaiquic", False, False, False, False, False),
+    KnownStack("Apple", "applequic", False, False, False, False, False),
+    KnownStack("Apache", "ats", True, True, True, False, False),
+    KnownStack("F5", "f5", True, False, False, False, False),
+    KnownStack("Haskell", "haskellquic", True, False, False, False, False),
+    KnownStack("Java", "kwik", True, False, False, False, False),
+    KnownStack("nghttp", "ngtcp2", True, False, False, False, False),
+    KnownStack("nginx", "nginx", True, False, False, False, False),
+    KnownStack("Pico", "picoquic", True, True, False, False, False),
+    KnownStack("Python", "aioquic", True, False, True, True, False),
+    KnownStack("Quant", "quant", True, True, False, False, False),
+]

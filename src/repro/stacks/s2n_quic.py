@@ -1,0 +1,22 @@
+"""Amazon Web Services s2n-quic.
+
+Table 1: implements CUBIC only.  Found conformant; no deviations are
+modelled.
+"""
+
+from __future__ import annotations
+
+from repro.netsim.endpoint import ReceiverConfig, SenderConfig
+from repro.stacks._common import cubic_variant, variants
+from repro.stacks.base import StackProfile
+
+PROFILE = StackProfile(
+    name="s2n-quic",
+    organization="Amazon Web Services",
+    version="17826d9df1c59903beadd1733bbe79ed7d67647e",
+    sender_config=SenderConfig(mss=1448, loss_style="quic"),
+    receiver_config=ReceiverConfig(ack_frequency=2, max_ack_delay=0.025),
+    ccas={
+        "cubic": variants(cubic_variant("default", note="conformant CUBIC")),
+    },
+)

@@ -1,0 +1,24 @@
+"""Publication-style figure rendering without external dependencies.
+
+The paper's results are figures — envelope scatter plots (Figs 1-3,
+7-10, 14-15), heatmaps (Figs 6, 11-13) and metric curves (Figs 4-5).
+This package renders all three as standalone SVG files using nothing
+but the standard library, so the reproduction can produce viewable
+figures in the offline environments it targets.
+"""
+
+from repro.viz.svg import SvgCanvas
+from repro.viz.charts import (
+    envelope_figure,
+    heatmap_figure,
+    line_figure,
+    save_figure,
+)
+
+__all__ = [
+    "SvgCanvas",
+    "envelope_figure",
+    "heatmap_figure",
+    "line_figure",
+    "save_figure",
+]

@@ -1,0 +1,217 @@
+"""Chart builders on top of :class:`~repro.viz.svg.SvgCanvas`.
+
+Three figure types cover every plot in the paper:
+
+* :func:`envelope_figure` — delay/throughput scatter with convex-hull
+  outlines for one or two Performance Envelopes (Figs 1-3, 7-10, 14-15);
+* :func:`heatmap_figure` — labelled matrix with a sequential or
+  diverging color ramp (Figs 6, 11, 12, 13);
+* :func:`line_figure` — one or more (x, y) series with axes and a
+  legend (Figs 4, 5, and cwnd time series).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.envelope import PerformanceEnvelope
+from repro.viz.svg import PALETTE, SvgCanvas, diverging_color, sequential_color
+
+MARGIN_LEFT = 64.0
+MARGIN_RIGHT = 20.0
+MARGIN_TOP = 36.0
+MARGIN_BOTTOM = 52.0
+
+
+@dataclass
+class _Axes:
+    """Data-space to pixel-space transform for one plot area."""
+
+    x_min: float
+    x_max: float
+    y_min: float
+    y_max: float
+    width: float
+    height: float
+
+    def x(self, value: float) -> float:
+        span = max(self.x_max - self.x_min, 1e-12)
+        return MARGIN_LEFT + (value - self.x_min) / span * (
+            self.width - MARGIN_LEFT - MARGIN_RIGHT
+        )
+
+    def y(self, value: float) -> float:
+        span = max(self.y_max - self.y_min, 1e-12)
+        return self.height - MARGIN_BOTTOM - (value - self.y_min) / span * (
+            self.height - MARGIN_TOP - MARGIN_BOTTOM
+        )
+
+
+def _nice_ticks(lo: float, hi: float, count: int = 5) -> List[float]:
+    if hi <= lo:
+        return [lo]
+    raw = (hi - lo) / count
+    magnitude = 10 ** np.floor(np.log10(raw))
+    for multiple in (1, 2, 5, 10):
+        step = multiple * magnitude
+        if step >= raw:
+            break
+    start = np.ceil(lo / step) * step
+    ticks = []
+    tick = start
+    while tick <= hi + 1e-9:
+        ticks.append(round(float(tick), 10))
+        tick += step
+    return ticks
+
+
+def _draw_axes(
+    canvas: SvgCanvas,
+    axes: _Axes,
+    title: str,
+    x_label: str,
+    y_label: str,
+) -> None:
+    x0, y0 = MARGIN_LEFT, canvas.height - MARGIN_BOTTOM
+    x1, y1 = canvas.width - MARGIN_RIGHT, MARGIN_TOP
+    canvas.line(x0, y0, x1, y0)
+    canvas.line(x0, y0, x0, y1)
+    for tick in _nice_ticks(axes.x_min, axes.x_max):
+        px = axes.x(tick)
+        canvas.line(px, y0, px, y0 + 4)
+        canvas.text(px, y0 + 18, f"{tick:g}", size=10, anchor="middle")
+    for tick in _nice_ticks(axes.y_min, axes.y_max):
+        py = axes.y(tick)
+        canvas.line(x0 - 4, py, x0, py)
+        canvas.text(x0 - 8, py + 3, f"{tick:g}", size=10, anchor="end")
+    canvas.text(canvas.width / 2, canvas.height - 14, x_label, size=12, anchor="middle")
+    canvas.text(16, canvas.height / 2, y_label, size=12, anchor="middle", rotate=-90)
+    if title:
+        canvas.text(canvas.width / 2, 20, title, size=13, anchor="middle")
+
+
+def envelope_figure(
+    envelopes: Dict[str, PerformanceEnvelope],
+    title: str = "",
+    width: float = 520.0,
+    height: float = 380.0,
+) -> SvgCanvas:
+    """Scatter + hull outlines for one or more envelopes.
+
+    Axes follow the paper: delay (ms) on x, throughput (Mbps) on y.
+    """
+    if not envelopes:
+        raise ValueError("no envelopes to draw")
+    all_points = np.vstack([pe.all_points for pe in envelopes.values()])
+    pad = 0.06 * (all_points.max(axis=0) - all_points.min(axis=0) + 1e-9)
+    lo = all_points.min(axis=0) - pad
+    hi = all_points.max(axis=0) + pad
+    axes = _Axes(lo[0], hi[0], lo[1], hi[1], width, height)
+    canvas = SvgCanvas(width, height)
+    _draw_axes(canvas, axes, title, "delay (ms)", "throughput (Mbps)")
+
+    legend_y = MARGIN_TOP + 6
+    for i, (name, pe) in enumerate(envelopes.items()):
+        color = PALETTE[i % len(PALETTE)]
+        for point in pe.all_points:
+            canvas.circle(axes.x(point[0]), axes.y(point[1]), 1.8, fill=color, opacity=0.45)
+        for hull in pe.hulls:
+            canvas.polygon(
+                [(axes.x(x), axes.y(y)) for x, y in hull],
+                fill=color,
+                stroke=color,
+                stroke_width=1.5,
+                opacity=0.12,
+            )
+        canvas.circle(width - 150, legend_y + 16 * i, 4, fill=color)
+        canvas.text(width - 140, legend_y + 16 * i + 4, name, size=11)
+    return canvas
+
+
+def heatmap_figure(
+    rows: Sequence[str],
+    cols: Sequence[str],
+    values: np.ndarray,
+    title: str = "",
+    diverging: bool = False,
+    cell: float = 44.0,
+    fmt: str = "{:.2f}",
+) -> SvgCanvas:
+    """Matrix heatmap with value annotations (NaN cells left blank)."""
+    values = np.asarray(values, dtype=float)
+    if values.shape != (len(rows), len(cols)):
+        raise ValueError("values shape must match labels")
+    label_w = 10 + 7 * max((len(r) for r in rows), default=4)
+    width = label_w + cell * len(cols) + 24
+    height = MARGIN_TOP + cell * len(rows) + 70
+    canvas = SvgCanvas(width, height)
+    if title:
+        canvas.text(width / 2, 20, title, size=13, anchor="middle")
+    color_fn = diverging_color if diverging else sequential_color
+    for i, row in enumerate(rows):
+        y = MARGIN_TOP + i * cell
+        canvas.text(label_w - 6, y + cell / 2 + 4, row, size=10, anchor="end")
+        for j in range(len(cols)):
+            x = label_w + j * cell
+            v = values[i, j]
+            if np.isnan(v):
+                canvas.rect(x, y, cell, cell, fill="#f4f4f4", stroke="#ddd")
+                continue
+            fill = color_fn(v)
+            canvas.rect(x, y, cell, cell, fill=fill, stroke="#ffffff")
+            luminance = 1.0 - abs(v - 0.5) if diverging else v
+            text_fill = "#ffffff" if luminance > 0.55 else "#222222"
+            canvas.text(
+                x + cell / 2, y + cell / 2 + 4, fmt.format(v), size=10,
+                anchor="middle", fill=text_fill,
+            )
+    for j, col in enumerate(cols):
+        x = label_w + j * cell + cell / 2
+        canvas.text(x, MARGIN_TOP + cell * len(rows) + 16, col, size=10,
+                    anchor="middle", rotate=-35)
+    return canvas
+
+
+def line_figure(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+    width: float = 520.0,
+    height: float = 340.0,
+    y_range: Optional[Tuple[float, float]] = None,
+) -> SvgCanvas:
+    """One or more line series with markers and a legend."""
+    if not series:
+        raise ValueError("no series to draw")
+    all_xy = np.array([p for pts in series.values() for p in pts], dtype=float)
+    if all_xy.size == 0:
+        raise ValueError("series are empty")
+    lo = all_xy.min(axis=0)
+    hi = all_xy.max(axis=0)
+    if y_range is not None:
+        lo[1], hi[1] = y_range
+    pad_x = 0.04 * (hi[0] - lo[0] + 1e-9)
+    pad_y = 0.06 * (hi[1] - lo[1] + 1e-9)
+    axes = _Axes(lo[0] - pad_x, hi[0] + pad_x, lo[1] - pad_y, hi[1] + pad_y, width, height)
+    canvas = SvgCanvas(width, height)
+    _draw_axes(canvas, axes, title, x_label, y_label)
+    legend_y = MARGIN_TOP + 6
+    for i, (name, pts) in enumerate(series.items()):
+        color = PALETTE[i % len(PALETTE)]
+        pixel_pts = [(axes.x(x), axes.y(y)) for x, y in pts]
+        canvas.polyline(pixel_pts, stroke=color, stroke_width=2.0)
+        for px, py in pixel_pts:
+            canvas.circle(px, py, 2.5, fill=color)
+        canvas.line(width - 160, legend_y + 16 * i, width - 142, legend_y + 16 * i,
+                    stroke=color, stroke_width=2.0)
+        canvas.text(width - 136, legend_y + 16 * i + 4, name, size=11)
+    return canvas
+
+
+def save_figure(canvas: SvgCanvas, path: str) -> None:
+    """Write a figure to disk (directories must exist)."""
+    canvas.save(path)

@@ -1,0 +1,179 @@
+"""A minimal SVG canvas.
+
+Just enough vector drawing for the chart module: primitives accumulate
+as elements and serialize to a standalone SVG document.  Coordinates are
+in SVG user units (pixels), y growing downward; the chart layer handles
+data-space transforms.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+from xml.sax.saxutils import escape
+
+
+class SvgCanvas:
+    """An append-only SVG element buffer with a fixed viewport."""
+
+    def __init__(self, width: float, height: float, background: str = "white"):
+        if width <= 0 or height <= 0:
+            raise ValueError("canvas dimensions must be positive")
+        self.width = width
+        self.height = height
+        self._elements: List[str] = []
+        if background:
+            self.rect(0, 0, width, height, fill=background, stroke="none")
+
+    # -- primitives -----------------------------------------------------
+    def rect(
+        self,
+        x: float,
+        y: float,
+        w: float,
+        h: float,
+        fill: str = "none",
+        stroke: str = "black",
+        stroke_width: float = 1.0,
+        opacity: float = 1.0,
+    ) -> None:
+        self._elements.append(
+            f'<rect x="{x:.2f}" y="{y:.2f}" width="{w:.2f}" height="{h:.2f}" '
+            f'fill="{fill}" stroke="{stroke}" stroke-width="{stroke_width}" '
+            f'opacity="{opacity:.3f}"/>'
+        )
+
+    def line(
+        self,
+        x1: float,
+        y1: float,
+        x2: float,
+        y2: float,
+        stroke: str = "black",
+        stroke_width: float = 1.0,
+        dash: Optional[str] = None,
+    ) -> None:
+        dash_attr = f' stroke-dasharray="{dash}"' if dash else ""
+        self._elements.append(
+            f'<line x1="{x1:.2f}" y1="{y1:.2f}" x2="{x2:.2f}" y2="{y2:.2f}" '
+            f'stroke="{stroke}" stroke-width="{stroke_width}"{dash_attr}/>'
+        )
+
+    def circle(
+        self,
+        cx: float,
+        cy: float,
+        r: float,
+        fill: str = "black",
+        opacity: float = 1.0,
+    ) -> None:
+        self._elements.append(
+            f'<circle cx="{cx:.2f}" cy="{cy:.2f}" r="{r:.2f}" fill="{fill}" '
+            f'opacity="{opacity:.3f}"/>'
+        )
+
+    def polygon(
+        self,
+        points: Sequence[Tuple[float, float]],
+        fill: str = "none",
+        stroke: str = "black",
+        stroke_width: float = 1.0,
+        opacity: float = 1.0,
+    ) -> None:
+        if len(points) < 3:
+            return
+        coords = " ".join(f"{x:.2f},{y:.2f}" for x, y in points)
+        self._elements.append(
+            f'<polygon points="{coords}" fill="{fill}" stroke="{stroke}" '
+            f'stroke-width="{stroke_width}" fill-opacity="{opacity:.3f}"/>'
+        )
+
+    def polyline(
+        self,
+        points: Sequence[Tuple[float, float]],
+        stroke: str = "black",
+        stroke_width: float = 1.5,
+        dash: Optional[str] = None,
+    ) -> None:
+        if len(points) < 2:
+            return
+        coords = " ".join(f"{x:.2f},{y:.2f}" for x, y in points)
+        dash_attr = f' stroke-dasharray="{dash}"' if dash else ""
+        self._elements.append(
+            f'<polyline points="{coords}" fill="none" stroke="{stroke}" '
+            f'stroke-width="{stroke_width}"{dash_attr}/>'
+        )
+
+    def text(
+        self,
+        x: float,
+        y: float,
+        content: str,
+        size: float = 12.0,
+        anchor: str = "start",
+        fill: str = "#222",
+        rotate: Optional[float] = None,
+    ) -> None:
+        transform = (
+            f' transform="rotate({rotate:.1f} {x:.2f} {y:.2f})"' if rotate else ""
+        )
+        self._elements.append(
+            f'<text x="{x:.2f}" y="{y:.2f}" font-size="{size:.1f}" '
+            f'font-family="Helvetica, Arial, sans-serif" text-anchor="{anchor}" '
+            f'fill="{fill}"{transform}>{escape(content)}</text>'
+        )
+
+    # -- output -----------------------------------------------------------
+    def to_svg(self) -> str:
+        body = "\n  ".join(self._elements)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{self.width:.0f}" height="{self.height:.0f}" '
+            f'viewBox="0 0 {self.width:.0f} {self.height:.0f}">\n  {body}\n</svg>\n'
+        )
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as f:
+            f.write(self.to_svg())
+
+
+#: A small qualitative palette (colorblind-safe Okabe-Ito subset).
+PALETTE = (
+    "#0072B2",  # blue
+    "#D55E00",  # vermillion
+    "#009E73",  # green
+    "#CC79A7",  # purple
+    "#E69F00",  # orange
+    "#56B4E9",  # sky
+    "#F0E442",  # yellow
+    "#000000",  # black
+)
+
+
+def sequential_color(value: float) -> str:
+    """0..1 -> light-to-dark blue ramp for heat cells."""
+    v = min(max(value, 0.0), 1.0)
+    # Interpolate white (255) -> #0B3D91-ish dark blue.
+    r = int(255 + (11 - 255) * v)
+    g = int(255 + (61 - 255) * v)
+    b = int(255 + (145 - 255) * v)
+    return f"#{r:02x}{g:02x}{b:02x}"
+
+
+def diverging_color(value: float) -> str:
+    """0..1 with 0.5 neutral -> blue-white-red ramp (share matrices)."""
+    v = min(max(value, 0.0), 1.0)
+    if v < 0.5:
+        t = v / 0.5
+        r, g, b = (
+            int(33 + (255 - 33) * t),
+            int(102 + (255 - 102) * t),
+            int(172 + (255 - 172) * t),
+        )
+    else:
+        t = (v - 0.5) / 0.5
+        r, g, b = (
+            int(255 + (178 - 255) * t),
+            int(255 + (24 - 255) * t),
+            int(255 + (43 - 255) * t),
+        )
+    return f"#{r:02x}{g:02x}{b:02x}"

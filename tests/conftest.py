@@ -1,0 +1,24 @@
+"""Shared fixtures: fast experiment configs and isolated caches."""
+
+import pytest
+
+from repro.harness.cache import ResultCache
+from repro.harness.config import ExperimentConfig, NetworkCondition
+
+
+@pytest.fixture
+def fresh_cache():
+    """Memory-only cache isolated to one test."""
+    return ResultCache(directory=None, enabled=True)
+
+
+@pytest.fixture
+def quick_config():
+    """Short protocol for integration tests (seconds, not minutes)."""
+    return ExperimentConfig(duration_s=12.0, trials=2)
+
+
+@pytest.fixture
+def small_condition():
+    """A light network so packet counts stay low in unit tests."""
+    return NetworkCondition(bandwidth_mbps=10.0, rtt_ms=20.0, buffer_bdp=1.0)

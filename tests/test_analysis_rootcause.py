@@ -1,0 +1,107 @@
+"""The §6 automatic root-cause classifier."""
+
+import pytest
+
+from repro.analysis.rootcause import (
+    RootCauseHint,
+    Suspect,
+    classify,
+    diagnose_stack,
+)
+from repro.core.conformance import ConformanceResult
+from repro.core.envelope import EnvelopeConfig, build_envelope
+from repro.harness.config import NetworkCondition
+from repro.harness.conformance import ConformanceMeasurement
+from repro.harness.runner import Impl
+
+import numpy as np
+
+
+def make_result(conf, conf_t, dtput, ddelay):
+    pe = build_envelope([np.random.default_rng(0).normal((10, 10), 1, (20, 2))],
+                        EnvelopeConfig(k=1))
+    return ConformanceResult(
+        conformance=conf,
+        conformance_t=conf_t,
+        conformance_legacy=conf,
+        delta_throughput_mbps=dtput,
+        delta_delay_ms=ddelay,
+        test_envelope=pe,
+        reference_envelope=pe,
+    )
+
+
+def test_conformant_case():
+    hint = classify(make_result(0.8, 0.85, 0.2, 0.1))
+    assert hint.suspect is Suspect.CONFORMANT
+
+
+def test_pacing_overshoot_signature():
+    """mvfst BBR's Table 3 row: (0, 0.7, +9, 0)."""
+    hint = classify(make_result(0.0, 0.7, 9.0, 0.0))
+    assert hint.suspect is Suspect.SENDING_RATE
+
+
+def test_cwnd_overshoot_signature():
+    """Fig 5's cwnd-gain pattern: both deltas positive."""
+    hint = classify(make_result(0.2, 0.7, 5.0, 4.0))
+    assert hint.suspect is Suspect.CWND_OVERSHOOT
+
+
+def test_stack_deficit_signature():
+    """xquic Reno's Table 3 row: (0.38, 0.81, -4, -3)."""
+    hint = classify(make_result(0.38, 0.81, -4.0, -3.0))
+    assert hint.suspect is Suspect.STACK_DEFICIT
+
+
+def test_algorithmic_difference_when_translation_does_not_help():
+    hint = classify(make_result(0.1, 0.15, 0.5, 0.2))
+    assert hint.suspect is Suspect.ALGORITHMIC
+
+
+def test_delay_only_shift():
+    hint = classify(make_result(0.3, 0.6, 0.0, -5.0))
+    assert hint.suspect is Suspect.DELAY_SHIFT
+
+
+def test_hint_renders():
+    hint = classify(make_result(0.0, 0.7, 9.0, 0.0))
+    assert "pacing" in str(hint)
+    assert 0 <= hint.confidence <= 1
+
+
+def _measurement(stack, cca, conf, conf_t, dtput, ddelay):
+    return ConformanceMeasurement(
+        impl=Impl(stack, cca),
+        condition=NetworkCondition(20, 10, 1),
+        result=make_result(conf, conf_t, dtput, ddelay),
+    )
+
+
+class TestStackDiagnosis:
+    def test_common_direction_blames_stack(self):
+        """§6: all CCAs of one stack deviating the same way -> stack issue."""
+        measurements = [
+            _measurement("xquic", "cubic", 0.3, 0.7, -3.0, -2.0),
+            _measurement("xquic", "reno", 0.38, 0.81, -4.0, -3.0),
+        ]
+        diagnosis = diagnose_stack("xquic", measurements)
+        assert diagnosis.stack_level_suspected
+        assert "stack" in diagnosis.rationale
+
+    def test_mixed_directions_blame_ccas(self):
+        measurements = [
+            _measurement("mvfst", "cubic", 0.8, 0.85, 0.0, 0.0),
+            _measurement("mvfst", "bbr", 0.0, 0.7, 9.0, 0.0),
+        ]
+        diagnosis = diagnose_stack("mvfst", measurements)
+        assert not diagnosis.stack_level_suspected
+        assert diagnosis.per_cca["bbr"].suspect is Suspect.SENDING_RATE
+
+    def test_wrong_stack_rejected(self):
+        with pytest.raises(ValueError):
+            diagnose_stack("xquic", [_measurement("neqo", "cubic", 0.1, 0.6, -5, -4)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            diagnose_stack("xquic", [])

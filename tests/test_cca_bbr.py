@@ -1,0 +1,220 @@
+"""BBR v1 unit behaviour: state machine, model, gains."""
+
+import pytest
+
+from repro.cca.base import AckEvent
+from repro.cca.bbr import BBR, BBRConfig, PACING_GAIN_CYCLE, STARTUP_GAIN
+
+MSS = 1000
+
+
+class Driver:
+    """Feeds a BBR instance a synthetic steady ACK stream."""
+
+    def __init__(self, bbr, rtt=0.05):
+        self.bbr = bbr
+        self.rtt = rtt
+        self.now = 0.0
+        self.round = 0
+
+    def ack(self, rate_bytes_s, inflight=0, dt=0.01, rtt=None):
+        self.now += dt
+        self.bbr.on_ack(
+            AckEvent(
+                now=self.now,
+                bytes_acked=MSS,
+                rtt_sample=rtt if rtt is not None else self.rtt,
+                delivery_rate=rate_bytes_s,
+                is_app_limited=False,
+                bytes_in_flight=inflight,
+                round_count=self.round,
+            )
+        )
+
+    def run_rounds(self, n, rate, inflight=0, acks_per_round=5, rtt=None):
+        for _ in range(n):
+            self.round += 1
+            for _ in range(acks_per_round):
+                self.ack(rate, inflight=inflight, rtt=rtt)
+
+
+def test_startup_gains():
+    bbr = BBR(MSS)
+    assert bbr.state == BBR.STARTUP
+    assert bbr.pacing_gain == pytest.approx(STARTUP_GAIN)
+    assert bbr.in_slow_start
+
+
+def test_startup_exits_on_bandwidth_plateau():
+    bbr = BBR(MSS)
+    driver = Driver(bbr)
+    driver.run_rounds(3, rate=1e6)
+    driver.run_rounds(2, rate=2e6)
+    assert bbr.state == BBR.STARTUP
+    # Plateau: three rounds without 25 % growth.
+    driver.run_rounds(4, rate=2e6, inflight=100 * MSS)
+    assert bbr.state in (BBR.DRAIN, BBR.PROBE_BW)
+
+
+def test_drain_transitions_to_probe_bw_when_inflight_drops():
+    bbr = BBR(MSS)
+    driver = Driver(bbr)
+    driver.run_rounds(3, rate=2e6)
+    driver.run_rounds(4, rate=2e6, inflight=1000 * MSS)  # stay in drain
+    assert bbr.state == BBR.DRAIN
+    driver.run_rounds(1, rate=2e6, inflight=0)
+    assert bbr.state == BBR.PROBE_BW
+    assert bbr.cwnd_gain == pytest.approx(2.0)
+
+
+def make_probe_bw_bbr(cwnd_gain=2.0, rate=2e6):
+    bbr = BBR(MSS, BBRConfig(cwnd_gain=cwnd_gain))
+    driver = Driver(bbr)
+    driver.run_rounds(3, rate=rate)
+    driver.run_rounds(4, rate=rate, inflight=1000 * MSS)
+    driver.run_rounds(1, rate=rate, inflight=0)
+    assert bbr.state == BBR.PROBE_BW
+    return bbr, driver
+
+
+def test_model_estimates():
+    bbr, driver = make_probe_bw_bbr()
+    assert bbr.btl_bw == pytest.approx(2e6)
+    assert bbr.min_rtt == pytest.approx(0.05)
+    assert bbr.bdp() == pytest.approx(2e6 * 0.05, rel=0.01)
+
+
+def test_cwnd_converges_to_gain_times_bdp():
+    bbr, driver = make_probe_bw_bbr(cwnd_gain=2.0)
+    driver.run_rounds(30, rate=2e6, inflight=0)
+    assert bbr.cwnd == pytest.approx(2.0 * 2e6 * 0.05, rel=0.05)
+
+
+def test_higher_cwnd_gain_raises_target():
+    default, d1 = make_probe_bw_bbr(cwnd_gain=2.0)
+    xquic, d2 = make_probe_bw_bbr(cwnd_gain=2.5)
+    # Enough acked bytes for both windows to converge to their targets.
+    d1.run_rounds(80, rate=2e6, inflight=0)
+    d2.run_rounds(80, rate=2e6, inflight=0)
+    assert xquic.cwnd == pytest.approx(1.25 * default.cwnd, rel=0.05)
+
+
+def test_pacing_rate_scale_applies():
+    vanilla, _ = make_probe_bw_bbr()
+    scaled = BBR(MSS, BBRConfig(pacing_rate_scale=1.25))
+    driver = Driver(scaled)
+    driver.run_rounds(3, rate=2e6)
+    driver.run_rounds(4, rate=2e6, inflight=1000 * MSS)
+    driver.run_rounds(1, rate=2e6, inflight=0)
+    assert scaled.pacing_rate() == pytest.approx(1.25 * vanilla.pacing_rate(), rel=0.01)
+
+
+def test_pacing_gain_cycles_in_probe_bw():
+    bbr, driver = make_probe_bw_bbr()
+    gains = set()
+    for _ in range(400):
+        driver.ack(2e6, inflight=int(0.8 * bbr.bdp()), dt=0.01)
+        gains.add(round(bbr.pacing_gain, 3))
+    assert 1.25 in gains
+    assert 0.75 in gains
+    assert 1.0 in gains
+
+
+def test_probe_rtt_entered_after_min_rtt_expiry():
+    bbr, driver = make_probe_bw_bbr()
+    # 11 s with RTT strictly above the 50 ms min: window expires.
+    for _ in range(1100):
+        driver.ack(2e6, inflight=10 * MSS, dt=0.01, rtt=0.08)
+    assert bbr.min_rtt == pytest.approx(0.08, rel=0.01)
+
+
+def test_probe_rtt_caps_cwnd_and_exits():
+    bbr, driver = make_probe_bw_bbr()
+    saw_probe_rtt = False
+    saw_small_cwnd = False
+    for i in range(2500):
+        driver.round += 1 if i % 5 == 0 else 0
+        driver.ack(2e6, inflight=3 * MSS, dt=0.01, rtt=0.08)
+        if bbr.state == BBR.PROBE_RTT:
+            saw_probe_rtt = True
+            saw_small_cwnd = saw_small_cwnd or bbr.cwnd <= 4 * MSS
+    assert saw_probe_rtt
+    assert saw_small_cwnd
+    assert bbr.state == BBR.PROBE_BW  # exited again
+
+
+def test_loss_packet_conservation_and_restore():
+    bbr, driver = make_probe_bw_bbr()
+    driver.run_rounds(30, rate=2e6, inflight=0)
+    before = bbr.cwnd
+    bbr.on_congestion_event(driver.now, bytes_in_flight=5 * MSS)
+    assert bbr.cwnd == 5 * MSS
+    bbr.on_recovery_exit(driver.now)
+    assert bbr.cwnd == before
+
+
+def test_rto_collapses_to_min_cwnd():
+    bbr, _ = make_probe_bw_bbr()
+    bbr.on_rto(1.0)
+    assert bbr.cwnd == 4 * MSS
+
+
+def test_min_rtt_not_postponed_by_standing_queue():
+    """Observing the standing minimum must not defer PROBE_RTT forever."""
+    bbr, driver = make_probe_bw_bbr()
+    stamp_before = bbr._min_rtt_timestamp
+    for _ in range(50):
+        driver.ack(2e6, inflight=10 * MSS, dt=0.01, rtt=0.08)  # above min
+    assert bbr._min_rtt_timestamp == stamp_before
+
+
+def test_app_limited_samples_do_not_raise_bw():
+    bbr, driver = make_probe_bw_bbr()
+    bw = bbr.btl_bw
+    driver.now += 0.01
+    bbr.on_ack(
+        AckEvent(
+            now=driver.now,
+            bytes_acked=MSS,
+            rtt_sample=0.05,
+            delivery_rate=10e6,
+            is_app_limited=True,
+            bytes_in_flight=0,
+            round_count=driver.round,
+        )
+    )
+    # An app-limited sample above the estimate IS taken (per BBR), but an
+    # app-limited sample below it must be ignored.
+    bbr2, driver2 = make_probe_bw_bbr()
+    bw2 = bbr2.btl_bw
+    driver2.now += 0.01
+    bbr2.on_ack(
+        AckEvent(
+            now=driver2.now,
+            bytes_acked=MSS,
+            rtt_sample=0.05,
+            delivery_rate=0.1e6,
+            is_app_limited=True,
+            bytes_in_flight=0,
+            round_count=driver2.round + 1,
+        )
+    )
+    assert bbr2.btl_bw == pytest.approx(bw2)
+
+
+def test_invalid_config():
+    for bad in (
+        BBRConfig(initial_cwnd_packets=0),
+        BBRConfig(cwnd_gain=0),
+        BBRConfig(pacing_rate_scale=0),
+        BBRConfig(bw_window_rounds=0),
+    ):
+        with pytest.raises(ValueError):
+            bad.validate()
+
+
+def test_debug_state_contents():
+    bbr = BBR(MSS)
+    state = bbr.debug_state()
+    assert state["state"] == BBR.STARTUP
+    assert "btl_bw" in state and "min_rtt" in state

@@ -1,0 +1,179 @@
+"""CUBIC unit behaviour: window curve, HyStart, emulation, rollback."""
+
+import pytest
+
+from repro.cca.base import AckEvent
+from repro.cca.cubic import Cubic, CubicConfig
+
+MSS = 1000
+
+
+def ack(bytes_acked=MSS, now=1.0, rtt=0.05, round_count=0):
+    return AckEvent(
+        now=now,
+        bytes_acked=bytes_acked,
+        rtt_sample=rtt,
+        delivery_rate=None,
+        is_app_limited=False,
+        bytes_in_flight=0,
+        round_count=round_count,
+    )
+
+
+def drive_ca(cubic, start, duration, rtt=0.05, rate_pps=200):
+    """Feed ACKs at a steady rate through congestion avoidance."""
+    t = start
+    dt = 1.0 / rate_pps
+    while t < start + duration:
+        cubic.on_ack(ack(now=t, rtt=rtt))
+        t += dt
+    return cubic
+
+
+def test_initial_state():
+    cubic = Cubic(MSS)
+    assert cubic.cwnd == 10 * MSS
+    assert cubic.in_slow_start
+
+
+def test_multiplicative_decrease_uses_beta():
+    cubic = Cubic(MSS)
+    cubic._cwnd = 100 * MSS
+    cubic.ssthresh = 50 * MSS  # in CA
+    cubic.on_congestion_event(1.0, 0)
+    assert cubic.cwnd == pytest.approx(70 * MSS, rel=0.01)
+
+
+def test_cubic_growth_accelerates_away_from_wmax():
+    """Window growth is slow near W_max and fast beyond the plateau."""
+    cubic = Cubic(MSS, CubicConfig(enable_hystart=False, tcp_friendliness=False))
+    cubic._cwnd = 100 * MSS
+    cubic.ssthresh = 1.0  # force CA
+    cubic.on_congestion_event(0.0, 0)  # W_max = 100, cwnd = 70
+    drive_ca(cubic, 0.0, 1.0)
+    early = cubic.cwnd
+    drive_ca(cubic, 1.0, 1.0)
+    mid = cubic.cwnd
+    drive_ca(cubic, 2.0, 4.0)
+    late = cubic.cwnd
+    # Concave then convex: recovers toward W_max then grows past it.
+    assert early < 100 * MSS
+    assert late > 100 * MSS
+    growth_mid = mid - early
+    growth_late = (late - mid) / 4
+    assert growth_late > 0
+
+
+def test_fast_convergence_lowers_wmax():
+    config = CubicConfig(fast_convergence=True, enable_hystart=False)
+    cubic = Cubic(MSS, config)
+    cubic._cwnd = 100 * MSS
+    cubic.ssthresh = 1.0
+    cubic.on_congestion_event(0.0, 0)  # W_max = 100
+    cubic.on_congestion_event(1.0, 0)  # cwnd 70 < W_max: fast convergence
+    assert cubic._w_max < 70.0 * 1.01  # (2 - beta)/2 * 70 = 45.5
+
+
+def test_reno_friendly_region_dominates_early():
+    friendly = Cubic(MSS, CubicConfig(enable_hystart=False, tcp_friendliness=True))
+    plain = Cubic(MSS, CubicConfig(enable_hystart=False, tcp_friendliness=False))
+    for cubic in (friendly, plain):
+        cubic._cwnd = 50 * MSS
+        cubic.ssthresh = 1.0
+        cubic.on_congestion_event(0.0, 0)
+        drive_ca(cubic, 0.0, 2.0, rtt=0.2, rate_pps=100)
+    assert friendly.cwnd >= plain.cwnd
+
+
+def test_emulated_connections_soften_backoff():
+    chromium_like = Cubic(MSS, CubicConfig(emulated_connections=2, enable_hystart=False))
+    chromium_like._cwnd = 100 * MSS
+    chromium_like.ssthresh = 1.0
+    chromium_like.on_congestion_event(0.0, 0)
+    # beta_2 = (1 + 0.7)/2 = 0.85 -> cwnd 85 instead of 70.
+    assert chromium_like.cwnd == pytest.approx(85 * MSS, rel=0.01)
+
+
+def test_spurious_rollback_restores_state():
+    config = CubicConfig(spurious_loss_rollback=True, enable_hystart=False)
+    cubic = Cubic(MSS, config)
+    cubic._cwnd = 100 * MSS
+    cubic.ssthresh = 200 * MSS * 1.0
+    cubic.ssthresh = 1e9
+    cubic._cwnd = 100 * MSS
+    before = cubic.cwnd
+    cubic.on_congestion_event(1.0, 0)
+    assert cubic.cwnd < before
+    cubic.on_spurious_congestion(1.1)
+    assert cubic.cwnd == before
+
+
+def test_rollback_disabled_by_default():
+    cubic = Cubic(MSS)
+    cubic._cwnd = 100 * MSS
+    cubic.on_congestion_event(1.0, 0)
+    reduced = cubic.cwnd
+    cubic.on_spurious_congestion(1.1)
+    assert cubic.cwnd == reduced
+
+
+def test_rollback_is_one_shot():
+    config = CubicConfig(spurious_loss_rollback=True, enable_hystart=False)
+    cubic = Cubic(MSS, config)
+    cubic._cwnd = 100 * MSS
+    cubic.on_congestion_event(1.0, 0)
+    cubic.on_spurious_congestion(1.1)
+    restored = cubic.cwnd
+    cubic.on_spurious_congestion(1.2)  # no pending snapshot
+    assert cubic.cwnd == restored
+
+
+def test_rto_collapses_window():
+    cubic = Cubic(MSS)
+    cubic._cwnd = 50 * MSS
+    cubic.on_rto(1.0)
+    assert cubic.cwnd == 2 * MSS
+
+
+class TestHyStart:
+    def rtt_ramp(self, cubic, base_rtt, increase, rounds=6, acks_per_round=10):
+        """Feed rounds with rising per-round RTT."""
+        t = 0.0
+        for rnd in range(rounds):
+            rtt = base_rtt + rnd * increase
+            for _ in range(acks_per_round):
+                cubic.on_ack(ack(now=t, rtt=rtt, round_count=rnd))
+                t += 0.01
+
+    def test_delay_increase_triggers_exit(self):
+        cubic = Cubic(MSS, CubicConfig(enable_hystart=True))
+        self.rtt_ramp(cubic, base_rtt=0.05, increase=0.012, rounds=10)
+        assert not cubic.in_slow_start
+
+    def test_stable_rtt_stays_in_slow_start(self):
+        cubic = Cubic(MSS, CubicConfig(enable_hystart=True))
+        self.rtt_ramp(cubic, base_rtt=0.05, increase=0.0, rounds=6)
+        assert cubic.in_slow_start
+
+    def test_disabled_hystart_ignores_delay(self):
+        cubic = Cubic(MSS, CubicConfig(enable_hystart=False))
+        self.rtt_ramp(cubic, base_rtt=0.05, increase=0.012, rounds=10)
+        assert cubic.in_slow_start
+
+    def test_css_slows_growth_before_exit(self):
+        hy = Cubic(MSS, CubicConfig(enable_hystart=True))
+        plain = Cubic(MSS, CubicConfig(enable_hystart=False))
+        self.rtt_ramp(hy, base_rtt=0.05, increase=0.012, rounds=4)
+        self.rtt_ramp(plain, base_rtt=0.05, increase=0.012, rounds=4)
+        assert hy.cwnd <= plain.cwnd
+
+
+def test_invalid_config():
+    for bad in (
+        CubicConfig(initial_cwnd_packets=0),
+        CubicConfig(c=0),
+        CubicConfig(beta=1.0),
+        CubicConfig(emulated_connections=0),
+    ):
+        with pytest.raises(ValueError):
+            bad.validate()

@@ -1,0 +1,134 @@
+"""Windowed min/max filters and the RTT estimator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cca.rtt import RttEstimator
+from repro.cca.windowed_filter import WindowedMaxFilter, WindowedMinFilter
+
+
+class TestWindowedMax:
+    def test_tracks_maximum(self):
+        f = WindowedMaxFilter(window=10)
+        assert f.update(0, 5) == 5
+        assert f.update(1, 3) == 5
+        assert f.update(2, 8) == 8
+
+    def test_old_maximum_ages_out(self):
+        f = WindowedMaxFilter(window=10)
+        f.update(0, 100)
+        for t in range(1, 25):
+            f.update(t, 10)
+        assert f.get() == 10
+
+    def test_get_before_samples(self):
+        assert WindowedMaxFilter(window=5).get() is None
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            WindowedMaxFilter(window=0)
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(0, 100), st.floats(0.1, 1000)),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_estimate_guarantees(self, samples):
+        """Kernel win_minmax guarantees: the estimate is at least the
+        current sample, and it is the value of a sample no older than the
+        window (like the kernel filter, a hard reset on the oldest
+        estimate's expiry may discard a still-valid runner-up, so the
+        estimate can momentarily undershoot the exact windowed max)."""
+        window = 10.0
+        f = WindowedMaxFilter(window=window)
+        samples = sorted(samples, key=lambda s: s[0])
+        fed = []
+        for t, v in samples:
+            estimate = f.update(t, v)
+            fed.append((t, v))
+            assert estimate >= v - 1e-9
+            witnesses = [v2 for t2, v2 in fed if t - window <= t2]
+            assert any(abs(estimate - w) < 1e-9 for w in witnesses)
+
+
+class TestWindowedMin:
+    def test_tracks_minimum(self):
+        f = WindowedMinFilter(window=10)
+        assert f.update(0, 5) == 5
+        assert f.update(1, 8) == 5
+        assert f.update(2, 2) == 2
+
+    def test_old_minimum_ages_out(self):
+        f = WindowedMinFilter(window=10)
+        f.update(0, 1)
+        for t in range(1, 25):
+            f.update(t, 50)
+        assert f.get() == 50
+
+
+class TestRttEstimator:
+    def test_first_sample_initializes(self):
+        est = RttEstimator()
+        est.update(0.1)
+        assert est.srtt == 0.1
+        assert est.rttvar == 0.05
+        assert est.min_rtt == 0.1
+
+    def test_ewma_smoothing(self):
+        est = RttEstimator()
+        est.update(0.1)
+        est.update(0.2)
+        assert est.srtt == pytest.approx(0.1 * 7 / 8 + 0.2 / 8)
+
+    def test_min_rtt_monotone_nonincreasing(self):
+        est = RttEstimator()
+        for sample in (0.1, 0.05, 0.2, 0.08):
+            est.update(sample)
+        assert est.min_rtt == 0.05
+
+    def test_rto_bounds(self):
+        est = RttEstimator()
+        assert est.rto() >= 0.2
+        est.update(0.01)
+        assert 0.2 <= est.rto() <= 60.0
+        # Large variance raises the RTO.
+        est2 = RttEstimator()
+        est2.update(0.1)
+        est2.update(1.0)
+        assert est2.rto() > est.rto()
+
+    def test_loss_time_threshold_is_nine_eighths(self):
+        est = RttEstimator()
+        est.update(0.08)
+        assert est.loss_time_threshold() == pytest.approx(9 / 8 * 0.08)
+
+    def test_rack_threshold_exceeds_quic_threshold(self):
+        est = RttEstimator()
+        est.update(0.08)
+        est.update(0.10)
+        assert est.rack_time_threshold() > est.loss_time_threshold()
+        # The pad is at least a quarter of the minimum RTT.
+        assert est.rack_time_threshold() >= est.latest + 0.08 / 4 - 1e-9
+
+    def test_smoothed_fallback_before_samples(self):
+        est = RttEstimator(initial_rtt=0.123)
+        assert est.smoothed == 0.123
+
+    def test_rejects_invalid_samples(self):
+        est = RttEstimator()
+        with pytest.raises(ValueError):
+            est.update(0)
+        with pytest.raises(ValueError):
+            RttEstimator(initial_rtt=0)
+
+    @given(st.lists(st.floats(1e-4, 10), min_size=1, max_size=50))
+    @settings(max_examples=60, deadline=None)
+    def test_srtt_stays_within_sample_range(self, samples):
+        est = RttEstimator()
+        for s in samples:
+            est.update(s)
+        assert min(samples) - 1e-9 <= est.srtt <= max(samples) + 1e-9
+        assert est.min_rtt == pytest.approx(min(samples))

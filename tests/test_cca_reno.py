@@ -1,0 +1,105 @@
+"""NewReno unit behaviour."""
+
+import pytest
+
+from repro.cca.base import AckEvent
+from repro.cca.reno import NewReno
+
+MSS = 1000
+
+
+def ack(bytes_acked=MSS, now=1.0, rtt=0.05, round_count=0):
+    return AckEvent(
+        now=now,
+        bytes_acked=bytes_acked,
+        rtt_sample=rtt,
+        delivery_rate=None,
+        is_app_limited=False,
+        bytes_in_flight=0,
+        round_count=round_count,
+    )
+
+
+def test_initial_window():
+    reno = NewReno(MSS, initial_cwnd_packets=10)
+    assert reno.cwnd == 10 * MSS
+    assert reno.in_slow_start
+
+
+def test_slow_start_doubles_per_window():
+    reno = NewReno(MSS, initial_cwnd_packets=10)
+    for _ in range(10):
+        reno.on_ack(ack())
+    assert reno.cwnd == 20 * MSS
+
+
+def test_congestion_event_halves_window():
+    reno = NewReno(MSS, initial_cwnd_packets=20)
+    reno.on_congestion_event(1.0, 20 * MSS)
+    assert reno.cwnd == 10 * MSS
+    assert reno.ssthresh == 10 * MSS
+    assert not reno.in_slow_start
+
+
+def test_congestion_avoidance_adds_one_mss_per_window():
+    reno = NewReno(MSS, initial_cwnd_packets=20)
+    reno.on_congestion_event(1.0, 0)  # cwnd -> 10 MSS, exit slow start
+    start = reno.cwnd
+    for _ in range(10):  # one full window of ACKs
+        reno.on_ack(ack())
+    assert reno.cwnd == pytest.approx(start + MSS, abs=1)
+
+
+def test_ai_scale_changes_growth():
+    fast = NewReno(MSS, initial_cwnd_packets=20, ai_scale=2.0)
+    fast.on_congestion_event(1.0, 0)
+    start = fast.cwnd
+    for _ in range(10):
+        fast.on_ack(ack())
+    assert fast.cwnd == pytest.approx(start + 2 * MSS, abs=1)
+
+
+def test_custom_beta():
+    reno = NewReno(MSS, initial_cwnd_packets=20, beta=0.8)
+    reno.on_congestion_event(1.0, 0)
+    assert reno.cwnd == pytest.approx(16 * MSS, abs=1)
+
+
+def test_rto_collapses_to_minimum():
+    reno = NewReno(MSS, initial_cwnd_packets=20)
+    reno.on_rto(1.0)
+    assert reno.cwnd == 2 * MSS
+    assert reno.ssthresh == 10 * MSS
+
+
+def test_window_floor_after_repeated_losses():
+    reno = NewReno(MSS, initial_cwnd_packets=4)
+    for _ in range(10):
+        reno.on_congestion_event(1.0, 0)
+    assert reno.cwnd >= 2 * MSS
+
+
+def test_slow_start_exits_at_ssthresh():
+    reno = NewReno(MSS, initial_cwnd_packets=2, ssthresh=6 * MSS)
+    for _ in range(20):
+        reno.on_ack(ack())
+    # Never overshoots ssthresh out of slow start.
+    assert reno.cwnd <= 8 * MSS
+
+
+def test_invalid_parameters():
+    with pytest.raises(ValueError):
+        NewReno(MSS, beta=0)
+    with pytest.raises(ValueError):
+        NewReno(MSS, beta=1)
+    with pytest.raises(ValueError):
+        NewReno(MSS, ai_scale=0)
+    with pytest.raises(ValueError):
+        NewReno(0)
+
+
+def test_debug_state():
+    reno = NewReno(MSS)
+    state = reno.debug_state()
+    assert state["name"] == "reno"
+    assert state["slow_start"]

@@ -1,0 +1,43 @@
+"""CLI surface: parsing and the cheap subcommands end to end."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_lists_all_subcommands():
+    parser = build_parser()
+    text = parser.format_help()
+    for sub in ("stacks", "conformance", "heatmap", "fairness", "intercca", "fixes", "sweep"):
+        assert sub in text
+
+
+def test_stacks_command(capsys):
+    assert main(["stacks"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out and "Table 2" in out
+    assert "quiche" in out and "xquic" in out
+
+
+def test_conformance_command_quick(capsys):
+    code = main(
+        [
+            "conformance", "--stack", "quicgo", "--cca", "reno",
+            "--bandwidth", "10", "--rtt", "20",
+            "--duration", "8", "--trials", "2", "--plot",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "conf" in out
+    assert "envelope" in out  # ASCII plots requested
+
+
+def test_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_unknown_stack_rejected():
+    with pytest.raises(SystemExit):
+        main(["conformance", "--stack", "nope", "--cca", "cubic"])

@@ -1,0 +1,49 @@
+"""CLI extension subcommands (rootcause/regression/select/qlog)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_new_subcommands_listed():
+    text = build_parser().format_help()
+    for sub in ("rootcause", "regression", "select", "qlog"):
+        assert sub in text
+
+
+def test_qlog_export(tmp_path, capsys):
+    out = tmp_path / "flow.qlog"
+    code = main(
+        [
+            "qlog", "--stack", "quicgo", "--cca", "cubic", "--out", str(out),
+            "--bandwidth", "10", "--rtt", "20", "--duration", "6",
+        ]
+    )
+    assert code == 0
+    assert out.exists()
+    from repro.netsim.qlog import load_qlog
+
+    summary = load_qlog(str(out))
+    assert summary.packets_received > 100
+
+
+def test_select_command(capsys):
+    code = main(
+        [
+            "select", "--max-delay", "60", "--min-tput", "2",
+            "--bandwidth", "10", "--rtt", "20", "--duration", "8", "--trials", "2",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "best match" in out
+
+
+def test_rootcause_requires_stack():
+    with pytest.raises(SystemExit):
+        main(["rootcause"])
+
+
+def test_select_requires_delay_budget():
+    with pytest.raises(SystemExit):
+        main(["select"])

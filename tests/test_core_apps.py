@@ -1,0 +1,88 @@
+"""Application-driven CCA selection (envelope matching)."""
+
+import numpy as np
+import pytest
+
+from repro.core.apps import (
+    DesiredRegion,
+    bulk_transfer_region,
+    live_streaming_region,
+    match_envelope,
+    select_cca,
+)
+from repro.core.envelope import EnvelopeConfig, build_envelope
+
+
+def envelope_at(delay_ms, tput_mbps, spread=1.0, seed=0):
+    rng = np.random.default_rng(seed)
+    points = rng.normal((delay_ms, tput_mbps), spread, size=(80, 2))
+    return build_envelope([points], EnvelopeConfig(k=1))
+
+
+class TestDesiredRegion:
+    def test_contains(self):
+        region = DesiredRegion(max_delay_ms=50, min_throughput_mbps=5)
+        pts = np.array([[40, 10], [60, 10], [40, 2]])
+        assert region.contains(pts).tolist() == [True, False, False]
+
+    def test_polygon_clamps_infinities(self):
+        region = DesiredRegion(max_delay_ms=50, min_throughput_mbps=5)
+        poly = region.polygon()
+        assert poly.shape == (4, 2)
+        assert poly[:, 0].max() == 50
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DesiredRegion(min_delay_ms=10, max_delay_ms=5).validate()
+        with pytest.raises(ValueError):
+            DesiredRegion(min_throughput_mbps=10, max_throughput_mbps=5).validate()
+
+    def test_profiles(self):
+        live = live_streaming_region(rtt_budget_ms=60, min_rate_mbps=3)
+        bulk = bulk_transfer_region(min_rate_mbps=8)
+        assert live.max_delay_ms == 60
+        assert bulk.max_delay_ms == float("inf")
+
+
+def test_match_envelope_inside_region():
+    region = DesiredRegion(max_delay_ms=100, min_throughput_mbps=1)
+    pe = envelope_at(delay_ms=50, tput_mbps=10)
+    point_fraction, area_fraction = match_envelope(region, pe)
+    assert point_fraction > 0.95
+    assert area_fraction > 0.95
+
+
+def test_match_envelope_outside_region():
+    region = DesiredRegion(max_delay_ms=20)
+    pe = envelope_at(delay_ms=80, tput_mbps=10)
+    point_fraction, area_fraction = match_envelope(region, pe)
+    assert point_fraction < 0.05
+    assert area_fraction < 0.05
+
+
+def test_select_cca_prefers_matching_envelope():
+    """A latency-bound app prefers the low-delay envelope (the BBR-ish
+    one); a bulk app prefers the high-throughput envelope."""
+    low_delay = envelope_at(delay_ms=30, tput_mbps=8, seed=1)     # BBR-like
+    high_tput = envelope_at(delay_ms=90, tput_mbps=12, seed=2)    # CUBIC-like
+    candidates = {"bbr-like": low_delay, "cubic-like": high_tput}
+
+    live = select_cca(live_streaming_region(60, 3), candidates)
+    assert live[0].name == "bbr-like"
+
+    bulk = select_cca(bulk_transfer_region(10), candidates)
+    assert bulk[0].name == "cubic-like"
+
+
+def test_select_cca_scores_ordered():
+    candidates = {
+        "a": envelope_at(50, 10, seed=1),
+        "b": envelope_at(500, 10, seed=2),
+    }
+    scores = select_cca(DesiredRegion(max_delay_ms=100), candidates)
+    assert scores[0].score >= scores[1].score
+
+
+def test_select_cca_requires_candidates():
+    with pytest.raises(ValueError):
+        select_cca(DesiredRegion(), {})

@@ -1,0 +1,113 @@
+"""k-means, cluster matching, and the IOU k-selection rule."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.clustering import KMeansResult, kmeans, match_clusters, select_k
+
+
+def two_blobs(n=50, separation=10.0, seed=0):
+    rng = np.random.default_rng(seed)
+    a = rng.normal((0, 0), 0.5, size=(n, 2))
+    b = rng.normal((separation, separation), 0.5, size=(n, 2))
+    return np.vstack([a, b])
+
+
+class TestKMeans:
+    def test_separates_two_blobs(self):
+        pts = two_blobs()
+        result = kmeans(pts, 2, seed=1)
+        labels_a = set(result.labels[:50])
+        labels_b = set(result.labels[50:])
+        assert len(labels_a) == 1 and len(labels_b) == 1
+        assert labels_a != labels_b
+
+    def test_k_one_groups_everything(self):
+        pts = two_blobs()
+        result = kmeans(pts, 1)
+        assert (result.labels == 0).all()
+
+    def test_labels_partition_points(self):
+        pts = two_blobs()
+        result = kmeans(pts, 3, seed=2)
+        assert len(result.labels) == len(pts)
+        assert set(result.labels) <= {0, 1, 2}
+
+    def test_k_capped_at_n(self):
+        pts = np.array([[0.0, 0.0], [1.0, 1.0]])
+        result = kmeans(pts, 5)
+        assert result.k == 2
+
+    def test_deterministic_per_seed(self):
+        pts = two_blobs(seed=3)
+        a = kmeans(pts, 2, seed=7)
+        b = kmeans(pts, 2, seed=7)
+        assert (a.labels == b.labels).all()
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            kmeans(np.empty((0, 2)), 2)
+        with pytest.raises(ValueError):
+            kmeans(two_blobs(), 0)
+
+    @given(st.integers(1, 5), st.integers(6, 30))
+    @settings(max_examples=30, deadline=None)
+    def test_inertia_non_increasing_in_k(self, k, n):
+        rng = np.random.default_rng(n)
+        pts = rng.normal(size=(n, 2))
+        inertias = [kmeans(pts, kk, seed=0).inertia for kk in range(1, k + 1)]
+        for earlier, later in zip(inertias, inertias[1:]):
+            assert later <= earlier + 1e-6
+
+    def test_cluster_points_accessor(self):
+        pts = two_blobs()
+        result = kmeans(pts, 2, seed=1)
+        total = sum(len(result.cluster_points(pts, j)) for j in range(2))
+        assert total == len(pts)
+
+
+class TestMatchClusters:
+    def test_identity_match(self):
+        cents = np.array([[0.0, 0.0], [10.0, 10.0]])
+        mapping = match_clusters(cents, cents)
+        assert mapping.tolist() == [0, 1]
+
+    def test_permuted_match(self):
+        ref = np.array([[0.0, 0.0], [10.0, 10.0], [20.0, 0.0]])
+        other = ref[[2, 0, 1]]
+        mapping = match_clusters(ref, other)
+        assert mapping.tolist() == [1, 2, 0]
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            match_clusters(np.zeros((2, 2)), np.zeros((3, 2)))
+
+
+class TestSelectK:
+    def test_steepest_drop_selected(self):
+        retention = {1: 0.95, 2: 0.93, 3: 0.50, 4: 0.45, 5: 0.40}
+        selection = select_k(lambda k: retention[k], k_max=5)
+        assert selection.k == 2  # drop is between 2 and 3
+
+    def test_flat_curve_prefers_one(self):
+        selection = select_k(lambda k: 0.9, k_max=5)
+        assert selection.k == 1
+
+    def test_min_retention_guard(self):
+        retention = {1: 0.9, 2: 0.02, 3: 0.01, 4: 0.0}
+        selection = select_k(lambda k: retention[k], k_max=4, min_retention=0.05)
+        assert selection.k == 1
+
+    def test_k_max_one(self):
+        selection = select_k(lambda k: 0.9, k_max=1)
+        assert selection.k == 1
+        assert len(selection.retention) == 1
+
+    def test_invalid_k_max(self):
+        with pytest.raises(ValueError):
+            select_k(lambda k: 1.0, k_max=0)
+
+    def test_retention_curve_recorded(self):
+        selection = select_k(lambda k: 1.0 / k, k_max=4)
+        assert selection.retention.tolist() == pytest.approx([1.0, 0.5, 1 / 3, 0.25])

@@ -1,0 +1,136 @@
+"""Conformance, Conformance-T and the translation hints."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.conformance import (
+    conformance,
+    conformance_legacy,
+    conformance_post_translation,
+    evaluate_conformance,
+)
+from repro.core.envelope import EnvelopeConfig, build_envelope
+
+
+def blob(center, n=60, spread=0.5, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.normal(center, spread, size=(n, 2))
+
+
+def make_pe(centers, seed=0, k=None):
+    trials = [
+        np.vstack([blob(c, seed=seed + 10 * t + i) for i, c in enumerate(centers)])
+        for t in range(3)
+    ]
+    return build_envelope(trials, EnvelopeConfig(k=k or len(centers)))
+
+
+def test_identical_envelopes_score_near_one():
+    a = make_pe([(10, 10)], seed=1)
+    assert conformance(a, a) == pytest.approx(1.0)
+
+
+def test_disjoint_envelopes_score_zero():
+    a = make_pe([(0, 0)], seed=1)
+    b = make_pe([(100, 100)], seed=2)
+    assert conformance(a, b) == 0.0
+
+
+def test_same_distribution_scores_high():
+    a = make_pe([(10, 10)], seed=1)
+    b = make_pe([(10, 10)], seed=5)
+    assert conformance(a, b) > 0.6
+
+
+def test_partial_overlap_scores_between():
+    a = make_pe([(0, 0)], seed=1)
+    b = make_pe([(0.8, 0.8)], seed=2)
+    value = conformance(a, b)
+    assert 0.0 < value < 0.9
+
+
+def test_conformance_bounded():
+    for offset in (0.0, 0.5, 1.5, 5.0):
+        a = make_pe([(0, 0)], seed=1)
+        b = make_pe([(offset, offset)], seed=2)
+        assert 0.0 <= conformance(a, b) <= 1.0
+
+
+class TestConformanceT:
+    def test_translation_recovers_shifted_clone(self):
+        a = make_pe([(0, 0)], seed=1)
+        shifted = a.translated((7.0, -3.0))
+        result = conformance_post_translation(shifted, a)
+        assert result.conformance_t == pytest.approx(1.0)
+        # Applied translation undoes the shift; deltas report test - ref.
+        assert result.delta_delay_ms == pytest.approx(7.0, abs=0.3)
+        assert result.delta_throughput_mbps == pytest.approx(-3.0, abs=0.3)
+
+    def test_conformance_t_at_least_conformance(self):
+        a = make_pe([(0, 0)], seed=1)
+        b = make_pe([(1.0, 1.0)], seed=2)
+        base = conformance(a, b)
+        result = conformance_post_translation(a, b)
+        assert result.conformance_t >= base - 1e-9
+
+    def test_multi_cluster_translation(self):
+        a = make_pe([(0, 0), (20, 20)], seed=1)
+        b_trials = [
+            np.vstack([blob((5, 5), seed=30 + t), blob((25, 25), seed=60 + t)])
+            for t in range(3)
+        ]
+        b = build_envelope(b_trials, EnvelopeConfig(k=2))
+        result = conformance_post_translation(b, a)
+        assert result.conformance_t > conformance(b, a)
+        assert result.delta_delay_ms == pytest.approx(5.0, abs=1.5)
+
+    @given(st.floats(-20, 20), st.floats(-20, 20))
+    @settings(max_examples=25, deadline=None)
+    def test_translation_invariance(self, dx, dy):
+        """Conformance-T of a rigidly translated cloud equals the original's."""
+        a = make_pe([(0, 0)], seed=3)
+        b = make_pe([(0.5, 0.5)], seed=4)
+        moved = b.translated((dx, dy))
+        base = conformance_post_translation(b, a).conformance_t
+        shifted = conformance_post_translation(moved, a).conformance_t
+        assert shifted == pytest.approx(base, abs=0.12)
+
+
+class TestLegacyConformance:
+    def test_identical_clouds(self):
+        pts = blob((10, 10), n=100, seed=1)
+        assert conformance_legacy(pts, pts) == pytest.approx(1.0)
+
+    def test_disjoint_clouds(self):
+        assert (
+            conformance_legacy(blob((0, 0), seed=1), blob((100, 100), seed=2)) == 0.0
+        )
+
+    def test_single_hull_overestimates_bimodal(self):
+        """The paper's Fig. 1 argument: one hull inflates conformance for
+        clustered clouds compared to the clustered definition."""
+        ref_centers = [(0, 0), (20, 20)]
+        test_centers = [(8, 8), (14, 14)]  # sits in the ref's empty middle
+        ref_pts = np.vstack([blob(c, seed=i) for i, c in enumerate(ref_centers)])
+        test_pts = np.vstack([blob(c, seed=9 + i) for i, c in enumerate(test_centers)])
+        legacy = conformance_legacy(test_pts, ref_pts)
+        ref_pe = make_pe(ref_centers, seed=0, k=2)
+        test_pe = make_pe(test_centers, seed=9, k=2)
+        clustered = conformance(test_pe, ref_pe)
+        assert legacy > clustered + 0.2
+
+    def test_trimming_ignores_extreme_outliers(self):
+        pts = blob((0, 0), n=100, seed=1)
+        with_outliers = np.vstack([pts, [[500, 500], [600, -300]]])
+        assert conformance_legacy(with_outliers, pts) > 0.85
+
+
+def test_evaluate_conformance_end_to_end():
+    test_trials = [blob((0.3, 0.3), seed=t) for t in range(3)]
+    ref_trials = [blob((0, 0), seed=10 + t) for t in range(3)]
+    result = evaluate_conformance(test_trials, ref_trials)
+    assert 0 <= result.conformance <= 1
+    assert result.conformance_t >= result.conformance
+    row = result.summary_row()
+    assert set(row) >= {"conf", "conf_t", "conf_old", "delta_tput_mbps", "delta_delay_ms"}

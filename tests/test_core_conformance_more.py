@@ -1,0 +1,91 @@
+"""Additional conformance-metric semantics."""
+
+import numpy as np
+import pytest
+
+from repro.core.conformance import (
+    ConformanceResult,
+    TranslationResult,
+    conformance,
+    conformance_legacy,
+)
+from repro.core.envelope import EnvelopeConfig, build_envelope
+
+
+def blob(center, n=50, spread=0.5, seed=0):
+    return np.random.default_rng(seed).normal(center, spread, size=(n, 2))
+
+
+def pe(center, seed=0):
+    return build_envelope([blob(center, seed=seed)], EnvelopeConfig(k=1))
+
+
+def test_conformance_is_symmetric():
+    a = pe((0, 0), seed=1)
+    b = pe((0.4, 0.4), seed=2)
+    assert conformance(a, b) == pytest.approx(conformance(b, a))
+
+
+def test_subset_envelope_scores_half_not_one():
+    """A tiny envelope inside a broad reference is NOT fully conformant:
+    its own points all land in the overlap, but the reference's points
+    outside the tiny region count against it (replaceability cuts both
+    ways — an implementation that only ever visits a corner of the
+    reference's trade-off space is distinguishable from it)."""
+    big = pe((0, 0), seed=1)
+    small_points = blob((0, 0), n=50, spread=0.05, seed=3)
+    small = build_envelope([small_points], EnvelopeConfig(k=1))
+    value = conformance(small, big)
+    assert 0.4 < value < 0.7
+
+
+def test_translation_result_sign_convention():
+    """translation is applied to the TEST envelope; deltas report
+    test-minus-reference."""
+    result = TranslationResult(conformance_t=1.0, translation=(-3.0, 5.0))
+    # Test had to move -3 in delay => test sits +3 above reference.
+    assert result.delta_delay_ms == 3.0
+    assert result.delta_throughput_mbps == -5.0
+
+
+def test_summary_row_rounding():
+    envelope = pe((0, 0))
+    result = ConformanceResult(
+        conformance=0.123456,
+        conformance_t=0.23456,
+        conformance_legacy=0.3456,
+        delta_throughput_mbps=1.23456,
+        delta_delay_ms=-2.3456,
+        test_envelope=envelope,
+        reference_envelope=envelope,
+    )
+    row = result.summary_row()
+    assert row["conf"] == 0.123
+    assert row["delta_tput_mbps"] == 1.23
+    assert row["delta_delay_ms"] == -2.35
+    assert row["k_test"] == 1
+
+
+class TestLegacyTrim:
+    def test_zero_trim_keeps_all_points(self):
+        pts = blob((0, 0), n=40, seed=1)
+        assert conformance_legacy(pts, pts, trim_fraction=0.0) == pytest.approx(1.0)
+
+    def test_heavier_trim_never_crashes(self):
+        pts = blob((0, 0), n=40, seed=1)
+        other = blob((0.3, 0.3), n=40, seed=2)
+        for fraction in (0.05, 0.2, 0.45):
+            value = conformance_legacy(pts, other, trim_fraction=fraction)
+            assert 0.0 <= value <= 1.0
+
+    def test_tiny_clouds_degenerate_to_zero(self):
+        # Two points cannot form a hull: legacy conformance is 0.
+        assert conformance_legacy([[0, 0], [1, 1]], blob((0, 0))) == 0.0
+
+
+def test_conformance_with_single_point_cloud_envelope():
+    # An envelope whose cluster hull degenerated carries no region.
+    degenerate = build_envelope([np.array([[1.0, 1.0], [1.0, 1.0], [1.0, 1.0]])],
+                                EnvelopeConfig(k=1))
+    normal = pe((1, 1))
+    assert conformance(degenerate, normal) >= 0.0  # defined, not NaN

@@ -1,0 +1,111 @@
+"""Performance Envelope construction."""
+
+import numpy as np
+import pytest
+
+from repro.core.envelope import EnvelopeConfig, PerformanceEnvelope, build_envelope
+
+
+def blob(center, n=60, spread=0.5, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.normal(center, spread, size=(n, 2))
+
+
+def trials_around(centers, n_trials=3, seed=0):
+    """Each trial has one blob per center, slightly perturbed."""
+    trials = []
+    for t in range(n_trials):
+        parts = [
+            blob(np.asarray(c) + 0.05 * t, seed=seed + 10 * t + i)
+            for i, c in enumerate(centers)
+        ]
+        trials.append(np.vstack(parts))
+    return trials
+
+
+def test_single_cluster_envelope():
+    trials = trials_around([(10, 10)])
+    pe = build_envelope(trials, EnvelopeConfig())
+    assert pe.k == 1
+    assert len(pe.hulls) == 1
+    assert pe.retained_fraction() > 0.7
+
+
+def test_two_cluster_envelope_detected():
+    trials = trials_around([(0, 0), (30, 30)])
+    pe = build_envelope(trials, EnvelopeConfig())
+    assert pe.k == 2
+    assert len(pe.hulls) == 2
+
+
+def test_fixed_k_overrides_selection():
+    trials = trials_around([(0, 0), (30, 30)])
+    pe = build_envelope(trials, EnvelopeConfig(k=1))
+    assert pe.k == 1
+    assert pe.retention_curve is None
+
+
+def test_single_hull_mode():
+    trials = trials_around([(0, 0), (30, 30)])
+    pe = build_envelope(trials, EnvelopeConfig(single_hull=True))
+    assert pe.k == 1
+    # A single hull spans both blobs including the empty middle.
+    assert pe.contains(np.array([[15.0, 15.0]]))[0]
+
+
+def test_intersection_removes_nonrecurring_region():
+    # Trial 2 has an extra far-away blob that other trials lack; the
+    # per-cluster intersection must not grant that region to the PE.
+    base = trials_around([(0, 0)], n_trials=2)
+    outlier_trial = np.vstack([blob((0, 0), seed=99), blob((50, 50), n=5, seed=98)])
+    pe = build_envelope(base + [outlier_trial], EnvelopeConfig(k=1))
+    assert not pe.contains(np.array([[50.0, 50.0]]))[0]
+
+
+def test_outlier_removal_rate_is_modest():
+    # The paper reports the trial intersection removes ~5 % of points.
+    trials = trials_around([(10, 10)], n_trials=3)
+    pe = build_envelope(trials)
+    retained = pe.retained_fraction()
+    assert 0.6 < retained < 1.0
+
+
+def test_translated_envelope_moves_everything():
+    trials = trials_around([(0, 0)])
+    pe = build_envelope(trials, EnvelopeConfig(k=1))
+    moved = pe.translated((5.0, -2.0))
+    assert np.allclose(moved.all_points, pe.all_points + [5.0, -2.0])
+    assert moved.contains(np.array([[5.0, -2.0]]))[0]
+    assert pe.contains(np.array([[0.0, 0.0]]))[0]
+
+
+def test_contains_empty_input():
+    trials = trials_around([(0, 0)])
+    pe = build_envelope(trials, EnvelopeConfig(k=1))
+    assert pe.contains(np.empty((0, 2))).shape == (0,)
+
+
+def test_total_area_positive():
+    trials = trials_around([(0, 0)])
+    pe = build_envelope(trials, EnvelopeConfig(k=1))
+    assert pe.total_area() > 0
+
+
+def test_empty_trials_rejected():
+    with pytest.raises(ValueError):
+        build_envelope([])
+    with pytest.raises(ValueError):
+        build_envelope([np.empty((0, 2))])
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        EnvelopeConfig(k=0).validate()
+    with pytest.raises(ValueError):
+        EnvelopeConfig(k_max=0).validate()
+
+
+def test_single_trial_envelope_is_its_hulls():
+    trial = blob((5, 5), n=80)
+    pe = build_envelope([trial], EnvelopeConfig(k=1))
+    assert pe.retained_fraction() == pytest.approx(1.0)

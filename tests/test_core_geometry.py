@@ -1,0 +1,172 @@
+"""Convex geometry: hulls, clipping, areas, membership."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.geometry import (
+    convex_hull,
+    convex_intersection,
+    intersect_polygons,
+    point_in_convex_polygon,
+    points_in_convex_polygon,
+    polygon_area,
+    polygon_centroid,
+    translate_polygon,
+)
+
+SQUARE = np.array([[0, 0], [2, 0], [2, 2], [0, 2]], dtype=float)
+
+
+class TestConvexHull:
+    def test_square_with_interior_points(self):
+        pts = np.vstack([SQUARE, [[1, 1], [0.5, 0.5]]])
+        hull = convex_hull(pts)
+        assert len(hull) == 4
+        assert polygon_area(hull) == pytest.approx(4.0)
+
+    def test_collinear_points_are_degenerate(self):
+        pts = [[0, 0], [1, 1], [2, 2], [3, 3]]
+        assert len(convex_hull(pts)) == 0
+
+    def test_fewer_than_three_points(self):
+        assert len(convex_hull([[0, 0]])) == 0
+        assert len(convex_hull([[0, 0], [1, 1]])) == 0
+        assert len(convex_hull([])) == 0
+
+    def test_duplicates_collapse(self):
+        pts = [[0, 0], [0, 0], [1, 0], [1, 0], [0, 1]]
+        hull = convex_hull(pts)
+        assert len(hull) == 3
+
+    points_strategy = st.lists(
+        st.tuples(st.floats(-100, 100), st.floats(-100, 100)),
+        min_size=3,
+        max_size=40,
+    )
+
+    @given(points_strategy)
+    @settings(max_examples=80, deadline=None)
+    def test_hull_contains_all_points(self, pts):
+        arr = np.array(pts, dtype=float)
+        hull = convex_hull(arr)
+        if len(hull) == 0:
+            return  # degenerate input
+        mask = points_in_convex_polygon(arr, hull)
+        assert mask.all()
+
+    @given(points_strategy)
+    @settings(max_examples=80, deadline=None)
+    def test_hull_is_convex(self, pts):
+        hull = convex_hull(np.array(pts, dtype=float))
+        n = len(hull)
+        if n < 3:
+            return
+        for i in range(n):
+            o, a, b = hull[i], hull[(i + 1) % n], hull[(i + 2) % n]
+            crossv = (a[0] - o[0]) * (b[1] - o[1]) - (a[1] - o[1]) * (b[0] - o[0])
+            assert crossv > -1e-6
+
+
+class TestArea:
+    def test_square(self):
+        assert polygon_area(SQUARE) == pytest.approx(4.0)
+
+    def test_triangle(self):
+        assert polygon_area([[0, 0], [4, 0], [0, 3]]) == pytest.approx(6.0)
+
+    def test_orientation_independent(self):
+        assert polygon_area(SQUARE[::-1]) == pytest.approx(4.0)
+
+    def test_degenerate_is_zero(self):
+        assert polygon_area([[0, 0], [1, 1]]) == 0.0
+
+
+class TestCentroid:
+    def test_square_centroid(self):
+        centroid = polygon_centroid(SQUARE)
+        assert centroid == pytest.approx([1.0, 1.0])
+
+    def test_degenerate_returns_none(self):
+        assert polygon_centroid([[0, 0], [1, 1]]) is None
+
+
+class TestIntersection:
+    def test_overlapping_squares(self):
+        other = SQUARE + 1.0
+        inter = convex_intersection(SQUARE, other)
+        assert polygon_area(inter) == pytest.approx(1.0)
+
+    def test_disjoint_squares(self):
+        other = SQUARE + 10.0
+        assert len(convex_intersection(SQUARE, other)) == 0
+
+    def test_contained_square(self):
+        inner = SQUARE * 0.25 + 0.5
+        inter = convex_intersection(SQUARE, inner)
+        assert polygon_area(inter) == pytest.approx(polygon_area(inner))
+
+    def test_identity(self):
+        inter = convex_intersection(SQUARE, SQUARE)
+        assert polygon_area(inter) == pytest.approx(4.0)
+
+    def test_many_polygon_intersection(self):
+        polys = [SQUARE, SQUARE + 0.5, SQUARE + 1.0]
+        inter = intersect_polygons(polys)
+        assert polygon_area(inter) == pytest.approx(1.0)
+
+    def test_empty_list(self):
+        assert len(intersect_polygons([])) == 0
+
+    hull_points = st.lists(
+        st.tuples(st.floats(-50, 50), st.floats(-50, 50)), min_size=3, max_size=15
+    )
+
+    @given(hull_points, hull_points)
+    @settings(max_examples=60, deadline=None)
+    def test_intersection_area_bounded(self, pts_a, pts_b):
+        a = convex_hull(np.array(pts_a))
+        b = convex_hull(np.array(pts_b))
+        if len(a) < 3 or len(b) < 3:
+            return
+        inter = convex_intersection(a, b)
+        area = polygon_area(inter)
+        assert area <= polygon_area(a) + 1e-6
+        assert area <= polygon_area(b) + 1e-6
+
+    @given(hull_points, hull_points)
+    @settings(max_examples=60, deadline=None)
+    def test_intersection_commutative_area(self, pts_a, pts_b):
+        a = convex_hull(np.array(pts_a))
+        b = convex_hull(np.array(pts_b))
+        if len(a) < 3 or len(b) < 3:
+            return
+        ab = polygon_area(convex_intersection(a, b))
+        ba = polygon_area(convex_intersection(b, a))
+        assert ab == pytest.approx(ba, abs=1e-6 * max(ab, 1))
+
+
+class TestMembership:
+    def test_inside_outside_boundary(self):
+        assert point_in_convex_polygon([1, 1], SQUARE)
+        assert point_in_convex_polygon([0, 0], SQUARE)  # vertex
+        assert point_in_convex_polygon([1, 0], SQUARE)  # edge
+        assert not point_in_convex_polygon([3, 1], SQUARE)
+        assert not point_in_convex_polygon([-0.1, 1], SQUARE)
+
+    def test_vectorized_matches_scalar(self):
+        pts = np.array([[1, 1], [3, 3], [0, 0], [2.1, 1], [1.9, 1]])
+        mask = points_in_convex_polygon(pts, SQUARE)
+        expected = [point_in_convex_polygon(p, SQUARE) for p in pts]
+        assert mask.tolist() == expected
+
+    def test_degenerate_polygon_contains_nothing(self):
+        assert not point_in_convex_polygon([0, 0], np.empty((0, 2)))
+        mask = points_in_convex_polygon(np.array([[0.0, 0.0]]), np.empty((0, 2)))
+        assert not mask.any()
+
+
+def test_translate_polygon():
+    moved = translate_polygon(SQUARE, [5, -1])
+    assert moved[0] == pytest.approx([5, -1])
+    assert polygon_area(moved) == pytest.approx(4.0)

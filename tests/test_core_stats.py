@@ -1,0 +1,87 @@
+"""Bootstrap confidence intervals and fairness index."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.stats import (
+    BootstrapResult,
+    bootstrap_conformance,
+    bootstrap_metric,
+    jains_fairness_index,
+)
+
+
+def blob(center, n=40, seed=0):
+    return np.random.default_rng(seed).normal(center, 0.5, size=(n, 2))
+
+
+class TestBootstrapMetric:
+    def test_constant_metric_has_zero_width(self):
+        result = bootstrap_metric(lambda idx: 0.7, n_trials=5)
+        assert result.estimate == 0.7
+        assert result.width == 0.0
+
+    def test_interval_contains_estimate_for_smooth_metric(self):
+        values = [0.5, 0.6, 0.7, 0.8, 0.9]
+
+        def metric(indices):
+            return float(np.mean([values[i] for i in indices]))
+
+        result = bootstrap_metric(metric, n_trials=5, resamples=300, seed=1)
+        assert result.low <= result.estimate <= result.high
+        assert 0 < result.width < 0.4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_metric(lambda i: 0.0, n_trials=0)
+        with pytest.raises(ValueError):
+            bootstrap_metric(lambda i: 0.0, n_trials=3, confidence=1.5)
+
+    def test_deterministic_per_seed(self):
+        def metric(indices):
+            return float(np.mean(indices))
+
+        a = bootstrap_metric(metric, n_trials=4, seed=3)
+        b = bootstrap_metric(metric, n_trials=4, seed=3)
+        assert (a.low, a.high) == (b.low, b.high)
+
+
+class TestBootstrapConformance:
+    def test_identical_distributions_high_estimate(self):
+        test = [blob((10, 10), seed=i) for i in range(3)]
+        ref = [blob((10, 10), seed=10 + i) for i in range(3)]
+        result = bootstrap_conformance(test, ref, resamples=30)
+        assert result.estimate > 0.5
+        assert 0 <= result.low <= result.high <= 1
+
+    def test_disjoint_distributions_zero(self):
+        test = [blob((0, 0), seed=i) for i in range(3)]
+        ref = [blob((50, 50), seed=10 + i) for i in range(3)]
+        result = bootstrap_conformance(test, ref, resamples=20)
+        assert result.estimate == 0.0
+        assert result.high == 0.0
+
+    def test_str_rendering(self):
+        result = BootstrapResult(0.5, 0.4, 0.6, 100)
+        assert "[0.40, 0.60]" in str(result)
+
+
+class TestJainsIndex:
+    def test_perfect_fairness(self):
+        assert jains_fairness_index([5, 5, 5]) == pytest.approx(1.0)
+
+    def test_total_unfairness_approaches_1_over_n(self):
+        assert jains_fairness_index([10, 0, 0, 0]) == pytest.approx(0.25)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            jains_fairness_index([])
+        with pytest.raises(ValueError):
+            jains_fairness_index([-1, 2])
+
+    @given(st.lists(st.floats(0.01, 100), min_size=1, max_size=10))
+    @settings(max_examples=50, deadline=None)
+    def test_bounds(self, values):
+        index = jains_fairness_index(values)
+        assert 1 / len(values) - 1e-9 <= index <= 1 + 1e-9

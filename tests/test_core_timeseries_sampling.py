@@ -1,0 +1,98 @@
+"""Offline time-series computation and PE sampling."""
+
+import numpy as np
+import pytest
+
+from repro.core.sampling import SamplingConfig, sample_points
+from repro.core.timeseries import compute_time_series
+from repro.netsim.trace import FlowTrace
+
+
+def uniform_trace(rate_pps=100, duration=10.0, owd=0.03, payload=1000):
+    """A constant-rate delivery trace."""
+    trace = FlowTrace(0)
+    dt = 1.0 / rate_pps
+    t = 0.0
+    seq = 0
+    while t < duration:
+        trace.on_delivery(t + owd, t, seq, payload, False)
+        seq += 1
+        t += dt
+    return trace
+
+
+def test_constant_rate_throughput():
+    trace = uniform_trace(rate_pps=100, payload=1000)
+    series = compute_time_series(trace, window_s=1.0, reverse_delay_s=0.01)
+    # 100 pkt/s * 1000 B = 0.8 Mbps.
+    assert np.allclose(series.throughput_mbps, 0.8, rtol=0.05)
+
+
+def test_delay_is_owd_plus_reverse():
+    trace = uniform_trace(owd=0.03)
+    series = compute_time_series(trace, window_s=1.0, reverse_delay_s=0.01)
+    assert np.allclose(series.delay_ms, 40.0, atol=0.5)
+
+
+def test_empty_trace():
+    series = compute_time_series(FlowTrace(0), window_s=1.0, reverse_delay_s=0.01)
+    assert len(series) == 0
+
+
+def test_silent_window_inherits_delay_and_zero_throughput():
+    trace = FlowTrace(0)
+    for i in range(10):
+        trace.on_delivery(i * 0.01, i * 0.01 - 0.02, i, 1000, False)
+    # gap from 0.1 to 3.0, then more records
+    for i in range(10):
+        t = 3.0 + i * 0.01
+        trace.on_delivery(t, t - 0.05, 100 + i, 1000, False)
+    series = compute_time_series(trace, window_s=0.5, reverse_delay_s=0.01)
+    # A middle window has zero throughput but carries the last delay.
+    assert (series.throughput_mbps == 0).any()
+    silent = series.delay_ms[series.throughput_mbps == 0]
+    assert np.allclose(silent, 30.0, atol=1.0)
+
+
+def test_truncation_drops_both_ends():
+    trace = uniform_trace(duration=10.0)
+    series = compute_time_series(trace, window_s=0.5, reverse_delay_s=0.01)
+    truncated = series.truncated(0.10)
+    assert len(truncated) == len(series) - 2 * int(len(series) * 0.10)
+    assert truncated.times[0] > series.times[0]
+
+
+def test_truncation_validation():
+    trace = uniform_trace(duration=5.0)
+    series = compute_time_series(trace, window_s=0.5, reverse_delay_s=0.01)
+    with pytest.raises(ValueError):
+        series.truncated(0.6)
+
+
+def test_invalid_window():
+    with pytest.raises(ValueError):
+        compute_time_series(uniform_trace(), window_s=0, reverse_delay_s=0.01)
+
+
+def test_points_shape_and_axes():
+    trace = uniform_trace(duration=10.0, owd=0.03)
+    points = sample_points(trace, base_rtt_s=0.02)
+    assert points.shape[1] == 2
+    # Axis 0 = delay (ms), axis 1 = throughput (Mbps).
+    assert np.allclose(points[:, 0], 40.0, atol=1.0)
+    assert np.allclose(points[:, 1], 0.8, rtol=0.1)
+
+
+def test_sampling_period_in_rtts():
+    trace = uniform_trace(duration=20.0)
+    fine = sample_points(trace, base_rtt_s=0.02, config=SamplingConfig(sample_rtts=10))
+    coarse = sample_points(trace, base_rtt_s=0.02, config=SamplingConfig(sample_rtts=50))
+    assert len(fine) > len(coarse) * 3
+
+
+def test_sampling_validation():
+    trace = uniform_trace()
+    with pytest.raises(ValueError):
+        sample_points(trace, base_rtt_s=0)
+    with pytest.raises(ValueError):
+        sample_points(trace, base_rtt_s=0.02, config=SamplingConfig(sample_rtts=0))

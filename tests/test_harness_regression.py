@@ -1,0 +1,59 @@
+"""Kernel-milestone regression harness (§6 "Keeping up with the kernel")."""
+
+import pytest
+
+from repro.harness.config import ExperimentConfig, NetworkCondition
+from repro.harness.regression import (
+    MILESTONES,
+    KernelMilestone,
+    RegressionRow,
+    flipped_verdicts,
+    regression_matrix,
+)
+
+CONDITION = NetworkCondition(bandwidth_mbps=10, rtt_ms=20, buffer_bdp=1)
+QUICK = ExperimentConfig(duration_s=10.0, trials=2)
+
+
+def test_builtin_milestones():
+    names = [m.name for m in MILESTONES]
+    assert "5.13-stock" in names
+    pre = next(m for m in MILESTONES if m.name == "pre-hystart")
+    assert pre.variant_for("cubic") == "nohystart"
+    assert pre.variant_for("bbr") == "default"
+
+
+def test_regression_row_verdicts():
+    row = RegressionRow("x", "cubic", {"a": 0.8, "b": 0.3})
+    assert row.verdicts() == {"a": True, "b": False}
+    assert row.verdict_flips
+    stable = RegressionRow("y", "cubic", {"a": 0.8, "b": 0.9})
+    assert not stable.verdict_flips
+    assert flipped_verdicts([row, stable]) == [row]
+
+
+def test_regression_matrix_runs(fresh_cache):
+    rows = regression_matrix(
+        milestones=MILESTONES,
+        implementations=[("quicgo", "cubic"), ("xquic", "cubic")],
+        condition=CONDITION,
+        config=QUICK,
+        cache=fresh_cache,
+    )
+    assert len(rows) == 2
+    for row in rows:
+        assert set(row.conformance) == {"5.13-stock", "pre-hystart"}
+        for value in row.conformance.values():
+            assert 0 <= value <= 1
+
+
+def test_custom_milestone_variant_routing(fresh_cache):
+    milestone = KernelMilestone("only-nohystart", {"cubic": "nohystart"})
+    rows = regression_matrix(
+        milestones=[milestone],
+        implementations=[("xquic", "cubic")],
+        condition=CONDITION,
+        config=QUICK,
+        cache=fresh_cache,
+    )
+    assert "only-nohystart" in rows[0].conformance

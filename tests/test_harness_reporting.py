@@ -1,0 +1,58 @@
+"""Text reporting helpers."""
+
+import numpy as np
+
+from repro.harness import reporting
+
+
+def test_format_table_alignment():
+    out = reporting.format_table(
+        ["name", "value"],
+        [["alpha", 1.5], ["b", 22.25]],
+        title="T",
+    )
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert "name" in lines[1] and "value" in lines[1]
+    assert set(lines[2]) <= {"-", " "}
+    assert "1.50" in out and "22.25" in out
+
+
+def test_format_table_empty_rows():
+    out = reporting.format_table(["a", "b"], [])
+    assert "a" in out
+
+
+def test_format_heatmap_shading_and_nan():
+    values = np.array([[0.0, 1.0], [np.nan, 0.5]])
+    out = reporting.format_heatmap(["r1", "r2"], ["c1", "c2"], values)
+    assert "1.00█" in out
+    assert "." in out.splitlines()[2]
+
+
+def test_format_conformance_bars_sorted_and_flagged():
+    items = {("a", "cubic"): 0.9, ("b", "cubic"): 0.2}
+    out = reporting.format_conformance_bars(items, title="Fig6")
+    lines = out.splitlines()
+    assert lines[0] == "Fig6"
+    # Ascending order: the low-conformance one first, flagged.
+    assert "b/cubic" in lines[1] and "low conformance" in lines[1]
+    assert "a/cubic" in lines[2] and "low conformance" not in lines[2]
+
+
+def test_to_csv():
+    out = reporting.to_csv(["x", "y"], [[1, 2], [3, 4]])
+    assert out.splitlines()[0] == "x,y"
+    assert out.splitlines()[2] == "3,4"
+
+
+def test_envelope_ascii_plot():
+    points = np.array([[1.0, 1.0], [2.0, 5.0], [3.0, 2.0]])
+    hulls = [np.array([[1.0, 1.0], [2.0, 5.0], [3.0, 2.0]])]
+    out = reporting.format_envelope_ascii(hulls, points, width=20, height=8, title="pe")
+    assert out.splitlines()[0] == "pe"
+    assert "o" in out and "." in out or "o" in out
+
+
+def test_envelope_ascii_empty():
+    assert "empty" in reporting.format_envelope_ascii([], np.empty((0, 2)))

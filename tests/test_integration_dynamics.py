@@ -1,0 +1,111 @@
+"""End-to-end dynamics: the qualitative facts the paper's results rest on.
+
+These are short scaled-down runs (10 Mbps, 15-30 s) asserting directions,
+not magnitudes; the benchmark suite regenerates the paper-scale numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.harness.config import NetworkCondition
+from repro.harness.runner import Impl, run_pair
+
+SHALLOW = NetworkCondition(bandwidth_mbps=10, rtt_ms=20, buffer_bdp=1)
+DEEP = NetworkCondition(bandwidth_mbps=10, rtt_ms=20, buffer_bdp=5)
+
+
+def mean_shares(a, b, condition, duration=20.0, seeds=(1, 2, 3)):
+    shares = []
+    for seed in seeds:
+        result = run_pair(a, b, condition, duration, seed=seed)
+        t1, t2 = result.throughputs_mbps
+        shares.append(t1 / (t1 + t2))
+    return float(np.mean(shares))
+
+
+def test_link_fully_utilized():
+    result = run_pair(Impl("linux", "cubic"), Impl("linux", "cubic"), SHALLOW, 15.0, seed=1)
+    assert sum(result.throughputs_mbps) == pytest.approx(10.0, rel=0.1)
+
+
+def test_kernel_cubic_self_fairness():
+    share = mean_shares(Impl("linux", "cubic"), Impl("linux", "cubic"), SHALLOW)
+    assert 0.35 < share < 0.65
+
+
+def test_kernel_reno_self_fairness():
+    share = mean_shares(Impl("linux", "reno"), Impl("linux", "reno"), SHALLOW)
+    assert 0.35 < share < 0.65
+
+
+def test_bbr_beats_cubic_in_shallow_buffer():
+    """§4.4: BBR wins shallow buffers (loss-agnostic vs backing-off)."""
+    share = mean_shares(Impl("linux", "bbr"), Impl("linux", "cubic"), SHALLOW, duration=30.0)
+    assert share > 0.6
+
+
+def test_cubic_beats_bbr_in_deep_buffer():
+    """§4.4: CUBIC, the buffer-filler, wins deep buffers."""
+    share = mean_shares(Impl("linux", "cubic"), Impl("linux", "bbr"), DEEP, duration=40.0)
+    assert share > 0.55
+
+
+def test_quiche_rollback_makes_cubic_aggressive():
+    """§5/Fig 15: RFC8312bis rollback -> quiche outruns kernel CUBIC."""
+    share = mean_shares(Impl("quiche", "cubic"), Impl("linux", "cubic"), SHALLOW)
+    assert share > 0.6
+
+
+def test_quiche_fix_restores_fairness():
+    share = mean_shares(Impl("quiche", "cubic", "fixed"), Impl("linux", "cubic"), SHALLOW)
+    assert 0.3 < share < 0.7
+
+
+def test_mvfst_bbr_pacing_overshoot():
+    """Table 3: mvfst BBR's 1.25x pacing starves the kernel BBR flow."""
+    share = mean_shares(Impl("mvfst", "bbr"), Impl("linux", "bbr"), SHALLOW, duration=40.0)
+    assert share > 0.65
+
+
+def test_mvfst_bbr_fix_restores_balance():
+    share = mean_shares(
+        Impl("mvfst", "bbr", "fixed"), Impl("linux", "bbr"), SHALLOW, duration=40.0
+    )
+    assert share < 0.75
+
+
+def test_xquic_bbr_gain_overshoot_and_fix():
+    aggressive = mean_shares(Impl("xquic", "bbr"), Impl("linux", "bbr"), SHALLOW, duration=40.0)
+    fixed = mean_shares(
+        Impl("xquic", "bbr", "fixed"), Impl("linux", "bbr"), SHALLOW, duration=40.0
+    )
+    assert aggressive > fixed
+
+
+def test_neqo_stack_artifact_weakens_cubic():
+    """Table 3: neqo CUBIC sits well below its fair share (Δ-tput < 0)."""
+    share = mean_shares(Impl("neqo", "cubic"), Impl("linux", "cubic"), SHALLOW)
+    assert share < 0.4
+
+
+def test_xquic_reno_stack_artifact():
+    share = mean_shares(Impl("xquic", "reno"), Impl("linux", "reno"), SHALLOW)
+    assert share < 0.45
+
+
+def test_conformant_stack_shares_fairly():
+    share = mean_shares(Impl("quicgo", "cubic"), Impl("linux", "cubic"), SHALLOW)
+    assert 0.35 < share < 0.65
+
+
+def test_retransmissions_present_in_droptail():
+    result = run_pair(Impl("linux", "cubic"), Impl("linux", "cubic"), SHALLOW, 15.0, seed=1)
+    assert result.first.retransmissions + result.second.retransmissions > 0
+
+
+def test_deep_buffer_raises_delay():
+    shallow = run_pair(Impl("linux", "cubic"), Impl("linux", "cubic"), SHALLOW, 15.0, seed=1)
+    deep = run_pair(Impl("linux", "cubic"), Impl("linux", "cubic"), DEEP, 15.0, seed=1)
+    d_shallow = shallow.first.trace.mean_one_way_delay()
+    d_deep = deep.first.trace.mean_one_way_delay()
+    assert d_deep > d_shallow * 1.5

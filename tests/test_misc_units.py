@@ -1,0 +1,84 @@
+"""Odds and ends: base-class defaults, builders, WAN configuration."""
+
+import pytest
+
+from repro.cca.base import CongestionController, min_cwnd
+from repro.cca.cubic import Cubic
+from repro.cca.reno import NewReno
+from repro.harness.internet import internet_condition, wan_cross_traffic, wan_netem
+from repro.netsim.packet import ACK_SIZE, AckInfo, Packet
+from repro.stacks._common import bbr_variant, cubic_variant, reno_variant, variants
+
+
+class TestBaseController:
+    def test_min_cwnd_is_two_packets(self):
+        assert min_cwnd(1448) == 2 * 1448
+
+    def test_default_hooks_are_noops(self):
+        reno = NewReno(1000)
+        # None of these may raise or change the window.
+        before = reno.cwnd
+        reno.on_spurious_congestion(1.0)
+        reno.on_recovery_exit(1.0)
+        reno.on_packet_sent(1.0, 0, 1000)
+        assert reno.cwnd == before
+
+    def test_default_pacing_is_none(self):
+        assert NewReno(1000).pacing_rate() is None
+        assert Cubic(1000).pacing_rate() is None
+
+    def test_invalid_mss(self):
+        with pytest.raises(ValueError):
+            NewReno(0)
+
+
+class TestPacketModel:
+    def test_packet_defaults(self):
+        p = Packet(flow_id=1, seq=5, size=1200, sent_time=2.5)
+        assert not p.is_ack
+        assert p.retx_of is None
+        assert p.enqueue_time == 2.5
+
+    def test_ack_info_fields(self):
+        info = AckInfo(
+            cum_ack=10,
+            largest_acked=12,
+            newly_acked=[11, 12],
+            largest_sent_time=1.0,
+            ack_delay=0.002,
+            delivered_bytes=12000,
+        )
+        assert info.largest_acked == 12
+        assert ACK_SIZE > 0
+
+
+class TestVariantBuilders:
+    def test_cubic_variant_carries_config(self):
+        v = cubic_variant("x", note="n", enable_hystart=False)
+        cca = v.factory(1448)
+        assert not cca.config.enable_hystart
+        assert v.note == "n"
+
+    def test_reno_variant(self):
+        v = reno_variant(beta=0.6)
+        assert v.factory(1000).beta == 0.6
+
+    def test_bbr_variant(self):
+        v = bbr_variant(cwnd_gain=3.0)
+        assert v.factory(1000).config.cwnd_gain == 3.0
+
+    def test_variants_mapping(self):
+        mapping = variants(cubic_variant("a"), cubic_variant("b"))
+        assert set(mapping) == {"a", "b"}
+
+
+class TestWanProfile:
+    def test_internet_condition_matches_paper(self):
+        cond = internet_condition()
+        assert cond.bandwidth_mbps == 100.0  # locally limited to 100 Mbps
+        assert cond.rtt_ms == 50.0  # RTT pinned at 50 ms with Mahimahi
+
+    def test_wan_impairments_validate(self):
+        wan_netem().validate()
+        wan_cross_traffic().validate()
+        assert 0 < wan_netem().loss_rate < 0.01

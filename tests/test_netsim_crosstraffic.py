@@ -1,0 +1,64 @@
+"""On/off cross-traffic source."""
+
+import random
+
+import pytest
+
+from repro.netsim.crosstraffic import CrossTrafficConfig, OnOffSource
+from repro.netsim.engine import EventLoop
+
+
+def run_source(config, duration=20.0, seed=1):
+    loop = EventLoop()
+    sent = []
+    source = OnOffSource(loop, 9, transmit=sent.append, config=config, rng=random.Random(seed))
+    source.start()
+    loop.run(duration)
+    source.stop()
+    return sent
+
+
+def test_rate_during_on_periods():
+    # Always on: mean_off tiny, mean_on huge.
+    config = CrossTrafficConfig(rate_bps=2e6, mean_on_s=100.0, mean_off_s=1e-3, packet_size=1000)
+    sent = run_source(config, duration=10.0)
+    sent_bits = sum(p.size for p in sent) * 8
+    assert sent_bits == pytest.approx(2e6 * 10, rel=0.15)
+
+
+def test_duty_cycle_reduces_volume():
+    bursty = CrossTrafficConfig(rate_bps=2e6, mean_on_s=0.5, mean_off_s=2.0)
+    steady = CrossTrafficConfig(rate_bps=2e6, mean_on_s=100.0, mean_off_s=1e-3)
+    v_bursty = sum(p.size for p in run_source(bursty, 30.0))
+    v_steady = sum(p.size for p in run_source(steady, 30.0))
+    assert v_bursty < 0.6 * v_steady
+
+
+def test_deterministic_per_seed():
+    config = CrossTrafficConfig()
+    a = run_source(config, 10.0, seed=5)
+    b = run_source(config, 10.0, seed=5)
+    assert len(a) == len(b)
+
+
+def test_stop_halts_traffic():
+    loop = EventLoop()
+    sent = []
+    config = CrossTrafficConfig(rate_bps=1e6, mean_on_s=100.0, mean_off_s=1e-3)
+    source = OnOffSource(loop, 9, transmit=sent.append, config=config, rng=random.Random(1))
+    source.start()
+    loop.run(5.0)
+    source.stop()
+    count = len(sent)
+    loop.run(10.0)
+    assert len(sent) == count
+
+
+def test_config_validation():
+    for bad in (
+        CrossTrafficConfig(rate_bps=0),
+        CrossTrafficConfig(mean_on_s=0),
+        CrossTrafficConfig(packet_size=0),
+    ):
+        with pytest.raises(ValueError):
+            bad.validate()

@@ -1,0 +1,140 @@
+"""Event-loop semantics: ordering, determinism, timers."""
+
+import pytest
+
+from repro.netsim.engine import EventLoop, SimulationError, Timer
+
+
+def test_events_run_in_time_order():
+    loop = EventLoop()
+    order = []
+    loop.schedule(0.3, lambda: order.append("c"))
+    loop.schedule(0.1, lambda: order.append("a"))
+    loop.schedule(0.2, lambda: order.append("b"))
+    loop.run(1.0)
+    assert order == ["a", "b", "c"]
+
+
+def test_ties_break_by_scheduling_order():
+    loop = EventLoop()
+    order = []
+    loop.schedule(0.1, lambda: order.append(1))
+    loop.schedule(0.1, lambda: order.append(2))
+    loop.schedule(0.1, lambda: order.append(3))
+    loop.run(1.0)
+    assert order == [1, 2, 3]
+
+
+def test_clock_advances_to_run_horizon_even_when_idle():
+    loop = EventLoop()
+    loop.run(5.0)
+    assert loop.now == 5.0
+
+
+def test_run_does_not_execute_events_past_horizon():
+    loop = EventLoop()
+    fired = []
+    loop.schedule(2.0, lambda: fired.append(True))
+    loop.run(1.0)
+    assert not fired
+    loop.run(3.0)
+    assert fired
+
+
+def test_events_scheduled_during_run_are_processed():
+    loop = EventLoop()
+    order = []
+
+    def first():
+        order.append("first")
+        loop.schedule(0.1, lambda: order.append("second"))
+
+    loop.schedule(0.1, first)
+    loop.run(1.0)
+    assert order == ["first", "second"]
+
+
+def test_cancelled_event_is_skipped():
+    loop = EventLoop()
+    fired = []
+    event = loop.schedule(0.1, lambda: fired.append(True))
+    event.cancel()
+    loop.run(1.0)
+    assert not fired
+
+
+def test_scheduling_in_the_past_raises():
+    loop = EventLoop()
+    loop.schedule(0.5, lambda: None)
+    loop.run(1.0)
+    with pytest.raises(SimulationError):
+        loop.schedule_at(0.5, lambda: None)
+    with pytest.raises(SimulationError):
+        loop.schedule(-0.1, lambda: None)
+
+
+def test_now_tracks_current_event_time():
+    loop = EventLoop()
+    seen = []
+    loop.schedule(0.25, lambda: seen.append(loop.now))
+    loop.run(1.0)
+    assert seen == [0.25]
+
+
+def test_run_until_idle_drains_all_events():
+    loop = EventLoop()
+    count = []
+
+    def recur(n):
+        count.append(n)
+        if n < 5:
+            loop.schedule(0.1, lambda: recur(n + 1))
+
+    loop.schedule(0.1, lambda: recur(1))
+    loop.run_until_idle()
+    assert count == [1, 2, 3, 4, 5]
+
+
+class TestTimer:
+    def test_timer_fires_once(self):
+        loop = EventLoop()
+        fired = []
+        timer = Timer(loop, lambda: fired.append(loop.now))
+        timer.arm(0.5)
+        loop.run(2.0)
+        assert fired == [0.5]
+
+    def test_rearming_cancels_previous_deadline(self):
+        loop = EventLoop()
+        fired = []
+        timer = Timer(loop, lambda: fired.append(loop.now))
+        timer.arm(0.5)
+        timer.arm(1.0)
+        loop.run(2.0)
+        assert fired == [1.0]
+
+    def test_cancel_prevents_firing(self):
+        loop = EventLoop()
+        fired = []
+        timer = Timer(loop, lambda: fired.append(True))
+        timer.arm(0.5)
+        timer.cancel()
+        loop.run(2.0)
+        assert not fired
+
+    def test_armed_and_deadline(self):
+        loop = EventLoop()
+        timer = Timer(loop, lambda: None)
+        assert not timer.armed
+        assert timer.deadline is None
+        timer.arm(0.5)
+        assert timer.armed
+        assert timer.deadline == pytest.approx(0.5)
+        loop.run(1.0)
+        assert not timer.armed
+
+    def test_arm_without_callback_raises(self):
+        loop = EventLoop()
+        timer = Timer(loop)
+        with pytest.raises(SimulationError):
+            timer.arm(0.1)

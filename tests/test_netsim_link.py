@@ -1,0 +1,112 @@
+"""Bottleneck link and drop-tail queue behaviour."""
+
+import pytest
+
+from repro.netsim.engine import EventLoop
+from repro.netsim.link import BottleneckLink, DropTailQueue, bdp_bytes
+from repro.netsim.packet import Packet
+
+
+def make_packet(seq=0, size=1000, flow=0):
+    return Packet(flow_id=flow, seq=seq, size=size, sent_time=0.0)
+
+
+def test_bdp_bytes():
+    # 20 Mbps * 10 ms = 25 000 bytes.
+    assert bdp_bytes(20e6, 0.010) == 25000
+
+
+class TestDropTailQueue:
+    def test_accepts_until_capacity(self):
+        q = DropTailQueue(2500)
+        assert q.offer(make_packet(size=1000))
+        assert q.offer(make_packet(size=1000))
+        assert not q.offer(make_packet(size=1000))
+        assert q.dropped == 1
+        assert q.bytes_queued == 2000
+
+    def test_fifo_order(self):
+        q = DropTailQueue(10000)
+        for seq in range(3):
+            q.offer(make_packet(seq=seq))
+        assert [q.pop().seq for _ in range(3)] == [0, 1, 2]
+        assert q.pop() is None
+
+    def test_pop_frees_capacity(self):
+        q = DropTailQueue(1000)
+        q.offer(make_packet(size=1000))
+        assert not q.offer(make_packet(size=1000))
+        q.pop()
+        assert q.offer(make_packet(size=1000))
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            DropTailQueue(0)
+
+
+class TestBottleneckLink:
+    def _link(self, loop, rate=8e6, capacity=10000):
+        delivered = []
+        dropped = []
+        link = BottleneckLink(
+            loop,
+            rate,
+            DropTailQueue(capacity),
+            on_deliver=delivered.append,
+            on_drop=dropped.append,
+        )
+        return link, delivered, dropped
+
+    def test_serialization_delay(self):
+        loop = EventLoop()
+        link, delivered, _ = self._link(loop, rate=8e6)
+        link.send(make_packet(size=1000))  # 1000 B at 1 MB/s = 1 ms
+        loop.run(0.0009)
+        assert not delivered
+        loop.run(0.0011)
+        assert len(delivered) == 1
+
+    def test_back_to_back_packets_serialize_sequentially(self):
+        loop = EventLoop()
+        link, delivered, _ = self._link(loop, rate=8e6)
+        link.send(make_packet(seq=0, size=1000))
+        link.send(make_packet(seq=1, size=1000))
+        loop.run(0.0015)
+        assert [p.seq for p in delivered] == [0]
+        loop.run(0.0025)
+        assert [p.seq for p in delivered] == [0, 1]
+
+    def test_tail_drop_when_queue_full(self):
+        loop = EventLoop()
+        link, delivered, dropped = self._link(loop, rate=8e6, capacity=1000)
+        link.send(make_packet(seq=0, size=1000))  # in service
+        link.send(make_packet(seq=1, size=1000))  # queued
+        link.send(make_packet(seq=2, size=1000))  # dropped
+        loop.run(0.01)
+        assert [p.seq for p in delivered] == [0, 1]
+        assert [p.seq for p in dropped] == [2]
+
+    def test_utilization_under_saturation(self):
+        loop = EventLoop()
+        link, delivered, _ = self._link(loop, rate=8e6, capacity=50000)
+        # Offer 2 packets per serialization slot for 100 ms: the link must
+        # stay fully utilized (1000 B/ms) and drop the excess.
+        for i in range(200):
+            at = i * 0.0005
+            loop.schedule_at(at, lambda s=i: link.send(make_packet(seq=s, size=1000)))
+        loop.run(0.1)
+        assert sum(p.size for p in delivered) == pytest.approx(100000, rel=0.05)
+
+    def test_queueing_delay_estimate(self):
+        loop = EventLoop()
+        link, _, _ = self._link(loop, rate=8e6, capacity=100000)
+        link.send(make_packet(size=1000))
+        link.send(make_packet(size=1000))
+        link.send(make_packet(size=1000))
+        # Two packets queued behind the one in service: 2 ms drain time.
+        assert link.queueing_delay_estimate() == pytest.approx(0.002)
+
+    def test_invalid_bandwidth(self):
+        loop = EventLoop()
+        with pytest.raises(ValueError):
+            BottleneckLink(loop, 0, DropTailQueue(1000), on_deliver=lambda p: None)

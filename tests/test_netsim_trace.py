@@ -1,0 +1,77 @@
+"""FlowTrace recording, summaries and round-tripping."""
+
+import numpy as np
+import pytest
+
+from repro.netsim.trace import FlowTrace, merge_traces
+
+
+def build_trace():
+    trace = FlowTrace(0, label="test")
+    for i in range(10):
+        trace.on_delivery(
+            arrival_time=1.0 + i * 0.1,
+            sent_time=1.0 + i * 0.1 - 0.02,
+            seq=i,
+            payload_bytes=1000,
+            is_retransmission=(i == 5),
+        )
+    trace.on_loss(1.55, 99)
+    trace.on_cwnd(1.0, 14480)
+    trace.on_rate(1.0, 2e6)
+    return trace
+
+
+def test_totals_and_duration():
+    trace = build_trace()
+    assert trace.total_bytes == 10000
+    assert trace.duration == pytest.approx(0.9)
+
+
+def test_mean_throughput():
+    trace = build_trace()
+    assert trace.mean_throughput_bps() == pytest.approx(10000 * 8 / 0.9)
+
+
+def test_mean_one_way_delay():
+    trace = build_trace()
+    assert trace.mean_one_way_delay() == pytest.approx(0.02)
+
+
+def test_empty_trace_is_safe():
+    trace = FlowTrace(1)
+    assert trace.total_bytes == 0
+    assert trace.duration == 0.0
+    assert trace.mean_throughput_bps() == 0.0
+    assert trace.mean_one_way_delay() == 0.0
+
+
+def test_json_round_trip(tmp_path):
+    trace = build_trace()
+    path = tmp_path / "trace.json"
+    trace.to_json(str(path))
+    loaded = FlowTrace.from_json(str(path))
+    assert loaded.flow_id == trace.flow_id
+    assert loaded.label == trace.label
+    assert loaded.records == trace.records
+    assert loaded.losses == trace.losses
+    assert loaded.cwnd_samples == [(1.0, 14480)]
+
+
+def test_csv_export(tmp_path):
+    trace = build_trace()
+    path = tmp_path / "trace.csv"
+    trace.to_csv(str(path))
+    lines = path.read_text().strip().splitlines()
+    assert len(lines) == 11  # header + 10 records
+    assert lines[0].startswith("arrival_time")
+
+
+def test_merge_traces_sorted_by_arrival():
+    a = FlowTrace(0)
+    b = FlowTrace(1)
+    a.on_delivery(2.0, 1.9, 0, 100, False)
+    b.on_delivery(1.0, 0.9, 0, 100, False)
+    a.on_delivery(3.0, 2.9, 1, 100, False)
+    merged = merge_traces([a, b])
+    assert [r.arrival_time for r in merged] == [1.0, 2.0, 3.0]

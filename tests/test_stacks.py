@@ -1,0 +1,126 @@
+"""Stack registry and profiles against the paper's Table 1/2."""
+
+import pytest
+
+from repro.cca.bbr import BBR
+from repro.cca.cubic import Cubic
+from repro.cca.reno import NewReno
+from repro.stacks import UnknownCCAError, UnknownVariantError, registry
+
+
+def test_eleven_quic_stacks_plus_reference():
+    assert len(registry.quic_stacks()) == 11
+    assert registry.reference().name == "linux"
+    assert registry.reference().is_reference
+
+
+def test_twenty_two_quic_implementations():
+    # Table 1: 11 CUBIC + 4 BBR + 7 Reno QUIC implementations.
+    impls = list(registry.iter_implementations())
+    assert len(impls) == 22
+    by_cca = {}
+    for profile, cca in impls:
+        by_cca.setdefault(cca, []).append(profile.name)
+    assert len(by_cca["cubic"]) == 11
+    assert sorted(by_cca["bbr"]) == ["chromium", "lsquic", "mvfst", "xquic"]
+    assert len(by_cca["reno"]) == 7
+
+
+def test_table1_cca_availability():
+    expectations = {
+        "mvfst": {"cubic", "bbr", "reno"},
+        "chromium": {"cubic", "bbr"},
+        "msquic": {"cubic"},
+        "quiche": {"cubic", "reno"},
+        "lsquic": {"cubic", "bbr"},
+        "quicgo": {"cubic", "reno"},
+        "quicly": {"cubic", "reno"},
+        "quinn": {"cubic", "reno"},
+        "s2n-quic": {"cubic"},
+        "xquic": {"cubic", "bbr", "reno"},
+        "neqo": {"cubic", "reno"},
+    }
+    for name, ccas in expectations.items():
+        assert set(registry.get_stack(name).available_ccas()) == ccas
+
+
+def test_known_stacks_table2():
+    assert len(registry.KNOWN_STACKS) == 22
+    studied = [k.stack for k in registry.KNOWN_STACKS if k.studied]
+    assert len(studied) == 11
+    # Every studied stack has a profile.
+    for name in studied:
+        assert name in registry.STACKS
+
+
+def test_documented_deviations_are_wired():
+    # mvfst BBR paces 25 % hot.
+    cca = registry.get_stack("mvfst").variant("bbr").factory(1448)
+    assert isinstance(cca, BBR)
+    assert cca.config.pacing_rate_scale == pytest.approx(1.25)
+    # xquic BBR cwnd gain 2.5; the fix restores 2.0.
+    assert registry.get_stack("xquic").variant("bbr").factory(1448).config.cwnd_gain == 2.5
+    assert (
+        registry.get_stack("xquic").variant("bbr", "fixed").factory(1448).config.cwnd_gain
+        == 2.0
+    )
+    # chromium CUBIC emulates 2 connections.
+    assert (
+        registry.get_stack("chromium").variant("cubic").factory(1448).config.emulated_connections
+        == 2
+    )
+    # quiche CUBIC rolls back spurious congestion events.
+    assert registry.get_stack("quiche").variant("cubic").factory(1448).config.spurious_loss_rollback
+    assert not registry.get_stack("quiche").variant("cubic", "fixed").factory(
+        1448
+    ).config.spurious_loss_rollback
+    # xquic CUBIC lacks HyStart.
+    assert not registry.get_stack("xquic").variant("cubic").factory(1448).config.enable_hystart
+    # Kernel reference has a no-HyStart variant for the Table 4 check.
+    assert not registry.get_stack("linux").variant("cubic", "nohystart").factory(
+        1448
+    ).config.enable_hystart
+
+
+def test_stack_level_artifacts():
+    assert registry.get_stack("xquic").sender_config.cwnd_scale < 1.0
+    assert registry.get_stack("neqo").sender_config.cwnd_scale < 1.0
+    assert registry.get_stack("quiche").sender_config.spurious_undo is not None
+    # The artifact is exempted for xquic BBR (pacing-driven).
+    spec = registry.get_stack("xquic").flow_spec("bbr")
+    assert spec.sender_config.cwnd_scale == 1.0
+    spec = registry.get_stack("xquic").flow_spec("reno")
+    assert spec.sender_config.cwnd_scale < 1.0
+
+
+def test_flow_spec_construction():
+    spec = registry.get_stack("quicgo").flow_spec("cubic", label="x")
+    assert spec.label == "x"
+    cca = spec.cca_factory()
+    assert isinstance(cca, Cubic)
+    assert cca.mss == spec.sender_config.mss
+    spec2 = registry.get_stack("quicgo").flow_spec("reno")
+    assert isinstance(spec2.cca_factory(), NewReno)
+    assert "quicgo" in spec2.label
+
+
+def test_flow_specs_are_independent():
+    a = registry.get_stack("quicgo").flow_spec("cubic")
+    b = registry.get_stack("quicgo").flow_spec("cubic")
+    assert a.sender_config is not b.sender_config
+    assert a.cca_factory() is not b.cca_factory()
+
+
+def test_unknown_lookups_raise():
+    with pytest.raises(KeyError):
+        registry.get_stack("nosuch")
+    with pytest.raises(UnknownCCAError):
+        registry.get_stack("msquic").variant("bbr")
+    with pytest.raises(UnknownVariantError):
+        registry.get_stack("msquic").variant("cubic", "nosuch")
+
+
+def test_loss_styles():
+    assert registry.get_stack("linux").sender_config.loss_style == "tcp"
+    for profile in registry.quic_stacks():
+        assert profile.sender_config.loss_style == "quic"

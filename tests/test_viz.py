@@ -1,0 +1,129 @@
+"""SVG canvas and chart builders."""
+
+import xml.etree.ElementTree as ET
+
+import numpy as np
+import pytest
+
+from repro.core.envelope import EnvelopeConfig, build_envelope
+from repro.viz.charts import envelope_figure, heatmap_figure, line_figure
+from repro.viz.svg import PALETTE, SvgCanvas, diverging_color, sequential_color
+
+
+def parse(svg_text):
+    return ET.fromstring(svg_text)
+
+
+class TestCanvas:
+    def test_document_is_valid_xml(self):
+        canvas = SvgCanvas(200, 100)
+        canvas.rect(10, 10, 50, 20, fill="red")
+        canvas.line(0, 0, 200, 100)
+        canvas.circle(100, 50, 5)
+        canvas.polygon([(0, 0), (10, 0), (5, 8)], fill="blue")
+        canvas.polyline([(0, 0), (10, 10), (20, 5)])
+        canvas.text(5, 95, "hello <world> & more")
+        root = parse(canvas.to_svg())
+        assert root.tag.endswith("svg")
+        assert len(root) >= 6
+
+    def test_text_is_escaped(self):
+        canvas = SvgCanvas(100, 100)
+        canvas.text(0, 0, "<&>")
+        assert "&lt;&amp;&gt;" in canvas.to_svg()
+
+    def test_degenerate_shapes_ignored(self):
+        canvas = SvgCanvas(100, 100)
+        before = canvas.to_svg()
+        canvas.polygon([(0, 0), (1, 1)])
+        canvas.polyline([(0, 0)])
+        assert canvas.to_svg() == before
+
+    def test_save(self, tmp_path):
+        canvas = SvgCanvas(50, 50)
+        path = tmp_path / "x.svg"
+        canvas.save(str(path))
+        assert path.read_text().startswith("<svg")
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            SvgCanvas(0, 100)
+
+
+class TestColors:
+    def test_sequential_endpoints(self):
+        assert sequential_color(0.0) == "#ffffff"
+        assert sequential_color(1.0) == "#0b3d91"
+        assert sequential_color(2.0) == sequential_color(1.0)  # clamped
+
+    def test_diverging_neutral_is_white(self):
+        assert diverging_color(0.5) == "#ffffff"
+        assert diverging_color(0.0) != diverging_color(1.0)
+
+    def test_palette_is_hex(self):
+        for color in PALETTE:
+            assert color.startswith("#") and len(color) == 7
+
+
+def toy_envelope(center, seed=0):
+    rng = np.random.default_rng(seed)
+    pts = rng.normal(center, 1.0, size=(60, 2))
+    return build_envelope([pts], EnvelopeConfig(k=1))
+
+
+class TestEnvelopeFigure:
+    def test_two_envelope_overlay(self):
+        canvas = envelope_figure(
+            {"test": toy_envelope((30, 10)), "reference": toy_envelope((32, 11), seed=2)},
+            title="Fig",
+        )
+        svg = canvas.to_svg()
+        parse(svg)
+        assert "polygon" in svg  # hull outlines present
+        assert svg.count("circle") > 100  # scatter + legend markers
+        assert "reference" in svg
+
+    def test_requires_envelopes(self):
+        with pytest.raises(ValueError):
+            envelope_figure({})
+
+
+class TestHeatmapFigure:
+    def test_values_annotated_and_nan_blank(self):
+        values = np.array([[0.1, np.nan], [0.9, 0.5]])
+        canvas = heatmap_figure(["r1", "r2"], ["a", "b"], values, title="H")
+        svg = canvas.to_svg()
+        parse(svg)
+        assert "0.10" in svg and "0.90" in svg
+        assert "#f4f4f4" in svg  # the NaN cell
+
+    def test_diverging_mode(self):
+        values = np.array([[0.0, 1.0]])
+        svg = heatmap_figure(["r"], ["a", "b"], values, diverging=True).to_svg()
+        parse(svg)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            heatmap_figure(["r"], ["a"], np.zeros((2, 2)))
+
+
+class TestLineFigure:
+    def test_multi_series(self):
+        canvas = line_figure(
+            {
+                "Conf": [(1, 0.5), (2, 0.9), (3, 0.4)],
+                "Conf-T": [(1, 0.6), (2, 0.95), (3, 0.7)],
+            },
+            title="Fig 5",
+            x_label="cwnd gain",
+            y_label="conformance",
+            y_range=(0, 1),
+        )
+        svg = canvas.to_svg()
+        parse(svg)
+        assert "polyline" in svg
+        assert "Conf-T" in svg
+
+    def test_requires_series(self):
+        with pytest.raises(ValueError):
+            line_figure({})
