@@ -1,5 +1,9 @@
 # Convenience targets for the reproduction workflow.
 
+# Worker processes for the experiment executor (repro.exec); results are
+# numerically identical at any job count.  e.g. `make bench JOBS=4`.
+JOBS ?= 1
+
 .PHONY: install test bench quick-bench clean-cache loc
 
 install:
@@ -11,10 +15,10 @@ test:
 # Regenerates every table/figure; first run simulates (~25 min), later
 # runs replay from benchmarks/.quicbench_cache.
 bench:
-	pytest benchmarks/ --benchmark-only
+	QUICBENCH_JOBS=$(JOBS) pytest benchmarks/ --benchmark-only
 
 quick-bench:
-	pytest benchmarks/test_bench_stack_tables.py benchmarks/test_bench_fig01_clustered_pe.py --benchmark-only
+	QUICBENCH_JOBS=$(JOBS) pytest benchmarks/test_bench_stack_tables.py benchmarks/test_bench_fig01_clustered_pe.py --benchmark-only
 
 clean-cache:
 	rm -rf benchmarks/.quicbench_cache benchmarks/output

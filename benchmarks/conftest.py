@@ -32,10 +32,34 @@ SHARE_CONFIG = ExperimentConfig(duration_s=40.0, trials=2)
 
 _SHARED_CACHE = ResultCache(directory=CACHE_DIR)
 
+#: Worker-process count for the experiment executor; ``JOBS=N make bench``
+#: (or ``QUICBENCH_JOBS=N pytest benchmarks/``) parallelises the trial
+#: campaigns.  Results are numerically identical at any job count.
+_JOBS = int(os.environ.get("QUICBENCH_JOBS", "1") or "1")
+
 
 @pytest.fixture(scope="session")
 def bench_cache():
     return _SHARED_CACHE
+
+
+@pytest.fixture(scope="session")
+def bench_executor():
+    """A shared :class:`repro.exec.Executor`, or ``None`` when serial.
+
+    ``None`` keeps the historical single-process code path byte-for-byte
+    when ``QUICBENCH_JOBS`` is unset or 1.
+    """
+    if _JOBS <= 1:
+        return None
+    from repro.exec import Executor
+
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return Executor(
+        jobs=_JOBS,
+        cache=_SHARED_CACHE,
+        manifest_path=OUTPUT_DIR / "run_manifest.jsonl",
+    )
 
 
 @pytest.fixture(scope="session")

@@ -24,11 +24,15 @@ def _render(measurements, title):
     return bars + "\n\n" + heat, values
 
 
-def test_fig6b_shallow_buffer(benchmark, bench_config, bench_cache, save_artifact):
+def test_fig6b_shallow_buffer(
+    benchmark, bench_config, bench_cache, bench_executor, save_artifact
+):
     condition = scenarios.shallow_buffer()
 
     def run():
-        return conformance_heatmap(condition, bench_config, cache=bench_cache)
+        return conformance_heatmap(
+            condition, bench_config, cache=bench_cache, executor=bench_executor
+        )
 
     measurements = run_once(benchmark, run)
     text, values = _render(
@@ -44,13 +48,23 @@ def test_fig6b_shallow_buffer(benchmark, bench_config, bench_cache, save_artifac
         assert values[key] < 0.5, f"{key} should be low-conformance"
 
 
-def test_fig6a_deep_buffer(benchmark, bench_config, bench_cache, save_artifact):
+def test_fig6a_deep_buffer(
+    benchmark, bench_config, bench_cache, bench_executor, save_artifact
+):
     shallow = conformance_heatmap(
-        scenarios.shallow_buffer(), bench_config, cache=bench_cache
+        scenarios.shallow_buffer(),
+        bench_config,
+        cache=bench_cache,
+        executor=bench_executor,
     )
 
     def run():
-        return conformance_heatmap(scenarios.deep_buffer(), bench_config, cache=bench_cache)
+        return conformance_heatmap(
+            scenarios.deep_buffer(),
+            bench_config,
+            cache=bench_cache,
+            executor=bench_executor,
+        )
 
     deep = run_once(benchmark, run)
     text, deep_values = _render(

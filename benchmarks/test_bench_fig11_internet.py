@@ -20,13 +20,21 @@ from repro.harness.internet import internet_heatmap
 WAN_CONFIG = ExperimentConfig(duration_s=40.0, trials=2)
 
 
-def test_fig11_internet_conformance(benchmark, bench_config, bench_cache, save_artifact):
+def test_fig11_internet_conformance(
+    benchmark, bench_config, bench_cache, bench_executor, save_artifact
+):
     def run():
-        return internet_heatmap(WAN_CONFIG, ccas=("cubic",), cache=bench_cache)
+        return internet_heatmap(
+            WAN_CONFIG, ccas=("cubic",), cache=bench_cache, executor=bench_executor
+        )
 
     wan = run_once(benchmark, run)
     testbed = conformance_heatmap(
-        scenarios.shallow_buffer(), bench_config, ccas=("cubic",), cache=bench_cache
+        scenarios.shallow_buffer(),
+        bench_config,
+        ccas=("cubic",),
+        cache=bench_cache,
+        executor=bench_executor,
     )
 
     rows = []

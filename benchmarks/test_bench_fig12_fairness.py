@@ -12,12 +12,20 @@ from repro.harness import reporting, scenarios
 from repro.harness.fairness import intra_cca_matrix
 
 
-def test_fig12_intra_cca_share_matrices(benchmark, share_config, bench_cache, save_artifact):
+def test_fig12_intra_cca_share_matrices(
+    benchmark, share_config, bench_cache, bench_executor, save_artifact
+):
     condition = scenarios.fairness_condition()  # 20 Mbps, 50 ms, 1 BDP
 
     def run():
         return {
-            cca: intra_cca_matrix(cca, condition, share_config, cache=bench_cache)
+            cca: intra_cca_matrix(
+                cca,
+                condition,
+                share_config,
+                cache=bench_cache,
+                executor=bench_executor,
+            )
             for cca in ("cubic", "reno", "bbr")
         }
 

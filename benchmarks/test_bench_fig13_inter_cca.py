@@ -19,7 +19,9 @@ BBR_STACKS = ["linux", "mvfst", "chromium", "lsquic", "xquic"]
 CUBIC_STACKS = ["linux", "chromium", "msquic", "quiche", "quicgo", "xquic"]
 
 
-def test_fig13_inter_cca_matrices(benchmark, share_config, bench_cache, save_artifact):
+def test_fig13_inter_cca_matrices(
+    benchmark, share_config, bench_cache, bench_executor, save_artifact
+):
     def run():
         out = {}
         for name, condition in (
@@ -34,6 +36,7 @@ def test_fig13_inter_cca_matrices(benchmark, share_config, bench_cache, save_art
                 row_stacks=BBR_STACKS,
                 col_stacks=CUBIC_STACKS,
                 cache=bench_cache,
+                executor=bench_executor,
             )
         return out
 

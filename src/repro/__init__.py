@@ -14,6 +14,8 @@ Layout
 ``repro.core``      Performance-Envelope analytics (the paper's metrics)
 ``repro.harness``   experiment orchestration, fairness, reporting
 ``repro.analysis``  fix verification, parameter sweeps, transitivity
+``repro.exec``      parallel experiment execution (worker pool, retries,
+                    timeouts, run telemetry; bit-identical to serial)
 
 Quick start
 -----------

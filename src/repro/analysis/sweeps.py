@@ -12,9 +12,12 @@ knob moves both axes, §3.3).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.exec import Executor
 
 from repro.cca.bbr import BBR, BBRConfig
 from repro.core.conformance import evaluate_conformance
@@ -46,14 +49,14 @@ class SweepPoint:
         }
 
 
-def _modified_bbr_trial(
+def sweep_cache_key(
     cwnd_gain: float,
     condition: NetworkCondition,
     config: ExperimentConfig,
     trial: int,
-    cache: ResultCache,
-) -> np.ndarray:
-    key = cache_key(
+) -> str:
+    """Cache key (and seed source) of one modified-BBR trial."""
+    return cache_key(
         kind="bbr_gain_sweep",
         gain=cwnd_gain,
         condition=(condition.bandwidth_mbps, condition.rtt_ms, condition.buffer_bdp),
@@ -61,6 +64,19 @@ def _modified_bbr_trial(
         trial=trial,
         seed=config.seed,
     )
+
+
+def compute_gain_trial(
+    cwnd_gain: float,
+    condition: NetworkCondition,
+    config: ExperimentConfig,
+    trial: int,
+    cache: Optional[ResultCache] = None,
+) -> np.ndarray:
+    """One modified-BBR trial, cached.  Module-level (picklable) so the
+    sweep can run through ``repro.exec`` with identical seeds/keys."""
+    cache = cache or DEFAULT_CACHE
+    key = sweep_cache_key(cwnd_gain, condition, config, trial)
 
     def compute() -> np.ndarray:
         linux = registry.reference()
@@ -89,18 +105,31 @@ def cwnd_gain_sweep(
     condition: Optional[NetworkCondition] = None,
     config: ExperimentConfig = ExperimentConfig(),
     cache: Optional[ResultCache] = None,
+    executor: Optional["Executor"] = None,
 ) -> List[SweepPoint]:
-    """Reproduce Fig. 5 over the given cwnd-gain values."""
+    """Reproduce Fig. 5 over the given cwnd-gain values.
+
+    With an ``executor`` every (gain, trial) simulation runs as one
+    parallel campaign first, then the points are evaluated from cache.
+    """
     condition = condition or scenarios.shallow_buffer()
+    if executor is not None:
+        from repro.exec.jobs import sweep_trial_jobs
+
+        executor.run(
+            sweep_trial_jobs(gains, condition, config),
+            campaign=f"sweep:cwnd-gain@{condition.describe()}",
+        )
+        cache = executor.cache
     cache = cache or DEFAULT_CACHE
     reference_trials = [
-        _modified_bbr_trial(2.0, condition, config, trial + 1000, cache)
+        compute_gain_trial(2.0, condition, config, trial + 1000, cache)
         for trial in range(config.trials)
     ]
     points: List[SweepPoint] = []
     for gain in gains:
         test_trials = [
-            _modified_bbr_trial(gain, condition, config, trial, cache)
+            compute_gain_trial(gain, condition, config, trial, cache)
             for trial in range(config.trials)
         ]
         result = evaluate_conformance(test_trials, reference_trials, config.envelope)

@@ -10,6 +10,11 @@ Subcommands mirror the paper's experiments:
 * ``quicbench intercca`` — a Fig. 13 CUBIC x BBR matrix.
 * ``quicbench fixes`` — Table 4 before/after fix verification.
 * ``quicbench sweep`` — the Fig. 5 cwnd-gain sweep.
+
+Campaign-style subcommands (heatmap, fairness, intercca, sweep, matrix)
+accept ``--jobs N`` to run their trials on N worker processes via
+``repro.exec`` (results are identical to serial), ``--progress`` for
+per-job progress lines, and ``--manifest PATH`` for a JSONL run log.
 """
 
 from __future__ import annotations
@@ -35,6 +40,47 @@ def _add_experiment_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--duration", type=float, default=None, help="seconds")
     parser.add_argument("--trials", type=int, default=None)
     parser.add_argument("--seed", type=int, default=None)
+
+
+def _add_exec_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the trial jobs (1 = serial; results "
+        "are identical either way)",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print per-job progress and an executor summary",
+    )
+    parser.add_argument(
+        "--manifest",
+        default=None,
+        help="append a JSONL run manifest (per-job status and timing) here",
+    )
+
+
+def _executor(args):
+    """Build a repro.exec Executor from CLI flags, or None for pure serial."""
+    jobs = getattr(args, "jobs", 1)
+    progress = getattr(args, "progress", False)
+    manifest = getattr(args, "manifest", None)
+    if jobs <= 1 and not progress and not manifest:
+        return None
+    from repro.exec import Executor, ProgressPrinter
+
+    return Executor(
+        jobs=jobs,
+        progress=ProgressPrinter() if progress else None,
+        manifest_path=manifest,
+    )
+
+
+def _report_executor(executor) -> None:
+    if executor is not None and getattr(executor, "telemetry", None) is not None:
+        print(executor.telemetry.summary())
 
 
 def _condition(args) -> NetworkCondition:
@@ -140,7 +186,8 @@ def cmd_conformance(args) -> int:
 def cmd_heatmap(args) -> int:
     """Fig 6-style conformance bars for every implementation."""
     condition = _condition(args)
-    measurements = conformance_heatmap(condition, _config(args))
+    executor = _executor(args)
+    measurements = conformance_heatmap(condition, _config(args), executor=executor)
     values = {key: m.conformance for key, m in measurements.items()}
     print(
         reporting.format_conformance_bars(
@@ -148,6 +195,7 @@ def cmd_heatmap(args) -> int:
             title=f"Conformance at {condition.describe()} (paper Fig. 6)",
         )
     )
+    _report_executor(executor)
     return 0
 
 
@@ -156,7 +204,9 @@ def cmd_fairness(args) -> int:
     condition = NetworkCondition(
         bandwidth_mbps=args.bandwidth, rtt_ms=args.rtt, buffer_bdp=args.buffer
     )
-    matrix = intra_cca_matrix(args.cca, condition, _config(args))
+    executor = _executor(args)
+    matrix = intra_cca_matrix(args.cca, condition, _config(args), executor=executor)
+    _report_executor(executor)
     print(
         reporting.format_heatmap(
             matrix.rows,
@@ -177,7 +227,11 @@ def cmd_intercca(args) -> int:
     condition = NetworkCondition(
         bandwidth_mbps=args.bandwidth, rtt_ms=args.rtt, buffer_bdp=args.buffer
     )
-    matrix = inter_cca_matrix("bbr", "cubic", condition, _config(args))
+    executor = _executor(args)
+    matrix = inter_cca_matrix(
+        "bbr", "cubic", condition, _config(args), executor=executor
+    )
+    _report_executor(executor)
     print(
         reporting.format_heatmap(
             matrix.rows,
@@ -347,12 +401,15 @@ def cmd_matrix(args) -> int:
     if args.stack:
         profile = registry.get_stack(args.stack)
         implementations = [(args.stack, cca) for cca in profile.available_ccas()]
+    executor = _executor(args)
     result = run_matrix(
         conditions=conditions,
         implementations=implementations,
         config=_config(args),
         progress=lambda msg: print(f"  running {msg}", flush=True),
+        executor=executor,
     )
+    _report_executor(executor)
     result.save_csv(args.out)
     print(f"wrote {len(result.measurements)} measurements to {args.out}")
     worst = result.worst_cells(3)
@@ -368,7 +425,9 @@ def cmd_sweep(args) -> int:
     """Fig 5 cwnd-gain sweep for modified kernel BBR."""
     from repro.analysis.sweeps import cwnd_gain_sweep
 
-    points = cwnd_gain_sweep(config=_config(args))
+    executor = _executor(args)
+    points = cwnd_gain_sweep(config=_config(args), executor=executor)
+    _report_executor(executor)
     rows = [list(p.row().values()) for p in points]
     print(
         reporting.format_table(
@@ -406,6 +465,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("heatmap", help="conformance of all implementations")
     _add_condition_args(p)
     _add_experiment_args(p)
+    _add_exec_args(p)
     p.set_defaults(fn=cmd_heatmap)
 
     p = sub.add_parser("fairness", help="intra-CCA bandwidth-share matrix")
@@ -413,12 +473,14 @@ def build_parser() -> argparse.ArgumentParser:
     _add_condition_args(p)
     p.set_defaults(bandwidth=20.0, rtt=50.0, buffer=1.0)
     _add_experiment_args(p)
+    _add_exec_args(p)
     p.set_defaults(fn=cmd_fairness)
 
     p = sub.add_parser("intercca", help="BBR vs CUBIC interaction matrix")
     _add_condition_args(p)
     p.set_defaults(bandwidth=20.0, rtt=50.0, buffer=1.0)
     _add_experiment_args(p)
+    _add_exec_args(p)
     p.set_defaults(fn=cmd_intercca)
 
     p = sub.add_parser("fixes", help="Table 4 fix verification")
@@ -429,6 +491,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("sweep", help="Fig. 5 cwnd-gain sweep")
     _add_condition_args(p)
     _add_experiment_args(p)
+    _add_exec_args(p)
     p.set_defaults(fn=cmd_sweep)
 
     p = sub.add_parser("rootcause", help="classify a stack's deviations")
@@ -466,6 +529,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", required=True)
     _add_condition_args(p)
     _add_experiment_args(p)
+    _add_exec_args(p)
     p.set_defaults(fn=cmd_matrix)
 
     return parser

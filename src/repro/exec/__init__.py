@@ -1,0 +1,53 @@
+"""repro.exec — parallel experiment-execution engine.
+
+The harness's measurements all reduce to independent 2-flow trials; this
+package turns those implicit loops into an explicit job layer: build
+:class:`Job`/:class:`TrialJob` specs (``repro.exec.jobs``), run them on
+an :class:`Executor` with N worker processes, per-job timeouts and
+bounded retries (``repro.exec.executor``), and collect per-job telemetry
+plus a JSONL run manifest (``repro.exec.telemetry``).
+
+Seeds and cache keys come from the same derivations as the serial
+harness, so parallel campaigns are bit-identical to serial ones — an
+executor only changes *where* and *when* trials run.
+
+Quick start::
+
+    from repro.exec import Executor
+    from repro.harness.conformance import conformance_heatmap
+
+    ex = Executor(jobs=4, manifest_path="runs.jsonl")
+    heatmap = conformance_heatmap(condition, config, executor=ex)
+    print(ex.telemetry.summary())
+"""
+
+from repro.exec.executor import ExecutionError, Executor
+from repro.exec.jobs import (
+    Job,
+    TrialJob,
+    measurement_trial_jobs,
+    pair_trial_jobs,
+    share_job,
+    sweep_trial_jobs,
+)
+from repro.exec.telemetry import (
+    CampaignTelemetry,
+    JobRecord,
+    ProgressPrinter,
+    RunManifest,
+)
+
+__all__ = [
+    "Executor",
+    "ExecutionError",
+    "Job",
+    "TrialJob",
+    "pair_trial_jobs",
+    "measurement_trial_jobs",
+    "share_job",
+    "sweep_trial_jobs",
+    "JobRecord",
+    "CampaignTelemetry",
+    "RunManifest",
+    "ProgressPrinter",
+]

@@ -1,0 +1,173 @@
+"""Run telemetry: per-job records, campaign aggregates, JSONL manifests.
+
+Every :meth:`repro.exec.Executor.run` call is one *campaign*.  The
+executor produces a :class:`JobRecord` per job (status, attempts,
+wall-clock, worker-side cache hits/misses); :class:`CampaignTelemetry`
+aggregates them across campaigns; :class:`RunManifest` appends the whole
+story — a ``campaign_start`` line, one line per job, a ``campaign_end``
+summary — to a JSONL file for offline inspection.  The optional
+:class:`ProgressPrinter` renders per-job progress lines for the CLI.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import IO, List, Optional, Union
+
+#: Job terminal states.  ``cached`` jobs were satisfied from the campaign
+#: cache without running; ``timeout``/``crashed``/``failed`` describe the
+#: *final* attempt of a job that exhausted its retries.
+STATUS_OK = "ok"
+STATUS_CACHED = "cached"
+STATUS_FAILED = "failed"
+STATUS_TIMEOUT = "timeout"
+STATUS_CRASHED = "crashed"
+
+
+@dataclass
+class JobRecord:
+    """Telemetry of one job across all its attempts."""
+
+    index: int
+    label: str = ""
+    key: str = ""
+    status: str = "pending"
+    attempts: int = 0
+    wall_s: float = 0.0
+    worker_hits: int = 0
+    worker_misses: int = 0
+    error: Optional[str] = None
+    retried: bool = False
+
+    def row(self) -> dict:
+        return asdict(self)
+
+
+@dataclass
+class CampaignTelemetry:
+    """Aggregate counters over every campaign an executor has run."""
+
+    campaigns: int = 0
+    jobs: int = 0
+    ok: int = 0
+    cached: int = 0
+    failed: int = 0
+    retries: int = 0
+    wall_s: float = 0.0
+    job_wall_s: float = 0.0
+    worker_hits: int = 0
+    worker_misses: int = 0
+    mode: str = ""
+
+    def absorb(self, records: List[JobRecord], wall_s: float, mode: str) -> None:
+        self.campaigns += 1
+        self.wall_s += wall_s
+        self.mode = mode
+        for record in records:
+            self.jobs += 1
+            self.job_wall_s += record.wall_s
+            self.worker_hits += record.worker_hits
+            self.worker_misses += record.worker_misses
+            self.retries += max(0, record.attempts - 1)
+            if record.status == STATUS_CACHED:
+                self.cached += 1
+            elif record.status == STATUS_OK:
+                self.ok += 1
+            else:
+                self.failed += 1
+
+    def summary(self) -> str:
+        parts = [
+            f"{self.jobs} jobs ({self.ok} run, {self.cached} cached"
+            + (f", {self.failed} failed" if self.failed else "")
+            + ")",
+            f"{self.wall_s:.1f}s wall / {self.job_wall_s:.1f}s cpu",
+        ]
+        if self.retries:
+            parts.append(f"{self.retries} retries")
+        if self.worker_hits or self.worker_misses:
+            parts.append(
+                f"worker cache {self.worker_hits} hits / "
+                f"{self.worker_misses} misses"
+            )
+        if self.mode:
+            parts.append(f"mode={self.mode}")
+        return "exec: " + ", ".join(parts)
+
+
+class RunManifest:
+    """Append-only JSONL journal of executor campaigns."""
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+
+    def _append(self, record: dict) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+    def campaign_start(self, campaign: str, jobs: int, workers: int, mode: str) -> None:
+        self._append(
+            {
+                "event": "campaign_start",
+                "campaign": campaign,
+                "jobs": jobs,
+                "workers": workers,
+                "mode": mode,
+                "time": time.time(),
+            }
+        )
+
+    def job(self, campaign: str, record: JobRecord) -> None:
+        self._append({"event": "job", "campaign": campaign, **record.row()})
+
+    def campaign_end(
+        self, campaign: str, records: List[JobRecord], wall_s: float, cache: dict
+    ) -> None:
+        statuses: dict = {}
+        for record in records:
+            statuses[record.status] = statuses.get(record.status, 0) + 1
+        self._append(
+            {
+                "event": "campaign_end",
+                "campaign": campaign,
+                "statuses": statuses,
+                "wall_s": round(wall_s, 4),
+                "cache": cache,
+                "time": time.time(),
+            }
+        )
+
+
+class ProgressPrinter:
+    """Minimal CLI progress renderer: one line per finished job."""
+
+    def __init__(self, stream: Optional[IO] = None):
+        self.stream = stream if stream is not None else sys.stderr
+
+    def __call__(self, record: JobRecord, done: int, total: int) -> None:
+        label = record.label or record.key or f"job {record.index}"
+        note = f" ({record.error})" if record.error else ""
+        print(
+            f"[{done}/{total}] {label}: {record.status} "
+            f"{record.wall_s:.2f}s{note}",
+            file=self.stream,
+            flush=True,
+        )
+
+
+__all__ = [
+    "JobRecord",
+    "CampaignTelemetry",
+    "RunManifest",
+    "ProgressPrinter",
+    "STATUS_OK",
+    "STATUS_CACHED",
+    "STATUS_FAILED",
+    "STATUS_TIMEOUT",
+    "STATUS_CRASHED",
+]

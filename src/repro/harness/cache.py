@@ -9,15 +9,24 @@ and optionally on disk as ``.npy`` files.
 Disk caching is keyed by a content hash of every parameter that affects
 the result plus a schema-version salt; bump :data:`CACHE_SCHEMA_VERSION`
 whenever simulator or sampling semantics change.
+
+The cache is safe to share between the worker processes of
+``repro.exec``: disk writes go through a per-process unique temp file
+followed by an atomic ``os.replace``, so concurrent writers of the same
+key cannot clobber each other mid-write.  The in-memory tier is bounded
+by an LRU entry cap so full-matrix campaigns cannot grow memory without
+bound; hit/miss/eviction counters feed the executor's telemetry.
 """
 
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
 import os
+from collections import OrderedDict
 from pathlib import Path
-from typing import Callable, Dict, Optional
+from typing import Callable, Optional, Union
 
 import numpy as np
 
@@ -26,6 +35,18 @@ CACHE_SCHEMA_VERSION = 6
 
 #: Environment variable overriding the disk-cache directory.
 CACHE_DIR_ENV = "QUICBENCH_CACHE_DIR"
+
+#: Environment variable overriding the in-memory LRU entry cap.
+CACHE_MAX_ENTRIES_ENV = "QUICBENCH_CACHE_MAX_ENTRIES"
+
+#: Default in-memory entry cap: a full 22-impl x 16-condition campaign at
+#: the paper protocol is ~2k distinct trials, so 4096 keeps every working
+#: set of interest while bounding degenerate sweeps.
+DEFAULT_MAX_ENTRIES = 4096
+
+#: Monotonic per-process counter making temp-file names unique even when
+#: one process writes the same key twice (e.g. retry after a crash).
+_TMP_COUNTER = itertools.count()
 
 
 def cache_key(**params) -> str:
@@ -38,53 +59,129 @@ def cache_key(**params) -> str:
     return hashlib.sha256(payload.encode()).hexdigest()[:32]
 
 
-class ResultCache:
-    """Two-level (memory, disk) cache of numpy arrays."""
+def _tmp_path(path: Path) -> Path:
+    """A collision-free sibling temp name for an atomic write of ``path``.
 
-    def __init__(self, directory: Optional[Path] = None, enabled: bool = True):
+    The name embeds the PID and a per-process counter: two worker
+    processes (or two attempts in one process) computing the same key
+    write distinct temp files before the atomic ``os.replace``.
+    """
+    return path.with_name(f"{path.stem}.{os.getpid()}-{next(_TMP_COUNTER)}.tmp.npy")
+
+
+class ResultCache:
+    """Two-level (memory, disk) cache of numpy arrays.
+
+    The memory tier is a bounded LRU (``max_entries``); the disk tier is
+    unbounded and shared between processes.  ``QUICBENCH_CACHE_DIR`` is
+    resolved *lazily* at lookup time, so setting the environment variable
+    after ``import repro`` takes effect on the process-wide default cache.
+    """
+
+    def __init__(
+        self,
+        directory: Optional[Union[str, Path]] = None,
+        enabled: bool = True,
+        max_entries: Optional[int] = None,
+    ):
         self.enabled = enabled
-        env_dir = os.environ.get(CACHE_DIR_ENV)
-        if directory is None and env_dir:
-            directory = Path(env_dir)
-        self.directory = directory
-        self._memory: Dict[str, np.ndarray] = {}
+        self._explicit_directory = Path(directory) if directory is not None else None
+        if max_entries is None:
+            max_entries = int(
+                os.environ.get(CACHE_MAX_ENTRIES_ENV, DEFAULT_MAX_ENTRIES)
+            )
+        #: LRU entry cap for the memory tier; ``0`` or negative = unbounded.
+        self.max_entries = max_entries
+        self._memory: "OrderedDict[str, np.ndarray]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
-    def get_or_compute(
-        self, key: str, compute: Callable[[], np.ndarray]
-    ) -> np.ndarray:
+    @property
+    def directory(self) -> Optional[Path]:
+        """Disk-cache directory; env var resolved at access time."""
+        if self._explicit_directory is not None:
+            return self._explicit_directory
+        env_dir = os.environ.get(CACHE_DIR_ENV)
+        return Path(env_dir) if env_dir else None
+
+    @directory.setter
+    def directory(self, value: Optional[Union[str, Path]]) -> None:
+        self._explicit_directory = Path(value) if value is not None else None
+
+    def get(self, key: str) -> Optional[np.ndarray]:
+        """Look ``key`` up in memory then disk; counts one hit or miss."""
         if not self.enabled:
-            return compute()
+            return None
         if key in self._memory:
+            self._memory.move_to_end(key)
             self.hits += 1
             return self._memory[key]
         path = self._path(key)
         if path is not None and path.exists():
             try:
                 value = np.load(path)
-                self._memory[key] = value
-                self.hits += 1
-                return value
             except (OSError, ValueError):
                 path.unlink(missing_ok=True)
+            else:
+                self._remember(key, value)
+                self.hits += 1
+                return value
         self.misses += 1
-        value = np.asarray(compute())
-        self._memory[key] = value
-        if path is not None:
+        return None
+
+    def put(self, key: str, value: np.ndarray) -> np.ndarray:
+        """Insert a computed value into both tiers (atomic disk write)."""
+        value = np.asarray(value)
+        if not self.enabled:
+            return value
+        self._remember(key, value)
+        path = self._path(key)
+        if path is not None and not path.exists():
             path.parent.mkdir(parents=True, exist_ok=True)
-            tmp = path.with_suffix(".tmp.npy")
-            np.save(tmp, value)
-            os.replace(tmp, path)
+            tmp = _tmp_path(path)
+            try:
+                np.save(tmp, value)
+                os.replace(tmp, path)
+            finally:
+                tmp.unlink(missing_ok=True)
         return value
 
+    def get_or_compute(
+        self, key: str, compute: Callable[[], np.ndarray]
+    ) -> np.ndarray:
+        if not self.enabled:
+            return compute()
+        value = self.get(key)
+        if value is not None:
+            return value
+        return self.put(key, np.asarray(compute()))
+
+    def _remember(self, key: str, value: np.ndarray) -> None:
+        self._memory[key] = value
+        self._memory.move_to_end(key)
+        if self.max_entries > 0:
+            while len(self._memory) > self.max_entries:
+                self._memory.popitem(last=False)
+                self.evictions += 1
+
     def _path(self, key: str) -> Optional[Path]:
-        if self.directory is None:
+        directory = self.directory
+        if directory is None:
             return None
-        return self.directory / f"{key}.npy"
+        return directory / f"{key}.npy"
 
     def clear_memory(self) -> None:
         self._memory.clear()
+
+    def counters(self) -> dict:
+        """Snapshot of the cache counters (for run telemetry)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "entries": len(self._memory),
+        }
 
 
 #: Process-wide default cache (memory-only unless QUICBENCH_CACHE_DIR set).

@@ -10,9 +10,12 @@ Conformance-T, Conf-old, Δ-throughput, Δ-delay).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.exec import Executor
 
 from repro.core.conformance import ConformanceResult, evaluate_conformance
 from repro.harness.cache import ResultCache
@@ -57,8 +60,23 @@ def gather_trials(
     cache: Optional[ResultCache] = None,
     cross_traffic: Optional[CrossTrafficConfig] = None,
     wan_netem: Optional[NetemConfig] = None,
+    executor: Optional["Executor"] = None,
 ) -> List[np.ndarray]:
-    """Sampled point clouds of the test flow, one per trial."""
+    """Sampled point clouds of the test flow, one per trial.
+
+    With an ``executor`` the trials are submitted as parallel jobs; the
+    seeds and cache keys are identical to the serial path, so the arrays
+    are bit-identical either way.
+    """
+    if executor is not None:
+        from repro.exec.jobs import pair_trial_jobs
+
+        return executor.run(
+            pair_trial_jobs(
+                test, competitor, condition, config, cross_traffic, wan_netem
+            ),
+            campaign=f"trials:{test}-vs-{competitor}@{condition.describe()}",
+        )
     return [
         sampled_points(
             test,
@@ -81,6 +99,7 @@ def reference_trials(
     cache: Optional[ResultCache] = None,
     cross_traffic: Optional[CrossTrafficConfig] = None,
     wan_netem: Optional[NetemConfig] = None,
+    executor: Optional["Executor"] = None,
 ) -> List[np.ndarray]:
     """Kernel-vs-kernel trials defining the reference PE for a CCA."""
     ref = reference_impl(cca)
@@ -92,6 +111,7 @@ def reference_trials(
         cache=cache,
         cross_traffic=cross_traffic,
         wan_netem=wan_netem,
+        executor=executor,
     )
 
 
@@ -103,13 +123,29 @@ def measure_conformance(
     variant: str = "default",
     cache: Optional[ResultCache] = None,
     reference_variant: str = "default",
+    executor: Optional["Executor"] = None,
 ) -> ConformanceMeasurement:
     """Full conformance measurement for one implementation.
 
     ``reference_variant`` selects a non-default kernel reference, e.g.
     ``"nohystart"`` for the paper's Table 4 comparison of xquic CUBIC
     against TCP CUBIC with HyStart disabled.
+
+    With an ``executor``, the test and reference trials of the cell are
+    first run as one parallel campaign (into the executor's cache); the
+    evaluation then replays them from cache, so the measurement is
+    numerically identical to the serial one.
     """
+    if executor is not None:
+        from repro.exec.jobs import measurement_trial_jobs
+
+        executor.run(
+            measurement_trial_jobs(
+                stack, cca, condition, config, variant, reference_variant
+            ),
+            campaign=f"conformance:{stack}/{cca}@{condition.describe()}",
+        )
+        cache = executor.cache
     impl = Impl(stack, cca, variant)
     reference = Impl(registry.REFERENCE_STACK, cca, reference_variant)
     test_trials = gather_trials(impl, reference, condition, config, cache=cache)
@@ -124,20 +160,36 @@ def conformance_heatmap(
     ccas: Sequence[str] = registry.CCAS,
     stacks: Optional[Sequence[str]] = None,
     cache: Optional[ResultCache] = None,
+    executor: Optional["Executor"] = None,
 ) -> Dict[Tuple[str, str], ConformanceMeasurement]:
-    """One full heatmap (paper Fig. 6): every stack x CCA at a condition."""
+    """One full heatmap (paper Fig. 6): every stack x CCA at a condition.
+
+    With an ``executor``, every trial of every cell is submitted as one
+    parallel campaign up front; the cells are then evaluated from the
+    shared cache.  Results are numerically identical to the serial run.
+    """
     measurements: Dict[Tuple[str, str], ConformanceMeasurement] = {}
     stack_names = (
         list(stacks)
         if stacks is not None
         else [p.name for p in registry.quic_stacks()]
     )
-    for stack_name in stack_names:
-        profile = registry.get_stack(stack_name)
-        for cca in ccas:
-            if not profile.supports(cca):
-                continue
-            measurements[(stack_name, cca)] = measure_conformance(
-                stack_name, cca, condition, config, cache=cache
-            )
+    cells = [
+        (stack_name, cca)
+        for stack_name in stack_names
+        for cca in ccas
+        if registry.get_stack(stack_name).supports(cca)
+    ]
+    if executor is not None:
+        from repro.exec.jobs import measurement_trial_jobs
+
+        jobs = []
+        for stack_name, cca in cells:
+            jobs += measurement_trial_jobs(stack_name, cca, condition, config)
+        executor.run(jobs, campaign=f"heatmap:{condition.describe()}")
+        cache = executor.cache
+    for stack_name, cca in cells:
+        measurements[(stack_name, cca)] = measure_conformance(
+            stack_name, cca, condition, config, cache=cache
+        )
     return measurements

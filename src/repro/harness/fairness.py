@@ -11,9 +11,12 @@ implementations subverting the expected CUBIC/BBR dynamics.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.exec import Executor
 
 from repro.harness.cache import DEFAULT_CACHE, ResultCache, cache_key
 from repro.harness.config import ExperimentConfig, NetworkCondition
@@ -21,16 +24,14 @@ from repro.harness.runner import Impl, run_pair, _trial_seed
 from repro.stacks import registry
 
 
-def bandwidth_share(
+def share_cache_key(
     first: Impl,
     second: Impl,
     condition: NetworkCondition,
-    config: ExperimentConfig = ExperimentConfig(),
-    cache: Optional[ResultCache] = None,
-) -> float:
-    """Mean share T_first / (T_first + T_second) over the trials."""
-    cache = cache or DEFAULT_CACHE
-    key = cache_key(
+    config: ExperimentConfig,
+) -> str:
+    """Cache key of one pair's per-trial share array."""
+    return cache_key(
         kind="bandwidth_share",
         first=first.key(),
         second=second.key(),
@@ -43,6 +44,23 @@ def bandwidth_share(
         trials=config.trials,
         seed=config.seed,
     )
+
+
+def compute_share_array(
+    first: Impl,
+    second: Impl,
+    condition: NetworkCondition,
+    config: ExperimentConfig = ExperimentConfig(),
+    cache: Optional[ResultCache] = None,
+) -> np.ndarray:
+    """Per-trial shares T_first / (T_first + T_second), cached.
+
+    Module-level (picklable) so a fairness pair can run as one
+    ``repro.exec`` job; the serial path and the job layer share this
+    exact function, keeping parallel matrices bit-identical.
+    """
+    cache = cache or DEFAULT_CACHE
+    key = share_cache_key(first, second, condition, config)
 
     def compute() -> np.ndarray:
         shares = []
@@ -58,8 +76,18 @@ def bandwidth_share(
             shares.append(0.5 if total <= 0 else t1 / total)
         return np.array(shares)
 
-    shares = cache.get_or_compute(key, compute)
-    return float(np.mean(shares))
+    return cache.get_or_compute(key, compute)
+
+
+def bandwidth_share(
+    first: Impl,
+    second: Impl,
+    condition: NetworkCondition,
+    config: ExperimentConfig = ExperimentConfig(),
+    cache: Optional[ResultCache] = None,
+) -> float:
+    """Mean share T_first / (T_first + T_second) over the trials."""
+    return float(np.mean(compute_share_array(first, second, condition, config, cache)))
 
 
 @dataclass
@@ -99,11 +127,26 @@ def intra_cca_matrix(
     include_reference: bool = True,
     stacks: Optional[Sequence[str]] = None,
     cache: Optional[ResultCache] = None,
+    executor: Optional["Executor"] = None,
 ) -> FairnessMatrix:
-    """Pairwise shares between all implementations of one CCA (Fig. 12)."""
+    """Pairwise shares between all implementations of one CCA (Fig. 12).
+
+    With an ``executor`` every pair runs as one parallel job up front;
+    the matrix is then filled from the shared cache.
+    """
     impls = _implementations(cca, include_reference, stacks)
     labels = [_impl_label(i) for i in impls]
     n = len(impls)
+    if executor is not None:
+        from repro.exec.jobs import share_job
+
+        jobs = [
+            share_job(a, impls[j], condition, config)
+            for i, a in enumerate(impls)
+            for j in range(i + 1, n)
+        ]
+        executor.run(jobs, campaign=f"fairness:{cca}@{condition.describe()}")
+        cache = executor.cache
     shares = np.full((n, n), np.nan)
     for i, a in enumerate(impls):
         shares[i, i] = 0.5
@@ -125,10 +168,22 @@ def inter_cca_matrix(
     row_stacks: Optional[Sequence[str]] = None,
     col_stacks: Optional[Sequence[str]] = None,
     cache: Optional[ResultCache] = None,
+    executor: Optional["Executor"] = None,
 ) -> FairnessMatrix:
     """Shares of every ``row_cca`` impl vs every ``col_cca`` impl (Fig. 13)."""
     rows = _implementations(row_cca, include_reference, row_stacks)
     cols = _implementations(col_cca, include_reference, col_stacks)
+    if executor is not None:
+        from repro.exec.jobs import share_job
+
+        jobs = [
+            share_job(a, b, condition, config) for a in rows for b in cols
+        ]
+        executor.run(
+            jobs,
+            campaign=f"intercca:{row_cca}x{col_cca}@{condition.describe()}",
+        )
+        cache = executor.cache
     shares = np.full((len(rows), len(cols)), np.nan)
     for i, a in enumerate(rows):
         for j, b in enumerate(cols):

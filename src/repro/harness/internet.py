@@ -14,7 +14,10 @@ which is the property this module's benchmark checks.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.exec import Executor
 
 from repro.core.conformance import evaluate_conformance
 from repro.harness.cache import ResultCache
@@ -55,11 +58,28 @@ def measure_conformance_internet(
     config: ExperimentConfig = ExperimentConfig(),
     variant: str = "default",
     cache: Optional[ResultCache] = None,
+    executor: Optional["Executor"] = None,
 ) -> ConformanceMeasurement:
     """One Fig. 11 cell: conformance over the synthetic WAN."""
     condition = internet_condition()
     impl = Impl(stack, cca, variant)
     reference = reference_impl(cca)
+    if executor is not None:
+        from repro.exec.jobs import measurement_trial_jobs
+
+        executor.run(
+            measurement_trial_jobs(
+                stack,
+                cca,
+                condition,
+                config,
+                variant,
+                cross_traffic=wan_cross_traffic(),
+                wan_netem=wan_netem(),
+            ),
+            campaign=f"internet:{stack}/{cca}",
+        )
+        cache = executor.cache
     kwargs = dict(
         cache=cache,
         cross_traffic=wan_cross_traffic(),
@@ -76,20 +96,42 @@ def internet_heatmap(
     stacks: Optional[Sequence[str]] = None,
     ccas: Sequence[str] = registry.CCAS,
     cache: Optional[ResultCache] = None,
+    executor: Optional["Executor"] = None,
 ) -> Dict[Tuple[str, str], ConformanceMeasurement]:
-    """The full Fig. 11 heatmap over the synthetic WAN."""
+    """The full Fig. 11 heatmap over the synthetic WAN.
+
+    With an ``executor`` every cell's trials run as one parallel
+    campaign first; evaluation then replays from the shared cache.
+    """
     measurements: Dict[Tuple[str, str], ConformanceMeasurement] = {}
     names = (
         list(stacks)
         if stacks is not None
         else [p.name for p in registry.quic_stacks()]
     )
-    for name in names:
-        profile = registry.get_stack(name)
-        for cca in ccas:
-            if not profile.supports(cca):
-                continue
-            measurements[(name, cca)] = measure_conformance_internet(
-                name, cca, config, cache=cache
+    cells = [
+        (name, cca)
+        for name in names
+        for cca in ccas
+        if registry.get_stack(name).supports(cca)
+    ]
+    if executor is not None:
+        from repro.exec.jobs import measurement_trial_jobs
+
+        jobs = []
+        for name, cca in cells:
+            jobs += measurement_trial_jobs(
+                name,
+                cca,
+                internet_condition(),
+                config,
+                cross_traffic=wan_cross_traffic(),
+                wan_netem=wan_netem(),
             )
+        executor.run(jobs, campaign="internet-heatmap")
+        cache = executor.cache
+    for name, cca in cells:
+        measurements[(name, cca)] = measure_conformance_internet(
+            name, cca, config, cache=cache
+        )
     return measurements

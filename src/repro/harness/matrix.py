@@ -10,7 +10,10 @@ aggregate view in the paper.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.exec import Executor
 
 from repro.harness import scenarios
 from repro.harness.cache import ResultCache
@@ -94,13 +97,17 @@ def run_matrix(
     config: ExperimentConfig = ExperimentConfig(),
     cache: Optional[ResultCache] = None,
     progress: Optional[Callable[[str], None]] = None,
+    executor: Optional["Executor"] = None,
 ) -> MatrixResult:
     """Measure every implementation at every condition.
 
     Defaults to the paper's 16-condition matrix over all 22
     implementations — at the bench protocol that is several hours of
     simulation, so pass a narrowed set (or a persistent cache, or the
-    ``quick_experiment_config``) for interactive use.
+    ``quick_experiment_config``) for interactive use.  An ``executor``
+    runs every trial of the sweep as one parallel campaign first; the
+    cells are then evaluated from the shared cache, with results
+    numerically identical to the serial sweep.
     """
     if conditions is None:
         conditions = scenarios.full_matrix()
@@ -108,6 +115,15 @@ def run_matrix(
         implementations = [
             (profile.name, cca) for profile, cca in registry.iter_implementations()
         ]
+    if executor is not None:
+        from repro.exec.jobs import measurement_trial_jobs
+
+        jobs = []
+        for condition in conditions:
+            for stack, cca in implementations:
+                jobs += measurement_trial_jobs(stack, cca, condition, config)
+        executor.run(jobs, campaign="matrix")
+        cache = executor.cache
     measurements: List[ConformanceMeasurement] = []
     for condition in conditions:
         for stack, cca in implementations:

@@ -94,18 +94,22 @@ def run_pair(
     )
 
 
-def sampled_points(
+def trial_identity(
     test: Impl,
     competitor: Impl,
     condition: NetworkCondition,
     config: ExperimentConfig,
     trial: int,
-    cache: Optional[ResultCache] = None,
     cross_traffic: Optional[CrossTrafficConfig] = None,
     wan_netem: Optional[NetemConfig] = None,
-) -> np.ndarray:
-    """The test flow's (delay, throughput) cloud for one trial, cached."""
-    cache = cache or DEFAULT_CACHE
+) -> Tuple[int, str]:
+    """The (seed, cache key) pair identifying one trial.
+
+    This is the single source of truth for trial identity: the serial
+    path (:func:`sampled_points`) and the parallel job layer
+    (``repro.exec``) both derive seeds and cache keys here, which is what
+    makes parallel results bit-identical to serial ones.
+    """
     seed = _trial_seed(config.seed, test, competitor, condition.physical_key(), trial)
     key = cache_key(
         kind="sampled_points",
@@ -124,6 +128,24 @@ def sampled_points(
         cross=None if cross_traffic is None else vars(cross_traffic),
         wan=None if wan_netem is None else vars(wan_netem),
         seed=seed,
+    )
+    return seed, key
+
+
+def sampled_points(
+    test: Impl,
+    competitor: Impl,
+    condition: NetworkCondition,
+    config: ExperimentConfig,
+    trial: int,
+    cache: Optional[ResultCache] = None,
+    cross_traffic: Optional[CrossTrafficConfig] = None,
+    wan_netem: Optional[NetemConfig] = None,
+) -> np.ndarray:
+    """The test flow's (delay, throughput) cloud for one trial, cached."""
+    cache = cache or DEFAULT_CACHE
+    seed, key = trial_identity(
+        test, competitor, condition, config, trial, cross_traffic, wan_netem
     )
 
     def compute() -> np.ndarray:

@@ -114,6 +114,56 @@ class TestResultCache:
         loaded = cache.get_or_compute("key1", lambda: pytest.fail("should hit disk"))
         assert loaded.shape == (3,)
 
+    def test_env_directory_resolved_lazily(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("QUICBENCH_CACHE_DIR", raising=False)
+        cache = ResultCache()  # constructed while the env var is unset
+        assert cache.directory is None
+        monkeypatch.setenv("QUICBENCH_CACHE_DIR", str(tmp_path))
+        assert cache.directory == tmp_path
+        cache.put("lazy", np.ones(2))
+        assert (tmp_path / "lazy.npy").exists()
+
+    def test_explicit_directory_wins_over_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("QUICBENCH_CACHE_DIR", str(tmp_path / "env"))
+        cache = ResultCache(directory=tmp_path / "explicit")
+        assert cache.directory == tmp_path / "explicit"
+
+    def test_lru_eviction_bounds_memory(self):
+        cache = ResultCache(max_entries=2)
+        cache.put("a", np.zeros(1))
+        cache.put("b", np.zeros(1))
+        cache.get("a")  # touch: "b" is now the least recently used
+        cache.put("c", np.zeros(1))
+        assert cache.evictions == 1
+        assert cache.get("b") is None  # evicted
+        assert cache.get("a") is not None and cache.get("c") is not None
+        assert len(cache._memory) == 2
+
+    def test_max_entries_env_override(self, monkeypatch):
+        monkeypatch.setenv("QUICBENCH_CACHE_MAX_ENTRIES", "7")
+        assert ResultCache().max_entries == 7
+
+    def test_counters_snapshot(self):
+        cache = ResultCache(max_entries=1)
+        cache.get("absent")
+        cache.put("a", np.zeros(1))
+        cache.put("b", np.zeros(1))
+        cache.get("b")
+        assert cache.counters() == {
+            "hits": 1,
+            "misses": 1,
+            "evictions": 1,
+            "entries": 1,
+        }
+
+    def test_tmp_names_unique_across_calls(self, tmp_path):
+        from repro.harness.cache import _tmp_path
+
+        target = tmp_path / "deadbeef.npy"
+        names = {_tmp_path(target).name for _ in range(32)}
+        assert len(names) == 32  # per-process counter: no collisions
+        assert all(name.endswith(".tmp.npy") for name in names)
+
 
 class TestCacheKey:
     def test_stable_and_sensitive(self):
