@@ -4,7 +4,7 @@
 # numerically identical at any job count.  e.g. `make bench JOBS=4`.
 JOBS ?= 1
 
-.PHONY: install test bench quick-bench clean-cache loc
+.PHONY: install test bench quick-bench store-smoke clean-cache loc
 
 install:
 	pip install -e .
@@ -19,6 +19,15 @@ bench:
 
 quick-bench:
 	QUICBENCH_JOBS=$(JOBS) pytest benchmarks/test_bench_stack_tables.py benchmarks/test_bench_fig01_clustered_pe.py --benchmark-only
+
+# Tiny end-to-end warehouse exercise: campaign -> query -> diff (the
+# same flow CI runs).
+store-smoke:
+	PYTHONPATH=src python -m repro regression --stack xquic --cca cubic \
+	  --duration 6 --trials 2 --jobs 2 --store /tmp/quicbench-smoke.db
+	PYTHONPATH=src python -m repro store runs --db /tmp/quicbench-smoke.db
+	PYTHONPATH=src python -m repro store diff --db /tmp/quicbench-smoke.db \
+	  --run-a "regression:5.13-stock" --run-b "regression:pre-hystart"
 
 clean-cache:
 	rm -rf benchmarks/.quicbench_cache benchmarks/output

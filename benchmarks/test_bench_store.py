@@ -1,0 +1,130 @@
+"""repro.store: ingest throughput and query latency at campaign scale.
+
+Synthesises a 10k-trial run (the order of a full 22-implementation,
+16-condition, 3-trial campaign with both envelopes), ingests it into a
+fresh warehouse, and reports trials/s for the batched ingest path,
+measurements/s for the metric upsert path, and the latency of the query
+shapes the CLI exposes (filtered query, metric_table pivot, run diff).
+
+Numbers are reported, not asserted — the functional guarantees
+(round-trip fidelity, diff semantics) live in tier-1 tests; this
+benchmark exists to catch pathological slowdowns in the SQLite layer.
+"""
+
+import time
+
+import numpy as np
+
+from conftest import OUTPUT_DIR, run_once
+
+from repro.harness.config import NetworkCondition
+from repro.store import ResultStore, diff_runs
+
+N_TRIALS = 10_000
+TRIAL_POINTS = 40  # sampled (delay, throughput) pairs per trial payload
+N_STACKS, N_CCAS, N_CONDITIONS = 22, 3, 16
+
+
+def _synthetic_trials(rng):
+    return [
+        (f"bench-{i:06d}", rng.standard_normal((TRIAL_POINTS, 2)))
+        for i in range(N_TRIALS)
+    ]
+
+
+def _conditions():
+    return [
+        NetworkCondition(bandwidth_mbps=bw, rtt_ms=rtt, buffer_bdp=buf)
+        for bw in (10.0, 20.0, 50.0, 100.0)
+        for rtt, buf in ((10.0, 0.5), (10.0, 1.0), (50.0, 1.0), (50.0, 4.0))
+    ]
+
+
+def test_store_ingest_and_query(benchmark, save_artifact):
+    path = OUTPUT_DIR / "bench_store.db"
+    path.unlink(missing_ok=True)
+    rng = np.random.default_rng(2023)
+    trials = _synthetic_trials(rng)
+    conditions = _conditions()
+
+    with ResultStore(path) as store:
+        run = store.ensure_run("bench", note="synthetic 10k-trial campaign")
+
+        t0 = time.perf_counter()
+        inserted = run_once(benchmark, lambda: store.put_trials(trials, run=run))
+        ingest_wall = time.perf_counter() - t0
+        assert inserted == N_TRIALS
+
+        t0 = time.perf_counter()
+        n_measurements = 0
+        for s in range(N_STACKS):
+            for c in range(N_CCAS):
+                for condition in conditions:
+                    store.record_metrics(
+                        run,
+                        stack=f"stack{s:02d}",
+                        cca=f"cca{c}",
+                        metrics={
+                            "conf": rng.random(),
+                            "conf_t": rng.random(),
+                            "delta_tput_mbps": rng.standard_normal(),
+                        },
+                        condition=condition,
+                    )
+                    n_measurements += 1
+        metrics_wall = time.perf_counter() - t0
+
+        # A second run sharing ~half the verdicts, for the diff timing.
+        other = store.ensure_run("bench-next")
+        for s in range(N_STACKS):
+            for c in range(N_CCAS):
+                store.record_metrics(
+                    other,
+                    stack=f"stack{s:02d}",
+                    cca=f"cca{c}",
+                    metrics={"conf": rng.random()},
+                    condition=conditions[0],
+                )
+
+        t0 = time.perf_counter()
+        rows = store.query(run=run, metric="conf")
+        query_all_ms = (time.perf_counter() - t0) * 1e3
+        assert len(rows) == n_measurements
+
+        t0 = time.perf_counter()
+        filtered = store.query(run=run, stack="stack07", metric="conf")
+        query_filtered_ms = (time.perf_counter() - t0) * 1e3
+        assert len(filtered) == N_CCAS * len(conditions)
+
+        t0 = time.perf_counter()
+        table = store.metric_table(run, "conf")
+        pivot_ms = (time.perf_counter() - t0) * 1e3
+        assert len(table) == n_measurements
+
+        t0 = time.perf_counter()
+        diff = diff_runs(store, run, other)
+        diff_ms = (time.perf_counter() - t0) * 1e3
+
+        payload_mb = sum(t[1].nbytes for t in trials) / 1e6
+        db_mb = path.stat().st_size / 1e6
+
+    # The database is scratch state; only the report below is an artifact.
+    path.unlink(missing_ok=True)
+    for suffix in ("-wal", "-shm"):
+        path.with_name(path.name + suffix).unlink(missing_ok=True)
+
+    lines = [
+        f"repro.store benchmark ({N_TRIALS} trials x {TRIAL_POINTS} points, "
+        f"{n_measurements} measurements)",
+        f"trial ingest:    {N_TRIALS / ingest_wall:,.0f} trials/s "
+        f"({payload_mb:.1f} MB payload in {ingest_wall:.2f}s, one transaction)",
+        f"metric upserts:  {n_measurements / metrics_wall:,.0f} measurements/s "
+        f"({metrics_wall:.2f}s, one transaction each)",
+        f"query all conf:  {query_all_ms:.1f} ms ({len(rows)} rows)",
+        f"query filtered:  {query_filtered_ms:.2f} ms ({len(filtered)} rows)",
+        f"metric_table:    {pivot_ms:.1f} ms ({len(table)} subjects)",
+        f"diff two runs:   {diff_ms:.1f} ms ({diff.compared} shared subjects, "
+        f"{len(diff.flips)} flips)",
+        f"database size:   {db_mb:.1f} MB",
+    ]
+    save_artifact("store_throughput", "\n".join(lines))

@@ -16,6 +16,8 @@ Layout
 ``repro.analysis``  fix verification, parameter sweeps, transitivity
 ``repro.exec``      parallel experiment execution (worker pool, retries,
                     timeouts, run telemetry; bit-identical to serial)
+``repro.store``     durable results warehouse (SQLite runs/trials/metrics,
+                    query + export, run diffing, regression baselines)
 
 Quick start
 -----------

@@ -11,10 +11,22 @@ Subcommands mirror the paper's experiments:
 * ``quicbench fixes`` — Table 4 before/after fix verification.
 * ``quicbench sweep`` — the Fig. 5 cwnd-gain sweep.
 
-Campaign-style subcommands (heatmap, fairness, intercca, sweep, matrix)
-accept ``--jobs N`` to run their trials on N worker processes via
-``repro.exec`` (results are identical to serial), ``--progress`` for
-per-job progress lines, and ``--manifest PATH`` for a JSONL run log.
+Campaign-style subcommands (heatmap, fairness, intercca, sweep, matrix,
+regression) accept ``--jobs N`` to run their trials on N worker
+processes via ``repro.exec`` (results are identical to serial),
+``--progress`` for per-job progress lines, ``--manifest PATH`` for a
+JSONL run log, and ``--store PATH`` to persist trials and metrics into
+the ``repro.store`` results warehouse (``--run`` names the stored run).
+
+The warehouse itself is driven by ``quicbench store``:
+
+* ``store ingest`` — load JSONL manifests and disk-cache directories.
+* ``store runs`` — list recorded runs and row counts.
+* ``store query`` — filtered metric export (table, CSV, JSON).
+* ``store diff`` — run-vs-run or run-vs-baseline comparison flagging
+  conformance-verdict flips.
+* ``store baseline`` — name a run as a regression anchor.
+* ``store render`` — re-render a stored run as an SVG heatmap.
 """
 
 from __future__ import annotations
@@ -60,6 +72,17 @@ def _add_exec_args(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="append a JSONL run manifest (per-job status and timing) here",
     )
+    parser.add_argument(
+        "--store",
+        default=None,
+        help="persist trials and metrics into this SQLite results "
+        "warehouse (repro.store); safe with --jobs",
+    )
+    parser.add_argument(
+        "--run",
+        default=None,
+        help="run name inside the store (default: derived from the command)",
+    )
 
 
 def _executor(args):
@@ -67,20 +90,74 @@ def _executor(args):
     jobs = getattr(args, "jobs", 1)
     progress = getattr(args, "progress", False)
     manifest = getattr(args, "manifest", None)
-    if jobs <= 1 and not progress and not manifest:
+    store_path = getattr(args, "store", None)
+    if jobs <= 1 and not progress and not manifest and not store_path:
         return None
     from repro.exec import Executor, ProgressPrinter
 
+    cache = None
+    store = None
+    if store_path:
+        from repro.store import ResultStore, StoreCache
+
+        store = ResultStore(store_path)
+        # Three-tier cache: campaigns reuse any trial the warehouse
+        # already holds and write new ones through.
+        cache = StoreCache(store)
     return Executor(
         jobs=jobs,
+        cache=cache,
         progress=ProgressPrinter() if progress else None,
         manifest_path=manifest,
+        store=store,
+        store_run=getattr(args, "run", None),
     )
 
 
+def _store_of(executor):
+    """The warehouse an executor was built around, if any."""
+    if executor is not None and executor.store_sink is not None:
+        return executor.store_sink.store
+    return None
+
+
 def _report_executor(executor) -> None:
-    if executor is not None and getattr(executor, "telemetry", None) is not None:
+    if executor is None:
+        return
+    if getattr(executor, "telemetry", None) is not None:
         print(executor.telemetry.summary())
+    store = _store_of(executor)
+    executor.close()
+    if store is not None:
+        counts = store.counts()
+        print(
+            f"store: {counts['trials']} trials, {counts['measurements']} "
+            f"measurements across {counts['runs']} runs"
+        )
+        store.close()
+
+
+def _record_share_matrix(store, run_name, matrix, condition) -> None:
+    """Persist a fairness/inter-CCA share matrix: one measurement per pair.
+
+    The row label is stored in the ``stack`` column and the column label
+    in ``cca`` — a share cell's subject is the (row, col) pairing, not a
+    single implementation.
+    """
+    if store is None:
+        return
+    import numpy as np
+
+    run = store.ensure_run(run_name, note="bandwidth-share matrix")
+    for i, row in enumerate(matrix.rows):
+        for j, col in enumerate(matrix.cols):
+            value = float(matrix.shares[i, j])
+            if np.isnan(value):
+                continue
+            store.record_metrics(
+                run, stack=row, cca=col, metrics={"share": value},
+                condition=condition,
+            )
 
 
 def _condition(args) -> NetworkCondition:
@@ -187,7 +264,13 @@ def cmd_heatmap(args) -> int:
     """Fig 6-style conformance bars for every implementation."""
     condition = _condition(args)
     executor = _executor(args)
-    measurements = conformance_heatmap(condition, _config(args), executor=executor)
+    measurements = conformance_heatmap(
+        condition,
+        _config(args),
+        executor=executor,
+        store=_store_of(executor),
+        store_run=args.run,
+    )
     values = {key: m.conformance for key, m in measurements.items()}
     print(
         reporting.format_conformance_bars(
@@ -206,6 +289,12 @@ def cmd_fairness(args) -> int:
     )
     executor = _executor(args)
     matrix = intra_cca_matrix(args.cca, condition, _config(args), executor=executor)
+    _record_share_matrix(
+        _store_of(executor),
+        args.run or f"fairness:{args.cca}@{condition.describe()}",
+        matrix,
+        condition,
+    )
     _report_executor(executor)
     print(
         reporting.format_heatmap(
@@ -230,6 +319,12 @@ def cmd_intercca(args) -> int:
     executor = _executor(args)
     matrix = inter_cca_matrix(
         "bbr", "cubic", condition, _config(args), executor=executor
+    )
+    _record_share_matrix(
+        _store_of(executor),
+        args.run or f"intercca:bbr-cubic@{condition.describe()}",
+        matrix,
+        condition,
     )
     _report_executor(executor)
     print(
@@ -301,15 +396,43 @@ def cmd_rootcause(args) -> int:
 
 def cmd_regression(args) -> int:
     """Conformance across kernel milestones (§6)."""
-    from repro.harness.regression import MILESTONES, flipped_verdicts, regression_matrix
-
-    impls = None
-    if args.stack:
-        profile = registry.get_stack(args.stack)
-        impls = [(args.stack, cca) for cca in profile.available_ccas()]
-    rows_data = regression_matrix(
-        implementations=impls, condition=_condition(args), config=_config(args)
+    from repro.harness.regression import (
+        MILESTONES,
+        REGRESSION_RUN_PREFIX,
+        flipped_verdicts,
+        regression_matrix,
+        regression_matrix_from_store,
     )
+
+    if args.from_store:
+        if not args.store:
+            print("--from-store requires --store PATH", file=sys.stderr)
+            return 2
+        from repro.store import ResultStore
+
+        with ResultStore(args.store) as store:
+            rows_data = regression_matrix_from_store(
+                store, MILESTONES, run_prefix=args.run or REGRESSION_RUN_PREFIX
+            )
+        if not rows_data:
+            print("store holds no complete milestone runs", file=sys.stderr)
+            return 1
+    else:
+        impls = None
+        if args.stack:
+            profile = registry.get_stack(args.stack)
+            ccas = [args.cca] if args.cca else profile.available_ccas()
+            impls = [(args.stack, cca) for cca in ccas]
+        executor = _executor(args)
+        rows_data = regression_matrix(
+            implementations=impls,
+            condition=_condition(args),
+            config=_config(args),
+            executor=executor,
+            store=_store_of(executor),
+            run_prefix=args.run or REGRESSION_RUN_PREFIX,
+        )
+        _report_executor(executor)
     milestone_names = [m.name for m in MILESTONES]
     rows = [
         [r.stack, r.cca] + [round(r.conformance[m], 2) for m in milestone_names]
@@ -408,6 +531,8 @@ def cmd_matrix(args) -> int:
         config=_config(args),
         progress=lambda msg: print(f"  running {msg}", flush=True),
         executor=executor,
+        store=_store_of(executor),
+        store_run=args.run or "matrix",
     )
     _report_executor(executor)
     result.save_csv(args.out)
@@ -427,6 +552,27 @@ def cmd_sweep(args) -> int:
 
     executor = _executor(args)
     points = cwnd_gain_sweep(config=_config(args), executor=executor)
+    store = _store_of(executor)
+    if store is not None:
+        from repro.harness import scenarios
+
+        run = store.ensure_run(
+            args.run or "sweep:cwnd_gain", note="Fig. 5 cwnd-gain sweep"
+        )
+        for p in points:
+            store.record_metrics(
+                run,
+                stack="linux-mod",
+                cca="bbr",
+                variant=f"cwnd_gain={p.cwnd_gain:g}",
+                condition=scenarios.shallow_buffer(),
+                metrics={
+                    "conf": p.conformance,
+                    "conf_t": p.conformance_t,
+                    "delta_tput_mbps": p.delta_throughput_mbps,
+                    "delta_delay_ms": p.delta_delay_ms,
+                },
+            )
     _report_executor(executor)
     rows = [list(p.row().values()) for p in points]
     print(
@@ -436,6 +582,146 @@ def cmd_sweep(args) -> int:
             title="Kernel BBR cwnd-gain sweep (paper Fig. 5)",
         )
     )
+    return 0
+
+
+def cmd_store_ingest(args) -> int:
+    """Load manifests and/or a disk-cache directory into a warehouse."""
+    from repro.store import ResultStore, ingest_cache_dir, ingest_manifest
+
+    with ResultStore(args.db) as store:
+        for path in args.manifest:
+            report = ingest_manifest(store, path, run_prefix=args.run)
+            print(f"{path}: {report.summary()}")
+        if args.cache_dir:
+            run = store.ensure_run(args.run) if args.run else None
+            report = ingest_cache_dir(store, args.cache_dir, run=run)
+            print(f"{args.cache_dir}: {report.summary()}")
+        if not args.manifest and not args.cache_dir:
+            print("nothing to ingest (pass --manifest and/or --cache-dir)")
+            return 2
+    return 0
+
+
+def cmd_store_runs(args) -> int:
+    """List a warehouse's runs and overall row counts."""
+    from repro.store import ResultStore
+
+    with ResultStore(args.db) as store:
+        runs = store.runs()
+        baselines = {run: name for name, run in store.baselines().items()}
+        rows = []
+        for info in runs:
+            metric_rows = store.query(run=info.id)
+            subjects = {r.subject() for r in metric_rows}
+            rows.append(
+                [info.id, info.name, len(subjects), len(metric_rows),
+                 len(store.trial_keys(info.id)),
+                 baselines.get(info.name, "-"),
+                 info.note or "-"]
+            )
+        print(
+            reporting.format_table(
+                ["id", "run", "subjects", "metrics", "trials", "baseline", "note"],
+                rows,
+                title=f"runs in {args.db}",
+            )
+        )
+        counts = store.counts()
+        print(
+            f"\ntotals: {counts['runs']} runs, {counts['trials']} trials, "
+            f"{counts['measurements']} measurements, "
+            f"{counts['metrics']} metric values, {counts['events']} events"
+        )
+    return 0
+
+
+def cmd_store_query(args) -> int:
+    """Filtered metric export from a warehouse (table, CSV or JSON)."""
+    from repro.store import QUERY_HEADERS, ResultStore
+
+    with ResultStore(args.db) as store:
+        rows = store.query(
+            run=args.run,
+            stack=args.stack,
+            cca=args.cca,
+            variant=args.variant,
+            condition=args.condition,
+            metric=args.metric,
+        )
+        if args.format == "csv":
+            text = reporting.to_csv(
+                QUERY_HEADERS, ResultStore.rows_as_lists(rows)
+            )
+        elif args.format == "json":
+            text = ResultStore.export_json(rows)
+        else:
+            text = reporting.format_metric_rows(
+                rows, title=f"{len(rows)} metric rows"
+            )
+        if args.out:
+            with open(args.out, "w") as handle:
+                handle.write(text if text.endswith("\n") else text + "\n")
+            print(f"wrote {len(rows)} rows to {args.out}")
+        else:
+            print(text)
+    return 0
+
+
+def cmd_store_diff(args) -> int:
+    """Diff two stored runs (or a run against a named baseline)."""
+    from repro.store import ResultStore, diff_against_baseline, diff_runs
+
+    if not args.baseline and not args.run_a:
+        print("store diff needs --run-a or --baseline", file=sys.stderr)
+        return 2
+    with ResultStore(args.db) as store:
+        if args.baseline:
+            diff = diff_against_baseline(
+                store, args.run_b, args.baseline,
+                metric=args.metric, threshold=args.threshold, atol=args.atol,
+            )
+        else:
+            diff = diff_runs(
+                store, args.run_a, args.run_b,
+                metric=args.metric, threshold=args.threshold, atol=args.atol,
+            )
+        print(reporting.format_run_diff(diff))
+        if args.fail_on_flips and diff.flips:
+            return 1
+    return 0
+
+
+def cmd_store_baseline(args) -> int:
+    """Name a run as a regression anchor, or list the anchors."""
+    from repro.store import ResultStore
+
+    with ResultStore(args.db) as store:
+        if args.set:
+            if not args.run:
+                print("--set requires --run", file=sys.stderr)
+                return 2
+            info = store.run(args.run)
+            store.set_baseline(args.set, info)
+            print(f"baseline {args.set!r} -> run {info.name!r} (id {info.id})")
+            return 0
+        baselines = store.baselines()
+        if not baselines:
+            print("no baselines set")
+        for name, run_name in sorted(baselines.items()):
+            print(f"{name}: {run_name}")
+    return 0
+
+
+def cmd_store_render(args) -> int:
+    """Re-render a stored run as an SVG heatmap."""
+    from repro.store import ResultStore
+    from repro.viz import stored_heatmap_figure
+
+    with ResultStore(args.db) as store:
+        figure = stored_heatmap_figure(store, args.run, metric=args.metric)
+        figure.save(args.out)
+    print(f"wrote {args.metric} heatmap of run {args.run!r} to {args.out}")
     return 0
 
 
@@ -502,8 +788,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("regression", help="conformance across kernel milestones")
     p.add_argument("--stack", default=None, choices=sorted(registry.STACKS))
+    p.add_argument("--cca", default=None, choices=list(registry.CCAS),
+                   help="restrict to one CCA (requires --stack)")
+    p.add_argument("--from-store", action="store_true",
+                   help="rebuild the matrix from stored milestone runs "
+                   "instead of recomputing (requires --store)")
     _add_condition_args(p)
     _add_experiment_args(p)
+    _add_exec_args(p)
     p.set_defaults(fn=cmd_regression)
 
     p = sub.add_parser("select", help="rank CCAs for an application's region")
@@ -531,6 +823,68 @@ def build_parser() -> argparse.ArgumentParser:
     _add_experiment_args(p)
     _add_exec_args(p)
     p.set_defaults(fn=cmd_matrix)
+
+    store = sub.add_parser(
+        "store", help="query the repro.store results warehouse"
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+
+    def _store_parser(name: str, help_text: str) -> argparse.ArgumentParser:
+        sp = store_sub.add_parser(name, help=help_text)
+        sp.add_argument("--db", required=True, help="warehouse SQLite file")
+        return sp
+
+    p = _store_parser("ingest", "load manifests / cache dirs into a store")
+    p.add_argument("--manifest", action="append", default=[],
+                   help="JSONL run manifest to ingest (repeatable)")
+    p.add_argument("--cache-dir", default=None,
+                   help="disk-cache directory of .npy trial payloads")
+    p.add_argument("--run", default=None,
+                   help="run-name prefix for manifests / run for cache trials")
+    p.set_defaults(fn=cmd_store_ingest)
+
+    p = _store_parser("runs", "list recorded runs and row counts")
+    p.set_defaults(fn=cmd_store_runs)
+
+    p = _store_parser("query", "filtered metric export")
+    p.add_argument("--run", default=None, help="restrict to one run (name)")
+    p.add_argument("--stack", default=None)
+    p.add_argument("--cca", default=None)
+    p.add_argument("--variant", default=None)
+    p.add_argument("--condition", default=None,
+                   help="condition describe() string, e.g. 20mbps-10ms-1bdp")
+    p.add_argument("--metric", default=None, help="e.g. conf, conf_t, share")
+    p.add_argument("--format", choices=["table", "csv", "json"],
+                   default="table")
+    p.add_argument("--out", default=None, help="write here instead of stdout")
+    p.set_defaults(fn=cmd_store_query)
+
+    p = _store_parser("diff", "compare two runs; flag verdict flips")
+    p.add_argument("--run-a", default=None, help="before run (name)")
+    p.add_argument("--run-b", required=True, help="after run (name)")
+    p.add_argument("--baseline", default=None,
+                   help="diff --run-b against this named baseline instead "
+                   "of --run-a")
+    p.add_argument("--metric", default="conf")
+    p.add_argument("--threshold", type=float, default=0.5,
+                   help="conformance verdict threshold")
+    p.add_argument("--atol", type=float, default=0.0,
+                   help="ignore value moves at or below this tolerance")
+    p.add_argument("--fail-on-flips", action="store_true",
+                   help="exit 1 if any verdict flipped (for CI)")
+    p.set_defaults(fn=cmd_store_diff)
+
+    p = _store_parser("baseline", "set or list named baselines")
+    p.add_argument("--set", default=None, metavar="NAME",
+                   help="name the baseline to (re)point")
+    p.add_argument("--run", default=None, help="run the baseline points at")
+    p.set_defaults(fn=cmd_store_baseline)
+
+    p = _store_parser("render", "SVG heatmap of one stored run")
+    p.add_argument("--run", required=True)
+    p.add_argument("--metric", default="conf")
+    p.add_argument("--out", required=True)
+    p.set_defaults(fn=cmd_store_render)
 
     return parser
 

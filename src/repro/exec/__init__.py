@@ -5,7 +5,8 @@ package turns those implicit loops into an explicit job layer: build
 :class:`Job`/:class:`TrialJob` specs (``repro.exec.jobs``), run them on
 an :class:`Executor` with N worker processes, per-job timeouts and
 bounded retries (``repro.exec.executor``), and collect per-job telemetry
-plus a JSONL run manifest (``repro.exec.telemetry``).
+plus a JSONL run manifest and an optional durable results-warehouse sink
+(``repro.exec.telemetry``; see :mod:`repro.store`).
 
 Seeds and cache keys come from the same derivations as the serial
 harness, so parallel campaigns are bit-identical to serial ones — an
@@ -35,6 +36,7 @@ from repro.exec.telemetry import (
     JobRecord,
     ProgressPrinter,
     RunManifest,
+    StoreSink,
 )
 
 __all__ = [
@@ -49,5 +51,6 @@ __all__ = [
     "JobRecord",
     "CampaignTelemetry",
     "RunManifest",
+    "StoreSink",
     "ProgressPrinter",
 ]

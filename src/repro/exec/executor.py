@@ -47,6 +47,7 @@ from repro.exec.telemetry import (
     CampaignTelemetry,
     JobRecord,
     RunManifest,
+    StoreSink,
 )
 
 
@@ -149,6 +150,15 @@ class Executor:
         finishes (see :class:`repro.exec.telemetry.ProgressPrinter`).
     manifest_path:
         If set, every campaign appends JSONL records here.
+    store:
+        Optional results warehouse — a :class:`repro.store.ResultStore`
+        or a database path.  Campaign telemetry is journalled to its
+        events table and every completed trial payload is persisted,
+        deduped by content-addressed key (see
+        :class:`repro.exec.telemetry.StoreSink`).
+    store_run:
+        Store-run name grouping every campaign of this executor; by
+        default each campaign gets its own run named after itself.
     """
 
     def __init__(
@@ -161,6 +171,8 @@ class Executor:
         start_method: str = "spawn",
         progress=None,
         manifest_path: Optional[Union[str, "os.PathLike"]] = None,
+        store=None,
+        store_run: Optional[str] = None,
     ):
         self.jobs = max(1, int(jobs))
         self.cache = cache if cache is not None else DEFAULT_CACHE
@@ -170,9 +182,34 @@ class Executor:
         self.start_method = start_method
         self.progress = progress
         self.manifest = RunManifest(manifest_path) if manifest_path else None
+        self._owns_store = False
+        self.store_sink: Optional[StoreSink] = None
+        if store is not None:
+            from repro.store.warehouse import ResultStore
+
+            if not isinstance(store, ResultStore):
+                store = ResultStore(store)
+                self._owns_store = True
+            self.store_sink = StoreSink(store, run_name=store_run)
         self.telemetry = CampaignTelemetry()
         self.last_records: List[JobRecord] = []
         self.last_mode: str = ""
+
+    def _sinks(self):
+        return [s for s in (self.manifest, self.store_sink) if s is not None]
+
+    def close(self) -> None:
+        """Flush and close the manifest and any owned store connection."""
+        if self.manifest is not None:
+            self.manifest.close()
+        if self.store_sink is not None and self._owns_store:
+            self.store_sink.store.close()
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------------ api
 
@@ -213,8 +250,8 @@ class Executor:
         mode = "serial"
         if self.jobs > 1 and pending:
             mode = f"pool-{self.start_method}x{self.jobs}"
-        if self.manifest is not None:
-            self.manifest.campaign_start(campaign, len(joblist), self.jobs, mode)
+        for sink in self._sinks():
+            sink.campaign_start(campaign, len(joblist), self.jobs, mode)
 
         if pending:
             if self.jobs > 1:
@@ -246,10 +283,24 @@ class Executor:
         self.telemetry.absorb(records, wall, mode)
         self.last_records = records
         self.last_mode = mode
-        if self.manifest is not None:
+        for sink in self._sinks():
             for record in records:
-                self.manifest.job(campaign, record)
-            self.manifest.campaign_end(campaign, records, wall, self.cache.counters())
+                sink.job(campaign, record)
+            sink.campaign_end(campaign, records, wall, self.cache.counters())
+        if self.store_sink is not None:
+            # Persist every completed payload (computed *and* cache-served:
+            # a first store-backed run over a warm disk cache should still
+            # fill the warehouse).  Content-addressed keys dedupe re-runs.
+            self.store_sink.trials(
+                campaign,
+                [
+                    (joblist[i].key, values[i])
+                    for i, record in enumerate(records)
+                    if joblist[i].key
+                    and values[i] is not None
+                    and record.status in (STATUS_OK, STATUS_CACHED)
+                ],
+            )
         failures = [
             r for r in records if r.status not in (STATUS_OK, STATUS_CACHED)
         ]

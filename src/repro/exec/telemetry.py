@@ -12,11 +12,15 @@ summary — to a JSONL file for offline inspection.  The optional
 from __future__ import annotations
 
 import json
+import os
 import sys
 import time
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import IO, List, Optional, Union
+from typing import IO, TYPE_CHECKING, List, Optional, Union
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.store.warehouse import ResultStore
 
 #: Job terminal states.  ``cached`` jobs were satisfied from the campaign
 #: cache without running; ``timeout``/``crashed``/``failed`` describe the
@@ -100,15 +104,49 @@ class CampaignTelemetry:
 
 
 class RunManifest:
-    """Append-only JSONL journal of executor campaigns."""
+    """Append-only JSONL journal of executor campaigns.
+
+    Crash tolerance: the file handle is kept open across records, every
+    record is written with a single ``write`` call and flushed to the OS
+    immediately, and :meth:`close` fsyncs before closing.  A campaign
+    that dies mid-run therefore leaves a readable prefix of complete
+    lines rather than a truncated final record.
+    """
 
     def __init__(self, path: Union[str, Path]):
         self.path = Path(path)
+        self._handle: Optional[IO] = None
 
     def _append(self, record: dict) -> None:
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        with open(self.path, "a") as handle:
-            handle.write(json.dumps(record, sort_keys=True) + "\n")
+        if self._handle is None or self._handle.closed:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "a")
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        """Flush, fsync, and close the journal (reopens lazily if reused)."""
+        if self._handle is None or self._handle.closed:
+            return
+        try:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+        except OSError:  # fsync is best-effort (e.g. special files)
+            pass
+        finally:
+            self._handle.close()
+
+    def __enter__(self) -> "RunManifest":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - interpreter-shutdown safety net
+        try:
+            self.close()
+        except Exception:
+            pass
 
     def campaign_start(self, campaign: str, jobs: int, workers: int, mode: str) -> None:
         self._append(
@@ -143,6 +181,66 @@ class RunManifest:
         )
 
 
+class StoreSink:
+    """Warehouse-backed campaign journal, the durable sibling of
+    :class:`RunManifest`.
+
+    Writes the same campaign_start / job / campaign_end story into a
+    :class:`repro.store.ResultStore`'s events journal, groups each
+    campaign under a store run (named after the campaign unless an
+    explicit ``run_name`` pins every campaign to one run), and persists
+    completed trial payloads as content-addressed ``trials`` rows.  All
+    writes happen in the executor's parent process, so ``--jobs N``
+    campaigns funnel through one connection.
+    """
+
+    def __init__(self, store: "ResultStore", run_name: Optional[str] = None):
+        self.store = store
+        self.run_name = run_name
+        self._campaign_runs: dict = {}
+
+    def _run_for(self, campaign: str):
+        name = self.run_name or campaign
+        if name not in self._campaign_runs:
+            self._campaign_runs[name] = self.store.ensure_run(name)
+        return self._campaign_runs[name]
+
+    def campaign_start(self, campaign: str, jobs: int, workers: int, mode: str) -> None:
+        self.store.record_event(
+            "campaign_start",
+            campaign=campaign,
+            payload={"jobs": jobs, "workers": workers, "mode": mode},
+            run=self._run_for(campaign),
+        )
+
+    def job(self, campaign: str, record: JobRecord) -> None:
+        self.store.record_event(
+            "job", campaign=campaign, payload=record.row(),
+            run=self._run_for(campaign),
+        )
+
+    def campaign_end(
+        self, campaign: str, records: List[JobRecord], wall_s: float, cache: dict
+    ) -> None:
+        statuses: dict = {}
+        for record in records:
+            statuses[record.status] = statuses.get(record.status, 0) + 1
+        self.store.record_event(
+            "campaign_end",
+            campaign=campaign,
+            payload={
+                "statuses": statuses,
+                "wall_s": round(wall_s, 4),
+                "cache": cache,
+            },
+            run=self._run_for(campaign),
+        )
+
+    def trials(self, campaign: str, items) -> int:
+        """Persist completed (key, value) payloads; returns newly stored."""
+        return self.store.put_trials(items, run=self._run_for(campaign))
+
+
 class ProgressPrinter:
     """Minimal CLI progress renderer: one line per finished job."""
 
@@ -164,6 +262,7 @@ __all__ = [
     "JobRecord",
     "CampaignTelemetry",
     "RunManifest",
+    "StoreSink",
     "ProgressPrinter",
     "STATUS_OK",
     "STATUS_CACHED",

@@ -16,6 +16,7 @@ import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from repro.exec import Executor
+    from repro.store.warehouse import ResultStore
 
 from repro.core.conformance import ConformanceResult, evaluate_conformance
 from repro.harness.cache import ResultCache
@@ -124,6 +125,8 @@ def measure_conformance(
     cache: Optional[ResultCache] = None,
     reference_variant: str = "default",
     executor: Optional["Executor"] = None,
+    store: Optional["ResultStore"] = None,
+    store_run: Optional[str] = None,
 ) -> ConformanceMeasurement:
     """Full conformance measurement for one implementation.
 
@@ -135,6 +138,11 @@ def measure_conformance(
     first run as one parallel campaign (into the executor's cache); the
     evaluation then replays them from cache, so the measurement is
     numerically identical to the serial one.
+
+    With a ``store`` the finished measurement is recorded (at full
+    precision) into the results warehouse under the run named
+    ``store_run`` (default ``"conformance"``), ready for later
+    ``repro.store`` queries and diffs.
     """
     if executor is not None:
         from repro.exec.jobs import measurement_trial_jobs
@@ -151,7 +159,14 @@ def measure_conformance(
     test_trials = gather_trials(impl, reference, condition, config, cache=cache)
     ref_trials = gather_trials(reference, reference, condition, config, cache=cache)
     result = evaluate_conformance(test_trials, ref_trials, config.envelope)
-    return ConformanceMeasurement(impl=impl, condition=condition, result=result)
+    measurement = ConformanceMeasurement(
+        impl=impl, condition=condition, result=result
+    )
+    if store is not None:
+        store.record_measurement(
+            store.ensure_run(store_run or "conformance"), measurement
+        )
+    return measurement
 
 
 def conformance_heatmap(
@@ -161,12 +176,18 @@ def conformance_heatmap(
     stacks: Optional[Sequence[str]] = None,
     cache: Optional[ResultCache] = None,
     executor: Optional["Executor"] = None,
+    store: Optional["ResultStore"] = None,
+    store_run: Optional[str] = None,
 ) -> Dict[Tuple[str, str], ConformanceMeasurement]:
     """One full heatmap (paper Fig. 6): every stack x CCA at a condition.
 
     With an ``executor``, every trial of every cell is submitted as one
     parallel campaign up front; the cells are then evaluated from the
     shared cache.  Results are numerically identical to the serial run.
+
+    With a ``store`` every cell is recorded into the warehouse under one
+    run (default ``heatmap:<condition>``), so the heatmap can later be
+    re-rendered, queried, or diffed without recomputation.
     """
     measurements: Dict[Tuple[str, str], ConformanceMeasurement] = {}
     stack_names = (
@@ -188,8 +209,10 @@ def conformance_heatmap(
             jobs += measurement_trial_jobs(stack_name, cca, condition, config)
         executor.run(jobs, campaign=f"heatmap:{condition.describe()}")
         cache = executor.cache
+    run_name = store_run or f"heatmap:{condition.describe()}"
     for stack_name, cca in cells:
         measurements[(stack_name, cca)] = measure_conformance(
-            stack_name, cca, condition, config, cache=cache
+            stack_name, cca, condition, config, cache=cache,
+            store=store, store_run=run_name,
         )
     return measurements

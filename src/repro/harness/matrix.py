@@ -14,6 +14,7 @@ from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from repro.exec import Executor
+    from repro.store.warehouse import ResultStore
 
 from repro.harness import scenarios
 from repro.harness.cache import ResultCache
@@ -90,6 +91,13 @@ class MatrixResult:
     def worst_cells(self, count: int = 10) -> List[ConformanceMeasurement]:
         return sorted(self.measurements, key=lambda m: m.conformance)[:count]
 
+    def save_store(self, store: "ResultStore", run: str = "matrix") -> int:
+        """Record every measurement into a results warehouse run."""
+        run_info = store.ensure_run(run)
+        for measurement in self.measurements:
+            store.record_measurement(run_info, measurement)
+        return len(self.measurements)
+
 
 def run_matrix(
     conditions: Optional[Sequence[NetworkCondition]] = None,
@@ -98,6 +106,8 @@ def run_matrix(
     cache: Optional[ResultCache] = None,
     progress: Optional[Callable[[str], None]] = None,
     executor: Optional["Executor"] = None,
+    store: Optional["ResultStore"] = None,
+    store_run: str = "matrix",
 ) -> MatrixResult:
     """Measure every implementation at every condition.
 
@@ -107,7 +117,8 @@ def run_matrix(
     ``quick_experiment_config``) for interactive use.  An ``executor``
     runs every trial of the sweep as one parallel campaign first; the
     cells are then evaluated from the shared cache, with results
-    numerically identical to the serial sweep.
+    numerically identical to the serial sweep.  A ``store`` records the
+    finished dataset into the results warehouse under ``store_run``.
     """
     if conditions is None:
         conditions = scenarios.full_matrix()
@@ -132,4 +143,7 @@ def run_matrix(
             measurements.append(
                 measure_conformance(stack, cca, condition, config, cache=cache)
             )
-    return MatrixResult(measurements=measurements)
+    result = MatrixResult(measurements=measurements)
+    if store is not None:
+        result.save_store(store, run=store_run)
+    return result

@@ -9,9 +9,13 @@ from __future__ import annotations
 
 import csv
 import io
-from typing import Mapping, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.store.diff import RunDiff
+    from repro.store.warehouse import MetricRow
 
 #: Unicode shade ramp for heat cells (low -> high).
 _SHADES = " ░▒▓█"
@@ -119,6 +123,60 @@ def to_csv(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
     writer.writerow(headers)
     writer.writerows(rows)
     return buffer.getvalue()
+
+
+def format_metric_rows(
+    rows: Sequence["MetricRow"], title: Optional[str] = None
+) -> str:
+    """Warehouse query results as an aligned table (full precision)."""
+    return format_table(
+        ["run", "subject", "condition", "metric", "value"],
+        [
+            [r.run, r.subject(), r.condition or "-", r.metric,
+             "-" if r.value is None else f"{r.value:.6g}"]
+            for r in rows
+        ],
+        title=title,
+    )
+
+
+def format_run_diff(diff: "RunDiff") -> str:
+    """Human-readable release-over-release diff of two stored runs.
+
+    Verdict flips lead (they are the §6 signal), followed by metric
+    moves sorted by magnitude, then coverage changes.
+    """
+    lines = [
+        f"store diff: {diff.run_a} -> {diff.run_b} "
+        f"({diff.metric}, verdict threshold {diff.threshold:g})",
+        f"  compared {diff.compared} subjects: "
+        f"{len(diff.flips)} verdict flips, {len(diff.changed)} value changes, "
+        f"+{len(diff.added)} new, -{len(diff.removed)} gone",
+    ]
+    for flip in diff.flips:
+        before = "conformant" if flip.before_verdict else "non-conformant"
+        after = "conformant" if flip.after_verdict else "non-conformant"
+        lines.append(
+            f"  FLIP {flip.label()}: {before} ({flip.before:.3f}) -> "
+            f"{after} ({flip.after:.3f})"
+        )
+    for change in sorted(diff.changed, key=lambda c: -abs(c.delta)):
+        lines.append(
+            f"  move {change.label()}: {change.before:.3f} -> "
+            f"{change.after:.3f} ({change.delta:+.3f})"
+        )
+    def subject_label(subject) -> str:
+        stack, cca, variant, condition = subject
+        label = f"{stack}/{cca}" + ("" if variant == "default" else f"+{variant}")
+        return label + (f" @ {condition}" if condition else "")
+
+    for subject in diff.added:
+        lines.append("  new  " + subject_label(subject))
+    for subject in diff.removed:
+        lines.append("  gone " + subject_label(subject))
+    if diff.clean:
+        lines.append("  no differences")
+    return "\n".join(lines)
 
 
 def format_envelope_ascii(

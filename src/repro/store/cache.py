@@ -1,0 +1,82 @@
+"""A :class:`ResultCache` whose third tier is the warehouse.
+
+``StoreCache`` extends the harness's two-level (memory, disk) cache with
+read-through/write-through access to a :class:`ResultStore`: a campaign
+run with ``--store`` both *reuses* every trial any previous run already
+computed and *persists* every trial it computes, without any harness
+code changing — the cache keys are the warehouse's content-addressed
+trial identities already.
+
+The write path goes through the parent process only (workers of a
+``repro.exec`` pool carry plain worker-local caches; computed values are
+shipped back and inserted here), so a multi-worker campaign funnels its
+store writes through one connection while stray concurrent writers are
+still safe thanks to the store's WAL + retry discipline.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.harness.cache import ResultCache
+from repro.store.warehouse import ResultStore
+
+
+class StoreCache(ResultCache):
+    """Three-tier cache: memory LRU -> disk .npy -> results warehouse."""
+
+    def __init__(
+        self,
+        store: Union[ResultStore, str, Path],
+        directory: Optional[Union[str, Path]] = None,
+        enabled: bool = True,
+        max_entries: Optional[int] = None,
+    ):
+        super().__init__(
+            directory=directory, enabled=enabled, max_entries=max_entries
+        )
+        self._owns_store = not isinstance(store, ResultStore)
+        self.store = store if isinstance(store, ResultStore) else ResultStore(store)
+        #: Counters for telemetry: how many lookups the warehouse served
+        #: and how many payloads were persisted through this cache.
+        self.store_hits = 0
+        self.store_puts = 0
+
+    def get(self, key: str) -> Optional[np.ndarray]:
+        value = super().get(key)
+        if value is not None or not self.enabled:
+            return value
+        stored = self.store.get_trial(key)
+        if stored is None:
+            return None
+        # Promote into the faster tiers and convert the miss that
+        # ``super().get`` counted into a hit: the campaign did not have
+        # to simulate anything.
+        self._remember(key, stored)
+        self.misses -= 1
+        self.hits += 1
+        self.store_hits += 1
+        return stored
+
+    def put(self, key: str, value: np.ndarray) -> np.ndarray:
+        value = super().put(key, value)
+        if self.enabled:
+            if self.store.put_trial(key, value):
+                self.store_puts += 1
+        return value
+
+    def counters(self) -> dict:
+        out = super().counters()
+        out["store_hits"] = self.store_hits
+        out["store_puts"] = self.store_puts
+        return out
+
+    def close(self) -> None:
+        if self._owns_store:
+            self.store.close()
+
+
+__all__ = ["StoreCache"]

@@ -1,0 +1,169 @@
+"""Release-over-release comparison of stored runs.
+
+The paper's §6 workflow — re-measure every stack against every new
+kernel milestone — reduces to one question per implementation: *did the
+number move, and did the verdict flip?*  :func:`diff_runs` answers both
+for any pair of stored runs; :func:`diff_against_baseline` anchors the
+comparison at a named baseline (``release-1.2``, ``paper-protocol``...)
+so CI can fail on regressions without hard-coding run names.
+
+Verdict semantics match :class:`repro.harness.regression.RegressionRow`:
+an implementation is conformant when its ``conf`` metric is >= the
+threshold (0.5 by default), and a *flip* is a subject whose verdict
+differs between the two runs — exactly the condition
+``regression_matrix``'s ``verdict_flips`` computes in memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.store.warehouse import ResultStore, RunRef, StoreError
+
+#: Conformance >= threshold == "conformant", the paper's working cutoff.
+DEFAULT_VERDICT_THRESHOLD = 0.5
+
+#: (stack, cca, variant, condition) — one measured subject.
+SubjectKey = Tuple[str, str, str, str]
+
+
+def _subject_label(key: SubjectKey) -> str:
+    stack, cca, variant, condition = key
+    suffix = "" if variant == "default" else f"+{variant}"
+    at = f" @ {condition}" if condition else ""
+    return f"{stack}/{cca}{suffix}{at}"
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One subject's metric value in both runs."""
+
+    subject: SubjectKey
+    metric: str
+    before: float
+    after: float
+
+    @property
+    def delta(self) -> float:
+        return self.after - self.before
+
+    def label(self) -> str:
+        return _subject_label(self.subject)
+
+
+@dataclass(frozen=True)
+class VerdictFlip:
+    """A subject whose conformant/non-conformant verdict changed."""
+
+    subject: SubjectKey
+    before: float
+    after: float
+    threshold: float
+
+    @property
+    def before_verdict(self) -> bool:
+        return self.before >= self.threshold
+
+    @property
+    def after_verdict(self) -> bool:
+        return self.after >= self.threshold
+
+    def label(self) -> str:
+        return _subject_label(self.subject)
+
+
+@dataclass
+class RunDiff:
+    """Everything that changed between two stored runs."""
+
+    run_a: str
+    run_b: str
+    metric: str
+    threshold: float
+    #: Subjects only measured in run_b / only in run_a.
+    added: List[SubjectKey] = field(default_factory=list)
+    removed: List[SubjectKey] = field(default_factory=list)
+    #: Shared subjects whose verdict metric moved by more than ``atol``.
+    changed: List[MetricDelta] = field(default_factory=list)
+    #: Shared subjects whose conformance verdict flipped.
+    flips: List[VerdictFlip] = field(default_factory=list)
+    #: Shared subjects, for rate computations.
+    compared: int = 0
+
+    @property
+    def clean(self) -> bool:
+        """True when nothing moved: same subjects, same verdicts, same values."""
+        return not (self.added or self.removed or self.changed or self.flips)
+
+    def flip_subjects(self) -> List[str]:
+        return [flip.label() for flip in self.flips]
+
+
+def diff_runs(
+    store: ResultStore,
+    run_a: RunRef,
+    run_b: RunRef,
+    metric: str = "conf",
+    threshold: float = DEFAULT_VERDICT_THRESHOLD,
+    atol: float = 0.0,
+) -> RunDiff:
+    """Compare ``metric`` across two runs, flagging moves and flips.
+
+    Subjects are matched by (stack, cca, variant, condition); ``atol``
+    suppresses change records for numeric noise below the tolerance
+    (flips are never suppressed).
+    """
+    info_a = store.run(run_a)
+    info_b = store.run(run_b)
+    table_a = store.metric_table(info_a, metric)
+    table_b = store.metric_table(info_b, metric)
+
+    diff = RunDiff(
+        run_a=info_a.name, run_b=info_b.name, metric=metric, threshold=threshold
+    )
+    diff.added = sorted(set(table_b) - set(table_a))
+    diff.removed = sorted(set(table_a) - set(table_b))
+    shared = sorted(set(table_a) & set(table_b))
+    diff.compared = len(shared)
+    for subject in shared:
+        before, after = table_a[subject], table_b[subject]
+        if abs(after - before) > atol:
+            diff.changed.append(
+                MetricDelta(subject=subject, metric=metric, before=before, after=after)
+            )
+        if (before >= threshold) != (after >= threshold):
+            diff.flips.append(
+                VerdictFlip(
+                    subject=subject, before=before, after=after, threshold=threshold
+                )
+            )
+    return diff
+
+
+def diff_against_baseline(
+    store: ResultStore,
+    run: RunRef,
+    baseline: str,
+    metric: str = "conf",
+    threshold: float = DEFAULT_VERDICT_THRESHOLD,
+    atol: float = 0.0,
+) -> RunDiff:
+    """Diff ``run`` against the run the named baseline points at."""
+    anchor = store.baseline_run(baseline)
+    if anchor is None:
+        raise StoreError(f"unknown baseline: {baseline!r}")
+    return diff_runs(
+        store, anchor, run, metric=metric, threshold=threshold, atol=atol
+    )
+
+
+__all__ = [
+    "DEFAULT_VERDICT_THRESHOLD",
+    "SubjectKey",
+    "MetricDelta",
+    "VerdictFlip",
+    "RunDiff",
+    "diff_runs",
+    "diff_against_baseline",
+]

@@ -1,0 +1,153 @@
+"""Warehouse schema: DDL, versioning, and the migration ladder.
+
+The store's on-disk layout is versioned through SQLite's ``user_version``
+pragma.  :data:`MIGRATIONS` is a ladder of functions — entry ``i``
+migrates a database at version ``i`` to version ``i + 1`` — and opening a
+store applies every rung between the file's version and
+:data:`STORE_SCHEMA_VERSION`.  A brand-new (or pre-warehouse, version-0)
+file is bootstrapped by the first rung; a file written by a *newer*
+repro is refused rather than silently misread.
+
+Adding a table or column later means appending one migration function
+and bumping :data:`STORE_SCHEMA_VERSION` — never editing an existing
+rung, since shipped databases may sit at any intermediate version.
+
+Tables
+------
+
+``runs``
+    One row per recorded campaign (a heatmap, a matrix sweep, one kernel
+    milestone of a regression run...).  Uniquely named.
+``trials``
+    Content-addressed trial payloads: the sampled point cloud of one
+    2-flow trial keyed by the same ``trial_identity`` cache key the
+    executor and the serial harness derive, so identical configurations
+    dedupe across runs.  Arrays are stored as raw bytes plus dtype and
+    shape, which round-trips bit-exactly.
+``run_trials``
+    Many-to-many link: which runs touched which trials.
+``measurements`` / ``metrics``
+    One ``measurements`` row per (run, subject, network condition), with
+    its scalar metric set (conf, conf_t, delta_tput_mbps, ...) in
+    ``metrics``.  Values are stored at full float64 precision — SQLite
+    REALs are IEEE doubles, so queried metrics are bit-identical to the
+    in-memory results that produced them.
+``baselines``
+    Named pointers to runs (e.g. ``release-1.2``), the anchors the diff
+    engine compares new runs against.
+``events``
+    Executor telemetry journal: campaign_start / job / campaign_end
+    records mirroring the JSONL manifest, but queryable.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Callable, List
+
+#: Version written to ``PRAGMA user_version`` by the newest code.
+STORE_SCHEMA_VERSION = 1
+
+
+class SchemaError(RuntimeError):
+    """The database schema cannot be used (too new, or corrupt)."""
+
+
+_BOOTSTRAP_DDL = """
+CREATE TABLE IF NOT EXISTS runs (
+    id          INTEGER PRIMARY KEY,
+    name        TEXT NOT NULL UNIQUE,
+    created_at  REAL NOT NULL,
+    note        TEXT NOT NULL DEFAULT '',
+    config      TEXT NOT NULL DEFAULT '{}'
+);
+
+CREATE TABLE IF NOT EXISTS trials (
+    key         TEXT PRIMARY KEY,
+    seed        INTEGER,
+    label       TEXT NOT NULL DEFAULT '',
+    dtype       TEXT NOT NULL,
+    shape       TEXT NOT NULL,
+    payload     BLOB NOT NULL,
+    created_at  REAL NOT NULL
+);
+
+CREATE TABLE IF NOT EXISTS run_trials (
+    run_id      INTEGER NOT NULL REFERENCES runs(id) ON DELETE CASCADE,
+    trial_key   TEXT NOT NULL REFERENCES trials(key) ON DELETE CASCADE,
+    PRIMARY KEY (run_id, trial_key)
+);
+
+CREATE TABLE IF NOT EXISTS measurements (
+    id              INTEGER PRIMARY KEY,
+    run_id          INTEGER NOT NULL REFERENCES runs(id) ON DELETE CASCADE,
+    stack           TEXT NOT NULL,
+    cca             TEXT NOT NULL,
+    variant         TEXT NOT NULL DEFAULT 'default',
+    bandwidth_mbps  REAL,
+    rtt_ms          REAL,
+    buffer_bdp      REAL,
+    condition       TEXT NOT NULL DEFAULT '',
+    UNIQUE (run_id, stack, cca, variant, bandwidth_mbps, rtt_ms, buffer_bdp)
+);
+
+CREATE TABLE IF NOT EXISTS metrics (
+    measurement_id  INTEGER NOT NULL REFERENCES measurements(id)
+                    ON DELETE CASCADE,
+    name            TEXT NOT NULL,
+    value           REAL,
+    PRIMARY KEY (measurement_id, name)
+);
+
+CREATE TABLE IF NOT EXISTS baselines (
+    name        TEXT PRIMARY KEY,
+    run_id      INTEGER NOT NULL REFERENCES runs(id) ON DELETE CASCADE,
+    created_at  REAL NOT NULL
+);
+
+CREATE TABLE IF NOT EXISTS events (
+    id          INTEGER PRIMARY KEY,
+    run_id      INTEGER REFERENCES runs(id) ON DELETE CASCADE,
+    campaign    TEXT NOT NULL DEFAULT '',
+    event       TEXT NOT NULL,
+    payload     TEXT NOT NULL DEFAULT '{}',
+    time        REAL NOT NULL
+);
+
+CREATE INDEX IF NOT EXISTS idx_measurements_subject
+    ON measurements (stack, cca, variant);
+CREATE INDEX IF NOT EXISTS idx_metrics_name ON metrics (name);
+CREATE INDEX IF NOT EXISTS idx_events_campaign ON events (campaign);
+"""
+
+
+def _migrate_0_to_1(conn: sqlite3.Connection) -> None:
+    """Bootstrap: create the full v1 layout in an empty/v0 database."""
+    conn.executescript(_BOOTSTRAP_DDL)
+
+
+#: ``MIGRATIONS[i]`` upgrades a version-``i`` database to ``i + 1``.
+MIGRATIONS: List[Callable[[sqlite3.Connection], None]] = [_migrate_0_to_1]
+
+
+def schema_version(conn: sqlite3.Connection) -> int:
+    return int(conn.execute("PRAGMA user_version").fetchone()[0])
+
+
+def migrate(conn: sqlite3.Connection) -> int:
+    """Bring ``conn`` to :data:`STORE_SCHEMA_VERSION`; return the version
+    the file was at before.  Refuses databases from a newer repro."""
+    found = schema_version(conn)
+    if found > STORE_SCHEMA_VERSION:
+        raise SchemaError(
+            f"store schema version {found} is newer than this code "
+            f"supports ({STORE_SCHEMA_VERSION}); upgrade repro"
+        )
+    for version in range(found, STORE_SCHEMA_VERSION):
+        with conn:
+            MIGRATIONS[version](conn)
+            conn.execute(f"PRAGMA user_version = {version + 1}")
+    return found
+
+
+__all__ = ["STORE_SCHEMA_VERSION", "MIGRATIONS", "SchemaError", "migrate", "schema_version"]

@@ -1,0 +1,657 @@
+"""`ResultStore`: the durable, multi-process-safe experiment warehouse.
+
+One SQLite file (WAL mode) holds everything a longitudinal campaign
+produces: content-addressed trial payloads, per-run scalar metrics,
+named baselines and executor telemetry (see :mod:`repro.store.schema`
+for the layout).  Every process opens its own :class:`ResultStore` on
+the same path; WAL plus a busy timeout and a bounded retry loop make
+concurrent writers from a ``repro.exec`` worker pool safe.
+
+Fidelity guarantees:
+
+* Trial arrays are stored as raw bytes + dtype + shape and reconstructed
+  with ``np.frombuffer``, so ``get_trial`` returns a bit-identical copy
+  of what ``put_trial`` was given.
+* Metric values are SQLite REALs (IEEE float64), so a queried
+  ``conf`` equals the in-memory ``result.conformance`` exactly.
+* Trials are keyed by the same ``trial_identity`` cache keys the serial
+  harness and ``repro.exec`` derive, so identical configurations dedupe
+  across runs — a re-measured release stores only what changed.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+import numpy as np
+
+from repro.store.schema import STORE_SCHEMA_VERSION, SchemaError, migrate
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.harness.config import NetworkCondition
+    from repro.harness.conformance import ConformanceMeasurement
+
+
+class StoreError(RuntimeError):
+    """A warehouse operation failed (unknown run, bad payload...)."""
+
+
+#: How long a writer keeps retrying on a locked database before giving
+#: up; generous because campaign ingest batches can hold the write lock
+#: for a while under heavy multi-process load.
+_LOCK_RETRY_S = 30.0
+_LOCK_RETRY_SLEEP_S = 0.01
+
+#: Metric names recorded for every conformance measurement, in the order
+#: reports print them.
+MEASUREMENT_METRICS = (
+    "conf",
+    "conf_t",
+    "conf_old",
+    "delta_tput_mbps",
+    "delta_delay_ms",
+    "k_test",
+    "k_ref",
+)
+
+
+@dataclass(frozen=True)
+class RunInfo:
+    """One recorded campaign."""
+
+    id: int
+    name: str
+    created_at: float
+    note: str = ""
+    config: Optional[dict] = None
+
+
+@dataclass(frozen=True)
+class MetricRow:
+    """One scalar metric of one measurement, fully labelled."""
+
+    run: str
+    stack: str
+    cca: str
+    variant: str
+    bandwidth_mbps: Optional[float]
+    rtt_ms: Optional[float]
+    buffer_bdp: Optional[float]
+    condition: str
+    metric: str
+    value: Optional[float]
+
+    def subject(self) -> str:
+        suffix = "" if self.variant == "default" else f"+{self.variant}"
+        return f"{self.stack}/{self.cca}{suffix}"
+
+
+#: Header order for CSV/JSON exports of :class:`MetricRow` lists.
+QUERY_HEADERS = [
+    "run",
+    "stack",
+    "cca",
+    "variant",
+    "bandwidth_mbps",
+    "rtt_ms",
+    "buffer_bdp",
+    "condition",
+    "metric",
+    "value",
+]
+
+RunRef = Union[int, str, RunInfo]
+
+
+class ResultStore:
+    """SQLite-backed experiment warehouse (WAL mode, multi-process safe).
+
+    Open one instance per process/thread; instances sharing a path see
+    each other's committed writes immediately.  Usable as a context
+    manager.
+    """
+
+    def __init__(self, path: Union[str, Path], timeout_s: float = 30.0):
+        self.path = Path(path)
+        if self.path.parent and not self.path.parent.exists():
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._conn = sqlite3.connect(str(self.path), timeout=timeout_s)
+        self._conn.row_factory = sqlite3.Row
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=NORMAL")
+        self._conn.execute("PRAGMA foreign_keys=ON")
+        self._retry(lambda: migrate(self._conn))
+
+    # ------------------------------------------------------------ plumbing
+
+    def close(self) -> None:
+        try:
+            self._conn.close()
+        except sqlite3.Error:  # pragma: no cover - close is best-effort
+            pass
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    @staticmethod
+    def _locked(exc: sqlite3.OperationalError) -> bool:
+        text = str(exc).lower()
+        return "locked" in text or "busy" in text
+
+    def _retry(self, fn):
+        """Run ``fn`` with bounded retries while the database is locked.
+
+        SQLite's busy timeout covers most contention, but a writer can
+        still lose the race for the WAL write lock at COMMIT time under a
+        spawn pool hammering one file; retrying the whole transaction is
+        the documented recovery.
+        """
+        deadline = time.monotonic() + _LOCK_RETRY_S
+        while True:
+            try:
+                return fn()
+            except sqlite3.OperationalError as exc:
+                if not self._locked(exc) or time.monotonic() >= deadline:
+                    raise
+                time.sleep(_LOCK_RETRY_SLEEP_S)
+
+    def _write(self, fn):
+        """One retried write transaction around ``fn(conn)``."""
+
+        def attempt():
+            with self._conn:
+                return fn(self._conn)
+
+        return self._retry(attempt)
+
+    # ---------------------------------------------------------------- runs
+
+    def ensure_run(
+        self,
+        name: str,
+        note: str = "",
+        config: Optional[Mapping] = None,
+    ) -> RunInfo:
+        """Get-or-create the run called ``name``.
+
+        Re-recording into an existing run upserts measurements in place,
+        which is what longitudinal re-measurement wants: one run per
+        (campaign, release), always holding the latest numbers.
+        """
+
+        def insert(conn):
+            conn.execute(
+                "INSERT OR IGNORE INTO runs (name, created_at, note, config) "
+                "VALUES (?, ?, ?, ?)",
+                (name, time.time(), note, json.dumps(dict(config or {}))),
+            )
+
+        self._write(insert)
+        return self.run(name)
+
+    def run(self, ref: RunRef) -> RunInfo:
+        """Resolve a run by id, name, or pass a RunInfo through."""
+        if isinstance(ref, RunInfo):
+            return ref
+        if isinstance(ref, int):
+            row = self._conn.execute(
+                "SELECT * FROM runs WHERE id = ?", (ref,)
+            ).fetchone()
+        else:
+            row = self._conn.execute(
+                "SELECT * FROM runs WHERE name = ?", (ref,)
+            ).fetchone()
+        if row is None:
+            raise StoreError(f"unknown run: {ref!r}")
+        return self._run_info(row)
+
+    def has_run(self, name: str) -> bool:
+        row = self._conn.execute(
+            "SELECT 1 FROM runs WHERE name = ?", (name,)
+        ).fetchone()
+        return row is not None
+
+    def runs(self) -> List[RunInfo]:
+        rows = self._conn.execute("SELECT * FROM runs ORDER BY id").fetchall()
+        return [self._run_info(row) for row in rows]
+
+    @staticmethod
+    def _run_info(row: sqlite3.Row) -> RunInfo:
+        try:
+            config = json.loads(row["config"])
+        except (TypeError, ValueError):
+            config = None
+        return RunInfo(
+            id=row["id"],
+            name=row["name"],
+            created_at=row["created_at"],
+            note=row["note"],
+            config=config,
+        )
+
+    # -------------------------------------------------------------- trials
+
+    def put_trial(
+        self,
+        key: str,
+        value: np.ndarray,
+        seed: Optional[int] = None,
+        label: str = "",
+        run: Optional[RunRef] = None,
+    ) -> bool:
+        """Store one trial payload; returns True if the key was new.
+
+        Payloads are content-addressed: a key already present is left
+        untouched (the content hash guarantees it is the same array), so
+        concurrent writers and repeated campaigns dedupe for free.
+        """
+        array = np.ascontiguousarray(np.asarray(value))
+        run_id = self.run(run).id if run is not None else None
+
+        def insert(conn) -> bool:
+            cursor = conn.execute(
+                "INSERT OR IGNORE INTO trials "
+                "(key, seed, label, dtype, shape, payload, created_at) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?)",
+                (
+                    key,
+                    seed,
+                    label,
+                    array.dtype.str,
+                    json.dumps(list(array.shape)),
+                    sqlite3.Binary(array.tobytes()),
+                    time.time(),
+                ),
+            )
+            if run_id is not None:
+                conn.execute(
+                    "INSERT OR IGNORE INTO run_trials (run_id, trial_key) "
+                    "VALUES (?, ?)",
+                    (run_id, key),
+                )
+            return cursor.rowcount > 0
+
+        return bool(self._write(insert))
+
+    def put_trials(
+        self,
+        items: Iterable[Tuple[str, np.ndarray]],
+        run: Optional[RunRef] = None,
+    ) -> int:
+        """Batch insert; one transaction, returns how many keys were new."""
+        run_id = self.run(run).id if run is not None else None
+        prepared = []
+        for key, value in items:
+            array = np.ascontiguousarray(np.asarray(value))
+            prepared.append(
+                (
+                    key,
+                    None,
+                    "",
+                    array.dtype.str,
+                    json.dumps(list(array.shape)),
+                    sqlite3.Binary(array.tobytes()),
+                    time.time(),
+                )
+            )
+
+        def insert(conn) -> int:
+            before = conn.execute("SELECT COUNT(*) FROM trials").fetchone()[0]
+            conn.executemany(
+                "INSERT OR IGNORE INTO trials "
+                "(key, seed, label, dtype, shape, payload, created_at) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?)",
+                prepared,
+            )
+            if run_id is not None:
+                conn.executemany(
+                    "INSERT OR IGNORE INTO run_trials (run_id, trial_key) "
+                    "VALUES (?, ?)",
+                    [(run_id, row[0]) for row in prepared],
+                )
+            after = conn.execute("SELECT COUNT(*) FROM trials").fetchone()[0]
+            return after - before
+
+        return int(self._write(insert))
+
+    def get_trial(self, key: str) -> Optional[np.ndarray]:
+        """The stored payload for ``key``, bit-identical, or None."""
+        row = self._conn.execute(
+            "SELECT dtype, shape, payload FROM trials WHERE key = ?", (key,)
+        ).fetchone()
+        if row is None:
+            return None
+        try:
+            shape = tuple(json.loads(row["shape"]))
+            array = np.frombuffer(row["payload"], dtype=np.dtype(row["dtype"]))
+            return array.reshape(shape).copy()
+        except (ValueError, TypeError) as exc:
+            raise StoreError(f"corrupt trial payload for key {key}: {exc}")
+
+    def has_trial(self, key: str) -> bool:
+        row = self._conn.execute(
+            "SELECT 1 FROM trials WHERE key = ?", (key,)
+        ).fetchone()
+        return row is not None
+
+    def trial_keys(self, run: Optional[RunRef] = None) -> List[str]:
+        if run is None:
+            rows = self._conn.execute("SELECT key FROM trials ORDER BY key")
+        else:
+            rows = self._conn.execute(
+                "SELECT trial_key AS key FROM run_trials WHERE run_id = ? "
+                "ORDER BY trial_key",
+                (self.run(run).id,),
+            )
+        return [row["key"] for row in rows.fetchall()]
+
+    def link_trial(self, run: RunRef, key: str) -> None:
+        run_id = self.run(run).id
+        self._write(
+            lambda conn: conn.execute(
+                "INSERT OR IGNORE INTO run_trials (run_id, trial_key) "
+                "VALUES (?, ?)",
+                (run_id, key),
+            )
+        )
+
+    # --------------------------------------------------- measurements/metrics
+
+    def record_metrics(
+        self,
+        run: RunRef,
+        stack: str,
+        cca: str,
+        metrics: Mapping[str, Optional[float]],
+        variant: str = "default",
+        condition: Optional["NetworkCondition"] = None,
+    ) -> int:
+        """Upsert one measurement row plus its scalar metrics.
+
+        The measurement identity is (run, stack, cca, variant, physical
+        condition); recording the same identity again replaces its
+        metric values — the warehouse keeps the latest numbers per run.
+        Returns the measurement id.
+        """
+        run_id = self.run(run).id
+        if condition is not None:
+            bandwidth = float(condition.bandwidth_mbps)
+            rtt = float(condition.rtt_ms)
+            buffer_bdp = float(condition.buffer_bdp)
+            describe = condition.describe()
+        else:
+            bandwidth = rtt = buffer_bdp = None
+            describe = ""
+
+        def upsert(conn) -> int:
+            # Select-first rather than ON CONFLICT: SQLite's UNIQUE treats
+            # NULLs as distinct, so condition-less measurements would
+            # otherwise accumulate duplicate rows.
+            found = conn.execute(
+                "SELECT id FROM measurements WHERE run_id = ? AND stack = ? "
+                "AND cca = ? AND variant = ? AND bandwidth_mbps IS ? "
+                "AND rtt_ms IS ? AND buffer_bdp IS ?",
+                (run_id, stack, cca, variant, bandwidth, rtt, buffer_bdp),
+            ).fetchone()
+            if found is None:
+                cursor = conn.execute(
+                    "INSERT INTO measurements "
+                    "(run_id, stack, cca, variant, bandwidth_mbps, rtt_ms, "
+                    " buffer_bdp, condition) VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                    (run_id, stack, cca, variant, bandwidth, rtt, buffer_bdp, describe),
+                )
+                measurement_id = int(cursor.lastrowid)
+            else:
+                measurement_id = int(found["id"])
+            conn.executemany(
+                "INSERT INTO metrics (measurement_id, name, value) "
+                "VALUES (?, ?, ?) "
+                "ON CONFLICT (measurement_id, name) DO UPDATE "
+                "SET value = excluded.value",
+                [
+                    (measurement_id, name, None if value is None else float(value))
+                    for name, value in metrics.items()
+                ],
+            )
+            return measurement_id
+
+        return int(self._write(upsert))
+
+    def record_measurement(
+        self, run: RunRef, measurement: "ConformanceMeasurement"
+    ) -> int:
+        """Record a harness conformance measurement at full precision."""
+        result = measurement.result
+        return self.record_metrics(
+            run,
+            stack=measurement.impl.stack,
+            cca=measurement.impl.cca,
+            variant=measurement.impl.variant,
+            condition=measurement.condition,
+            metrics={
+                "conf": result.conformance,
+                "conf_t": result.conformance_t,
+                "conf_old": result.conformance_legacy,
+                "delta_tput_mbps": result.delta_throughput_mbps,
+                "delta_delay_ms": result.delta_delay_ms,
+                "k_test": float(result.test_envelope.k),
+                "k_ref": float(result.reference_envelope.k),
+            },
+        )
+
+    # ---------------------------------------------------------------- query
+
+    def query(
+        self,
+        run: Optional[RunRef] = None,
+        stack: Optional[str] = None,
+        cca: Optional[str] = None,
+        variant: Optional[str] = None,
+        condition: Optional[str] = None,
+        metric: Optional[str] = None,
+    ) -> List[MetricRow]:
+        """Filtered metric rows, deterministically ordered.
+
+        ``condition`` matches the recorded ``describe()`` string (e.g.
+        ``20mbps-10ms-1bdp``).  All filters are conjunctive; None means
+        "any".
+        """
+        sql = (
+            "SELECT runs.name AS run, m.stack, m.cca, m.variant, "
+            "m.bandwidth_mbps, m.rtt_ms, m.buffer_bdp, m.condition, "
+            "metrics.name AS metric, metrics.value "
+            "FROM metrics "
+            "JOIN measurements m ON m.id = metrics.measurement_id "
+            "JOIN runs ON runs.id = m.run_id"
+        )
+        clauses, params = [], []
+        if run is not None:
+            clauses.append("m.run_id = ?")
+            params.append(self.run(run).id)
+        for column, value in (
+            ("m.stack", stack),
+            ("m.cca", cca),
+            ("m.variant", variant),
+            ("m.condition", condition),
+            ("metrics.name", metric),
+        ):
+            if value is not None:
+                clauses.append(f"{column} = ?")
+                params.append(value)
+        if clauses:
+            sql += " WHERE " + " AND ".join(clauses)
+        sql += (
+            " ORDER BY runs.name, m.stack, m.cca, m.variant, "
+            "m.bandwidth_mbps, m.rtt_ms, m.buffer_bdp, metrics.name"
+        )
+        return [
+            MetricRow(
+                run=row["run"],
+                stack=row["stack"],
+                cca=row["cca"],
+                variant=row["variant"],
+                bandwidth_mbps=row["bandwidth_mbps"],
+                rtt_ms=row["rtt_ms"],
+                buffer_bdp=row["buffer_bdp"],
+                condition=row["condition"],
+                metric=row["metric"],
+                value=row["value"],
+            )
+            for row in self._conn.execute(sql, params).fetchall()
+        ]
+
+    def metric_table(
+        self, run: RunRef, metric: str = "conf"
+    ) -> Dict[Tuple[str, str, str, str], float]:
+        """One run's values of ``metric``, keyed by
+        (stack, cca, variant, condition)."""
+        return {
+            (row.stack, row.cca, row.variant, row.condition): row.value
+            for row in self.query(run=run, metric=metric)
+            if row.value is not None
+        }
+
+    @staticmethod
+    def rows_as_lists(rows: Sequence[MetricRow]) -> List[List]:
+        return [
+            [
+                r.run, r.stack, r.cca, r.variant, r.bandwidth_mbps,
+                r.rtt_ms, r.buffer_bdp, r.condition, r.metric, r.value,
+            ]
+            for r in rows
+        ]
+
+    @staticmethod
+    def export_csv(rows: Sequence[MetricRow]) -> str:
+        from repro.harness.reporting import to_csv
+
+        return to_csv(QUERY_HEADERS, ResultStore.rows_as_lists(rows))
+
+    @staticmethod
+    def export_json(rows: Sequence[MetricRow]) -> str:
+        return json.dumps(
+            [dict(zip(QUERY_HEADERS, row)) for row in ResultStore.rows_as_lists(rows)],
+            indent=2,
+            sort_keys=True,
+        )
+
+    # ------------------------------------------------------------- baselines
+
+    def set_baseline(self, name: str, run: RunRef) -> None:
+        """Point the named baseline at ``run`` (create or move)."""
+        run_id = self.run(run).id
+        self._write(
+            lambda conn: conn.execute(
+                "INSERT INTO baselines (name, run_id, created_at) "
+                "VALUES (?, ?, ?) "
+                "ON CONFLICT (name) DO UPDATE SET run_id = excluded.run_id, "
+                "created_at = excluded.created_at",
+                (name, run_id, time.time()),
+            )
+        )
+
+    def baseline_run(self, name: str) -> Optional[RunInfo]:
+        row = self._conn.execute(
+            "SELECT run_id FROM baselines WHERE name = ?", (name,)
+        ).fetchone()
+        return None if row is None else self.run(int(row["run_id"]))
+
+    def baselines(self) -> Dict[str, str]:
+        """baseline name -> run name."""
+        rows = self._conn.execute(
+            "SELECT baselines.name AS name, runs.name AS run FROM baselines "
+            "JOIN runs ON runs.id = baselines.run_id ORDER BY baselines.name"
+        ).fetchall()
+        return {row["name"]: row["run"] for row in rows}
+
+    # ---------------------------------------------------------------- events
+
+    def record_event(
+        self,
+        event: str,
+        campaign: str = "",
+        payload: Optional[Mapping] = None,
+        run: Optional[RunRef] = None,
+    ) -> None:
+        run_id = self.run(run).id if run is not None else None
+        self._write(
+            lambda conn: conn.execute(
+                "INSERT INTO events (run_id, campaign, event, payload, time) "
+                "VALUES (?, ?, ?, ?, ?)",
+                (
+                    run_id,
+                    campaign,
+                    event,
+                    json.dumps(dict(payload or {}), sort_keys=True, default=str),
+                    time.time(),
+                ),
+            )
+        )
+
+    def events(self, campaign: Optional[str] = None) -> List[dict]:
+        sql = "SELECT campaign, event, payload, time FROM events"
+        params: Tuple = ()
+        if campaign is not None:
+            sql += " WHERE campaign = ?"
+            params = (campaign,)
+        sql += " ORDER BY id"
+        out = []
+        for row in self._conn.execute(sql, params).fetchall():
+            try:
+                payload = json.loads(row["payload"])
+            except (TypeError, ValueError):
+                payload = {}
+            out.append(
+                {
+                    "campaign": row["campaign"],
+                    "event": row["event"],
+                    "time": row["time"],
+                    **payload,
+                }
+            )
+        return out
+
+    # --------------------------------------------------------------- summary
+
+    def counts(self) -> Dict[str, int]:
+        """Row counts per table, for status lines and tests."""
+        out = {}
+        for table in ("runs", "trials", "run_trials", "measurements", "metrics", "baselines", "events"):
+            out[table] = int(
+                self._conn.execute(f"SELECT COUNT(*) FROM {table}").fetchone()[0]
+            )
+        out["schema_version"] = STORE_SCHEMA_VERSION
+        return out
+
+    def integrity_ok(self) -> bool:
+        row = self._conn.execute("PRAGMA integrity_check").fetchone()
+        return row is not None and row[0] == "ok"
+
+
+__all__ = [
+    "ResultStore",
+    "RunInfo",
+    "MetricRow",
+    "StoreError",
+    "SchemaError",
+    "QUERY_HEADERS",
+    "MEASUREMENT_METRICS",
+]

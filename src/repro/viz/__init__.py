@@ -14,6 +14,7 @@ from repro.viz.charts import (
     line_figure,
     save_figure,
 )
+from repro.viz.store import stored_heatmap_figure, stored_heatmap_matrix
 
 __all__ = [
     "SvgCanvas",
@@ -21,4 +22,6 @@ __all__ = [
     "heatmap_figure",
     "line_figure",
     "save_figure",
+    "stored_heatmap_figure",
+    "stored_heatmap_matrix",
 ]

@@ -1,0 +1,71 @@
+"""Figures straight from the results warehouse.
+
+Rendering a stored run closes the loop the ROADMAP's longitudinal
+workflow needs: measure once (``--store``), then re-render heatmaps for
+any past run — or for a metric other than the one originally printed —
+without touching the simulator.
+
+The pivot is deliberately simple: rows are stacks, columns are CCAs
+(suffixed with the network condition when a run spans several), and the
+cell value is the requested metric.  Missing cells render as NaN
+(blank), matching :func:`repro.viz.charts.heatmap_figure` semantics.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+import numpy as np
+
+from repro.viz.charts import heatmap_figure
+from repro.viz.svg import SvgCanvas
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.store.warehouse import ResultStore
+
+
+def stored_heatmap_matrix(
+    store: "ResultStore", run, metric: str = "conf"
+) -> Tuple[List[str], List[str], np.ndarray]:
+    """Pivot one run's metric into (row labels, col labels, values)."""
+    table = store.metric_table(run, metric)
+    if not table:
+        raise ValueError(f"run {run!r} holds no {metric!r} metrics")
+    conditions = sorted({cond for (_s, _c, _v, cond) in table})
+    multi_condition = len(conditions) > 1
+    rows = sorted({stack for (stack, _c, _v, _cond) in table})
+    cols: List[str] = []
+    col_keys: List[Tuple[str, str]] = []
+    for cca in sorted({cca for (_s, cca, _v, _cond) in table}):
+        for cond in conditions:
+            if any(c == cca and cd == cond for (_s, c, _v, cd) in table):
+                col_keys.append((cca, cond))
+                cols.append(f"{cca}@{cond}" if multi_condition else cca)
+    values = np.full((len(rows), len(cols)), np.nan)
+    for (stack, cca, variant, cond), value in table.items():
+        if variant != "default":
+            continue  # variants are queryable but would double-book cells
+        i = rows.index(stack)
+        j = col_keys.index((cca, cond))
+        values[i, j] = value
+    return rows, cols, values
+
+
+def stored_heatmap_figure(
+    store: "ResultStore",
+    run,
+    metric: str = "conf",
+    title: Optional[str] = None,
+) -> SvgCanvas:
+    """Render one stored run as an SVG heatmap (Fig. 6 style)."""
+    rows, cols, values = stored_heatmap_matrix(store, run, metric)
+    run_name = store.run(run).name
+    return heatmap_figure(
+        rows,
+        cols,
+        values,
+        title=title or f"{metric} — run {run_name}",
+    )
+
+
+__all__ = ["stored_heatmap_matrix", "stored_heatmap_figure"]

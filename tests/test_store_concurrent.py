@@ -1,0 +1,78 @@
+"""Multi-process safety: a spawn pool hammering one warehouse file.
+
+Worker functions are module-level so they pickle under the ``spawn``
+start method (the same start method ``repro.exec`` uses).
+"""
+
+import multiprocessing as mp
+
+import numpy as np
+
+from repro.harness.config import NetworkCondition
+from repro.store import ResultStore
+
+COND = NetworkCondition(bandwidth_mbps=20.0, rtt_ms=10.0, buffer_bdp=1.0)
+
+WORKERS = 4
+WRITES_PER_WORKER = 25
+
+
+def _hammer(args):
+    """One worker: its own connection, many small write transactions."""
+    path, worker = args
+    with ResultStore(path) as store:
+        run = store.ensure_run(f"run-{worker}")
+        shared_run = store.ensure_run("shared")
+        for i in range(WRITES_PER_WORKER):
+            # Every worker also writes the same shared keys — the
+            # content-addressed dedupe has to survive the race.
+            store.put_trial(f"shared-{i}", np.full(8, float(i)), run=shared_run)
+            store.put_trial(f"w{worker}-{i}", np.full(4, float(worker)), run=run)
+            store.record_metrics(
+                run, stack=f"stack{worker}", cca="cubic",
+                metrics={"conf": i / WRITES_PER_WORKER}, condition=COND,
+            )
+        store.record_event("campaign_end", campaign=f"run-{worker}")
+    return worker
+
+
+def test_spawn_pool_hammering_one_database(tmp_path):
+    path = str(tmp_path / "contested.db")
+    ResultStore(path).close()  # bootstrap once so workers race only on writes
+    ctx = mp.get_context("spawn")
+    with ctx.Pool(WORKERS) as pool:
+        done = pool.map(_hammer, [(path, w) for w in range(WORKERS)])
+    assert sorted(done) == list(range(WORKERS))
+
+    with ResultStore(path) as store:
+        assert store.integrity_ok()
+        counts = store.counts()
+        # Shared keys deduped to one row each; private keys all distinct.
+        assert counts["trials"] == WRITES_PER_WORKER * (WORKERS + 1)
+        assert counts["runs"] == WORKERS + 1
+        # Each worker's metric upserts collapsed onto one measurement.
+        assert counts["measurements"] == WORKERS
+        assert counts["events"] == WORKERS
+        for i in range(WRITES_PER_WORKER):
+            assert np.array_equal(
+                store.get_trial(f"shared-{i}"), np.full(8, float(i))
+            )
+        assert len(store.trial_keys("shared")) == WRITES_PER_WORKER
+        for worker in range(WORKERS):
+            (row,) = store.query(run=f"run-{worker}", metric="conf")
+            assert row.value == (WRITES_PER_WORKER - 1) / WRITES_PER_WORKER
+
+
+def test_two_connections_see_each_others_commits(tmp_path):
+    path = tmp_path / "pair.db"
+    a, b = ResultStore(path), ResultStore(path)
+    try:
+        a.put_trial("k", np.arange(4.0))
+        assert b.has_trial("k")
+        run = b.ensure_run("r")
+        b.record_metrics(run, stack="s", cca="c", metrics={"conf": 0.5})
+        (row,) = a.query(run="r")
+        assert row.value == 0.5
+    finally:
+        a.close()
+        b.close()
