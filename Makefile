@@ -4,7 +4,7 @@
 # numerically identical at any job count.  e.g. `make bench JOBS=4`.
 JOBS ?= 1
 
-.PHONY: install test bench quick-bench store-smoke clean-cache loc
+.PHONY: install test bench quick-bench store-smoke service-smoke clean-cache loc
 
 install:
 	pip install -e .
@@ -28,6 +28,12 @@ store-smoke:
 	PYTHONPATH=src python -m repro store runs --db /tmp/quicbench-smoke.db
 	PYTHONPATH=src python -m repro store diff --db /tmp/quicbench-smoke.db \
 	  --run-a "regression:5.13-stock" --run-b "regression:pre-hystart"
+
+# Campaign-service exercise over a real process boundary: boot `repro
+# serve`, submit over HTTP, stream events, verify bit-identical metrics,
+# SIGTERM (the same flow CI runs).
+service-smoke:
+	python examples/service_smoke.py
 
 clean-cache:
 	rm -rf benchmarks/.quicbench_cache benchmarks/output

@@ -18,6 +18,8 @@ Layout
                     timeouts, run telemetry; bit-identical to serial)
 ``repro.store``     durable results warehouse (SQLite runs/trials/metrics,
                     query + export, run diffing, regression baselines)
+``repro.service``   long-running campaign service (HTTP API, journaled
+                    priority scheduler, live progress, Prometheus metrics)
 
 Quick start
 -----------

@@ -27,6 +27,13 @@ The warehouse itself is driven by ``quicbench store``:
   conformance-verdict flips.
 * ``store baseline`` — name a run as a regression anchor.
 * ``store render`` — re-render a stored run as an SVG heatmap.
+* ``store gc`` — purge trial payloads no run links to, then vacuum.
+
+The long-running campaign service (``repro.service``) is driven by:
+
+* ``quicbench serve`` — boot the HTTP API + scheduler on a warehouse.
+* ``quicbench submit`` — POST a campaign spec (JSON file or stdin).
+* ``quicbench watch`` — stream a campaign's live progress events.
 """
 
 from __future__ import annotations
@@ -713,6 +720,116 @@ def cmd_store_baseline(args) -> int:
     return 0
 
 
+def cmd_store_gc(args) -> int:
+    """Purge unlinked trial payloads and vacuum the warehouse file."""
+    from repro.store import ResultStore
+
+    with ResultStore(args.db) as store:
+        report = store.gc(dry_run=args.dry_run)
+    verb = "would purge" if args.dry_run else "purged"
+    print(
+        f"{verb} {report['unlinked']} of {report['trials_total']} trials "
+        f"({report['unlinked_bytes'] / 1e6:.2f} MB of payload)"
+    )
+    if not args.dry_run:
+        print(
+            f"vacuumed: {report['size_before'] / 1e6:.2f} MB -> "
+            f"{report['size_after'] / 1e6:.2f} MB"
+        )
+    return 0
+
+
+def cmd_serve(args) -> int:
+    """Boot the campaign service (HTTP API + scheduler) on a warehouse."""
+    from repro.service import ServiceApp
+
+    app = ServiceApp(
+        store_path=args.db,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        exec_jobs=args.jobs,
+        max_pending=args.max_pending,
+    )
+    app.install_signal_handlers()
+    app.start()
+    if app.resumed:
+        print(f"resumed {len(app.resumed)} pending campaign(s) from the journal")
+    print(f"repro service listening on {app.url} (store: {args.db})", flush=True)
+    app.wait()
+    print("repro service stopped (pending campaigns remain journaled)")
+    return 0
+
+
+def _read_spec(path: str) -> dict:
+    import json
+
+    if path == "-":
+        text = sys.stdin.read()
+    else:
+        with open(path) as handle:
+            text = handle.read()
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"spec is not valid JSON: {exc}")
+
+
+def _print_event(event: dict) -> None:
+    kind = event.get("event", "?")
+    if kind == "trial":
+        print(
+            f"  [{event.get('done')}/{event.get('total')}] "
+            f"{event.get('label')}: {event.get('status')}"
+        )
+    elif kind == "state":
+        suffix = f" ({event['error']})" if event.get("error") else ""
+        print(f"state: {event.get('state')}{suffix}")
+    else:
+        print(f"{kind}")
+
+
+def cmd_submit(args) -> int:
+    """Submit a campaign spec to a running service."""
+    from repro.service import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url)
+    spec = _read_spec(args.spec)
+    try:
+        campaign = client.submit_blocking(spec, priority=args.priority)
+    except ServiceError as exc:
+        print(f"submit rejected: {exc}", file=sys.stderr)
+        return 1
+    print(f"campaign {campaign['id']} queued (runs: {', '.join(campaign['runs'])})")
+    if not args.wait and not args.watch:
+        return 0
+    if args.watch:
+        for event in client.stream(campaign["id"]):
+            _print_event(event)
+    final = client.wait(campaign["id"], raise_on_failure=False)
+    statuses = ", ".join(
+        f"{count} {status}" for status, count in
+        sorted(final["trial_statuses"].items())
+    ) or "no trials"
+    print(f"campaign {final['id']}: {final['state']} ({statuses})")
+    return 0 if final["state"] == "done" else 1
+
+
+def cmd_watch(args) -> int:
+    """Stream one campaign's live progress events from a service."""
+    from repro.service import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url)
+    try:
+        for event in client.stream(args.id, after=args.after):
+            _print_event(event)
+        final = client.wait(args.id, raise_on_failure=False)
+    except ServiceError as exc:
+        print(f"watch failed: {exc}", file=sys.stderr)
+        return 1
+    return 0 if final["state"] == "done" else 1
+
+
 def cmd_store_render(args) -> int:
     """Re-render a stored run as an SVG heatmap."""
     from repro.store import ResultStore
@@ -727,10 +844,15 @@ def cmd_store_render(args) -> int:
 
 def build_parser() -> argparse.ArgumentParser:
     """The quicbench argument parser (one subcommand per experiment)."""
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="quicbench",
         description="Conformance testing for QUIC congestion control "
         "(reproduction of Mishra & Leong, IMC 2023).",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -885,6 +1007,47 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metric", default="conf")
     p.add_argument("--out", required=True)
     p.set_defaults(fn=cmd_store_render)
+
+    p = _store_parser("gc", "purge unlinked trial payloads and vacuum")
+    p.add_argument("--dry-run", action="store_true",
+                   help="report what would be purged without touching the file")
+    p.set_defaults(fn=cmd_store_gc)
+
+    p = sub.add_parser(
+        "serve", help="run the campaign service (HTTP API + scheduler)"
+    )
+    p.add_argument("--db", required=True, help="warehouse SQLite file")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8437,
+                   help="TCP port (0 = pick a free one; the chosen port "
+                   "is printed on the listening line)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="campaigns that may run concurrently")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes per campaign (per-campaign "
+                   "concurrency limit)")
+    p.add_argument("--max-pending", type=int, default=64,
+                   help="queued-campaign cap; beyond it POST /campaigns "
+                   "returns 429 + Retry-After")
+    p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser("submit", help="submit a campaign spec to a service")
+    p.add_argument("--url", required=True, help="service base URL")
+    p.add_argument("--spec", required=True,
+                   help="campaign spec JSON file ('-' reads stdin)")
+    p.add_argument("--priority", type=int, default=0)
+    p.add_argument("--wait", action="store_true",
+                   help="block until the campaign finishes")
+    p.add_argument("--watch", action="store_true",
+                   help="stream progress events while waiting")
+    p.set_defaults(fn=cmd_submit)
+
+    p = sub.add_parser("watch", help="stream a campaign's progress events")
+    p.add_argument("--url", required=True, help="service base URL")
+    p.add_argument("id", help="campaign id (from submit)")
+    p.add_argument("--after", type=int, default=0,
+                   help="resume the event stream after this cursor")
+    p.set_defaults(fn=cmd_watch)
 
     return parser
 

@@ -242,7 +242,16 @@ class StoreSink:
 
 
 class ProgressPrinter:
-    """Minimal CLI progress renderer: one line per finished job."""
+    """Minimal CLI progress renderer: one line per finished job.
+
+    Each update is emitted as a **single** ``write()`` call (newline
+    included) followed by a flush.  ``print()`` would issue separate
+    writes for the text and the line ending, and with ``jobs>1`` (or a
+    service running several campaigns) concurrent progress callbacks
+    interleave those partial writes into garbled lines; one atomic write
+    per update keeps every line intact regardless of how many threads
+    share the stream.
+    """
 
     def __init__(self, stream: Optional[IO] = None):
         self.stream = stream if stream is not None else sys.stderr
@@ -250,12 +259,11 @@ class ProgressPrinter:
     def __call__(self, record: JobRecord, done: int, total: int) -> None:
         label = record.label or record.key or f"job {record.index}"
         note = f" ({record.error})" if record.error else ""
-        print(
+        self.stream.write(
             f"[{done}/{total}] {label}: {record.status} "
-            f"{record.wall_s:.2f}s{note}",
-            file=self.stream,
-            flush=True,
+            f"{record.wall_s:.2f}s{note}\n"
         )
+        self.stream.flush()
 
 
 __all__ = [

@@ -1,0 +1,62 @@
+"""repro.service — the long-running campaign service.
+
+The paper's §6 vision is conformance testing as an *ongoing service*:
+every QUIC stack re-measured against every kernel milestone, release
+after release.  ``repro.exec`` supplies the parallel engine and
+``repro.store`` the durable warehouse; this package is the front end
+that accepts work, schedules it, and serves results:
+
+* Campaign specs (``repro.service.specs``) — validated JSON documents
+  describing a conformance / matrix / regression campaign, canonicalised
+  for journaling and resume.
+* Scheduler (``repro.service.scheduler``) — a bounded priority queue
+  journaled into the warehouse's events table: campaigns survive
+  restarts, dedupe through content-addressed trial keys, support
+  cancellation, and drain gracefully on SIGTERM.
+* HTTP API (``repro.service.server``) — a stdlib ``ThreadingHTTPServer``
+  speaking JSON REST: submit campaigns, follow live progress (long-poll
+  or SSE), fetch stored metrics/diffs/heatmaps, scrape Prometheus
+  metrics.
+* Client (``repro.service.client``) — :class:`ServiceClient` wrapping
+  the API (submit / wait / stream / fetch), used by the ``repro submit``
+  and ``repro watch`` CLI subcommands.
+
+Quick start::
+
+    from repro.service import ServiceApp, ServiceClient
+
+    app = ServiceApp("results.db", port=8437, workers=2)
+    app.start()
+    client = ServiceClient(app.url)
+    campaign = client.submit({"kind": "conformance", "stacks": ["quiche"],
+                              "ccas": ["cubic"], "duration_s": 6,
+                              "trials": 2})
+    final = client.wait(campaign["id"])
+    rows = client.metrics(final["runs"][0], metric="conf")
+"""
+
+from repro.service.client import CampaignFailed, ServiceClient, ServiceError
+from repro.service.scheduler import CampaignJob, QueueFull, Scheduler
+from repro.service.server import ServiceApp
+from repro.service.specs import (
+    KINDS,
+    CampaignSpec,
+    SpecError,
+    execute_campaign,
+    parse_campaign_spec,
+)
+
+__all__ = [
+    "ServiceApp",
+    "ServiceClient",
+    "ServiceError",
+    "CampaignFailed",
+    "Scheduler",
+    "CampaignJob",
+    "QueueFull",
+    "CampaignSpec",
+    "SpecError",
+    "KINDS",
+    "parse_campaign_spec",
+    "execute_campaign",
+]

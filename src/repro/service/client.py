@@ -1,0 +1,238 @@
+"""``ServiceClient``: a stdlib HTTP client for the campaign service.
+
+Wraps the JSON REST API of :mod:`repro.service.server` with typed
+helpers: submit a campaign spec, wait for (or stream) its progress, and
+fetch stored results — metrics, diffs, heatmaps — without touching the
+simulator.  Built on ``urllib.request`` so the client works anywhere the
+package does.
+
+Quick start::
+
+    from repro.service import ServiceClient
+
+    client = ServiceClient("http://127.0.0.1:8437")
+    campaign = client.submit({"kind": "matrix", "stacks": ["quiche"],
+                              "duration_s": 6, "trials": 2})
+    final = client.wait(campaign["id"])
+    print(final["state"], client.metrics(final["runs"][0]))
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Iterator, List, Mapping, Optional
+from urllib.parse import quote, urlencode
+
+
+class ServiceError(RuntimeError):
+    """A service request failed; carries the HTTP status and message."""
+
+    def __init__(self, status: int, message: str, retry_after_s: Optional[int] = None):
+        self.status = status
+        self.retry_after_s = retry_after_s
+        super().__init__(f"HTTP {status}: {message}")
+
+
+class CampaignFailed(ServiceError):
+    """Waited-on campaign reached a non-``done`` terminal state."""
+
+    def __init__(self, snapshot: dict):
+        self.snapshot = snapshot
+        super().__init__(
+            200, f"campaign {snapshot.get('id')} {snapshot.get('state')}: "
+            f"{snapshot.get('error')}"
+        )
+
+
+class ServiceClient:
+    """Talk to a running ``repro serve`` instance."""
+
+    def __init__(self, base_url: str, timeout_s: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    # ------------------------------------------------------------ plumbing
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Mapping] = None,
+        query: Optional[Mapping] = None,
+        timeout_s: Optional[float] = None,
+    ):
+        url = self.base_url + path
+        if query:
+            url += "?" + urlencode({k: v for k, v in query.items() if v is not None})
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(dict(body)).encode()
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            url, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=timeout_s or self.timeout_s
+            ) as response:
+                raw = response.read()
+                content_type = response.headers.get("Content-Type") or ""
+                if "json" in content_type:
+                    return json.loads(raw.decode() or "null")
+                return raw.decode()
+        except urllib.error.HTTPError as exc:
+            raw = exc.read()
+            try:
+                message = json.loads(raw.decode()).get("error", raw.decode())
+            except (ValueError, AttributeError):
+                message = raw.decode(errors="replace")
+            retry_after = exc.headers.get("Retry-After")
+            raise ServiceError(
+                exc.code,
+                message,
+                retry_after_s=int(retry_after) if retry_after else None,
+            ) from None
+
+    # ------------------------------------------------------------- service
+
+    def health(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def metrics_text(self) -> str:
+        """The raw Prometheus exposition of ``GET /metrics``."""
+        return self._request("GET", "/metrics")
+
+    # ----------------------------------------------------------- campaigns
+
+    def submit(self, spec: Mapping, priority: int = 0) -> dict:
+        """POST a campaign spec; returns the accepted campaign snapshot.
+
+        Raises :class:`ServiceError` on rejection — status 400 for an
+        invalid spec, 429 (with ``retry_after_s`` set) when the queue is
+        full.
+        """
+        payload = dict(spec)
+        if priority:
+            payload["priority"] = priority
+        return self._request("POST", "/campaigns", body=payload)
+
+    def submit_blocking(
+        self, spec: Mapping, priority: int = 0, give_up_after_s: float = 60.0
+    ) -> dict:
+        """Submit, honouring 429 backpressure by waiting and retrying."""
+        deadline = time.monotonic() + give_up_after_s
+        while True:
+            try:
+                return self.submit(spec, priority=priority)
+            except ServiceError as exc:
+                if exc.status != 429 or time.monotonic() >= deadline:
+                    raise
+                time.sleep(min(exc.retry_after_s or 1, 10))
+
+    def campaigns(self) -> List[dict]:
+        return self._request("GET", "/campaigns")["campaigns"]
+
+    def status(self, campaign_id: str) -> dict:
+        return self._request("GET", f"/campaigns/{quote(campaign_id, safe='')}")
+
+    def cancel(self, campaign_id: str) -> dict:
+        return self._request(
+            "POST", f"/campaigns/{quote(campaign_id, safe='')}/cancel"
+        )
+
+    def events(
+        self, campaign_id: str, after: int = 0, timeout_s: float = 10.0
+    ) -> dict:
+        """One long-poll: events past ``after`` plus the campaign state."""
+        return self._request(
+            "GET",
+            f"/campaigns/{quote(campaign_id, safe='')}/events",
+            query={"after": after, "timeout": timeout_s},
+            timeout_s=timeout_s + self.timeout_s,
+        )
+
+    def stream(
+        self, campaign_id: str, after: int = 0, poll_timeout_s: float = 10.0
+    ) -> Iterator[dict]:
+        """Yield progress events until the campaign reaches a terminal state."""
+        cursor = after
+        while True:
+            page = self.events(campaign_id, after=cursor, timeout_s=poll_timeout_s)
+            for event in page["events"]:
+                yield event
+            cursor = page["next"]
+            if page["state"] in ("done", "failed", "cancelled") and not page["events"]:
+                return
+
+    def wait(
+        self,
+        campaign_id: str,
+        timeout_s: Optional[float] = None,
+        raise_on_failure: bool = True,
+    ) -> dict:
+        """Block until the campaign finishes; returns its final snapshot."""
+        deadline = None if timeout_s is None else time.monotonic() + timeout_s
+        cursor = 0
+        while True:
+            poll = 10.0
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise TimeoutError(
+                        f"campaign {campaign_id} still running after {timeout_s}s"
+                    )
+                poll = min(poll, max(0.1, remaining))
+            page = self.events(campaign_id, after=cursor, timeout_s=poll)
+            cursor = page["next"]
+            if page["state"] in ("done", "failed", "cancelled"):
+                snapshot = self.status(campaign_id)
+                if raise_on_failure and snapshot["state"] != "done":
+                    raise CampaignFailed(snapshot)
+                return snapshot
+
+    # ---------------------------------------------------------------- runs
+
+    def runs(self) -> List[dict]:
+        return self._request("GET", "/runs")["runs"]
+
+    def metrics(
+        self,
+        run: str,
+        fmt: str = "json",
+        metric: Optional[str] = None,
+        stack: Optional[str] = None,
+        cca: Optional[str] = None,
+    ):
+        """One run's metric rows — parsed JSON rows, or CSV text."""
+        payload = self._request(
+            "GET",
+            f"/runs/{quote(run, safe='')}/metrics.{fmt}",
+            query={"metric": metric, "stack": stack, "cca": cca},
+        )
+        if fmt == "json" and isinstance(payload, str):
+            return json.loads(payload)
+        return payload
+
+    def diff(
+        self, run_a: str, run_b: str, metric: str = "conf",
+        threshold: float = 0.5, atol: float = 0.0,
+    ) -> dict:
+        return self._request(
+            "GET",
+            f"/runs/{quote(run_a, safe='')}/diff/{quote(run_b, safe='')}",
+            query={"metric": metric, "threshold": threshold, "atol": atol},
+        )
+
+    def heatmap_svg(self, run: str, metric: str = "conf") -> str:
+        return self._request(
+            "GET",
+            f"/runs/{quote(run, safe='')}/heatmap.svg",
+            query={"metric": metric},
+        )
+
+
+__all__ = ["ServiceClient", "ServiceError", "CampaignFailed"]

@@ -1,0 +1,475 @@
+"""The campaign service's HTTP front end (stdlib-only).
+
+A :class:`ServiceApp` bundles a :class:`~repro.service.scheduler.Scheduler`
+with a ``ThreadingHTTPServer`` serving a small JSON REST API:
+
+====================================  =========================================
+``POST /campaigns``                   submit a campaign spec (429 when full)
+``GET  /campaigns``                   list campaigns
+``GET  /campaigns/{id}``              one campaign's status
+``POST /campaigns/{id}/cancel``       request cancellation
+``GET  /campaigns/{id}/events``       live progress: long-poll JSON
+                                      (``?after=N&timeout=S``) or SSE
+                                      (``?stream=1`` / Accept:
+                                      ``text/event-stream``)
+``GET  /runs``                        stored runs with row counts
+``GET  /runs/{name}/metrics.json``    one run's metric rows (also ``.csv``)
+``GET  /runs/{a}/diff/{b}``           run diff (moves + verdict flips)
+``GET  /runs/{name}/heatmap.svg``     SVG heatmap straight from the store
+``GET  /healthz``                     liveness + store integrity
+``GET  /metrics``                     Prometheus text exposition
+====================================  =========================================
+
+Run names may contain ``:`` and other URL-hostile characters; path
+segments are percent-decoded, so clients should quote them.
+
+Read endpoints open a fresh :class:`~repro.store.ResultStore` per
+request — SQLite connections are thread-bound and ``ThreadingHTTPServer``
+handles each request on its own thread; WAL mode makes the concurrent
+readers cheap and safe.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+from urllib.parse import parse_qs, unquote, urlparse
+
+from repro.service.scheduler import QueueFull, Scheduler, TERMINAL_STATES
+from repro.service.specs import SpecError, parse_campaign_spec
+
+#: Cap on request bodies; campaign specs are tiny.
+_MAX_BODY_BYTES = 1 << 20
+
+
+class ServiceApp:
+    """The long-running campaign service: scheduler + HTTP server."""
+
+    def __init__(
+        self,
+        store_path: str,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 1,
+        exec_jobs: int = 1,
+        max_pending: int = 64,
+        resume: bool = True,
+    ):
+        self.store_path = str(store_path)
+        self.scheduler = Scheduler(
+            store_path=store_path,
+            workers=workers,
+            exec_jobs=exec_jobs,
+            max_pending=max_pending,
+        )
+        self.resumed = self.scheduler.resume_pending() if resume else []
+        handler = type("_BoundHandler", (_Handler,), {"app": self})
+        self.server = ThreadingHTTPServer((host, port), handler)
+        self.server.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+        self._stopped = threading.Event()
+
+    # ----------------------------------------------------------- lifecycle
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self.server.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> None:
+        """Serve requests on a background thread (returns immediately)."""
+        self._thread = threading.Thread(
+            target=self.server.serve_forever,
+            name="repro-service-http",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def stop(self, drain: bool = False) -> None:
+        """Shut down: stop accepting, then stop the scheduler.
+
+        ``drain=True`` finishes every queued campaign first; ``False``
+        (the SIGTERM path) finishes only in-flight campaigns and leaves
+        the rest journaled for the next instance to resume.
+        """
+        if self._thread is not None:
+            # shutdown() handshakes with serve_forever; calling it on a
+            # server that never started would block forever.
+            self.server.shutdown()
+        self.server.server_close()
+        self.scheduler.shutdown(drain=drain)
+        self._stopped.set()
+
+    def install_signal_handlers(self) -> None:
+        """SIGTERM/SIGINT => graceful drain (finish in-flight, keep queue)."""
+        import signal
+
+        def _terminate(signum, frame):
+            # Stop on a helper thread: SIGTERM may arrive on the thread
+            # blocked in serve_forever (or wait()), and server.shutdown()
+            # deadlocks when called from the serving thread itself.
+            threading.Thread(
+                target=self.stop, kwargs={"drain": False}, daemon=True
+            ).start()
+
+        signal.signal(signal.SIGTERM, _terminate)
+        signal.signal(signal.SIGINT, _terminate)
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until :meth:`stop` completes (True) or timeout (False)."""
+        return self._stopped.wait(timeout)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Request handler; the class is subclassed per app with ``app`` set."""
+
+    app: ServiceApp
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-service"
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass  # quiet by default; telemetry flows through /metrics
+
+    # ------------------------------------------------------------- plumbing
+
+    def _segments(self):
+        parsed = urlparse(self.path)
+        self.query = {
+            key: values[-1] for key, values in parse_qs(parsed.query).items()
+        }
+        return [unquote(part) for part in parsed.path.split("/") if part]
+
+    def _send(self, code: int, body: bytes, content_type: str, **headers):
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in headers.items():
+            self.send_header(name.replace("_", "-"), str(value))
+        self.end_headers()
+        try:
+            self.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):
+            pass
+
+    def _json(self, code: int, payload, **headers):
+        body = (json.dumps(payload, indent=2, sort_keys=True) + "\n").encode()
+        self._send(code, body, "application/json", **headers)
+
+    def _text(self, code: int, text: str, content_type: str = "text/plain"):
+        self._send(code, text.encode(), f"{content_type}; charset=utf-8")
+
+    def _error(self, code: int, message: str, **headers):
+        self._json(code, {"error": message}, **headers)
+
+    def _body_json(self):
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > _MAX_BODY_BYTES:
+            raise SpecError("request body too large")
+        raw = self.rfile.read(length) if length else b"{}"
+        try:
+            return json.loads(raw.decode() or "{}")
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise SpecError(f"request body is not valid JSON: {exc}")
+
+    def _store(self):
+        from repro.store import ResultStore
+
+        return ResultStore(self.app.store_path)
+
+    # ------------------------------------------------------------- routing
+
+    def do_GET(self):  # noqa: N802 - stdlib naming
+        try:
+            self._route_get(self._segments())
+        except Exception as exc:  # noqa: BLE001 - last-resort 500
+            try:
+                self._error(500, f"{type(exc).__name__}: {exc}")
+            except Exception:
+                pass
+
+    def do_POST(self):  # noqa: N802 - stdlib naming
+        try:
+            self._route_post(self._segments())
+        except QueueFull as exc:
+            self._error(429, str(exc), Retry_After=exc.retry_after_s)
+        except SpecError as exc:
+            self._error(400, str(exc))
+        except Exception as exc:  # noqa: BLE001 - last-resort 500
+            try:
+                self._error(500, f"{type(exc).__name__}: {exc}")
+            except Exception:
+                pass
+
+    def _route_get(self, parts):
+        if parts == ["healthz"]:
+            return self._healthz()
+        if parts == ["metrics"]:
+            return self._prometheus()
+        if parts == ["campaigns"]:
+            return self._json(
+                200,
+                {"campaigns": [j.snapshot() for j in self.app.scheduler.jobs()]},
+            )
+        if len(parts) == 2 and parts[0] == "campaigns":
+            job = self.app.scheduler.job(parts[1])
+            if job is None:
+                return self._error(404, f"unknown campaign: {parts[1]!r}")
+            return self._json(200, job.snapshot())
+        if len(parts) == 3 and parts[0] == "campaigns" and parts[2] == "events":
+            return self._campaign_events(parts[1])
+        if parts == ["runs"]:
+            return self._runs()
+        if len(parts) == 3 and parts[0] == "runs" and parts[2].startswith("metrics"):
+            return self._run_metrics(parts[1], parts[2])
+        if len(parts) == 4 and parts[0] == "runs" and parts[2] == "diff":
+            return self._run_diff(parts[1], parts[3])
+        if len(parts) == 3 and parts[0] == "runs" and parts[2] == "heatmap.svg":
+            return self._run_heatmap(parts[1])
+        return self._error(404, f"no such resource: GET {self.path}")
+
+    def _route_post(self, parts):
+        if parts == ["campaigns"]:
+            return self._submit()
+        if len(parts) == 3 and parts[0] == "campaigns" and parts[2] == "cancel":
+            if self.app.scheduler.cancel(parts[1]):
+                return self._json(200, self.app.scheduler.job(parts[1]).snapshot())
+            job = self.app.scheduler.job(parts[1])
+            if job is None:
+                return self._error(404, f"unknown campaign: {parts[1]!r}")
+            return self._error(409, f"campaign {parts[1]} is already {job.state}")
+        return self._error(404, f"no such resource: POST {self.path}")
+
+    # ------------------------------------------------------------ handlers
+
+    def _submit(self):
+        payload = self._body_json()
+        if not isinstance(payload, dict):
+            raise SpecError("campaign submission must be a JSON object")
+        priority = payload.pop("priority", 0)
+        if not isinstance(priority, int) or isinstance(priority, bool):
+            raise SpecError("priority must be an integer")
+        spec = parse_campaign_spec(payload)
+        job = self.app.scheduler.submit(spec, priority=priority)
+        self._json(202, job.snapshot(), Location=f"/campaigns/{job.id}")
+
+    def _campaign_events(self, campaign_id: str):
+        scheduler = self.app.scheduler
+        if scheduler.job(campaign_id) is None:
+            return self._error(404, f"unknown campaign: {campaign_id!r}")
+        after = int(self.query.get("after", 0))
+        wants_sse = self.query.get("stream") == "1" or "text/event-stream" in (
+            self.headers.get("Accept") or ""
+        )
+        if wants_sse:
+            return self._sse(campaign_id, after)
+        timeout = min(60.0, float(self.query.get("timeout", 10.0)))
+        events = scheduler.wait_events(campaign_id, after=after, timeout=timeout)
+        job = scheduler.job(campaign_id)
+        self._json(
+            200,
+            {
+                "events": events,
+                "next": after + len(events),
+                "state": job.state if job else "unknown",
+            },
+        )
+
+    def _sse(self, campaign_id: str, after: int):
+        """Server-sent events until the campaign reaches a terminal state."""
+        scheduler = self.app.scheduler
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream")
+        self.send_header("Cache-Control", "no-cache")
+        self.send_header("Connection", "close")
+        self.end_headers()
+        cursor = after
+        try:
+            while True:
+                events = scheduler.wait_events(campaign_id, after=cursor, timeout=15.0)
+                for event in events:
+                    data = json.dumps(event, sort_keys=True)
+                    self.wfile.write(f"data: {data}\n\n".encode())
+                cursor += len(events)
+                self.wfile.flush()
+                job = scheduler.job(campaign_id)
+                if job is None:
+                    return
+                if job.state in TERMINAL_STATES and len(job.events) <= cursor:
+                    final = json.dumps(job.snapshot(), sort_keys=True)
+                    self.wfile.write(f"event: end\ndata: {final}\n\n".encode())
+                    self.wfile.flush()
+                    return
+                if not events:
+                    self.wfile.write(b": keep-alive\n\n")
+                    self.wfile.flush()
+        except (BrokenPipeError, ConnectionResetError):
+            return  # client went away mid-stream
+
+    def _healthz(self):
+        with self._store() as store:
+            ok = store.integrity_ok()
+        metrics = self.app.scheduler.metrics()
+        self._json(
+            200 if ok else 500,
+            {
+                "status": "ok" if ok else "store-corrupt",
+                "store": self.app.store_path,
+                "queue_depth": metrics["queue_depth"],
+                "running": metrics["running"],
+                "uptime_s": round(metrics["uptime_s"], 3),
+            },
+        )
+
+    def _prometheus(self):
+        m = self.app.scheduler.metrics()
+        with self._store() as store:
+            counts = store.counts()
+        lines = [
+            "# HELP repro_queue_depth Campaigns waiting to run.",
+            "# TYPE repro_queue_depth gauge",
+            f"repro_queue_depth {m['queue_depth']}",
+            "# HELP repro_campaigns_running Campaigns currently executing.",
+            "# TYPE repro_campaigns_running gauge",
+            f"repro_campaigns_running {m['running']}",
+            "# HELP repro_campaigns_total Campaigns by lifecycle state.",
+            "# TYPE repro_campaigns_total gauge",
+        ]
+        for state in sorted(m["campaign_states"]):
+            lines.append(
+                f'repro_campaigns_total{{state="{state}"}} '
+                f"{m['campaign_states'][state]}"
+            )
+        lines += [
+            "# HELP repro_trials_total Trials finished, by executor status.",
+            "# TYPE repro_trials_total counter",
+        ]
+        for status in sorted(m["trial_statuses"]):
+            lines.append(
+                f'repro_trials_total{{status="{status}"}} '
+                f"{m['trial_statuses'][status]}"
+            )
+        lines += [
+            "# HELP repro_trials_per_second Finished trials per uptime second.",
+            "# TYPE repro_trials_per_second gauge",
+            f"repro_trials_per_second {m['trials_per_second']:.6f}",
+            "# HELP repro_cache_hit_rate Fraction of trials served from cache.",
+            "# TYPE repro_cache_hit_rate gauge",
+            f"repro_cache_hit_rate {m['cache_hit_rate']:.6f}",
+            "# HELP repro_service_uptime_seconds Service uptime.",
+            "# TYPE repro_service_uptime_seconds gauge",
+            f"repro_service_uptime_seconds {m['uptime_s']:.3f}",
+            "# HELP repro_store_rows Warehouse row counts by table.",
+            "# TYPE repro_store_rows gauge",
+        ]
+        for table in ("runs", "trials", "measurements", "metrics", "events"):
+            lines.append(f'repro_store_rows{{table="{table}"}} {counts[table]}')
+        self._text(200, "\n".join(lines) + "\n", "text/plain; version=0.0.4")
+
+    def _runs(self):
+        with self._store() as store:
+            runs = []
+            for info in store.runs():
+                runs.append(
+                    {
+                        "id": info.id,
+                        "name": info.name,
+                        "created_at": info.created_at,
+                        "note": info.note,
+                        "metrics": len(store.query(run=info.id)),
+                        "trials": len(store.trial_keys(info.id)),
+                    }
+                )
+        self._json(200, {"runs": runs})
+
+    def _run_metrics(self, run_name: str, resource: str):
+        from repro.store import ResultStore, StoreError
+
+        fmt = resource[len("metrics"):].lstrip(".") or "json"
+        if fmt not in ("json", "csv"):
+            return self._error(404, f"unknown metrics format: {fmt!r}")
+        try:
+            with self._store() as store:
+                rows = store.query(
+                    run=run_name,
+                    metric=self.query.get("metric"),
+                    stack=self.query.get("stack"),
+                    cca=self.query.get("cca"),
+                )
+        except StoreError as exc:
+            return self._error(404, str(exc))
+        if fmt == "csv":
+            return self._text(200, ResultStore.export_csv(rows), "text/csv")
+        self._send(
+            200, (ResultStore.export_json(rows) + "\n").encode(), "application/json"
+        )
+
+    def _run_diff(self, run_a: str, run_b: str):
+        from repro.store import StoreError, diff_runs
+
+        try:
+            with self._store() as store:
+                diff = diff_runs(
+                    store,
+                    run_a,
+                    run_b,
+                    metric=self.query.get("metric", "conf"),
+                    threshold=float(self.query.get("threshold", 0.5)),
+                    atol=float(self.query.get("atol", 0.0)),
+                )
+        except StoreError as exc:
+            return self._error(404, str(exc))
+        self._json(
+            200,
+            {
+                "run_a": diff.run_a,
+                "run_b": diff.run_b,
+                "metric": diff.metric,
+                "threshold": diff.threshold,
+                "clean": diff.clean,
+                "compared": diff.compared,
+                "added": [list(s) for s in diff.added],
+                "removed": [list(s) for s in diff.removed],
+                "changed": [
+                    {
+                        "subject": list(d.subject),
+                        "before": d.before,
+                        "after": d.after,
+                        "delta": d.delta,
+                    }
+                    for d in diff.changed
+                ],
+                "flips": [
+                    {
+                        "subject": list(f.subject),
+                        "before": f.before,
+                        "after": f.after,
+                        "label": f.label(),
+                    }
+                    for f in diff.flips
+                ],
+            },
+        )
+
+    def _run_heatmap(self, run_name: str):
+        from repro.store import StoreError
+        from repro.viz.store import stored_heatmap_figure
+
+        try:
+            with self._store() as store:
+                figure = stored_heatmap_figure(
+                    store, run_name, metric=self.query.get("metric", "conf")
+                )
+        except StoreError as exc:
+            return self._error(404, str(exc))
+        except ValueError as exc:
+            return self._error(404, str(exc))
+        self._send(200, figure.to_svg().encode(), "image/svg+xml")
+
+
+__all__ = ["ServiceApp"]

@@ -1,0 +1,321 @@
+"""Campaign specifications: the service's validated unit of work.
+
+A *campaign spec* is the JSON document a client POSTs to
+``/campaigns``: which kind of experiment to run (``conformance``,
+``matrix`` or ``regression``), over which implementations and network
+conditions, under which measurement protocol.  Parsing is strict —
+every field is validated against :mod:`repro.harness.config` and the
+stack registry before the campaign is accepted, so a bad request fails
+at submit time with a useful message instead of hours into a queue.
+
+Specs are value objects: :meth:`CampaignSpec.canonical` renders the
+fully-defaulted spec as a sorted-key JSON document, and
+:meth:`CampaignSpec.fingerprint` hashes it.  The scheduler journals the
+canonical form into the store's events table, which is what lets a
+restarted service reconstruct and resume pending campaigns bit-exactly.
+
+Execution is a thin dispatch onto the existing harness drivers
+(:func:`repro.harness.matrix.run_matrix`,
+:func:`repro.harness.regression.regression_matrix`), so a campaign run
+through the service records exactly the metrics a direct harness call
+records — the acceptance criterion the service tests pin down.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, List, Mapping, Optional, Sequence, Tuple
+
+from repro.harness import scenarios
+from repro.harness.config import ExperimentConfig, NetworkCondition
+from repro.stacks import registry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.exec import Executor
+    from repro.store.warehouse import ResultStore
+
+
+class SpecError(ValueError):
+    """A campaign spec failed validation (reported as HTTP 400)."""
+
+
+#: Campaign kinds the service accepts.
+KINDS = ("conformance", "matrix", "regression")
+
+#: Fields a spec document may carry; anything else is a typo we reject.
+_ALLOWED_FIELDS = {
+    "kind",
+    "stacks",
+    "ccas",
+    "conditions",
+    "duration_s",
+    "trials",
+    "seed",
+    "run",
+    "note",
+}
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """One validated campaign: what to measure and how to record it."""
+
+    kind: str
+    stacks: Tuple[str, ...] = ()
+    ccas: Tuple[str, ...] = ()
+    conditions: Tuple[NetworkCondition, ...] = ()
+    duration_s: Optional[float] = None
+    trials: Optional[int] = None
+    seed: Optional[int] = None
+    #: Store run name (run-name *prefix* for regression campaigns).
+    run: str = ""
+    note: str = ""
+
+    # ------------------------------------------------------------ identity
+
+    def canonical(self) -> dict:
+        """The fully-defaulted spec as a plain JSON-serialisable dict."""
+        return {
+            "kind": self.kind,
+            "stacks": list(self.stacks),
+            "ccas": list(self.ccas),
+            "conditions": [
+                {
+                    "bandwidth_mbps": c.bandwidth_mbps,
+                    "rtt_ms": c.rtt_ms,
+                    "buffer_bdp": c.buffer_bdp,
+                }
+                for c in self.conditions
+            ],
+            "duration_s": self.duration_s,
+            "trials": self.trials,
+            "seed": self.seed,
+            "run": self.run,
+            "note": self.note,
+        }
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the canonical spec."""
+        payload = json.dumps(self.canonical(), sort_keys=True)
+        return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+    # ----------------------------------------------------------- execution
+
+    def experiment_config(self) -> ExperimentConfig:
+        base = ExperimentConfig()
+        overrides = {}
+        if self.duration_s is not None:
+            overrides["duration_s"] = self.duration_s
+        if self.trials is not None:
+            overrides["trials"] = self.trials
+        if self.seed is not None:
+            overrides["seed"] = self.seed
+        return replace(base, **overrides) if overrides else base
+
+    def implementations(self) -> List[Tuple[str, str]]:
+        """(stack, cca) cells this campaign measures, in a stable order."""
+        stacks = (
+            list(self.stacks)
+            if self.stacks
+            else [p.name for p in registry.quic_stacks()]
+        )
+        ccas = list(self.ccas) if self.ccas else list(registry.CCAS)
+        return [
+            (stack, cca)
+            for stack in stacks
+            for cca in ccas
+            if registry.get_stack(stack).supports(cca)
+        ]
+
+    def resolved_conditions(self) -> List[NetworkCondition]:
+        if self.conditions:
+            return list(self.conditions)
+        if self.kind == "matrix":
+            return scenarios.buffer_sweep()
+        return [scenarios.shallow_buffer()]
+
+    def run_name(self) -> str:
+        """Store run name (prefix for regression) holding the results."""
+        if self.run:
+            return self.run
+        return f"{self.kind}:{self.fingerprint()[:12]}"
+
+    def run_names(self) -> List[str]:
+        """Every store run this campaign writes into."""
+        if self.kind == "regression":
+            from repro.harness.regression import MILESTONES, milestone_run_name
+
+            return [
+                milestone_run_name(m, prefix=self.run_name()) for m in MILESTONES
+            ]
+        return [self.run_name()]
+
+
+def parse_campaign_spec(payload: Mapping) -> CampaignSpec:
+    """Validate a client JSON document into a :class:`CampaignSpec`.
+
+    Raises :class:`SpecError` with a message precise enough to fix the
+    request: unknown fields, unknown stacks/CCAs, unsupported
+    (stack, cca) sets, and physically invalid network conditions are all
+    caught here, before anything is queued.
+    """
+    if not isinstance(payload, Mapping):
+        raise SpecError("campaign spec must be a JSON object")
+    unknown = set(payload) - _ALLOWED_FIELDS
+    if unknown:
+        raise SpecError(
+            f"unknown spec field(s): {', '.join(sorted(unknown))} "
+            f"(allowed: {', '.join(sorted(_ALLOWED_FIELDS))})"
+        )
+    kind = payload.get("kind")
+    if kind not in KINDS:
+        raise SpecError(
+            f"spec.kind must be one of {', '.join(KINDS)}; got {kind!r}"
+        )
+
+    stacks = _string_list(payload, "stacks")
+    for stack in stacks:
+        if stack not in registry.STACKS:
+            raise SpecError(
+                f"unknown stack {stack!r} "
+                f"(known: {', '.join(sorted(registry.STACKS))})"
+            )
+    ccas = _string_list(payload, "ccas")
+    for cca in ccas:
+        if cca not in registry.CCAS:
+            raise SpecError(
+                f"unknown cca {cca!r} (known: {', '.join(registry.CCAS)})"
+            )
+
+    conditions = []
+    raw_conditions = payload.get("conditions", [])
+    if not isinstance(raw_conditions, Sequence) or isinstance(
+        raw_conditions, (str, bytes)
+    ):
+        raise SpecError("spec.conditions must be a list of objects")
+    for i, raw in enumerate(raw_conditions):
+        if not isinstance(raw, Mapping):
+            raise SpecError(f"spec.conditions[{i}] must be an object")
+        extra = set(raw) - {"bandwidth_mbps", "rtt_ms", "buffer_bdp"}
+        if extra:
+            raise SpecError(
+                f"spec.conditions[{i}] has unknown field(s): "
+                f"{', '.join(sorted(extra))}"
+            )
+        try:
+            conditions.append(
+                NetworkCondition(
+                    bandwidth_mbps=float(raw.get("bandwidth_mbps", 20.0)),
+                    rtt_ms=float(raw.get("rtt_ms", 10.0)),
+                    buffer_bdp=float(raw.get("buffer_bdp", 1.0)),
+                )
+            )
+        except (TypeError, ValueError) as exc:
+            raise SpecError(f"spec.conditions[{i}] is invalid: {exc}")
+
+    duration_s = _number(payload, "duration_s")
+    trials = _number(payload, "trials", integral=True)
+    seed = _number(payload, "seed", integral=True)
+    try:
+        # Construct once so ExperimentConfig's own validation (positive
+        # duration, >= 1 trial) runs at submit time.
+        spec = CampaignSpec(
+            kind=kind,
+            stacks=tuple(stacks),
+            ccas=tuple(ccas),
+            conditions=tuple(conditions),
+            duration_s=duration_s,
+            trials=trials,
+            seed=seed,
+            run=str(payload.get("run", "") or ""),
+            note=str(payload.get("note", "") or ""),
+        )
+        spec.experiment_config()
+    except ValueError as exc:
+        if isinstance(exc, SpecError):
+            raise
+        raise SpecError(str(exc))
+    if not spec.implementations():
+        raise SpecError(
+            "spec selects no implementations: none of the requested "
+            "stacks supports any of the requested CCAs"
+        )
+    return spec
+
+
+def _string_list(payload: Mapping, field_name: str) -> List[str]:
+    raw = payload.get(field_name, [])
+    if isinstance(raw, str):
+        raw = [raw]
+    if not isinstance(raw, Sequence):
+        raise SpecError(f"spec.{field_name} must be a list of strings")
+    out = []
+    for item in raw:
+        if not isinstance(item, str):
+            raise SpecError(f"spec.{field_name} must be a list of strings")
+        out.append(item)
+    return out
+
+
+def _number(payload: Mapping, field_name: str, integral: bool = False):
+    raw = payload.get(field_name)
+    if raw is None:
+        return None
+    if isinstance(raw, bool) or not isinstance(raw, (int, float)):
+        raise SpecError(f"spec.{field_name} must be a number")
+    if integral:
+        if float(raw) != int(raw):
+            raise SpecError(f"spec.{field_name} must be an integer")
+        return int(raw)
+    return float(raw)
+
+
+def execute_campaign(
+    spec: CampaignSpec,
+    store: "ResultStore",
+    executor: "Executor",
+) -> dict:
+    """Run one campaign through the harness, recording into ``store``.
+
+    Returns a small summary dict (runs written, cells measured).  The
+    heavy lifting is the same driver a direct harness call uses, which
+    is what makes service results bit-identical to local ones.
+    """
+    config = spec.experiment_config()
+    implementations = spec.implementations()
+    if spec.kind == "regression":
+        from repro.harness.regression import regression_matrix
+
+        rows = regression_matrix(
+            implementations=implementations,
+            condition=spec.resolved_conditions()[0],
+            config=config,
+            executor=executor,
+            store=store,
+            run_prefix=spec.run_name(),
+        )
+        cells = sum(len(row.conformance) for row in rows)
+    else:
+        from repro.harness.matrix import run_matrix
+
+        result = run_matrix(
+            conditions=spec.resolved_conditions(),
+            implementations=implementations,
+            config=config,
+            executor=executor,
+            store=store,
+            store_run=spec.run_name(),
+        )
+        cells = len(result.measurements)
+    return {"runs": spec.run_names(), "cells": cells}
+
+
+__all__ = [
+    "KINDS",
+    "CampaignSpec",
+    "SpecError",
+    "parse_campaign_spec",
+    "execute_campaign",
+]

@@ -629,6 +629,50 @@ class ResultStore:
             )
         return out
 
+    # ------------------------------------------------------------------- gc
+
+    def gc(self, dry_run: bool = False) -> Dict[str, int]:
+        """Purge trial payloads no run links to, then vacuum the file.
+
+        Orphaned trials accumulate when campaigns run without a ``run``
+        grouping (e.g. bare ``Executor`` sinks) or after runs are
+        deleted.  ``dry_run=True`` only reports what *would* go.  Returns
+        a report dict: total/unlinked trial counts, bytes held by the
+        unlinked payloads, how many rows were purged, and the database
+        size before/after (vacuuming reclaims the freed pages).
+        """
+        size_before = self.path.stat().st_size if self.path.exists() else 0
+        row = self._conn.execute(
+            "SELECT COUNT(*), COALESCE(SUM(LENGTH(payload)), 0) FROM trials "
+            "WHERE key NOT IN (SELECT trial_key FROM run_trials)"
+        ).fetchone()
+        unlinked, unlinked_bytes = int(row[0]), int(row[1])
+        total = int(self._conn.execute("SELECT COUNT(*) FROM trials").fetchone()[0])
+        purged = 0
+        if not dry_run and unlinked:
+            purged = int(
+                self._write(
+                    lambda conn: conn.execute(
+                        "DELETE FROM trials WHERE key NOT IN "
+                        "(SELECT trial_key FROM run_trials)"
+                    ).rowcount
+                )
+            )
+        if not dry_run:
+            # VACUUM must run outside a transaction; _retry covers a
+            # concurrent writer holding the lock.
+            self._retry(lambda: self._conn.execute("VACUUM"))
+        size_after = self.path.stat().st_size if self.path.exists() else 0
+        return {
+            "trials_total": total,
+            "unlinked": unlinked,
+            "unlinked_bytes": unlinked_bytes,
+            "purged": purged,
+            "size_before": size_before,
+            "size_after": size_after,
+            "dry_run": int(dry_run),
+        }
+
     # --------------------------------------------------------------- summary
 
     def counts(self) -> Dict[str, int]:

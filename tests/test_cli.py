@@ -8,8 +8,18 @@ from repro.cli import build_parser, main
 def test_parser_lists_all_subcommands():
     parser = build_parser()
     text = parser.format_help()
-    for sub in ("stacks", "conformance", "heatmap", "fairness", "intercca", "fixes", "sweep"):
+    for sub in ("stacks", "conformance", "heatmap", "fairness", "intercca",
+                "fixes", "sweep", "serve", "submit", "watch"):
         assert sub in text
+
+
+def test_version_flag(capsys):
+    from repro import __version__
+
+    with pytest.raises(SystemExit) as err:
+        main(["--version"])
+    assert err.value.code == 0
+    assert __version__ in capsys.readouterr().out
 
 
 def test_stacks_command(capsys):

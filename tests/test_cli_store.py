@@ -143,3 +143,27 @@ def test_diff_requires_a_comparison_anchor(tmp_path, capsys):
     ResultStore(db).close()
     assert main(["store", "diff", "--db", db, "--run-b", "b"]) == 2
     assert "needs --run-a or --baseline" in capsys.readouterr().err
+
+
+def test_store_gc_dry_run_then_purge(tmp_path, capsys):
+    import numpy as np
+
+    db = str(tmp_path / "gc.db")
+    with ResultStore(db) as store:
+        run = store.ensure_run("kept")
+        store.put_trials([("linked", np.arange(4.0))], run=run)
+        store.put_trials([("orphan", np.zeros(128))])  # no run links it
+
+    assert main(["store", "gc", "--db", db, "--dry-run"]) == 0
+    out = capsys.readouterr().out
+    assert "would purge 1 of 2 trials" in out
+    with ResultStore(db) as store:
+        assert store.counts()["trials"] == 2  # dry run touched nothing
+
+    assert main(["store", "gc", "--db", db]) == 0
+    out = capsys.readouterr().out
+    assert "purged 1 of 2 trials" in out
+    assert "vacuumed:" in out
+    with ResultStore(db) as store:
+        assert store.counts()["trials"] == 1
+        assert store.get_trial("linked") is not None

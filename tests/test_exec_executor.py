@@ -109,6 +109,36 @@ class TestSerialExecutor:
         printer(JobRecord(index=0, label="x", status="ok", wall_s=0.5), 1, 2)
         assert "[1/2] x: ok" in capsys.readouterr().err
 
+    def test_progress_printer_writes_each_line_atomically(self):
+        # Regression: with jobs>1, per-update ``print()`` calls from
+        # concurrent progress callbacks interleaved their text and
+        # newline writes into garbled lines.  Each update must be one
+        # newline-terminated write() call.
+        class RecordingStream:
+            def __init__(self):
+                self.writes = []
+                self.flushes = 0
+
+            def write(self, text):
+                self.writes.append(text)
+
+            def flush(self):
+                self.flushes += 1
+
+        stream = RecordingStream()
+        printer = ProgressPrinter(stream=stream)
+        printer(JobRecord(index=0, label="a", status="ok", wall_s=0.1), 1, 3)
+        printer(
+            JobRecord(index=1, label="b", status="failed", wall_s=0.2,
+                      error="boom"),
+            2, 3,
+        )
+        assert len(stream.writes) == 2  # exactly one write per update
+        assert all(w.endswith("\n") and w.count("\n") == 1
+                   for w in stream.writes)
+        assert stream.writes[1] == "[2/3] b: failed 0.20s (boom)\n"
+        assert stream.flushes == 2
+
 
 # ---------------------------------------------------------------- pool mode
 

@@ -1,0 +1,121 @@
+"""Campaign-spec parsing and validation (repro.service.specs)."""
+
+import pytest
+
+from repro.harness.config import ExperimentConfig
+from repro.service.specs import CampaignSpec, SpecError, parse_campaign_spec
+from repro.stacks import registry
+
+
+class TestParsing:
+    def test_minimal_conformance_spec(self):
+        spec = parse_campaign_spec({"kind": "conformance"})
+        assert spec.kind == "conformance"
+        # Defaults: every QUIC implementation, shallow-buffer condition.
+        impls = spec.implementations()
+        assert ("quiche", "cubic") in impls and ("xquic", "cubic") in impls
+        assert len(spec.resolved_conditions()) == 1
+
+    def test_full_spec_round_trips_through_canonical(self):
+        payload = {
+            "kind": "matrix",
+            "stacks": ["quiche", "xquic"],
+            "ccas": ["cubic"],
+            "conditions": [
+                {"bandwidth_mbps": 10, "rtt_ms": 20, "buffer_bdp": 2}
+            ],
+            "duration_s": 6,
+            "trials": 2,
+            "seed": 7,
+            "run": "my-run",
+        }
+        spec = parse_campaign_spec(payload)
+        again = parse_campaign_spec(spec.canonical())
+        assert again == spec
+        assert again.fingerprint() == spec.fingerprint()
+
+    def test_experiment_config_applies_overrides(self):
+        spec = parse_campaign_spec(
+            {"kind": "conformance", "duration_s": 6, "trials": 2, "seed": 3}
+        )
+        config = spec.experiment_config()
+        assert (config.duration_s, config.trials, config.seed) == (6.0, 2, 3)
+        # No overrides -> the stock protocol.
+        stock = parse_campaign_spec({"kind": "conformance"}).experiment_config()
+        assert stock == ExperimentConfig()
+
+    def test_run_names(self):
+        spec = parse_campaign_spec({"kind": "matrix", "run": "rel-1"})
+        assert spec.run_names() == ["rel-1"]
+        reg = parse_campaign_spec({"kind": "regression", "run": "reg"})
+        names = reg.run_names()
+        assert names and all(name.startswith("reg:") for name in names)
+        # Unnamed specs derive a stable run name from their fingerprint.
+        anon = parse_campaign_spec({"kind": "matrix"})
+        assert anon.run_name() == f"matrix:{anon.fingerprint()[:12]}"
+
+    def test_matrix_defaults_to_buffer_sweep(self):
+        spec = parse_campaign_spec({"kind": "matrix"})
+        assert len(spec.resolved_conditions()) > 1
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "payload, fragment",
+        [
+            ({}, "spec.kind"),
+            ({"kind": "nope"}, "spec.kind"),
+            ({"kind": "matrix", "bogus": 1}, "unknown spec field"),
+            ({"kind": "matrix", "stacks": ["nosuch"]}, "unknown stack"),
+            ({"kind": "matrix", "ccas": ["vegas"]}, "unknown cca"),
+            ({"kind": "matrix", "stacks": "not-a-list-of-str"}, "unknown stack"),
+            ({"kind": "matrix", "stacks": [1]}, "list of strings"),
+            ({"kind": "matrix", "conditions": "x"}, "conditions"),
+            ({"kind": "matrix", "conditions": [{"bandwidth_mbps": -1}]},
+             "conditions[0]"),
+            ({"kind": "matrix", "conditions": [{"mtu": 1500}]},
+             "unknown field"),
+            ({"kind": "matrix", "trials": 0}, "trial"),
+            ({"kind": "matrix", "trials": 1.5}, "integer"),
+            ({"kind": "matrix", "duration_s": -5}, "duration"),
+            ({"kind": "matrix", "duration_s": "long"}, "number"),
+        ],
+    )
+    def test_bad_specs_fail_with_useful_messages(self, payload, fragment):
+        with pytest.raises(SpecError) as err:
+            parse_campaign_spec(payload)
+        assert fragment in str(err.value)
+
+    def test_non_object_rejected(self):
+        with pytest.raises(SpecError):
+            parse_campaign_spec(["kind", "matrix"])
+
+    def test_empty_implementation_set_rejected(self):
+        # linux_tcp-style reference-only stacks aside, pick a stack/cca
+        # combination that exists but is unsupported.
+        unsupported = None
+        for profile in registry.STACKS.values():
+            for cca in registry.CCAS:
+                if not profile.supports(cca):
+                    unsupported = (profile.name, cca)
+                    break
+            if unsupported:
+                break
+        if unsupported is None:  # pragma: no cover - registry-dependent
+            pytest.skip("every stack supports every CCA")
+        stack, cca = unsupported
+        with pytest.raises(SpecError) as err:
+            parse_campaign_spec(
+                {"kind": "conformance", "stacks": [stack], "ccas": [cca]}
+            )
+        assert "no implementations" in str(err.value)
+
+    def test_fingerprint_differs_on_any_field(self):
+        base = parse_campaign_spec({"kind": "matrix", "trials": 2})
+        other = parse_campaign_spec({"kind": "matrix", "trials": 3})
+        assert base.fingerprint() != other.fingerprint()
+
+    def test_spec_is_hashable_value_object(self):
+        spec = parse_campaign_spec({"kind": "conformance"})
+        assert isinstance(spec, CampaignSpec)
+        assert len({spec, parse_campaign_spec({"kind": "conformance"})}) == 1

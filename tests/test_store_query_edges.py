@@ -1,0 +1,105 @@
+"""Edge cases of ResultStore.query / export and the gc sweep."""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.harness.config import NetworkCondition
+from repro.store import ResultStore, StoreError
+
+COND = NetworkCondition(bandwidth_mbps=10, rtt_ms=20, buffer_bdp=1.0)
+
+
+@pytest.fixture
+def store(tmp_path):
+    with ResultStore(str(tmp_path / "edge.db")) as s:
+        yield s
+
+
+class TestQueryEdges:
+    def test_empty_run_queries_to_nothing(self, store):
+        store.ensure_run("empty")
+        assert store.query(run="empty") == []
+        assert ResultStore.export_json(store.query(run="empty")) == "[]"
+        csv_text = ResultStore.export_csv(store.query(run="empty"))
+        assert csv_text.strip().splitlines()[0].startswith("run,")
+        assert len(csv_text.strip().splitlines()) == 1  # header only
+
+    def test_unknown_run_raises_store_error(self, store):
+        with pytest.raises(StoreError) as err:
+            store.query(run="never-recorded")
+        assert "unknown run" in str(err.value)
+        with pytest.raises(StoreError):
+            store.query(run=999)
+
+    def test_nan_round_trips_as_null(self, store):
+        # SQLite has no NaN: it stores as NULL, query returns None, and
+        # JSON export says null (never the invalid bare `NaN` token).
+        store.ensure_run("nan")
+        store.record_metrics(
+            "nan", "quiche", "cubic",
+            {"conf": float("nan"), "conf_t": 0.5}, condition=COND,
+        )
+        values = {r.metric: r.value for r in store.query(run="nan")}
+        assert values["conf"] is None
+        assert values["conf_t"] == 0.5
+        exported = ResultStore.export_json(store.query(run="nan"))
+        parsed = {r["metric"]: r["value"] for r in json.loads(exported)}
+        assert parsed["conf"] is None
+
+    def test_infinities_round_trip_exactly(self, store):
+        store.ensure_run("inf")
+        store.record_metrics(
+            "inf", "quiche", "cubic",
+            {"up": math.inf, "down": -math.inf}, condition=COND,
+        )
+        values = {r.metric: r.value for r in store.query(run="inf")}
+        assert values["up"] == math.inf
+        assert values["down"] == -math.inf
+
+    def test_conjunctive_filters(self, store):
+        store.ensure_run("multi")
+        store.record_metrics("multi", "quiche", "cubic", {"conf": 1.0},
+                             condition=COND)
+        store.record_metrics("multi", "xquic", "cubic", {"conf": 2.0},
+                             condition=COND)
+        rows = store.query(run="multi", stack="quiche", metric="conf")
+        assert [r.value for r in rows] == [1.0]
+        assert store.query(run="multi", stack="quiche", cca="bbr") == []
+
+
+class TestGc:
+    def _populate(self, store):
+        run = store.ensure_run("kept")
+        store.put_trials([("linked", np.arange(8.0))], run=run)
+        store.put_trials(
+            [("orphan-a", np.zeros(256)), ("orphan-b", np.ones(64))]
+        )
+
+    def test_dry_run_reports_without_deleting(self, store):
+        self._populate(store)
+        report = store.gc(dry_run=True)
+        assert report["trials_total"] == 3
+        assert report["unlinked"] == 2
+        assert report["unlinked_bytes"] > 0
+        assert report["purged"] == 0
+        assert store.counts()["trials"] == 3  # nothing touched
+
+    def test_gc_purges_only_unlinked_and_vacuums(self, store):
+        self._populate(store)
+        report = store.gc()
+        assert report["unlinked"] == 2
+        assert report["purged"] == 2
+        assert store.counts()["trials"] == 1
+        assert store.get_trial("linked") is not None
+        assert store.get_trial("orphan-a") is None
+        assert report["size_after"] > 0
+        # A second sweep finds nothing.
+        assert store.gc()["unlinked"] == 0
+
+    def test_gc_on_empty_store(self, store):
+        report = store.gc()
+        assert report["trials_total"] == 0
+        assert report["purged"] == 0
