@@ -4,13 +4,18 @@
 # numerically identical at any job count.  e.g. `make bench JOBS=4`.
 JOBS ?= 1
 
-.PHONY: install test bench quick-bench store-smoke service-smoke clean-cache loc
+.PHONY: install test lint bench quick-bench store-smoke service-smoke clean-cache loc
 
 install:
 	pip install -e .
 
 test:
 	pytest tests/
+
+# Determinism/concurrency/contract static analysis (the CI gate).  Pure
+# AST walking, no cache needed — finishes in seconds.
+lint:
+	PYTHONPATH=src python -m repro lint --stats
 
 # Regenerates every table/figure; first run simulates (~25 min), later
 # runs replay from benchmarks/.quicbench_cache.

@@ -1049,6 +1049,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="resume the event stream after this cursor")
     p.set_defaults(fn=cmd_watch)
 
+    from repro.lint.cli import add_lint_parser
+
+    add_lint_parser(sub)
+
     return parser
 
 

@@ -17,10 +17,23 @@ import sys
 import time
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import IO, TYPE_CHECKING, List, Optional, Union
+from typing import IO, TYPE_CHECKING, Callable, List, Optional, Union
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from repro.store.warehouse import ResultStore
+
+
+def default_clock() -> float:
+    """The one sanctioned wall-clock read in the codebase.
+
+    Everything under ``repro.exec`` / ``repro.service`` that stamps
+    telemetry takes an injectable ``clock`` callable defaulting to this
+    function, so tests substitute a fake clock instead of sleeping and
+    racing on real time, and the lint ``wall-clock`` rule can forbid
+    ``time.time()`` everywhere else (``LintConfig.sanctioned_clock``
+    names exactly this seam).
+    """
+    return time.time()  # lint: disable=wall-clock -- the sanctioned clock seam all telemetry injects
 
 #: Job terminal states.  ``cached`` jobs were satisfied from the campaign
 #: cache without running; ``timeout``/``crashed``/``failed`` describe the
@@ -113,9 +126,14 @@ class RunManifest:
     lines rather than a truncated final record.
     """
 
-    def __init__(self, path: Union[str, Path]):
+    def __init__(
+        self,
+        path: Union[str, Path],
+        clock: Callable[[], float] = default_clock,
+    ):
         self.path = Path(path)
         self._handle: Optional[IO] = None
+        self._clock = clock
 
     def _append(self, record: dict) -> None:
         if self._handle is None or self._handle.closed:
@@ -156,7 +174,7 @@ class RunManifest:
                 "jobs": jobs,
                 "workers": workers,
                 "mode": mode,
-                "time": time.time(),
+                "time": self._clock(),
             }
         )
 
@@ -176,7 +194,7 @@ class RunManifest:
                 "statuses": statuses,
                 "wall_s": round(wall_s, 4),
                 "cache": cache,
-                "time": time.time(),
+                "time": self._clock(),
             }
         )
 

@@ -1,0 +1,45 @@
+"""repro.lint: determinism & concurrency static analysis for this repo.
+
+The harness' core guarantees — bit-identical results at any ``--jobs``
+count, seeded determinism in the simulator and metric paths, and lock
+discipline in the threaded campaign service — are easy to break with a
+single stray ``time.time()`` or an unlocked shared-attribute write.
+This package encodes those invariants as AST-based rules so they are
+machine-checked on every change instead of relying on review vigilance:
+
+* **Determinism pack** (``netsim/``, ``cca/``, ``stacks/``, ``core/``,
+  ``harness/``): no wall-clock reads, no unseeded RNG, no iteration
+  over sets where order reaches results, no ``id()``-keyed dicts, no
+  ``os.environ`` reads outside the config/cache seams.
+* **Concurrency pack** (``service/``, ``exec/``, ``store/``): a
+  lock-discipline checker that learns which ``self._*`` attributes a
+  class protects with its lock and reports unlocked accesses, plus
+  rules against SQLite connections crossing threads and blocking calls
+  made while a lock is held.
+* **Contract pack**: every registered stack passes the full
+  :class:`~repro.stacks.base.StackProfile` field set, every CCA
+  subclass implements the required hook surface, and every CLI
+  subcommand is documented in README/docs.
+
+Entry points: ``repro lint`` (CLI), :func:`repro.lint.engine.lint_paths`
+(API).  Findings can be suppressed inline with
+``# lint: disable=RULE -- justification`` or grandfathered in the
+checked-in ``lint-baseline.json``.
+"""
+
+from repro.lint.baseline import Baseline
+from repro.lint.config import LintConfig, find_repo_root
+from repro.lint.engine import LintReport, lint_paths
+from repro.lint.findings import Finding, render_findings
+from repro.lint.rules import all_rules
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "LintConfig",
+    "LintReport",
+    "all_rules",
+    "find_repo_root",
+    "lint_paths",
+    "render_findings",
+]

@@ -1,0 +1,84 @@
+"""The checked-in baseline: grandfathered findings that do not fail CI.
+
+The baseline is a JSON multiset of finding identities
+``(rule, path, snippet)`` — no line numbers, so entries survive edits
+that merely move code.  New findings (not in the baseline) fail the
+lint; fixing a grandfathered finding and re-running ``repro lint
+--write-baseline`` shrinks the file, which is the burn-down reviewers
+watch via ``repro lint --stats``.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import List, Tuple, Union
+
+from repro.lint.findings import Finding
+
+BASELINE_VERSION = 1
+
+
+class Baseline:
+    """Multiset of grandfathered finding identities."""
+
+    def __init__(self, entries: Counter | None = None):
+        self._entries: Counter = Counter(entries or {})
+
+    # ------------------------------------------------------------------ io
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Baseline":
+        path = Path(path)
+        if not path.is_file():
+            return cls()
+        data = json.loads(path.read_text(encoding="utf-8"))
+        entries: Counter = Counter()
+        for row in data.get("findings", []):
+            key = (row["rule"], row["path"], row.get("snippet", ""))
+            entries[key] += int(row.get("count", 1))
+        return cls(entries)
+
+    @classmethod
+    def from_findings(cls, findings: List[Finding]) -> "Baseline":
+        return cls(Counter(f.identity() for f in findings))
+
+    def save(self, path: Union[str, Path]) -> None:
+        rows = [
+            {"rule": rule, "path": file, "snippet": snippet, "count": count}
+            for (rule, file, snippet), count in sorted(self._entries.items())
+        ]
+        payload = {"version": BASELINE_VERSION, "findings": rows}
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    # -------------------------------------------------------------- filter
+
+    def partition(
+        self, findings: List[Finding]
+    ) -> Tuple[List[Finding], List[Finding]]:
+        """Split findings into (new, grandfathered).
+
+        Matching is count-aware: a baseline entry with ``count: 2``
+        absorbs at most two identical findings; a third is new.
+        """
+        budget = Counter(self._entries)
+        fresh: List[Finding] = []
+        grandfathered: List[Finding] = []
+        for finding in sorted(findings, key=lambda f: (f.path, f.line)):
+            key = finding.identity()
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+                grandfathered.append(finding)
+            else:
+                fresh.append(finding)
+        return fresh, grandfathered
+
+    def __len__(self) -> int:
+        return sum(self._entries.values())
+
+
+__all__ = ["Baseline", "BASELINE_VERSION"]

@@ -1,0 +1,153 @@
+"""The lint engine: collect sources, run rules, apply suppressions/baseline.
+
+One :func:`lint_paths` call is one lint run: it parses every target
+file once, hands the parsed modules to every enabled rule, then filters
+raw findings through inline suppressions and the checked-in baseline.
+The resulting :class:`LintReport` carries everything the CLI needs —
+active findings (the CI gate), suppressed and grandfathered ones (the
+``--stats`` burn-down view) and per-rule counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.lint.baseline import Baseline
+from repro.lint.config import LintConfig
+from repro.lint.findings import Finding
+from repro.lint.rules import ModuleSource, Rule, all_rules, parse_module
+from repro.lint.suppress import (
+    Suppression,
+    apply_suppressions,
+    parse_suppressions,
+)
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run."""
+
+    findings: List[Finding] = field(default_factory=list)  # active (gate)
+    suppressed: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    parse_errors: List[Finding] = field(default_factory=list)
+    files: int = 0
+    rules_run: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings and not self.parse_errors
+
+    def all_raw(self) -> List[Finding]:
+        return self.findings + self.suppressed + self.baselined
+
+    def stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-rule counters: active / suppressed / baselined findings."""
+        table: Dict[str, Dict[str, int]] = {}
+
+        def bump(rule: str, column: str) -> None:
+            row = table.setdefault(
+                rule, {"active": 0, "suppressed": 0, "baselined": 0}
+            )
+            row[column] += 1
+
+        for finding in self.findings:
+            bump(finding.rule, "active")
+        for finding in self.suppressed:
+            bump(finding.rule, "suppressed")
+        for finding in self.baselined:
+            bump(finding.rule, "baselined")
+        return table
+
+
+def _collect_files(paths: Sequence[Path], config: LintConfig) -> List[Path]:
+    files: List[Path] = []
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            files.append(path)
+    # De-duplicate while keeping a deterministic order.
+    seen = {}
+    for file in files:
+        seen.setdefault(file.resolve(), file)
+    return [seen[key] for key in sorted(seen)]
+
+
+def _module_rel(path: Path, config: LintConfig) -> str:
+    """Path relative to the analysed package root (posix separators)."""
+    resolved = path.resolve()
+    for anchor in (config.src.resolve(), config.root.resolve()):
+        try:
+            return resolved.relative_to(anchor).as_posix()
+        except ValueError:
+            continue
+    return resolved.name
+
+
+def _module_display(path: Path, config: LintConfig) -> str:
+    resolved = path.resolve()
+    try:
+        return resolved.relative_to(config.root.resolve()).as_posix()
+    except ValueError:
+        return resolved.as_posix()
+
+
+def lint_paths(
+    paths: Optional[Sequence[Path]] = None,
+    config: Optional[LintConfig] = None,
+    baseline: Optional[Baseline] = None,
+    rules: Optional[Sequence[Rule]] = None,
+) -> LintReport:
+    """Run the linter; defaults to the configured package and baseline."""
+    if config is None:
+        from repro.lint.config import find_repo_root
+
+        config = LintConfig.for_root(find_repo_root())
+    if paths is None:
+        paths = [config.src]
+    if baseline is None:
+        baseline = Baseline.load(config.baseline_path())
+    chosen = list(rules) if rules is not None else all_rules()
+    if config.enabled_rules:
+        chosen = [r for r in chosen if r.id in config.enabled_rules]
+
+    report = LintReport(rules_run=[r.id for r in chosen])
+    modules: List[ModuleSource] = []
+    suppressions_by_path: Dict[str, List[Suppression]] = {}
+    raw: List[Finding] = []
+
+    for file in _collect_files(paths, config):
+        display = _module_display(file, config)
+        module = parse_module(file, _module_rel(file, config), display)
+        if module is None:
+            report.parse_errors.append(
+                Finding(
+                    rule="parse-error",
+                    path=display,
+                    line=1,
+                    message="file does not parse; lint cannot analyse it",
+                )
+            )
+            continue
+        report.files += 1
+        modules.append(module)
+        sups, bad = parse_suppressions(display, module.text)
+        suppressions_by_path[display] = sups
+        raw.extend(bad)  # justification-less suppressions are findings
+
+    for rule in chosen:
+        raw.extend(rule.check(modules, config))
+
+    active, suppressed = apply_suppressions(raw, suppressions_by_path)
+    fresh, grandfathered = baseline.partition(active)
+    report.findings = sorted(fresh, key=lambda f: (f.path, f.line, f.rule))
+    report.suppressed = suppressed
+    report.baselined = grandfathered
+    return report
+
+
+__all__ = ["LintReport", "lint_paths"]

@@ -1,0 +1,67 @@
+"""Lint findings and the three reporter formats (text, JSON, GitHub)."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import List, Tuple
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific source location.
+
+    ``snippet`` (the stripped source line) rather than the line number
+    forms the finding's identity, so baseline entries survive unrelated
+    edits that shift code up or down a file.
+    """
+
+    rule: str
+    path: str  # repo-relative, posix separators
+    line: int
+    message: str
+    snippet: str = ""
+
+    def identity(self) -> Tuple[str, str, str]:
+        return (self.rule, self.path, self.snippet)
+
+    def row(self) -> dict:
+        return asdict(self)
+
+
+def _text(findings: List[Finding]) -> str:
+    lines = [
+        f"{f.path}:{f.line}: {f.rule}: {f.message}" for f in findings
+    ]
+    return "\n".join(lines)
+
+
+def _json(findings: List[Finding]) -> str:
+    return json.dumps([f.row() for f in findings], indent=2, sort_keys=True)
+
+
+def _github(findings: List[Finding]) -> str:
+    """GitHub Actions workflow-command annotations (one per finding)."""
+    lines = []
+    for f in findings:
+        message = f"{f.rule}: {f.message}".replace("%", "%25")
+        message = message.replace("\r", "%0D").replace("\n", "%0A")
+        lines.append(f"::error file={f.path},line={f.line}::{message}")
+    return "\n".join(lines)
+
+
+FORMATS = {"text": _text, "json": _json, "github": _github}
+
+
+def render_findings(findings: List[Finding], fmt: str = "text") -> str:
+    """Render findings in one of the supported formats."""
+    try:
+        renderer = FORMATS[fmt]
+    except KeyError:
+        raise ValueError(
+            f"unknown format {fmt!r} (choose from {sorted(FORMATS)})"
+        ) from None
+    return renderer(sorted(findings, key=lambda f: (f.path, f.line, f.rule)))
+
+
+__all__ = ["Finding", "render_findings", "FORMATS"]

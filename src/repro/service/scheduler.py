@@ -35,10 +35,10 @@ from __future__ import annotations
 import itertools
 import queue
 import threading
-import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.exec.telemetry import default_clock
 from repro.service.specs import CampaignSpec, execute_campaign, parse_campaign_spec
 
 #: Journal event names (stored in the warehouse events table).
@@ -130,6 +130,12 @@ class Scheduler:
     max_pending:
         Bounded-queue capacity; beyond it :meth:`submit` raises
         :class:`QueueFull`.
+    clock:
+        Injectable time source for every timestamp and long-poll
+        deadline the scheduler produces (defaults to the sanctioned
+        :func:`repro.exec.telemetry.default_clock` seam).  Tests pass a
+        fake monotonically advancing clock instead of sleeping on real
+        time.
     """
 
     def __init__(
@@ -138,11 +144,13 @@ class Scheduler:
         workers: int = 1,
         exec_jobs: int = 1,
         max_pending: int = 64,
+        clock: Callable[[], float] = default_clock,
     ):
         self.store_path = str(store_path)
         self.exec_jobs = max(1, int(exec_jobs))
         self.max_pending = max(0, int(max_pending))
-        self.started_at = time.time()
+        self._clock = clock
+        self.started_at = clock()
         self._lock = threading.RLock()
         self._events_cond = threading.Condition(self._lock)
         self._jobs: Dict[str, CampaignJob] = {}
@@ -207,7 +215,7 @@ class Scheduler:
                 id=campaign_id,
                 spec=spec,
                 priority=int(priority),
-                submitted_at=time.time(),
+                submitted_at=self._clock(),
             )
             # Journal before exposing the job: a crash after this line
             # leaves a resumable record, never a silently lost campaign.
@@ -243,7 +251,14 @@ class Scheduler:
         resumed = []
         for campaign in order:
             name, event = last[campaign]
-            if name in _TERMINAL_EVENTS or campaign in self._jobs:
+            if name in _TERMINAL_EVENTS:
+                continue
+            # The jobs table is shared with HTTP submit threads; check
+            # for an already-registered id under the lock (submit would
+            # also reject the duplicate, but only with an exception).
+            with self._lock:
+                already_known = campaign in self._jobs
+            if already_known:
                 continue
             try:
                 spec = parse_campaign_spec(event.get("spec") or {})
@@ -299,7 +314,7 @@ class Scheduler:
                 states[job.state] = states.get(job.state, 0) + 1
                 for status, count in job.statuses.items():
                     statuses[status] = statuses.get(status, 0) + count
-            uptime = max(1e-9, time.time() - self.started_at)
+            uptime = max(1e-9, self._clock() - self.started_at)
             finished = statuses.get("ok", 0) + statuses.get("cached", 0)
             return {
                 "queue_depth": states.get(PENDING, 0),
@@ -319,7 +334,7 @@ class Scheduler:
     def _emit(self, job: CampaignJob, event: dict) -> None:
         with self._events_cond:
             job.events.append(
-                {"seq": len(job.events), "time": time.time(), **event}
+                {"seq": len(job.events), "time": self._clock(), **event}
             )
             self._events_cond.notify_all()
 
@@ -334,7 +349,7 @@ class Scheduler:
         self, campaign_id: str, after: int = 0, timeout: float = 10.0
     ) -> List[dict]:
         """Long-poll: block until events beyond ``after`` exist (or timeout)."""
-        deadline = time.monotonic() + max(0.0, timeout)
+        deadline = self._clock() + max(0.0, timeout)
         with self._events_cond:
             while True:
                 job = self._jobs.get(campaign_id)
@@ -344,7 +359,7 @@ class Scheduler:
                     return list(job.events[max(0, after):])
                 if job.state in TERMINAL_STATES:
                     return []
-                remaining = deadline - time.monotonic()
+                remaining = deadline - self._clock()
                 if remaining <= 0:
                     return []
                 self._events_cond.wait(remaining)
@@ -361,7 +376,7 @@ class Scheduler:
                 if job is None or job.state != PENDING:
                     continue  # cancelled while queued
                 job.state = RUNNING
-                job.started_at = time.time()
+                job.started_at = self._clock()
             self._journal(EVENT_STARTED, job)
             self._emit(job, {"event": "state", "state": RUNNING})
             try:
@@ -431,7 +446,7 @@ class Scheduler:
         with self._lock:
             job.state = state
             job.error = error
-            job.finished_at = time.time()
+            job.finished_at = self._clock()
         self._emit(job, {"event": "state", "state": state, "error": error})
 
     # ------------------------------------------------------------ shutdown

@@ -1,0 +1,110 @@
+"""The injectable clock seam: every wall-clock stamp in repro.exec /
+repro.service flows through one ``clock`` callable defaulting to
+:func:`repro.exec.telemetry.default_clock`.  These tests inject a fake
+clock and pin the timestamps exactly — no sleeping, no racing.
+"""
+
+import json
+
+import pytest
+
+from repro.exec.telemetry import JobRecord, RunManifest, default_clock
+from repro.service.scheduler import Scheduler
+from repro.service.specs import parse_campaign_spec
+
+TINY = {
+    "kind": "conformance",
+    "stacks": ["xquic"],
+    "ccas": ["cubic"],
+    "duration_s": 3,
+    "trials": 2,
+}
+
+
+class FakeClock:
+    """Monotonic fake: returns ``start`` and advances ``step`` per call."""
+
+    def __init__(self, start=1000.0, step=1.0):
+        self.now = start
+        self.step = step
+        self.calls = 0
+
+    def __call__(self):
+        value = self.now
+        self.now += self.step
+        self.calls += 1
+        return value
+
+
+def test_default_clock_is_wall_clock():
+    import time
+
+    before = time.time()
+    stamped = default_clock()
+    after = time.time()
+    assert before <= stamped <= after
+
+
+def test_run_manifest_stamps_through_injected_clock(tmp_path):
+    clock = FakeClock(start=5000.0, step=7.0)
+    path = tmp_path / "manifest.jsonl"
+    with RunManifest(path, clock=clock) as manifest:
+        manifest.campaign_start("camp", jobs=2, workers=1, mode="serial")
+        manifest.job("camp", JobRecord(index=0, status="ok"))
+        manifest.campaign_end(
+            "camp", [JobRecord(index=0, status="ok")], wall_s=1.5, cache={}
+        )
+    rows = [json.loads(line) for line in path.read_text().splitlines()]
+    assert [r["event"] for r in rows] == [
+        "campaign_start",
+        "job",
+        "campaign_end",
+    ]
+    # Exactly two clock reads: the start and end stamps; job rows carry
+    # executor wall time, not a clock read.
+    assert rows[0]["time"] == 5000.0
+    assert rows[2]["time"] == 5007.0
+    assert clock.calls == 2
+
+
+def test_scheduler_timestamps_come_from_injected_clock(tmp_path):
+    clock = FakeClock(start=100.0, step=1.0)
+    scheduler = Scheduler(
+        str(tmp_path / "store.db"), workers=0, clock=clock
+    )
+    assert scheduler.started_at == 100.0
+
+    job = scheduler.submit(parse_campaign_spec(TINY))
+    assert job.submitted_at == 101.0
+    # The queued-state event was stamped by the same clock.
+    (event,) = scheduler.events_since(job.id)
+    assert event["time"] == 102.0
+
+    scheduler.shutdown(drain=False)
+
+
+def test_scheduler_metrics_uptime_uses_injected_clock(tmp_path):
+    clock = FakeClock(start=0.0, step=0.0)
+    scheduler = Scheduler(
+        str(tmp_path / "store.db"), workers=0, clock=clock
+    )
+    clock.now = 50.0
+    assert scheduler.metrics()["uptime_s"] == pytest.approx(50.0)
+    clock.now = 200.0
+    assert scheduler.metrics()["uptime_s"] == pytest.approx(200.0)
+    scheduler.shutdown(drain=False)
+
+
+def test_wait_events_deadline_respects_injected_clock(tmp_path):
+    # A clock that jumps far past the deadline between reads: the
+    # long-poll must return immediately instead of blocking on real time.
+    clock = FakeClock(start=0.0, step=100.0)
+    scheduler = Scheduler(
+        str(tmp_path / "store.db"), workers=0, clock=clock
+    )
+    job = scheduler.submit(parse_campaign_spec(TINY))
+    already = len(scheduler.events_since(job.id))
+    assert (
+        scheduler.wait_events(job.id, after=already, timeout=5.0) == []
+    )
+    scheduler.shutdown(drain=False)

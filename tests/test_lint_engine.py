@@ -1,0 +1,376 @@
+"""Engine-level lint tests: suppressions, baseline workflow, reporters,
+CLI exit codes — and the acceptance check that the repo at HEAD is clean.
+"""
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.lint import (
+    Baseline,
+    Finding,
+    LintConfig,
+    find_repo_root,
+    lint_paths,
+    render_findings,
+)
+
+BAD_NETSIM = """\
+import time
+
+def stamp():
+    return time.time()
+"""
+
+
+def make_project(tmp_path, files):
+    root = tmp_path / "proj"
+    for rel, body in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(body).lstrip("\n"))
+    return LintConfig.for_root(root)
+
+
+def run_lint(config, **kwargs):
+    return lint_paths(config=config, baseline=Baseline(), **kwargs)
+
+
+# ------------------------------------------------------------ suppressions
+
+
+def test_trailing_suppression_with_justification(tmp_path):
+    config = make_project(
+        tmp_path,
+        {
+            "src/repro/netsim/a.py": """
+                import time
+
+                def stamp():
+                    return time.time()  # lint: disable=wall-clock -- fixture clock
+            """,
+        },
+    )
+    report = run_lint(config)
+    assert not report.findings
+    assert [f.rule for f in report.suppressed] == ["wall-clock"]
+
+
+def test_comment_line_suppresses_next_line(tmp_path):
+    config = make_project(
+        tmp_path,
+        {
+            "src/repro/netsim/a.py": """
+                import time
+
+                def stamp():
+                    # lint: disable=wall-clock -- fixture clock
+                    return time.time()
+            """,
+        },
+    )
+    report = run_lint(config)
+    assert not report.findings
+    assert len(report.suppressed) == 1
+
+
+def test_suppression_without_justification_is_itself_a_finding(tmp_path):
+    config = make_project(
+        tmp_path,
+        {
+            "src/repro/netsim/a.py": """
+                import time
+
+                def stamp():
+                    return time.time()  # lint: disable=wall-clock
+            """,
+        },
+    )
+    report = run_lint(config)
+    rules = sorted(f.rule for f in report.findings)
+    # The suppression is void (no justification), so the original
+    # finding stays active *and* the silent disable is reported.
+    assert rules == ["suppression-justification", "wall-clock"]
+
+
+def test_suppression_for_other_rule_does_not_apply(tmp_path):
+    config = make_project(
+        tmp_path,
+        {
+            "src/repro/netsim/a.py": """
+                import time
+
+                def stamp():
+                    return time.time()  # lint: disable=set-iteration -- wrong rule
+            """,
+        },
+    )
+    report = run_lint(config)
+    assert [f.rule for f in report.findings] == ["wall-clock"]
+
+
+# ---------------------------------------------------------------- baseline
+
+
+def test_baseline_grandfathers_then_catches_new_findings(tmp_path):
+    config = make_project(tmp_path, {"src/repro/netsim/a.py": BAD_NETSIM})
+    first = run_lint(config)
+    assert len(first.findings) == 1
+
+    baseline_path = tmp_path / "baseline.json"
+    Baseline.from_findings(first.findings).save(baseline_path)
+
+    # Same violation, now grandfathered: gate passes.
+    second = lint_paths(config=config, baseline=Baseline.load(baseline_path))
+    assert not second.findings
+    assert len(second.baselined) == 1
+
+    # A *new* violation on top of the baselined one fails again.
+    (config.src / "netsim" / "b.py").write_text(
+        "import random\nX = random.random()\n"
+    )
+    third = lint_paths(config=config, baseline=Baseline.load(baseline_path))
+    assert [f.rule for f in third.findings] == ["unseeded-random"]
+    assert len(third.baselined) == 1
+
+
+def test_baseline_matching_is_count_aware(tmp_path):
+    config = make_project(
+        tmp_path,
+        {
+            "src/repro/netsim/a.py": """
+                import time
+
+                def one():
+                    return time.time()
+            """,
+        },
+    )
+    report = run_lint(config)
+    baseline = Baseline.from_findings(report.findings)
+
+    # Duplicate the identical line: one occurrence is absorbed by the
+    # baseline entry (count=1), the second is new.
+    (config.src / "netsim" / "a.py").write_text(
+        "import time\n\ndef one():\n    return time.time()\n\n"
+        "def two():\n    return time.time()\n"
+    )
+    again = lint_paths(config=config, baseline=baseline)
+    assert len(again.findings) == 1
+    assert len(again.baselined) == 1
+
+
+def test_baseline_survives_line_drift(tmp_path):
+    config = make_project(tmp_path, {"src/repro/netsim/a.py": BAD_NETSIM})
+    baseline = Baseline.from_findings(run_lint(config).findings)
+
+    # Shift the violation down three lines; identity (rule, path,
+    # snippet) still matches.
+    (config.src / "netsim" / "a.py").write_text(
+        "import time\n\n\n\n\ndef stamp():\n    return time.time()\n"
+    )
+    report = lint_paths(config=config, baseline=baseline)
+    assert not report.findings
+    assert len(report.baselined) == 1
+
+
+def test_baseline_roundtrip(tmp_path):
+    findings = [
+        Finding("wall-clock", "netsim/a.py", 4, "msg", "return time.time()"),
+        Finding("wall-clock", "netsim/a.py", 9, "msg", "return time.time()"),
+    ]
+    path = tmp_path / "baseline.json"
+    Baseline.from_findings(findings).save(path)
+    data = json.loads(path.read_text())
+    assert data["version"] == 1
+    assert data["findings"][0]["count"] == 2
+    assert len(Baseline.load(path)) == 2
+
+
+def test_missing_baseline_file_is_empty(tmp_path):
+    assert len(Baseline.load(tmp_path / "nope.json")) == 0
+
+
+# --------------------------------------------------------------- reporters
+
+
+@pytest.fixture()
+def sample_finding():
+    return Finding(
+        rule="wall-clock",
+        path="src/repro/netsim/a.py",
+        line=4,
+        message="time.time() is wall-clock",
+        snippet="return time.time()",
+    )
+
+
+def test_text_format(sample_finding):
+    out = render_findings([sample_finding], "text")
+    assert out == (
+        "src/repro/netsim/a.py:4: wall-clock: time.time() is wall-clock"
+    )
+
+
+def test_json_format(sample_finding):
+    rows = json.loads(render_findings([sample_finding], "json"))
+    assert rows == [
+        {
+            "rule": "wall-clock",
+            "path": "src/repro/netsim/a.py",
+            "line": 4,
+            "message": "time.time() is wall-clock",
+            "snippet": "return time.time()",
+        }
+    ]
+
+
+def test_github_format_escapes_percent(sample_finding):
+    out = render_findings([sample_finding], "github")
+    assert out.startswith("::error file=src/repro/netsim/a.py,line=4::")
+    weird = Finding("r", "p.py", 1, "100% broken\nnext", "")
+    escaped = render_findings([weird], "github")
+    assert "100%25 broken%0Anext" in escaped
+
+
+def test_unknown_format_raises(sample_finding):
+    with pytest.raises(ValueError):
+        render_findings([sample_finding], "yaml")
+
+
+# -------------------------------------------------------------------- CLI
+
+
+def lint_cli(config, *extra, baseline=None):
+    argv = ["lint", str(config.src), "--root", str(config.root)]
+    if baseline is not None:
+        argv += ["--baseline", str(baseline)]
+    argv += list(extra)
+    return main(argv)
+
+
+def test_cli_exit_one_on_findings_zero_when_clean(tmp_path, capsys):
+    config = make_project(tmp_path, {"src/repro/netsim/a.py": BAD_NETSIM})
+    assert lint_cli(config, baseline=tmp_path / "none.json") == 1
+    out, err = capsys.readouterr()
+    assert "wall-clock" in out
+    assert "suppress with" in err
+
+    (config.src / "netsim" / "a.py").write_text("X = 1\n")
+    assert lint_cli(config, baseline=tmp_path / "none.json") == 0
+    out, _ = capsys.readouterr()
+    assert "lint: clean" in out
+
+
+def test_cli_write_baseline_then_gate_passes(tmp_path, capsys):
+    config = make_project(tmp_path, {"src/repro/netsim/a.py": BAD_NETSIM})
+    baseline = tmp_path / "baseline.json"
+    assert lint_cli(config, "--write-baseline", baseline=baseline) == 0
+    assert "wrote 1 finding(s)" in capsys.readouterr().out
+    assert lint_cli(config, baseline=baseline) == 0
+
+
+def test_cli_stats_prints_per_rule_counts(tmp_path, capsys):
+    config = make_project(
+        tmp_path,
+        {
+            "src/repro/netsim/a.py": """
+                import time
+                import random
+
+                X = random.random()
+
+                def stamp():
+                    return time.time()  # lint: disable=wall-clock -- fixture
+            """,
+        },
+    )
+    code = lint_cli(config, "--stats", baseline=tmp_path / "none.json")
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "unseeded-random" in out
+    assert "totals: 1 active, 1 suppressed, 0 baselined" in out
+
+
+def test_cli_rules_filter_and_unknown_rule(tmp_path, capsys):
+    config = make_project(tmp_path, {"src/repro/netsim/a.py": BAD_NETSIM})
+    # Filtered to an unrelated rule: the wall-clock violation is unseen.
+    assert (
+        lint_cli(
+            config,
+            "--rules",
+            "set-iteration",
+            baseline=tmp_path / "none.json",
+        )
+        == 0
+    )
+    capsys.readouterr()
+    assert lint_cli(config, "--rules", "no-such-rule") == 2
+    assert "unknown rule id" in capsys.readouterr().err
+
+
+def test_cli_list_rules(capsys):
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in (
+        "wall-clock",
+        "unseeded-random",
+        "set-iteration",
+        "id-keyed-dict",
+        "environ-read",
+        "lock-discipline",
+        "sqlite-thread",
+        "blocking-under-lock",
+        "stack-profile-fields",
+        "cca-hook-surface",
+        "cli-doc-coverage",
+    ):
+        assert rule_id in out
+
+
+def test_cli_github_format(tmp_path, capsys):
+    config = make_project(tmp_path, {"src/repro/netsim/a.py": BAD_NETSIM})
+    code = lint_cli(
+        config, "--format", "github", baseline=tmp_path / "none.json"
+    )
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "::error file=" in out
+
+
+def test_parse_error_gates(tmp_path, capsys):
+    config = make_project(
+        tmp_path, {"src/repro/netsim/a.py": "def broken(:\n"}
+    )
+    assert lint_cli(config, baseline=tmp_path / "none.json") == 1
+    assert "parse-error" in capsys.readouterr().out
+
+
+# ------------------------------------------------- acceptance: repo clean
+
+
+def test_repo_at_head_is_clean():
+    """The CI gate itself: src/repro at HEAD lints clean."""
+    root = find_repo_root(Path(__file__).resolve().parent)
+    config = LintConfig.for_root(root)
+    report = lint_paths(config=config)
+    assert report.ok, render_findings(
+        report.findings + report.parse_errors, "text"
+    )
+    # Every inline suppression in the tree carries a justification and
+    # is actually used (dead suppressions would rot silently).
+    assert all(f.rule != "suppression-justification" for f in report.findings)
+
+
+def test_repo_lint_runs_fast_enough():
+    """The CI job budget is 30s; the lint itself must be well inside it."""
+    import time as _time
+
+    root = find_repo_root(Path(__file__).resolve().parent)
+    config = LintConfig.for_root(root)
+    start = _time.perf_counter()
+    lint_paths(config=config)
+    assert _time.perf_counter() - start < 30.0
