@@ -4,7 +4,7 @@
 # numerically identical at any job count.  e.g. `make bench JOBS=4`.
 JOBS ?= 1
 
-.PHONY: install test lint bench quick-bench store-smoke service-smoke clean-cache loc
+.PHONY: install test lint bench quick-bench store-smoke service-smoke chaos clean-cache loc
 
 install:
 	pip install -e .
@@ -39,6 +39,12 @@ store-smoke:
 # SIGTERM (the same flow CI runs).
 service-smoke:
 	python examples/service_smoke.py
+
+# Deterministic fault injection against a real campaign: every trial
+# must land bit-identical to the fault-free baseline or fail typed and
+# resumable (the same invariant CI's chaos-smoke job asserts).
+chaos:
+	PYTHONPATH=src python -m repro chaos --matrix smoke
 
 clean-cache:
 	rm -rf benchmarks/.quicbench_cache benchmarks/output

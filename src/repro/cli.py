@@ -593,8 +593,13 @@ def cmd_sweep(args) -> int:
 
 
 def cmd_store_ingest(args) -> int:
-    """Load manifests and/or a disk-cache directory into a warehouse."""
-    from repro.store import ResultStore, ingest_cache_dir, ingest_manifest
+    """Load manifests, a cache directory and/or a sideline spill."""
+    from repro.store import (
+        ResultStore,
+        ingest_cache_dir,
+        ingest_manifest,
+        ingest_sideline,
+    )
 
     with ResultStore(args.db) as store:
         for path in args.manifest:
@@ -604,10 +609,34 @@ def cmd_store_ingest(args) -> int:
             run = store.ensure_run(args.run) if args.run else None
             report = ingest_cache_dir(store, args.cache_dir, run=run)
             print(f"{args.cache_dir}: {report.summary()}")
-        if not args.manifest and not args.cache_dir:
-            print("nothing to ingest (pass --manifest and/or --cache-dir)")
+        for path in args.sideline:
+            report = ingest_sideline(store, path)
+            print(f"{path}: {report.summary()}")
+        if not args.manifest and not args.cache_dir and not args.sideline:
+            print(
+                "nothing to ingest "
+                "(pass --manifest, --cache-dir and/or --sideline)"
+            )
             return 2
     return 0
+
+
+def cmd_chaos(args) -> int:
+    """Run the deterministic fault-injection campaign (``repro chaos``)."""
+    from repro.faults.chaos import run_chaos
+
+    report = run_chaos(
+        matrix=args.matrix,
+        workdir=args.workdir,
+        duration_s=args.duration,
+        trials=args.trials,
+        jobs=args.jobs,
+        seed=args.seed,
+        log=print,
+    )
+    print()
+    print(report.summary())
+    return 0 if report.ok() else 1
 
 
 def cmd_store_runs(args) -> int:
@@ -961,6 +990,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="JSONL run manifest to ingest (repeatable)")
     p.add_argument("--cache-dir", default=None,
                    help="disk-cache directory of .npy trial payloads")
+    p.add_argument("--sideline", action="append", default=[],
+                   help="sideline spill file written while the store "
+                   "sink's circuit breaker was open (repeatable)")
     p.add_argument("--run", default=None,
                    help="run-name prefix for manifests / run for cache trials")
     p.set_defaults(fn=cmd_store_ingest)
@@ -1048,6 +1080,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--after", type=int, default=0,
                    help="resume the event stream after this cursor")
     p.set_defaults(fn=cmd_watch)
+
+    p = sub.add_parser(
+        "chaos",
+        help="fault-injection campaign proving the pipeline invariant",
+    )
+    p.add_argument("--matrix", default="smoke",
+                   help="named fault matrix: smoke (fast, CI) or default "
+                   "(every fault class incl. the service round trip)")
+    p.add_argument("--duration", type=float, default=2.0,
+                   help="simulated seconds per trial")
+    p.add_argument("--trials", type=int, default=1)
+    p.add_argument("--jobs", type=int, default=2,
+                   help="pool workers for the worker-fault classes")
+    p.add_argument("--seed", type=int, default=0,
+                   help="fault-schedule seed (same seed, same faults)")
+    p.add_argument("--workdir", default=None,
+                   help="scratch directory (default: a fresh temp dir); "
+                   "per-class stores/manifests/sidelines are left here")
+    p.set_defaults(fn=cmd_chaos)
 
     from repro.lint.cli import add_lint_parser
 

@@ -36,6 +36,10 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
+from repro.faults import inject
+from repro.faults.inject import InjectedFault
+from repro.faults.plan import FaultPlan
+from repro.faults.retry import RetryPolicy
 from repro.harness.cache import DEFAULT_CACHE, ResultCache
 from repro.exec.jobs import Job
 from repro.exec.telemetry import (
@@ -43,6 +47,7 @@ from repro.exec.telemetry import (
     STATUS_CRASHED,
     STATUS_FAILED,
     STATUS_OK,
+    STATUS_QUARANTINED,
     STATUS_TIMEOUT,
     CampaignTelemetry,
     JobRecord,
@@ -67,11 +72,23 @@ class _PoolBroken(Exception):
     """Internal: the worker pool cannot start or keeps dying."""
 
 
-def _worker_main(task_q, result_q, cache_dir: Optional[str], cache_enabled: bool):
+def _worker_main(
+    task_q,
+    result_q,
+    cache_dir: Optional[str],
+    cache_enabled: bool,
+    fault_plan: Optional[FaultPlan] = None,
+):
     """Worker loop: pull (index, job, attempt) tasks until the None sentinel.
 
     Runs in a spawned child process; must only touch picklable state.
+    The parent's fault plan (if any) crosses the spawn boundary as data
+    and is activated locally, so worker-side injection seams fire on the
+    same deterministic schedule in every worker generation.
     """
+    if fault_plan is not None:
+        inject.activate(fault_plan)
+    inject.fault_point("exec.worker.start")
     cache = ResultCache(directory=cache_dir, enabled=cache_enabled)
     pid = os.getpid()
     while True:
@@ -83,6 +100,7 @@ def _worker_main(task_q, result_q, cache_dir: Optional[str], cache_enabled: bool
         start = time.perf_counter()
         hits0, misses0 = cache.hits, cache.misses
         try:
+            inject.fault_point("exec.worker.trial", index=index, attempt=attempt)
             value = np.asarray(job.fn(*job.args, cache=cache, **job.kwargs))
         except BaseException as exc:  # report *any* job failure to the parent
             result_q.put(
@@ -142,6 +160,20 @@ class Executor:
         Extra attempts after a failed/timed-out/crashed attempt.
     backoff_s:
         Base of the exponential retry backoff (``backoff_s * 2**(n-1)``).
+    retry:
+        Optional :class:`repro.faults.retry.RetryPolicy` overriding
+        ``retries``/``backoff_s``; its injectable sleep/clock seams are
+        the only way retry pauses ever happen, so tests pass a fake pair
+        and retry paths run instantly.
+    poison_crashes:
+        Quarantine threshold: a job whose attempts *crash the worker*
+        this many times is pulled from rotation with a typed
+        ``quarantined`` record instead of burning respawn budget on
+        every remaining retry.  ``None`` disables quarantine.
+    fault_plan:
+        Optional :class:`repro.faults.plan.FaultPlan` shipped to every
+        spawned worker (the parent process activates plans separately
+        via :func:`repro.faults.inject.activate`).
     start_method:
         ``multiprocessing`` start method; ``spawn`` is the portable,
         deterministic default.
@@ -168,6 +200,9 @@ class Executor:
         timeout_s: Optional[float] = None,
         retries: int = 2,
         backoff_s: float = 0.05,
+        retry: Optional[RetryPolicy] = None,
+        poison_crashes: Optional[int] = 3,
+        fault_plan: Optional[FaultPlan] = None,
         start_method: str = "spawn",
         progress=None,
         manifest_path: Optional[Union[str, "os.PathLike"]] = None,
@@ -177,8 +212,17 @@ class Executor:
         self.jobs = max(1, int(jobs))
         self.cache = cache if cache is not None else DEFAULT_CACHE
         self.timeout_s = timeout_s
-        self.retries = max(0, int(retries))
-        self.backoff_s = backoff_s
+        if retry is None:
+            retry = RetryPolicy(
+                max_attempts=max(0, int(retries)) + 1, backoff_s=backoff_s
+            )
+        self.retry = retry
+        # Attempt bookkeeping below speaks in "extra attempts"; derive it
+        # from whichever policy won so there is one source of truth.
+        self.retries = max(0, (retry.max_attempts or 1) - 1)
+        self.backoff_s = retry.backoff_s
+        self.poison_crashes = poison_crashes
+        self.fault_plan = fault_plan
         self.start_method = start_method
         self.progress = progress
         self.manifest = RunManifest(manifest_path) if manifest_path else None
@@ -310,9 +354,6 @@ class Executor:
 
     # --------------------------------------------------------------- serial
 
-    def _backoff(self, attempt: int) -> float:
-        return min(5.0, self.backoff_s * (2 ** max(0, attempt - 1)))
-
     def _run_serial(self, joblist, indices, values, records, state) -> None:
         for i in indices:
             job, record = joblist[i], records[i]
@@ -329,7 +370,7 @@ class Executor:
                     record.error = f"{type(exc).__name__}: {exc}"
                     if record.attempts <= self.retries:
                         record.retried = True
-                        time.sleep(self._backoff(record.attempts))
+                        self.retry.sleep(self.retry.backoff(record.attempts))
                         continue
                     record.status = STATUS_FAILED
                 else:
@@ -364,6 +405,7 @@ class Executor:
             result_q,
             None if cache_dir is None else str(cache_dir),
             self.cache.enabled,
+            self.fault_plan,
         )
         procs: Dict[int, multiprocessing.process.BaseProcess] = {}
         respawn_budget = len(indices) * (self.retries + 1)
@@ -383,6 +425,7 @@ class Executor:
             return started
 
         attempts: Dict[int, int] = {i: 0 for i in indices}
+        crashes: Dict[int, int] = {i: 0 for i in indices}
         resolved: Set[int] = set()
         requeue: List[Tuple[float, int]] = []
         running: Dict[int, Tuple[int, int, float]] = {}  # pid -> (idx, att, t0)
@@ -404,7 +447,9 @@ class Executor:
             record.attempts = attempts[i]
             if attempts[i] <= self.retries:
                 record.retried = True
-                requeue.append((time.monotonic() + self._backoff(attempts[i]), i))
+                requeue.append(
+                    (time.monotonic() + self.retry.backoff(attempts[i]), i)
+                )
             else:
                 record.status = final_status
                 resolved.add(i)
@@ -427,6 +472,14 @@ class Executor:
                     msg = result_q.get(timeout=0.05)
                 except queue.Empty:
                     msg = None
+                if msg is not None and msg[0] == "start":
+                    # Injection seam: drop a worker's "start" report, as if
+                    # it died before the message flushed.  Exercises the
+                    # stall-recovery resubmission path below.
+                    try:
+                        inject.fault_point("exec.result", kind="start")
+                    except InjectedFault:
+                        msg = None
                 if msg is not None:
                     last_activity = time.monotonic()
                     kind = msg[0]
@@ -482,12 +535,31 @@ class Executor:
                         if pid in running:
                             i, att, t0 = running.pop(pid)
                             if i not in resolved and att == attempts[i]:
-                                fail_attempt(
-                                    i,
-                                    f"worker crashed (exit code {proc.exitcode})",
-                                    STATUS_CRASHED,
-                                    time.monotonic() - t0,
-                                )
+                                crashes[i] += 1
+                                if (
+                                    self.poison_crashes is not None
+                                    and crashes[i] >= self.poison_crashes
+                                ):
+                                    # Poison job: it keeps taking workers
+                                    # down with it.  Quarantine instead of
+                                    # burning the respawn budget retrying.
+                                    record = records[i]
+                                    record.error = (
+                                        f"quarantined after {crashes[i]} worker "
+                                        f"crashes (exit code {proc.exitcode})"
+                                    )
+                                    record.status = STATUS_QUARANTINED
+                                    record.attempts = attempts[i]
+                                    record.wall_s += time.monotonic() - t0
+                                    resolved.add(i)
+                                    state.emit(record)
+                                else:
+                                    fail_attempt(
+                                        i,
+                                        f"worker crashed (exit code {proc.exitcode})",
+                                        STATUS_CRASHED,
+                                        time.monotonic() - t0,
+                                    )
 
                 # Keep the pool staffed while work remains.
                 unresolved = len(indices) - len(resolved)

@@ -11,13 +11,18 @@ summary — to a JSONL file for offline inspection.  The optional
 
 from __future__ import annotations
 
+import base64
 import json
 import os
+import sqlite3
 import sys
 import time
 from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import IO, TYPE_CHECKING, Callable, List, Optional, Union
+
+from repro.faults import inject
+from repro.faults.breaker import CircuitBreaker, get_breaker
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from repro.store.warehouse import ResultStore
@@ -37,12 +42,15 @@ def default_clock() -> float:
 
 #: Job terminal states.  ``cached`` jobs were satisfied from the campaign
 #: cache without running; ``timeout``/``crashed``/``failed`` describe the
-#: *final* attempt of a job that exhausted its retries.
+#: *final* attempt of a job that exhausted its retries; ``quarantined``
+#: marks a poison job pulled from rotation after repeatedly crashing its
+#: worker (see ``Executor.poison_crashes``).
 STATUS_OK = "ok"
 STATUS_CACHED = "cached"
 STATUS_FAILED = "failed"
 STATUS_TIMEOUT = "timeout"
 STATUS_CRASHED = "crashed"
+STATUS_QUARANTINED = "quarantined"
 
 
 @dataclass
@@ -139,7 +147,12 @@ class RunManifest:
         if self._handle is None or self._handle.closed:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             self._handle = open(self.path, "a")
-        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        # Fault seam: journal-truncate/journal-corrupt tear this line the
+        # way a crash mid-write would; readers must skip it, not die.
+        line = inject.fault_value(
+            "exec.manifest.line", json.dumps(record, sort_keys=True)
+        )
+        self._handle.write(line + "\n")
         self._handle.flush()
 
     def close(self) -> None:
@@ -148,6 +161,7 @@ class RunManifest:
             return
         try:
             self._handle.flush()
+            inject.fault_point("exec.manifest.fsync")
             os.fsync(self._handle.fileno())
         except OSError:  # fsync is best-effort (e.g. special files)
             pass
@@ -166,6 +180,11 @@ class RunManifest:
         except Exception:
             pass
 
+    def _time(self) -> float:
+        # Fault seam: clock-skew shifts this timestamp without touching
+        # any payload — skewed telemetry must never change results.
+        return inject.fault_value("exec.manifest.clock", self._clock())
+
     def campaign_start(self, campaign: str, jobs: int, workers: int, mode: str) -> None:
         self._append(
             {
@@ -174,7 +193,7 @@ class RunManifest:
                 "jobs": jobs,
                 "workers": workers,
                 "mode": mode,
-                "time": self._clock(),
+                "time": self._time(),
             }
         )
 
@@ -194,7 +213,7 @@ class RunManifest:
                 "statuses": statuses,
                 "wall_s": round(wall_s, 4),
                 "cache": cache,
-                "time": self._clock(),
+                "time": self._time(),
             }
         )
 
@@ -210,12 +229,41 @@ class StoreSink:
     completed trial payloads as content-addressed ``trials`` rows.  All
     writes happen in the executor's parent process, so ``--jobs N``
     campaigns funnel through one connection.
+
+    **Graceful degradation**: every store write goes through a named
+    :class:`~repro.faults.breaker.CircuitBreaker`.  While the warehouse
+    fails (locked beyond deadline, disk full, corrupt file) the breaker
+    opens and writes *spill* to an append-only JSONL sideline file next
+    to the store (``<store>.sideline.jsonl``) instead of being lost or
+    crashing the campaign; ``repro store ingest --sideline`` replays the
+    spill into the warehouse on recovery
+    (:func:`repro.store.ingest.ingest_sideline`).  The breaker registers
+    process-wide, so the service ``/healthz`` reports ``degraded`` with
+    the cause while it is open.
     """
 
-    def __init__(self, store: "ResultStore", run_name: Optional[str] = None):
+    def __init__(
+        self,
+        store: "ResultStore",
+        run_name: Optional[str] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        spill_path: Optional[Union[str, Path]] = None,
+    ):
         self.store = store
         self.run_name = run_name
         self._campaign_runs: dict = {}
+        store_path = getattr(store, "path", None)
+        if spill_path is not None:
+            self.spill_path: Optional[Path] = Path(spill_path)
+        elif store_path is not None:
+            self.spill_path = Path(f"{store_path}.sideline.jsonl")
+        else:
+            self.spill_path = None
+        self.breaker = breaker if breaker is not None else get_breaker(
+            f"store-sink:{store_path}"
+        )
+        self.spilled = 0
+        self.spill_errors = 0
 
     def _run_for(self, campaign: str):
         name = self.run_name or campaign
@@ -223,19 +271,66 @@ class StoreSink:
             self._campaign_runs[name] = self.store.ensure_run(name)
         return self._campaign_runs[name]
 
+    # ----------------------------------------------------- breaker + spill
+
+    def _protected(self, fn, spill_fn):
+        """Run one store write through the breaker; spill on failure.
+
+        Returns ``fn()``'s result, or None when the write was spilled
+        (breaker open, or the write failed and tripped it further).
+        """
+        from repro.store.warehouse import StoreError
+
+        if not self.breaker.allow():
+            spill_fn()
+            return None
+        try:
+            result = fn()
+        except (StoreError, sqlite3.Error, OSError) as exc:
+            self.breaker.record_failure(exc)
+            spill_fn()
+            return None
+        self.breaker.record_success()
+        return result
+
+    def _spill(self, record: dict) -> None:
+        if self.spill_path is None:
+            return
+        try:
+            with open(self.spill_path, "a") as handle:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+        except OSError:
+            self.spill_errors += 1  # disk truly gone; counted, not fatal
+        else:
+            self.spilled += 1
+
+    def _event(self, event: str, campaign: str, payload: dict) -> None:
+        self._protected(
+            lambda: self.store.record_event(
+                event, campaign=campaign, payload=payload,
+                run=self._run_for(campaign),
+            ),
+            lambda: self._spill(
+                {
+                    "kind": "event",
+                    "event": event,
+                    "campaign": campaign,
+                    "run": self.run_name or campaign,
+                    "payload": payload,
+                }
+            ),
+        )
+
+    # ------------------------------------------------------------- records
+
     def campaign_start(self, campaign: str, jobs: int, workers: int, mode: str) -> None:
-        self.store.record_event(
-            "campaign_start",
-            campaign=campaign,
-            payload={"jobs": jobs, "workers": workers, "mode": mode},
-            run=self._run_for(campaign),
+        self._event(
+            "campaign_start", campaign,
+            {"jobs": jobs, "workers": workers, "mode": mode},
         )
 
     def job(self, campaign: str, record: JobRecord) -> None:
-        self.store.record_event(
-            "job", campaign=campaign, payload=record.row(),
-            run=self._run_for(campaign),
-        )
+        self._event("job", campaign, record.row())
 
     def campaign_end(
         self, campaign: str, records: List[JobRecord], wall_s: float, cache: dict
@@ -243,20 +338,42 @@ class StoreSink:
         statuses: dict = {}
         for record in records:
             statuses[record.status] = statuses.get(record.status, 0) + 1
-        self.store.record_event(
-            "campaign_end",
-            campaign=campaign,
-            payload={
-                "statuses": statuses,
-                "wall_s": round(wall_s, 4),
-                "cache": cache,
-            },
-            run=self._run_for(campaign),
+        self._event(
+            "campaign_end", campaign,
+            {"statuses": statuses, "wall_s": round(wall_s, 4), "cache": cache},
         )
 
     def trials(self, campaign: str, items) -> int:
-        """Persist completed (key, value) payloads; returns newly stored."""
-        return self.store.put_trials(items, run=self._run_for(campaign))
+        """Persist completed (key, value) payloads; returns newly stored.
+
+        Payloads that cannot reach the warehouse spill losslessly to the
+        sideline (dtype + shape + base64 bytes), ready for replay.
+        """
+        import numpy as np
+
+        items = [(key, np.ascontiguousarray(np.asarray(v))) for key, v in items]
+        if not items:
+            return 0
+
+        def spill_all():
+            run = self.run_name or campaign
+            for key, array in items:
+                self._spill(
+                    {
+                        "kind": "trial",
+                        "key": key,
+                        "run": run,
+                        "dtype": array.dtype.str,
+                        "shape": list(array.shape),
+                        "data": base64.b64encode(array.tobytes()).decode("ascii"),
+                    }
+                )
+
+        stored = self._protected(
+            lambda: self.store.put_trials(items, run=self._run_for(campaign)),
+            spill_all,
+        )
+        return int(stored or 0)
 
 
 class ProgressPrinter:
@@ -295,4 +412,5 @@ __all__ = [
     "STATUS_FAILED",
     "STATUS_TIMEOUT",
     "STATUS_CRASHED",
+    "STATUS_QUARANTINED",
 ]

@@ -1,0 +1,67 @@
+"""``repro.faults`` — deterministic fault injection and pipeline hardening.
+
+Failure is a first-class, reproducible scenario: a seeded
+:class:`~repro.faults.plan.FaultPlan` schedules worker crashes, locked
+databases, full disks, torn journals, clock skew and dropped
+connections at named injection seams threaded through the exec → store
+→ service pipeline; :class:`~repro.faults.retry.RetryPolicy` is the one
+retry/backoff implementation everything shares; circuit breakers
+(:mod:`repro.faults.breaker`) turn persistent dependency failure into
+graceful degradation instead of cascade; and
+:func:`~repro.faults.chaos.run_chaos` (the ``repro chaos`` CLI) proves
+the pipeline invariant under every fault class: a trial either lands
+bit-identical to the fault-free baseline or surfaces as a typed,
+resumable failure — never silently missing, duplicated, or corrupted.
+"""
+
+from repro.faults.breaker import (
+    BreakerOpen,
+    CircuitBreaker,
+    degraded,
+    get_breaker,
+    reset_breakers,
+)
+from repro.faults.inject import (
+    FaultInjector,
+    InjectedFault,
+    activate,
+    active,
+    active_plan,
+    deactivate,
+    fault_point,
+    fault_value,
+)
+from repro.faults.plan import (
+    FAULT_CLASSES,
+    FaultMatrix,
+    FaultPlan,
+    FaultRule,
+    fault_matrix,
+    rule,
+)
+from repro.faults.retry import RetryPolicy, default_monotonic, default_sleep
+
+__all__ = [
+    "FAULT_CLASSES",
+    "BreakerOpen",
+    "CircuitBreaker",
+    "FaultInjector",
+    "FaultMatrix",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedFault",
+    "RetryPolicy",
+    "activate",
+    "active",
+    "active_plan",
+    "deactivate",
+    "default_monotonic",
+    "default_sleep",
+    "degraded",
+    "fault_matrix",
+    "fault_point",
+    "fault_value",
+    "get_breaker",
+    "reset_breakers",
+    "rule",
+]

@@ -1,0 +1,160 @@
+"""Circuit breakers: stop hammering a failing dependency, degrade instead.
+
+A :class:`CircuitBreaker` counts consecutive failures of one protected
+dependency (the results warehouse, the service journal).  At
+``failure_threshold`` it *opens*: callers stop attempting the operation
+and take their degradation path instead (the executor's store sink
+spills to a JSONL sideline file, the scheduler keeps running campaigns
+with journaling suspended).  After ``reset_after_s`` the breaker lets
+one probe through (*half-open*); a success closes it, another failure
+re-opens it.
+
+Breakers register in a process-wide named registry so operational
+surfaces can report degradation: the service ``/healthz`` returns
+``status: degraded`` with the open breakers' causes while any breaker
+is open.  Time comes from the injectable
+:func:`repro.faults.retry.default_monotonic` seam, so tests drive the
+open→half-open transition with a fake clock instead of sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, Optional
+
+from repro.faults.retry import default_monotonic
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class BreakerOpen(RuntimeError):
+    """The protected operation was skipped: the breaker is open."""
+
+    def __init__(self, name: str, cause: Optional[str]):
+        self.name = name
+        self.cause = cause
+        super().__init__(f"circuit breaker {name!r} is open ({cause})")
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with timed half-open probes."""
+
+    def __init__(
+        self,
+        name: str,
+        failure_threshold: int = 3,
+        reset_after_s: float = 30.0,
+        clock: Callable[[], float] = default_monotonic,
+    ):
+        self.name = name
+        self.failure_threshold = max(1, int(failure_threshold))
+        self.reset_after_s = float(reset_after_s)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._cause: Optional[str] = None
+
+    def allow(self) -> bool:
+        """May the protected operation be attempted right now?
+
+        Open breakers whose cool-down elapsed transition to half-open
+        and admit the call as the probe.
+        """
+        with self._lock:
+            if self._state == OPEN:
+                if self._clock() - self._opened_at >= self.reset_after_s:
+                    self._state = HALF_OPEN
+                    return True
+                return False
+            return True
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._state = CLOSED
+            self._failures = 0
+            self._cause = None
+
+    def record_failure(self, exc: BaseException) -> None:
+        with self._lock:
+            self._failures += 1
+            self._cause = f"{type(exc).__name__}: {exc}"
+            if self._state == HALF_OPEN or self._failures >= self.failure_threshold:
+                self._state = OPEN
+                self._opened_at = self._clock()
+
+    def call(self, fn: Callable):
+        """Run ``fn`` through the breaker; raises :class:`BreakerOpen`."""
+        if not self.allow():
+            with self._lock:
+                cause = self._cause
+            raise BreakerOpen(self.name, cause)
+        try:
+            result = fn()
+        except Exception as exc:
+            self.record_failure(exc)
+            raise
+        self.record_success()
+        return result
+
+    def status(self) -> Dict[str, object]:
+        """Snapshot for health endpoints and tests."""
+        with self._lock:
+            return {
+                "name": self.name,
+                "state": self._state,
+                "failures": self._failures,
+                "cause": self._cause,
+            }
+
+    def is_open(self) -> bool:
+        with self._lock:
+            return self._state == OPEN
+
+
+#: Process-wide registry feeding ``/healthz`` degradation reporting.
+_REGISTRY: Dict[str, CircuitBreaker] = {}
+_REGISTRY_LOCK = threading.Lock()
+
+
+def get_breaker(name: str, **kwargs) -> CircuitBreaker:
+    """Get-or-create the breaker called ``name`` (kwargs apply on create)."""
+    with _REGISTRY_LOCK:
+        breaker = _REGISTRY.get(name)
+        if breaker is None:
+            breaker = CircuitBreaker(name, **kwargs)
+            _REGISTRY[name] = breaker
+        return breaker
+
+
+def degraded() -> Dict[str, str]:
+    """Open breakers as ``{name: cause}`` — empty means fully healthy."""
+    with _REGISTRY_LOCK:
+        breakers = list(_REGISTRY.values())
+    out: Dict[str, str] = {}
+    for breaker in breakers:
+        status = breaker.status()
+        if status["state"] == OPEN:
+            out[breaker.name] = str(status["cause"] or "unknown")
+    return out
+
+
+def reset_breakers() -> None:
+    """Drop every registered breaker (test isolation)."""
+    with _REGISTRY_LOCK:
+        _REGISTRY.clear()
+
+
+__all__ = [
+    "CLOSED",
+    "HALF_OPEN",
+    "OPEN",
+    "BreakerOpen",
+    "CircuitBreaker",
+    "degraded",
+    "get_breaker",
+    "reset_breakers",
+]

@@ -1,0 +1,436 @@
+"""``repro chaos``: the pipeline-hardening proof, run as a campaign.
+
+For every fault class of a named matrix this module runs a small but
+real experiment campaign (the same trial jobs, executor, warehouse and
+service code paths production uses) under that class's deterministic
+:class:`~repro.faults.plan.FaultPlan`, then checks the **chaos
+invariant** against a fault-free baseline:
+
+    every trial either lands in the warehouse *bit-identical* to the
+    fault-free run, or surfaces as a *typed, resumable* failure (a
+    ``failed``/``crashed``/``timeout``/``quarantined`` job record, or a
+    sideline spill record) — never silently missing, duplicated, or
+    corrupted.
+
+After the faulted run, the recovery path the docs prescribe is executed
+for real — replay the sideline spill with
+:func:`repro.store.ingest.ingest_sideline`, then re-run the campaign
+fault-free over the surviving store — and the recovered store must equal
+the baseline exactly.  Journal-fault classes additionally prove the
+manifest stays ingestable (torn lines are skipped, not fatal).
+
+Everything is seeded: a failing chaos run reproduces with the same
+``--seed``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.faults import inject
+from repro.faults.breaker import reset_breakers
+from repro.faults.plan import (
+    FAULT_HTTP_DISCONNECT,
+    FAULT_WORKER_HANG,
+    FaultPlan,
+    fault_matrix,
+)
+from repro.faults.retry import RetryPolicy
+
+#: Statuses that count as "typed, resumable failure" under the invariant.
+_TYPED_FAILURES = ("failed", "crashed", "timeout", "quarantined")
+
+#: Snapshot of one trial payload: (dtype, shape, raw bytes).
+_Snap = Tuple[str, Tuple[int, ...], bytes]
+
+
+def _snap(value: np.ndarray) -> _Snap:
+    array = np.ascontiguousarray(np.asarray(value))
+    return (array.dtype.str, tuple(array.shape), array.tobytes())
+
+
+@dataclass
+class FaultOutcome:
+    """What happened (and what was proven) for one fault class."""
+
+    fault: str
+    fires: int = 0
+    typed_failures: List[str] = field(default_factory=list)
+    #: Cache keys of jobs that ended in a typed failure — the invariant
+    #: accepts these as "accounted for" when absent from the store.
+    accounted_keys: set = field(default_factory=set)
+    spilled: int = 0
+    violations: List[str] = field(default_factory=list)
+    recovered: bool = False
+    note: str = ""
+
+    def ok(self) -> bool:
+        return not self.violations and self.recovered
+
+    def summary(self) -> str:
+        verdict = "ok" if self.ok() else "FAIL"
+        parts = [f"{self.fault:<18} {verdict}", f"fires={self.fires}"]
+        if self.typed_failures:
+            parts.append(f"typed_failures={len(self.typed_failures)}")
+        if self.spilled:
+            parts.append(f"spilled={self.spilled}")
+        if self.note:
+            parts.append(self.note)
+        line = "  ".join(parts)
+        for violation in self.violations:
+            line += f"\n    violation: {violation}"
+        return line
+
+
+@dataclass
+class ChaosReport:
+    """The full ``repro chaos`` result across a fault matrix."""
+
+    matrix: str
+    seed: int
+    baseline_trials: int
+    outcomes: List[FaultOutcome] = field(default_factory=list)
+
+    def ok(self) -> bool:
+        return bool(self.outcomes) and all(o.ok() for o in self.outcomes)
+
+    def summary(self) -> str:
+        lines = [
+            f"chaos matrix {self.matrix!r} (seed {self.seed}, "
+            f"{self.baseline_trials} baseline trials):"
+        ]
+        lines += ["  " + o.summary() for o in self.outcomes]
+        lines.append("chaos: " + ("PASS" if self.ok() else "FAIL"))
+        return "\n".join(lines)
+
+
+def _chaos_jobs(duration_s: float, trials: int):
+    from repro.exec.jobs import measurement_trial_jobs
+    from repro.harness.config import ExperimentConfig, NetworkCondition
+
+    condition = NetworkCondition(bandwidth_mbps=8, rtt_ms=20, buffer_bdp=0.6)
+    config = ExperimentConfig(duration_s=float(duration_s), trials=int(trials))
+    return measurement_trial_jobs("quiche", "cubic", condition, config)
+
+
+def _baseline(joblist, workdir: Path) -> Dict[str, _Snap]:
+    from repro.exec import Executor
+    from repro.harness.cache import ResultCache
+
+    # Explicit directory: never share the user's QUICBENCH_CACHE_DIR, so
+    # a chaos run is hermetic and the baseline is really recomputed.
+    cache = ResultCache(directory=workdir / "baseline-cache")
+    with Executor(jobs=1, cache=cache) as executor:
+        values = executor.run(joblist, campaign="chaos-baseline")
+    return {
+        job.key: _snap(value)
+        for job, value in zip(joblist, values)
+        if job.key and value is not None
+    }
+
+
+def _check_store(
+    store_path: Path,
+    baseline: Dict[str, _Snap],
+    accounted: set,
+    sideline_keys: set,
+) -> Tuple[List[str], List[str]]:
+    """Invariant check: returns (violations, keys missing from the store)."""
+    from repro.store.warehouse import ResultStore, StoreError
+
+    violations: List[str] = []
+    missing: List[str] = []
+    with ResultStore(store_path) as store:
+        for key, (dtype, shape, raw) in sorted(baseline.items()):
+            try:
+                value = store.get_trial(key, strict=True)
+            except StoreError as exc:
+                violations.append(f"corrupt payload for {key}: {exc}")
+                continue
+            if value is None:
+                missing.append(key)
+                if key not in accounted and key not in sideline_keys:
+                    violations.append(
+                        f"trial {key} silently missing (no typed failure, "
+                        "no sideline record)"
+                    )
+            elif _snap(value) != (dtype, shape, raw):
+                violations.append(
+                    f"trial {key} differs from the fault-free baseline"
+                )
+    return violations, missing
+
+
+def _sideline_keys(path: Path) -> set:
+    import json
+
+    keys = set()
+    if not path.exists():
+        return keys
+    with open(path, "r") as handle:
+        for line in handle:
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            if record.get("kind") == "trial":
+                keys.add(record.get("key"))
+    return keys
+
+
+def _run_faulted(
+    fault: str,
+    plan: FaultPlan,
+    joblist,
+    classdir: Path,
+    jobs: int,
+    outcome: FaultOutcome,
+) -> None:
+    """One campaign under ``plan``, recording what the pipeline reported."""
+    from repro.exec import Executor
+    from repro.exec.executor import ExecutionError
+    from repro.store.cache import StoreCache
+    from repro.store.warehouse import ResultStore
+
+    # Worker faults need a real pool (the fault site lives in the worker
+    # bootstrap); everything else runs serial to keep store/journal fault
+    # schedules single-threaded and exactly reproducible.
+    class_jobs = jobs if fault.startswith("worker-") else 1
+    timeout_s = 3.0 if fault == FAULT_WORKER_HANG else 30.0
+    with inject.active_plan(plan) as injector:
+        store = ResultStore(classdir / "store.db")
+        cache = StoreCache(store, directory=classdir / "cache")
+        executor = Executor(
+            jobs=class_jobs,
+            cache=cache,
+            timeout_s=timeout_s,
+            retry=RetryPolicy(max_attempts=3, backoff_s=0.01),
+            fault_plan=plan,
+            store=store,
+            store_run=f"chaos-{fault}",
+            manifest_path=classdir / "manifest.jsonl",
+        )
+        try:
+            executor.run(joblist, campaign=f"chaos-{fault}")
+        except ExecutionError as exc:
+            outcome.typed_failures = [
+                f"{r.label or r.index}: {r.status} ({r.error})"
+                for r in exc.failures
+            ]
+            outcome.accounted_keys = {
+                joblist[r.index].key for r in exc.failures
+            }
+        finally:
+            retried = sum(1 for r in executor.last_records if r.retried)
+            if retried:
+                outcome.note = f"retried={retried}"
+            executor.close()
+            if executor.store_sink is not None:
+                outcome.spilled = executor.store_sink.spilled
+            store.close()
+        outcome.fires = injector.fire_count()
+
+
+def _recover(
+    joblist, classdir: Path, baseline: Dict[str, _Snap], outcome: FaultOutcome
+) -> None:
+    """Run the documented recovery: replay sideline, re-run fault-free."""
+    from repro.exec import Executor
+    from repro.store.cache import StoreCache
+    from repro.store.ingest import ingest_sideline
+    from repro.store.warehouse import ResultStore
+
+    reset_breakers()  # recovery starts with a healthy circuit
+    store_path = classdir / "store.db"
+    sideline = Path(f"{store_path}.sideline.jsonl")
+    with ResultStore(store_path) as store:
+        if sideline.exists():
+            report = ingest_sideline(store, sideline)
+            outcome.note = (
+                (outcome.note + "  " if outcome.note else "")
+                + f"sideline replayed: {report.trials} trials "
+                f"(+{report.trials_deduped} dup)"
+            )
+        cache = StoreCache(store, directory=classdir / "recovery-cache")
+        with Executor(jobs=1, cache=cache, store=store,
+                      store_run="chaos-recovery") as executor:
+            executor.run(joblist, campaign="chaos-recovery")
+    violations, missing = _check_store(store_path, baseline, set(), set())
+    if violations or missing:
+        outcome.violations += [
+            f"post-recovery: {v}" for v in violations
+        ] + [f"post-recovery: {k} still missing" for k in missing]
+    else:
+        outcome.recovered = True
+
+
+def _check_manifest_ingestable(classdir: Path, outcome: FaultOutcome) -> None:
+    """Journal-fault classes: a torn manifest must ingest, not explode."""
+    from repro.store.ingest import ingest_manifest
+    from repro.store.warehouse import ResultStore
+
+    manifest = classdir / "manifest.jsonl"
+    if not manifest.exists():
+        return
+    try:
+        with ResultStore(classdir / "ingest-check.db") as scratch:
+            report = ingest_manifest(scratch, manifest)
+    except Exception as exc:  # noqa: BLE001 - any crash is the violation
+        outcome.violations.append(
+            f"manifest ingest crashed on the torn journal: "
+            f"{type(exc).__name__}: {exc}"
+        )
+    else:
+        if report.skipped_lines:
+            outcome.note = (
+                outcome.note + " " if outcome.note else ""
+            ) + f"manifest: {report.skipped_lines} torn lines skipped"
+
+
+def _run_service_class(
+    plan: FaultPlan,
+    classdir: Path,
+    duration_s: float,
+    trials: int,
+    outcome: FaultOutcome,
+) -> None:
+    """http-disconnect: a real client/service round trip under resets.
+
+    The client's first request eats an injected connection reset; the
+    invariant here is typed handling end-to-end — ``submit_blocking``
+    retries through a :class:`ServiceError` (never a raw socket error),
+    the campaign completes, and every stored payload decodes.
+    """
+    from repro.service.client import ServiceClient, ServiceError
+    from repro.service.server import ServiceApp
+    from repro.store.warehouse import ResultStore, StoreError
+
+    store_path = classdir / "store.db"
+    app = ServiceApp(store_path=str(store_path), port=0, workers=1)
+    app.start()
+    try:
+        client = ServiceClient(app.url, timeout_s=30.0)
+        spec = {
+            "kind": "matrix",
+            "stacks": ["quiche"],
+            "ccas": ["cubic"],
+            "conditions": [
+                {"bandwidth_mbps": 8, "rtt_ms": 20, "buffer_bdp": 0.6}
+            ],
+            "duration_s": float(duration_s),
+            "trials": int(trials),
+            "run": "chaos-http",
+        }
+        with inject.active_plan(plan) as injector:
+            try:
+                campaign = client.submit_blocking(
+                    spec,
+                    retry=RetryPolicy(
+                        max_attempts=None, backoff_s=0.05,
+                        backoff_cap_s=1.0, deadline_s=60.0,
+                    ),
+                )
+            except ServiceError as exc:
+                outcome.violations.append(
+                    f"submit did not survive the disconnect: {exc}"
+                )
+                return
+            final = client.wait(campaign["id"], timeout_s=300.0,
+                                raise_on_failure=False)
+            outcome.fires = injector.fire_count()
+        if outcome.fires == 0:
+            outcome.violations.append("disconnect fault never fired")
+        if final["state"] != "done":
+            outcome.typed_failures.append(
+                f"campaign {final['id']}: {final['state']} ({final['error']})"
+            )
+            outcome.violations.append(
+                f"campaign did not complete after the disconnect: "
+                f"{final['state']}"
+            )
+            return
+    finally:
+        app.stop(drain=False)
+    with ResultStore(store_path) as store:
+        keys = store.trial_keys()
+        if not keys:
+            outcome.violations.append("campaign stored no trials")
+        for key in keys:
+            try:
+                store.get_trial(key, strict=True)
+            except StoreError as exc:
+                outcome.violations.append(f"corrupt payload for {key}: {exc}")
+    if not outcome.violations:
+        outcome.recovered = True
+        outcome.note = "service round trip survived the reset"
+
+
+def run_chaos(
+    matrix: str = "smoke",
+    workdir: Optional[Union[str, Path]] = None,
+    duration_s: float = 2.0,
+    trials: int = 1,
+    jobs: int = 2,
+    seed: int = 0,
+    log: Optional[Callable[[str], None]] = None,
+) -> ChaosReport:
+    """Run the chaos campaign for one named fault matrix.
+
+    Returns a :class:`ChaosReport`; ``report.ok()`` is the CI gate.
+    ``workdir`` (a scratch directory is created when omitted) receives
+    one subdirectory per fault class with its store, manifest and any
+    sideline spill — kept for post-mortem when a class fails.
+    """
+    import tempfile
+
+    def say(message: str) -> None:
+        if log is not None:
+            log(message)
+
+    if workdir is None:
+        workdir = Path(tempfile.mkdtemp(prefix="repro-chaos-"))
+    workdir = Path(workdir)
+    workdir.mkdir(parents=True, exist_ok=True)
+
+    resolved = fault_matrix(matrix, seed=seed)
+    joblist = _chaos_jobs(duration_s, trials)
+    say(f"chaos: baseline campaign ({len(joblist)} jobs)...")
+    baseline = _baseline(joblist, workdir)
+    report = ChaosReport(
+        matrix=matrix, seed=seed, baseline_trials=len(baseline)
+    )
+
+    for fault, plan in resolved.plans.items():
+        say(f"chaos: injecting {fault} ({plan.describe()})")
+        classdir = workdir / fault
+        classdir.mkdir(parents=True, exist_ok=True)
+        outcome = FaultOutcome(fault=fault)
+        reset_breakers()
+        try:
+            if fault == FAULT_HTTP_DISCONNECT:
+                _run_service_class(plan, classdir, duration_s, trials, outcome)
+            else:
+                _run_faulted(fault, plan, joblist, classdir, jobs, outcome)
+                accounted = getattr(outcome, "accounted_keys", set())
+                sideline_keys = _sideline_keys(
+                    Path(f"{classdir / 'store.db'}.sideline.jsonl")
+                )
+                violations, _missing = _check_store(
+                    classdir / "store.db", baseline, accounted, sideline_keys
+                )
+                outcome.violations += violations
+                _check_manifest_ingestable(classdir, outcome)
+                _recover(joblist, classdir, baseline, outcome)
+        finally:
+            inject.deactivate()
+            reset_breakers()
+        say("chaos: " + outcome.summary().replace("\n", "\nchaos: "))
+        report.outcomes.append(outcome)
+    return report
+
+
+__all__ = ["ChaosReport", "FaultOutcome", "run_chaos"]

@@ -1,0 +1,120 @@
+"""``RetryPolicy``: the one retry/backoff implementation in the codebase.
+
+Before this module existed the pipeline carried three divergent retry
+loops — ``Executor._backoff`` + a bare ``time.sleep``, the warehouse's
+unbounded locked-spin, and the service client's hand-rolled 429 loop.
+They disagreed about deadlines, jitter and injectability, and none could
+be tested without real sleeping.  ``RetryPolicy`` replaces all three:
+
+* bounded attempts (``max_attempts``; ``None`` = unlimited, bound by
+  the deadline instead),
+* exponential backoff (``backoff_s * 2**(attempt-1)``, capped at
+  ``backoff_cap_s``) with *deterministic seeded* jitter — the jitter for
+  attempt ``n`` under seed ``s`` is always the same number, so retry
+  schedules are reproducible, not merely random,
+* a total ``deadline_s`` measured on the injectable ``clock``,
+* injectable ``sleep``/``clock`` seams (the PR 4 pattern): tests pass a
+  fake pair and retry paths run instantly.
+
+The lint ``raw-sleep-retry`` rule forbids ``time.sleep`` in the pipeline
+packages outside this module's sanctioned seam, so the implementation
+count stays at exactly one.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+
+def default_sleep(seconds: float) -> None:
+    """The one sanctioned blocking sleep in the pipeline packages.
+
+    Every retry path sleeps through an injectable callable defaulting to
+    this function (``LintConfig.sanctioned_sleep`` names exactly this
+    seam); tests substitute a recording fake and run instantly.
+    """
+    time.sleep(seconds)
+
+
+def default_monotonic() -> float:
+    """The sanctioned monotonic read backing retry deadlines and breakers."""
+    return time.monotonic()  # lint: disable=wall-clock -- the sanctioned monotonic seam retry deadlines and breakers inject
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Declarative retry behaviour with injectable time.
+
+    ``call(fn)`` runs ``fn`` until it succeeds, a non-retryable
+    exception escapes, attempts run out, or the next pause would cross
+    the deadline — whichever comes first.  The *original* exception is
+    re-raised on exhaustion; callers wanting a typed error wrap it.
+    """
+
+    max_attempts: Optional[int] = 3
+    backoff_s: float = 0.05
+    backoff_cap_s: float = 5.0
+    deadline_s: Optional[float] = None
+    jitter: float = 0.0
+    seed: int = 0
+    sleep: Callable[[float], None] = default_sleep
+    clock: Callable[[], float] = default_monotonic
+
+    def backoff(self, attempt: int) -> float:
+        """The pause after failed attempt ``attempt`` (1-based)."""
+        pause = min(
+            self.backoff_cap_s, self.backoff_s * (2 ** max(0, attempt - 1))
+        )
+        if self.jitter:
+            # Deterministic per-(seed, attempt) jitter in [0, jitter]:
+            # retries de-synchronise across workers (each gets its own
+            # seed) while any one schedule replays exactly.
+            frac = random.Random(self.seed * 1000003 + attempt).random()
+            pause *= 1.0 + self.jitter * frac
+        return pause
+
+    def give_up(self, started_at: float, attempt: int, pause: float) -> bool:
+        """True when no further attempt should be made."""
+        if self.max_attempts is not None and attempt >= self.max_attempts:
+            return True
+        if self.deadline_s is not None:
+            if (self.clock() - started_at) + pause >= self.deadline_s:
+                return True
+        return False
+
+    def call(
+        self,
+        fn: Callable,
+        retryable: Callable[[BaseException], bool] = lambda exc: True,
+        delay: Optional[Callable[[int, BaseException], float]] = None,
+        on_retry: Optional[Callable[[int, BaseException, float], None]] = None,
+    ):
+        """Run ``fn()`` under this policy.
+
+        ``retryable(exc)`` filters which failures retry; ``delay``
+        overrides the backoff (e.g. a server's ``Retry-After``);
+        ``on_retry(attempt, exc, pause)`` observes each retry.
+        """
+        started_at = self.clock()
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                return fn()
+            except Exception as exc:
+                if not retryable(exc):
+                    raise
+                pause = (
+                    self.backoff(attempt) if delay is None else delay(attempt, exc)
+                )
+                if self.give_up(started_at, attempt, pause):
+                    raise
+                if on_retry is not None:
+                    on_retry(attempt, exc, pause)
+                self.sleep(pause)
+
+
+__all__ = ["RetryPolicy", "default_monotonic", "default_sleep"]

@@ -30,6 +30,8 @@ from typing import Callable, Optional, Union
 
 import numpy as np
 
+from repro.faults import inject
+
 #: Bump to invalidate disk caches after behavioural changes.
 CACHE_SCHEMA_VERSION = 6
 
@@ -96,6 +98,8 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        #: Disk-tier I/O failures absorbed (cache degrades to memory-only).
+        self.disk_errors = 0
 
     @property
     def directory(self) -> Optional[Path]:
@@ -120,9 +124,14 @@ class ResultCache:
         path = self._path(key)
         if path is not None and path.exists():
             try:
+                inject.fault_point("cache.load", key=key)
                 value = np.load(path)
             except (OSError, ValueError):
-                path.unlink(missing_ok=True)
+                self.disk_errors += 1
+                try:
+                    path.unlink(missing_ok=True)
+                except OSError:
+                    pass  # unreadable *and* undeletable: recompute anyway
             else:
                 self._remember(key, value)
                 self.hits += 1
@@ -138,13 +147,19 @@ class ResultCache:
         self._remember(key, value)
         path = self._path(key)
         if path is not None and not path.exists():
-            path.parent.mkdir(parents=True, exist_ok=True)
-            tmp = _tmp_path(path)
+            # Disk-tier writes are best-effort: a full or failing disk
+            # costs future cross-process reuse, never the computed value.
             try:
-                np.save(tmp, value)
-                os.replace(tmp, path)
-            finally:
-                tmp.unlink(missing_ok=True)
+                inject.fault_point("cache.write", key=key)
+                path.parent.mkdir(parents=True, exist_ok=True)
+                tmp = _tmp_path(path)
+                try:
+                    np.save(tmp, value)
+                    os.replace(tmp, path)
+                finally:
+                    tmp.unlink(missing_ok=True)
+            except OSError:
+                self.disk_errors += 1
         return value
 
     def get_or_compute(
@@ -180,6 +195,7 @@ class ResultCache:
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "disk_errors": self.disk_errors,
             "entries": len(self._memory),
         }
 

@@ -48,6 +48,7 @@ class LintConfig:
     wallclock_extra_files: Tuple[str, ...] = (
         "exec/telemetry.py",
         "service/scheduler.py",
+        "faults/retry.py",
     )
     #: The one sanctioned wall-clock read in the entire codebase; it
     #: carries the justified suppression, everything else injects it.
@@ -55,7 +56,18 @@ class LintConfig:
 
     #: Packages with shared mutable state: the concurrency pack applies
     #: to every file under these first-level directories.
-    concurrency_dirs: Tuple[str, ...] = ("service", "exec", "store")
+    concurrency_dirs: Tuple[str, ...] = ("service", "exec", "store", "faults")
+
+    #: Files allowed to call ``time.sleep`` directly: the RetryPolicy
+    #: sleep seam itself and the fault injector's hang/slow actions.
+    #: Everywhere else in the pipeline packages a raw sleep is a retry
+    #: loop dodging the unified policy (rule ``raw-sleep-retry``).
+    sleep_allowed_files: Tuple[str, ...] = (
+        "faults/retry.py",
+        "faults/inject.py",
+    )
+    #: The one sanctioned blocking sleep; retry paths inject it.
+    sanctioned_sleep: str = "repro.faults.retry.default_sleep"
     #: Attribute initialisers that are internally synchronised; the
     #: lock-discipline checker never reports accesses to attributes
     #: built from these, even when they are also touched under a lock.

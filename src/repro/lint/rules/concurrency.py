@@ -450,6 +450,47 @@ class BlockingUnderLockRule(Rule):
         return None
 
 
-RULES = (LockDisciplineRule, SqliteThreadRule, BlockingUnderLockRule)
+class RawSleepRetryRule(Rule):
+    id = "raw-sleep-retry"
+    pack = "concurrency"
+    description = (
+        "raw time.sleep in the pipeline packages is a hand-rolled retry "
+        "loop; route pauses through repro.faults.retry.RetryPolicy"
+    )
+
+    def check(self, modules, config):
+        findings: List[Finding] = []
+        allowed = getattr(config, "sleep_allowed_files", ())
+        sanctioned = getattr(
+            config, "sanctioned_sleep", "repro.faults.retry.default_sleep"
+        )
+        for module in modules:
+            if not module.in_dirs(config.concurrency_dirs):
+                continue
+            if module.rel in allowed:
+                continue
+            imports = import_map(module.tree)
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                if call_name(node, imports) == "time.sleep":
+                    findings.append(
+                        module.finding(
+                            self.id,
+                            node,
+                            "time.sleep() outside RetryPolicy: retry "
+                            "pauses must go through the policy's "
+                            f"injectable sleep seam ({sanctioned})",
+                        )
+                    )
+        return findings
+
+
+RULES = (
+    LockDisciplineRule,
+    SqliteThreadRule,
+    BlockingUnderLockRule,
+    RawSleepRetryRule,
+)
 
 __all__ = ["RULES"] + [cls.__name__ for cls in RULES]

@@ -26,6 +26,9 @@ import urllib.request
 from typing import Iterator, List, Mapping, Optional
 from urllib.parse import quote, urlencode
 
+from repro.faults import inject
+from repro.faults.retry import RetryPolicy
+
 
 class ServiceError(RuntimeError):
     """A service request failed; carries the HTTP status and message."""
@@ -76,6 +79,7 @@ class ServiceClient:
             url, data=data, headers=headers, method=method
         )
         try:
+            inject.fault_point("client.request", method=method, path=path)
             with urllib.request.urlopen(
                 request, timeout=timeout_s or self.timeout_s
             ) as response:
@@ -96,6 +100,11 @@ class ServiceClient:
                 message,
                 retry_after_s=int(retry_after) if retry_after else None,
             ) from None
+        except (urllib.error.URLError, ConnectionError, TimeoutError, OSError) as exc:
+            # Transport-level failure (refused, reset, DNS, timeout):
+            # status 0 marks it retryable for submit_blocking and keeps
+            # the raw socket error out of callers' laps.
+            raise ServiceError(0, f"connection failed: {exc}") from exc
 
     # ------------------------------------------------------------- service
 
@@ -121,17 +130,43 @@ class ServiceClient:
         return self._request("POST", "/campaigns", body=payload)
 
     def submit_blocking(
-        self, spec: Mapping, priority: int = 0, give_up_after_s: float = 60.0
+        self,
+        spec: Mapping,
+        priority: int = 0,
+        give_up_after_s: float = 60.0,
+        retry: Optional[RetryPolicy] = None,
     ) -> dict:
-        """Submit, honouring 429 backpressure by waiting and retrying."""
-        deadline = time.monotonic() + give_up_after_s
-        while True:
-            try:
-                return self.submit(spec, priority=priority)
-            except ServiceError as exc:
-                if exc.status != 429 or time.monotonic() >= deadline:
-                    raise
-                time.sleep(min(exc.retry_after_s or 1, 10))
+        """Submit, retrying 429 backpressure and transport failures.
+
+        Retries are driven by a :class:`RetryPolicy` (attempts unlimited,
+        bounded by ``give_up_after_s`` total) honouring the server's
+        ``Retry-After`` when present; pass ``retry`` to override — e.g.
+        with a fake-sleep policy in tests.
+        """
+        if retry is None:
+            retry = RetryPolicy(
+                max_attempts=None, backoff_s=0.5, backoff_cap_s=10.0,
+                deadline_s=give_up_after_s,
+            )
+
+        def retryable(exc: BaseException) -> bool:
+            return (
+                isinstance(exc, ServiceError)
+                and not isinstance(exc, CampaignFailed)
+                and exc.status in (0, 429)
+            )
+
+        def delay(attempt: int, exc: BaseException) -> float:
+            retry_after = getattr(exc, "retry_after_s", None)
+            if retry_after:
+                return min(float(retry_after), retry.backoff_cap_s)
+            return retry.backoff(attempt)
+
+        return retry.call(
+            lambda: self.submit(spec, priority=priority),
+            retryable=retryable,
+            delay=delay,
+        )
 
     def campaigns(self) -> List[dict]:
         return self._request("GET", "/campaigns")["campaigns"]

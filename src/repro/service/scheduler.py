@@ -34,11 +34,15 @@ from __future__ import annotations
 
 import itertools
 import queue
+import sqlite3
 import threading
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.exec.telemetry import default_clock
+from repro.faults import inject
+from repro.faults.breaker import BreakerOpen, get_breaker
 from repro.service.specs import CampaignSpec, execute_campaign, parse_campaign_spec
 
 #: Journal event names (stored in the warehouse events table).
@@ -174,18 +178,45 @@ class Scheduler:
         # are thread-bound, and journal writes come from both HTTP submit
         # threads and worker threads.  Transitions are rare enough that
         # the open cost is noise next to a single trial.
-        from repro.store.warehouse import ResultStore
+        #
+        # Degradation contract: EVENT_SUBMITTED must land durably before
+        # the job is exposed (a failure rejects the submission), but a
+        # later transition failing to journal must not kill a running
+        # campaign — the breaker opens, /healthz reports degraded, and
+        # resume_pending simply re-runs the campaign (idempotent thanks
+        # to warehouse dedup).
+        from repro.store.warehouse import ResultStore, StoreError
 
-        with ResultStore(self.store_path) as store:
-            store.record_event(
-                event,
-                campaign=job.id,
-                payload={
-                    "priority": job.priority,
-                    "spec": job.spec.canonical(),
-                    **payload,
-                },
+        def write():
+            inject.fault_point("service.journal", event=event)
+            with ResultStore(self.store_path) as store:
+                store.record_event(
+                    event,
+                    campaign=job.id,
+                    payload={
+                        "priority": job.priority,
+                        "spec": job.spec.canonical(),
+                        **payload,
+                    },
+                )
+
+        breaker = get_breaker("service-journal")
+        if not breaker.allow():
+            if event == EVENT_SUBMITTED:
+                raise BreakerOpen(breaker.name, breaker.status().get("cause"))
+            return
+        try:
+            write()
+        except (StoreError, sqlite3.Error, OSError) as exc:
+            breaker.record_failure(exc)
+            if event == EVENT_SUBMITTED:
+                raise
+            warnings.warn(
+                f"repro.service: journal write for {event!r} failed; "
+                f"continuing degraded ({type(exc).__name__}: {exc})"
             )
+        else:
+            breaker.record_success()
 
     # -------------------------------------------------------------- submit
 
@@ -235,6 +266,7 @@ class Scheduler:
         """
         from repro.store.warehouse import ResultStore
 
+        inject.fault_point("service.resume")
         last: Dict[str, Tuple[str, dict]] = {}
         order: List[str] = []
         with ResultStore(self.store_path) as store:

@@ -312,13 +312,26 @@ class _Handler(BaseHTTPRequestHandler):
             return  # client went away mid-stream
 
     def _healthz(self):
+        from repro.faults.breaker import degraded
+
         with self._store() as store:
             ok = store.integrity_ok()
+        open_breakers = degraded()
+        if not ok:
+            status = "store-corrupt"
+        elif open_breakers:
+            # Open circuit breakers (store sink spilling, journal down):
+            # the service is up and serving, but running in a reduced
+            # mode — callers see why, probes still get a 200.
+            status = "degraded"
+        else:
+            status = "ok"
         metrics = self.app.scheduler.metrics()
         self._json(
-            200 if ok else 500,
+            500 if not ok else 200,
             {
-                "status": "ok" if ok else "store-corrupt",
+                "status": status,
+                "degraded": open_breakers,
                 "store": self.app.store_path,
                 "queue_depth": metrics["queue_depth"],
                 "running": metrics["running"],

@@ -14,7 +14,8 @@ package provides:
   :class:`~repro.harness.cache.ResultCache` whose third tier is the
   warehouse, so campaigns transparently reuse and persist trials.
 * Ingestion (``repro.store.ingest``) — JSONL run manifests, disk cache
-  directories, and live harness results.
+  directories, live harness results, and sideline spill files written
+  while the store was unreachable.
 * Diffing (``repro.store.diff``) — run-vs-run and run-vs-baseline
   comparison flagging metric moves and conformance-verdict flips.
 
@@ -44,6 +45,7 @@ from repro.store.ingest import (
     ingest_cache_dir,
     ingest_manifest,
     ingest_measurements,
+    ingest_sideline,
 )
 from repro.store.schema import STORE_SCHEMA_VERSION, SchemaError
 from repro.store.warehouse import (
@@ -69,6 +71,7 @@ __all__ = [
     "ingest_manifest",
     "ingest_cache_dir",
     "ingest_measurements",
+    "ingest_sideline",
     "RunDiff",
     "MetricDelta",
     "VerdictFlip",

@@ -16,13 +16,15 @@ still safe thanks to the store's WAL + retry discipline.
 
 from __future__ import annotations
 
+import sqlite3
+import warnings
 from pathlib import Path
 from typing import Optional, Union
 
 import numpy as np
 
 from repro.harness.cache import ResultCache
-from repro.store.warehouse import ResultStore
+from repro.store.warehouse import ResultStore, StoreError
 
 
 class StoreCache(ResultCache):
@@ -44,12 +46,26 @@ class StoreCache(ResultCache):
         #: and how many payloads were persisted through this cache.
         self.store_hits = 0
         self.store_puts = 0
+        #: Store operations that failed and were absorbed: the campaign
+        #: degrades to the memory/disk tiers instead of dying mid-run.
+        self.store_errors = 0
+
+    def _degrade(self, op: str, exc: BaseException) -> None:
+        self.store_errors += 1
+        warnings.warn(
+            f"repro.store: warehouse {op} failed, degrading to "
+            f"memory/disk cache tiers ({type(exc).__name__}: {exc})"
+        )
 
     def get(self, key: str) -> Optional[np.ndarray]:
         value = super().get(key)
         if value is not None or not self.enabled:
             return value
-        stored = self.store.get_trial(key)
+        try:
+            stored = self.store.get_trial(key)
+        except (StoreError, sqlite3.Error, OSError) as exc:
+            self._degrade("read", exc)
+            return None
         if stored is None:
             return None
         # Promote into the faster tiers and convert the miss that
@@ -64,14 +80,18 @@ class StoreCache(ResultCache):
     def put(self, key: str, value: np.ndarray) -> np.ndarray:
         value = super().put(key, value)
         if self.enabled:
-            if self.store.put_trial(key, value):
-                self.store_puts += 1
+            try:
+                if self.store.put_trial(key, value):
+                    self.store_puts += 1
+            except (StoreError, sqlite3.Error, OSError) as exc:
+                self._degrade("write", exc)
         return value
 
     def counters(self) -> dict:
         out = super().counters()
         out["store_hits"] = self.store_hits
         out["store_puts"] = self.store_puts
+        out["store_errors"] = self.store_errors
         return out
 
     def close(self) -> None:

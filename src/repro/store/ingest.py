@@ -1,6 +1,6 @@
 """Ingestion paths into the warehouse.
 
-Three sources cover everything the repo produces today:
+Four sources cover everything the repo produces today:
 
 * :func:`ingest_manifest` — the append-only JSONL run manifests that
   ``repro.exec`` writes (PR 1).  Each ``campaign_start``/``job``/
@@ -16,10 +16,16 @@ Three sources cover everything the repo produces today:
   (:class:`~repro.harness.conformance.ConformanceMeasurement` objects or
   a :class:`~repro.harness.matrix.MatrixResult`), recorded at full
   precision.
+* :func:`ingest_sideline` — the JSONL spill file the executor's store
+  sink writes while its circuit breaker is open (see
+  :class:`repro.exec.telemetry.StoreSink`): events and base64 trial
+  payloads recorded during degraded operation are replayed into the
+  warehouse, bit-identical, once it is healthy again.
 """
 
 from __future__ import annotations
 
+import base64
 import json
 from dataclasses import dataclass
 from pathlib import Path
@@ -138,6 +144,62 @@ def ingest_cache_dir(
     return report
 
 
+def ingest_sideline(
+    store: ResultStore,
+    path: Union[str, Path],
+) -> IngestReport:
+    """Replay a :class:`StoreSink` sideline spill file into the store.
+
+    Each line is either an event record or a base64-encoded trial
+    payload captured while the store was unreachable.  Trials are
+    content-addressed, so replaying a sideline over a store that has
+    since recovered (or replaying it twice) dedupes instead of
+    duplicating.  Unreadable lines are counted and skipped.
+    """
+    path = Path(path)
+    report = IngestReport()
+    with open(path, "r") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                kind = record["kind"]
+                if kind == "trial":
+                    data = base64.b64decode(record["data"])
+                    value = np.frombuffer(
+                        data, dtype=np.dtype(record["dtype"])
+                    ).reshape(tuple(record["shape"]))
+                elif kind != "event":
+                    raise ValueError(f"unknown sideline record kind {kind!r}")
+            except (KeyError, ValueError, TypeError):
+                report.skipped_lines += 1
+                continue
+            if kind == "event":
+                run = record.get("run")
+                if run and not store.has_run(run):
+                    store.ensure_run(run, note=f"replayed from {path.name}")
+                    report.runs += 1
+                store.record_event(
+                    record.get("event", "unknown"),
+                    campaign=record.get("campaign", ""),
+                    payload=record.get("payload") or {},
+                    run=run or None,
+                )
+                report.events += 1
+            else:
+                run = record.get("run")
+                if run and not store.has_run(run):
+                    store.ensure_run(run, note=f"replayed from {path.name}")
+                    report.runs += 1
+                if store.put_trial(record["key"], value, run=run or None):
+                    report.trials += 1
+                else:
+                    report.trials_deduped += 1
+    return report
+
+
 def ingest_measurements(
     store: ResultStore,
     run: RunRef,
@@ -162,4 +224,5 @@ __all__ = [
     "ingest_manifest",
     "ingest_cache_dir",
     "ingest_measurements",
+    "ingest_sideline",
 ]

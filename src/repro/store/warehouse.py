@@ -24,6 +24,7 @@ from __future__ import annotations
 import json
 import sqlite3
 import time
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 from typing import (
@@ -40,6 +41,8 @@ from typing import (
 
 import numpy as np
 
+from repro.faults import inject
+from repro.faults.retry import RetryPolicy
 from repro.store.schema import STORE_SCHEMA_VERSION, SchemaError, migrate
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -51,11 +54,17 @@ class StoreError(RuntimeError):
     """A warehouse operation failed (unknown run, bad payload...)."""
 
 
-#: How long a writer keeps retrying on a locked database before giving
-#: up; generous because campaign ingest batches can hold the write lock
-#: for a while under heavy multi-process load.
-_LOCK_RETRY_S = 30.0
-_LOCK_RETRY_SLEEP_S = 0.01
+#: Default locked-database retry behaviour: unlimited attempts bounded
+#: by a total deadline (matching the connection's busy timeout), short
+#: exponential backoff with deterministic jitter so a worker pool
+#: hammering one file de-synchronises its commit retries.
+_LOCK_RETRY = RetryPolicy(
+    max_attempts=None,
+    backoff_s=0.01,
+    backoff_cap_s=0.1,
+    deadline_s=30.0,
+    jitter=0.25,
+)
 
 #: Metric names recorded for every conformance measurement, in the order
 #: reports print them.
@@ -118,6 +127,43 @@ QUERY_HEADERS = [
 RunRef = Union[int, str, RunInfo]
 
 
+class _FaultyConnection:
+    """Connection wrapper routing statements through the fault seam.
+
+    Installed only while a fault plan is active — the hot path pays
+    nothing otherwise.  Each ``execute``/``executemany`` first fires the
+    ``store.execute`` injection point with the statement verb as
+    context, so chaos plans raise *real* ``sqlite3.OperationalError`` /
+    disk-full ``OSError`` from exactly where SQLite would, and the
+    production retry/degradation paths are what gets exercised.
+    """
+
+    def __init__(self, conn: sqlite3.Connection):
+        self._conn = conn
+
+    @staticmethod
+    def _verb(sql: str) -> str:
+        stripped = sql.lstrip()
+        return stripped.split(None, 1)[0].lower() if stripped else ""
+
+    def execute(self, sql, *args):
+        inject.fault_point("store.execute", sql=self._verb(sql))
+        return self._conn.execute(sql, *args)
+
+    def executemany(self, sql, *args):
+        inject.fault_point("store.execute", sql=self._verb(sql))
+        return self._conn.executemany(sql, *args)
+
+    def __enter__(self):
+        return self._conn.__enter__()
+
+    def __exit__(self, *exc):
+        return self._conn.__exit__(*exc)
+
+    def __getattr__(self, name):
+        return getattr(self._conn, name)
+
+
 class ResultStore:
     """SQLite-backed experiment warehouse (WAL mode, multi-process safe).
 
@@ -126,15 +172,33 @@ class ResultStore:
     manager.
     """
 
-    def __init__(self, path: Union[str, Path], timeout_s: float = 30.0):
+    def __init__(
+        self,
+        path: Union[str, Path],
+        timeout_s: float = 30.0,
+        retry: Optional[RetryPolicy] = None,
+        strict_payloads: bool = False,
+    ):
         self.path = Path(path)
+        self.strict_payloads = bool(strict_payloads)
+        if retry is None:
+            retry = _LOCK_RETRY
+        self._retry_policy = retry
         if self.path.parent and not self.path.parent.exists():
             self.path.parent.mkdir(parents=True, exist_ok=True)
-        self._conn = sqlite3.connect(str(self.path), timeout=timeout_s)
-        self._conn.row_factory = sqlite3.Row
-        self._conn.execute("PRAGMA journal_mode=WAL")
-        self._conn.execute("PRAGMA synchronous=NORMAL")
-        self._conn.execute("PRAGMA foreign_keys=ON")
+        conn = sqlite3.connect(str(self.path), timeout=timeout_s)
+        conn.row_factory = sqlite3.Row
+        # Belt and braces with the connect() timeout: busy_timeout makes
+        # SQLite itself wait out page-level contention before raising, so
+        # the RetryPolicy above only sees COMMIT-time lock races.
+        conn.execute(f"PRAGMA busy_timeout={int(timeout_s * 1000)}")
+        conn.execute("PRAGMA journal_mode=WAL")
+        conn.execute("PRAGMA synchronous=NORMAL")
+        conn.execute("PRAGMA foreign_keys=ON")
+        if inject.active() is not None:
+            self._conn = _FaultyConnection(conn)
+        else:
+            self._conn = conn
         self._retry(lambda: migrate(self._conn))
 
     # ------------------------------------------------------------ plumbing
@@ -157,21 +221,28 @@ class ResultStore:
         return "locked" in text or "busy" in text
 
     def _retry(self, fn):
-        """Run ``fn`` with bounded retries while the database is locked.
+        """Run ``fn`` under the store's :class:`RetryPolicy` while locked.
 
         SQLite's busy timeout covers most contention, but a writer can
         still lose the race for the WAL write lock at COMMIT time under a
         spawn pool hammering one file; retrying the whole transaction is
-        the documented recovery.
+        the documented recovery.  Exhausting the policy's deadline
+        surfaces as a typed :class:`StoreError` instead of a raw
+        ``OperationalError`` spinning forever.
         """
-        deadline = time.monotonic() + _LOCK_RETRY_S
-        while True:
-            try:
-                return fn()
-            except sqlite3.OperationalError as exc:
-                if not self._locked(exc) or time.monotonic() >= deadline:
-                    raise
-                time.sleep(_LOCK_RETRY_SLEEP_S)
+
+        def locked(exc: BaseException) -> bool:
+            return isinstance(exc, sqlite3.OperationalError) and self._locked(exc)
+
+        try:
+            return self._retry_policy.call(fn, retryable=locked)
+        except sqlite3.OperationalError as exc:
+            if self._locked(exc):
+                raise StoreError(
+                    f"database stayed locked past the retry deadline "
+                    f"({self._retry_policy.deadline_s}s): {exc}"
+                ) from exc
+            raise
 
     def _write(self, fn):
         """One retried write transaction around ``fn(conn)``."""
@@ -332,8 +403,20 @@ class ResultStore:
 
         return int(self._write(insert))
 
-    def get_trial(self, key: str) -> Optional[np.ndarray]:
-        """The stored payload for ``key``, bit-identical, or None."""
+    def get_trial(
+        self, key: str, strict: Optional[bool] = None
+    ) -> Optional[np.ndarray]:
+        """The stored payload for ``key``, bit-identical, or None.
+
+        A payload that no longer decodes (torn write, bit rot) is
+        *quarantined* by default: the bad row is deleted, a
+        ``trial_quarantined`` event is journalled, and None is returned
+        — so callers recompute and the content-addressed re-insert heals
+        the store.  ``strict=True`` (or ``strict_payloads`` on the
+        store) raises the typed :class:`StoreError` instead.
+        """
+        if strict is None:
+            strict = self.strict_payloads
         row = self._conn.execute(
             "SELECT dtype, shape, payload FROM trials WHERE key = ?", (key,)
         ).fetchone()
@@ -344,7 +427,34 @@ class ResultStore:
             array = np.frombuffer(row["payload"], dtype=np.dtype(row["dtype"]))
             return array.reshape(shape).copy()
         except (ValueError, TypeError) as exc:
-            raise StoreError(f"corrupt trial payload for key {key}: {exc}")
+            if strict:
+                raise StoreError(f"corrupt trial payload for key {key}: {exc}")
+            self._quarantine_trial(key, exc)
+            return None
+
+    def _quarantine_trial(self, key: str, exc: BaseException) -> None:
+        """Remove one undecodable trial row and journal why.
+
+        Deletion (not tombstoning) is what enables self-healing: trial
+        inserts are ``INSERT OR IGNORE``, so a recomputed payload can
+        only land once the corrupt row is gone.
+        """
+        warnings.warn(
+            f"repro.store: quarantined corrupt trial payload {key!r} ({exc})"
+        )
+        try:
+            self._write(
+                lambda conn: conn.execute(
+                    "DELETE FROM trials WHERE key = ?", (key,)
+                )
+            )
+            self.record_event(
+                "trial_quarantined", payload={"key": key, "reason": str(exc)}
+            )
+        except (StoreError, sqlite3.Error):
+            # Quarantine is best-effort: a read-only or locked-out store
+            # still serves the healthy remainder.
+            pass
 
     def has_trial(self, key: str) -> bool:
         row = self._conn.execute(

@@ -1,0 +1,159 @@
+"""The chaos suite and its invariant: nothing silent, nothing corrupt."""
+
+import numpy as np
+import pytest
+
+from repro.faults import inject
+from repro.faults.breaker import reset_breakers
+from repro.faults.chaos import ChaosReport, FaultOutcome, _check_store, run_chaos
+from repro.store import ResultStore
+
+
+@pytest.fixture(autouse=True)
+def _isolated_faults():
+    reset_breakers()
+    inject.deactivate()
+    yield
+    inject.deactivate()
+    reset_breakers()
+
+
+@pytest.fixture(scope="module")
+def smoke_run(tmp_path_factory):
+    """One real smoke-matrix chaos run shared by the assertions below."""
+    workdir = tmp_path_factory.mktemp("chaos")
+    report = run_chaos(
+        matrix="smoke", workdir=workdir, duration_s=1.0, trials=1, jobs=2,
+        seed=0,
+    )
+    return report, workdir
+
+
+@pytest.fixture()
+def smoke_report(smoke_run):
+    return smoke_run[0]
+
+
+class TestSmokeMatrix:
+    def test_report_passes(self, smoke_report):
+        assert smoke_report.ok(), smoke_report.summary()
+        assert smoke_report.summary().endswith("chaos: PASS")
+
+    def test_every_smoke_class_ran_and_recovered(self, smoke_report):
+        outcomes = {o.fault: o for o in smoke_report.outcomes}
+        assert set(outcomes) == {
+            "worker-crash", "store-locked", "disk-full", "journal-corrupt",
+        }
+        for outcome in outcomes.values():
+            assert outcome.recovered, outcome.summary()
+            assert not outcome.violations
+
+    def test_store_locked_burst_fired_and_was_absorbed(self, smoke_report):
+        outcome = next(
+            o for o in smoke_report.outcomes if o.fault == "store-locked"
+        )
+        assert outcome.fires > 0
+        assert not outcome.typed_failures  # absorbed, not surfaced
+
+    def test_disk_full_spilled_and_replayed(self, smoke_report):
+        outcome = next(
+            o for o in smoke_report.outcomes if o.fault == "disk-full"
+        )
+        assert outcome.spilled > 0
+        assert "sideline replayed" in outcome.note
+
+    def test_journal_corruption_tolerated_by_ingest(self, smoke_report):
+        outcome = next(
+            o for o in smoke_report.outcomes if o.fault == "journal-corrupt"
+        )
+        assert outcome.fires > 0
+        assert "torn lines skipped" in outcome.note
+
+    def test_worker_crash_retried_to_completion(self, smoke_report):
+        outcome = next(
+            o for o in smoke_report.outcomes if o.fault == "worker-crash"
+        )
+        assert "retried=" in outcome.note
+
+    def test_recovered_stores_agree_with_each_other(self, smoke_run):
+        # Every class's post-recovery store holds the same trial keys with
+        # byte-identical payloads: four independently faulted pipelines
+        # converged on one ground truth.
+        report, workdir = smoke_run
+        snapshots = {}
+        for outcome in report.outcomes:
+            with ResultStore(workdir / outcome.fault / "store.db") as store:
+                snapshots[outcome.fault] = {
+                    key: store.get_trial(key, strict=True).tobytes()
+                    for key in store.trial_keys()
+                }
+        reference = snapshots.pop(report.outcomes[0].fault)
+        assert reference  # the campaign stored something
+        for fault, snapshot in snapshots.items():
+            assert snapshot == reference, f"{fault} store diverged"
+
+
+class TestInvariantChecker:
+    def _baseline(self):
+        return {"k": ("<f8", (3,), np.arange(3.0).tobytes())}
+
+    def test_clean_store_passes(self, tmp_path):
+        with ResultStore(tmp_path / "s.db") as store:
+            store.put_trial("k", np.arange(3.0))
+        violations, missing = _check_store(
+            tmp_path / "s.db", self._baseline(), set(), set()
+        )
+        assert violations == [] and missing == []
+
+    def test_silently_missing_trial_is_a_violation(self, tmp_path):
+        ResultStore(tmp_path / "s.db").close()  # empty store
+        violations, missing = _check_store(
+            tmp_path / "s.db", self._baseline(), set(), set()
+        )
+        assert missing == ["k"]
+        assert any("silently missing" in v for v in violations)
+
+    def test_accounted_missing_trial_is_not_a_violation(self, tmp_path):
+        ResultStore(tmp_path / "s.db").close()
+        violations, missing = _check_store(
+            tmp_path / "s.db", self._baseline(), {"k"}, set()
+        )
+        assert missing == ["k"] and violations == []
+
+    def test_sideline_recorded_trial_is_not_a_violation(self, tmp_path):
+        ResultStore(tmp_path / "s.db").close()
+        violations, _ = _check_store(
+            tmp_path / "s.db", self._baseline(), set(), {"k"}
+        )
+        assert violations == []
+
+    def test_differing_payload_is_a_violation(self, tmp_path):
+        with ResultStore(tmp_path / "s.db") as store:
+            store.put_trial("k", np.arange(3.0) + 1e-9)  # one ULP off
+        violations, _ = _check_store(
+            tmp_path / "s.db", self._baseline(), set(), set()
+        )
+        assert any("differs from the fault-free baseline" in v for v in violations)
+
+
+class TestReportShape:
+    def test_empty_report_is_not_ok(self):
+        assert not ChaosReport(matrix="smoke", seed=0, baseline_trials=0).ok()
+
+    def test_outcome_requires_recovery(self):
+        outcome = FaultOutcome(fault="disk-full")
+        assert not outcome.ok()
+        outcome.recovered = True
+        assert outcome.ok()
+        outcome.violations.append("x")
+        assert not outcome.ok()
+
+    def test_summary_carries_violations(self):
+        outcome = FaultOutcome(fault="disk-full")
+        outcome.violations.append("trial k silently missing")
+        assert "FAIL" in outcome.summary()
+        assert "silently missing" in outcome.summary()
+
+    def test_unknown_matrix_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown fault matrix"):
+            run_chaos(matrix="bogus", workdir=tmp_path)

@@ -1,0 +1,131 @@
+"""Circuit breakers: state machine, fake-clock cooldown, registry."""
+
+import pytest
+
+from repro.faults.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    BreakerOpen,
+    CircuitBreaker,
+    degraded,
+    get_breaker,
+    reset_breakers,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+@pytest.fixture(autouse=True)
+def _fresh_registry():
+    reset_breakers()
+    yield
+    reset_breakers()
+
+
+def make(threshold=3, reset_after=10.0):
+    clock = FakeClock()
+    breaker = CircuitBreaker(
+        "dep", failure_threshold=threshold, reset_after_s=reset_after,
+        clock=clock,
+    )
+    return breaker, clock
+
+
+class TestStateMachine:
+    def test_starts_closed_and_allows(self):
+        breaker, _ = make()
+        assert breaker.status()["state"] == CLOSED
+        assert breaker.allow()
+
+    def test_opens_at_threshold(self):
+        breaker, _ = make(threshold=3)
+        for _ in range(2):
+            breaker.record_failure(ValueError("x"))
+            assert not breaker.is_open()
+        breaker.record_failure(ValueError("x"))
+        assert breaker.is_open()
+        assert not breaker.allow()
+
+    def test_success_resets_failure_count(self):
+        breaker, _ = make(threshold=2)
+        breaker.record_failure(ValueError("x"))
+        breaker.record_success()
+        breaker.record_failure(ValueError("x"))
+        assert not breaker.is_open()
+
+    def test_half_open_probe_after_cooldown(self):
+        breaker, clock = make(threshold=1, reset_after=10.0)
+        breaker.record_failure(ValueError("down"))
+        assert not breaker.allow()
+        clock.now = 10.0
+        assert breaker.allow()  # the probe
+        assert breaker.status()["state"] == HALF_OPEN
+
+    def test_probe_success_closes(self):
+        breaker, clock = make(threshold=1)
+        breaker.record_failure(ValueError("down"))
+        clock.now = 10.0
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.status()["state"] == CLOSED
+        assert breaker.allow()
+
+    def test_probe_failure_reopens_immediately(self):
+        breaker, clock = make(threshold=3)
+        for _ in range(3):
+            breaker.record_failure(ValueError("down"))
+        clock.now = 10.0
+        assert breaker.allow()
+        breaker.record_failure(ValueError("still down"))  # one is enough
+        assert breaker.status()["state"] == OPEN
+        assert not breaker.allow()
+
+    def test_status_carries_cause(self):
+        breaker, _ = make(threshold=1)
+        breaker.record_failure(ValueError("disk on fire"))
+        assert "disk on fire" in breaker.status()["cause"]
+
+
+class TestCall:
+    def test_call_passthrough_on_success(self):
+        breaker, _ = make()
+        assert breaker.call(lambda: 7) == 7
+
+    def test_call_records_failures_then_raises_breaker_open(self):
+        breaker, _ = make(threshold=2)
+        for _ in range(2):
+            with pytest.raises(ValueError):
+                breaker.call(lambda: (_ for _ in ()).throw(ValueError("x")))
+        with pytest.raises(BreakerOpen) as err:
+            breaker.call(lambda: 7)
+        assert err.value.name == "dep"
+        assert "x" in str(err.value)
+
+
+class TestRegistry:
+    def test_get_breaker_memoizes_by_name(self):
+        assert get_breaker("a") is get_breaker("a")
+        assert get_breaker("a") is not get_breaker("b")
+
+    def test_degraded_lists_open_breakers_with_cause(self):
+        healthy = get_breaker("healthy")
+        sick = get_breaker("sick", failure_threshold=1)
+        healthy.record_success()
+        sick.record_failure(OSError("no space left on device"))
+        report = degraded()
+        assert set(report) == {"sick"}
+        assert "no space left" in report["sick"]
+
+    def test_reset_breakers_drops_state(self):
+        get_breaker("x", failure_threshold=1).record_failure(ValueError("v"))
+        assert degraded()
+        reset_breakers()
+        assert degraded() == {}
+        assert not get_breaker("x").is_open()

@@ -1,0 +1,157 @@
+"""The unified RetryPolicy: backoff math, deadlines, injectable time."""
+
+import pytest
+
+from repro.faults.retry import RetryPolicy, default_monotonic, default_sleep
+
+
+class FakeTime:
+    """Paired fake sleep/clock: sleeping advances the clock."""
+
+    def __init__(self):
+        self.now = 0.0
+        self.sleeps = []
+
+    def sleep(self, seconds):
+        self.sleeps.append(seconds)
+        self.now += seconds
+
+    def clock(self):
+        return self.now
+
+
+def policy(**kwargs):
+    fake = FakeTime()
+    kwargs.setdefault("sleep", fake.sleep)
+    kwargs.setdefault("clock", fake.clock)
+    return RetryPolicy(**kwargs), fake
+
+
+class TestBackoff:
+    def test_exponential_doubling(self):
+        p = RetryPolicy(backoff_s=0.1, backoff_cap_s=100.0)
+        assert p.backoff(1) == pytest.approx(0.1)
+        assert p.backoff(2) == pytest.approx(0.2)
+        assert p.backoff(3) == pytest.approx(0.4)
+        assert p.backoff(4) == pytest.approx(0.8)
+
+    def test_cap(self):
+        p = RetryPolicy(backoff_s=1.0, backoff_cap_s=3.0)
+        assert p.backoff(10) == 3.0
+
+    def test_jitter_is_deterministic_per_seed_and_attempt(self):
+        a = RetryPolicy(backoff_s=1.0, jitter=0.5, seed=7)
+        b = RetryPolicy(backoff_s=1.0, jitter=0.5, seed=7)
+        c = RetryPolicy(backoff_s=1.0, jitter=0.5, seed=8)
+        assert a.backoff(3) == b.backoff(3)  # replayable
+        assert a.backoff(3) != c.backoff(3)  # de-synchronised across seeds
+        assert a.backoff(2) != a.backoff(3)  # varies across attempts
+
+    def test_jitter_bounded(self):
+        p = RetryPolicy(backoff_s=1.0, backoff_cap_s=1.0, jitter=0.25, seed=3)
+        for attempt in range(1, 20):
+            assert 1.0 <= p.backoff(attempt) <= 1.25
+
+
+class TestCall:
+    def test_success_first_try_never_sleeps(self):
+        p, fake = policy()
+        assert p.call(lambda: 42) == 42
+        assert fake.sleeps == []
+
+    def test_retries_until_success(self):
+        p, fake = policy(max_attempts=5, backoff_s=0.1, backoff_cap_s=10.0)
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise ValueError("transient")
+            return "ok"
+
+        assert p.call(flaky) == "ok"
+        assert len(calls) == 3
+        assert fake.sleeps == [pytest.approx(0.1), pytest.approx(0.2)]
+
+    def test_exhaustion_reraises_original_exception(self):
+        p, _ = policy(max_attempts=2, backoff_s=0.01)
+        with pytest.raises(ValueError, match="always"):
+            p.call(lambda: (_ for _ in ()).throw(ValueError("always")))
+
+    def test_non_retryable_escapes_immediately(self):
+        p, fake = policy(max_attempts=10)
+        calls = []
+
+        def boom():
+            calls.append(1)
+            raise KeyError("fatal")
+
+        with pytest.raises(KeyError):
+            p.call(boom, retryable=lambda exc: isinstance(exc, ValueError))
+        assert len(calls) == 1
+        assert fake.sleeps == []
+
+    def test_deadline_bounds_unlimited_attempts(self):
+        p, fake = policy(
+            max_attempts=None, backoff_s=1.0, backoff_cap_s=1.0,
+            deadline_s=3.5,
+        )
+        calls = []
+
+        def always_fails():
+            calls.append(1)
+            raise ValueError("down")
+
+        with pytest.raises(ValueError):
+            p.call(always_fails)
+        # Pauses at 1s each: attempts at t=0,1,2,3; the pause after the
+        # 4th would land at t=4 >= 3.5, so it gives up there.
+        assert len(calls) == 4
+        assert fake.now < p.deadline_s + 1.0
+
+    def test_delay_override_wins_over_backoff(self):
+        p, fake = policy(max_attempts=3, backoff_s=50.0)
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 2:
+                raise ValueError("x")
+            return "ok"
+
+        assert p.call(flaky, delay=lambda attempt, exc: 0.5) == "ok"
+        assert fake.sleeps == [0.5]
+
+    def test_on_retry_observes_each_retry(self):
+        p, _ = policy(max_attempts=3, backoff_s=0.1)
+        seen = []
+
+        def flaky():
+            if len(seen) < 2:
+                raise ValueError("x")
+            return "ok"
+
+        p.call(flaky, on_retry=lambda a, exc, pause: seen.append((a, pause)))
+        assert [a for a, _ in seen] == [1, 2]
+
+    def test_give_up_respects_max_attempts(self):
+        p = RetryPolicy(max_attempts=3)
+        assert not p.give_up(0.0, 2, 0.1)
+        assert p.give_up(0.0, 3, 0.1)
+
+
+class TestSanctionedSeams:
+    def test_defaults_are_the_module_seams(self):
+        p = RetryPolicy()
+        assert p.sleep is default_sleep
+        assert p.clock is default_monotonic
+
+    def test_default_monotonic_advances(self):
+        a = default_monotonic()
+        assert default_monotonic() >= a
+
+    def test_policy_is_frozen_and_hashable(self):
+        p = RetryPolicy()
+        with pytest.raises(Exception):
+            p.max_attempts = 5
+        hash(p)

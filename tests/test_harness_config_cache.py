@@ -153,6 +153,7 @@ class TestResultCache:
             "hits": 1,
             "misses": 1,
             "evictions": 1,
+            "disk_errors": 0,
             "entries": 1,
         }
 

@@ -294,3 +294,74 @@ def test_per_thread_connection_ok(tmp_path):
     # a thread-target binding its own connection is the sanctioned
     # pattern and must not be flagged.
     assert not findings_for(run_lint(config), "sqlite-thread")
+
+
+# --------------------------------------------------------- raw-sleep-retry
+
+
+def test_raw_sleep_retry_loop_flagged(tmp_path):
+    config = make_project(
+        tmp_path,
+        {
+            "src/repro/exec/poller.py": """
+                import time
+
+                def wait_for(path):
+                    for _ in range(5):
+                        if path.exists():
+                            return True
+                        time.sleep(0.5)
+                    return False
+            """,
+        },
+    )
+    (finding,) = findings_for(run_lint(config), "raw-sleep-retry")
+    assert finding.line == 7
+    assert "RetryPolicy" in finding.message
+
+
+def test_raw_sleep_from_import_alias_flagged(tmp_path):
+    config = make_project(
+        tmp_path,
+        {
+            "src/repro/service/waiter.py": """
+                from time import sleep
+
+                def backoff():
+                    sleep(1.0)
+            """,
+        },
+    )
+    assert findings_for(run_lint(config), "raw-sleep-retry")
+
+
+def test_sleep_inside_policy_seam_allowed(tmp_path):
+    config = make_project(
+        tmp_path,
+        {
+            # The policy's own default_sleep is the one sanctioned home
+            # for time.sleep inside the concurrency dirs.
+            "src/repro/faults/retry.py": """
+                import time
+
+                def default_sleep(seconds):
+                    time.sleep(seconds)
+            """,
+        },
+    )
+    assert not findings_for(run_lint(config), "raw-sleep-retry")
+
+
+def test_sleep_outside_concurrency_dirs_not_flagged(tmp_path):
+    config = make_project(
+        tmp_path,
+        {
+            "src/repro/harness/demo.py": """
+                import time
+
+                def pace():
+                    time.sleep(0.1)
+            """,
+        },
+    )
+    assert not findings_for(run_lint(config), "raw-sleep-retry")

@@ -65,14 +65,36 @@ class TestTrials:
         assert store.trial_keys(run) == ["a", "b"]
         assert store.trial_keys() == ["a", "b", "c"]
 
-    def test_corrupt_payload_raises_store_error(self, store, tmp_path):
+    def test_corrupt_payload_raises_store_error_in_strict_mode(
+        self, store, tmp_path
+    ):
         store.put_trial("bad", np.zeros(4))
         raw = sqlite3.connect(str(tmp_path / "store.db"))
         with raw:
             raw.execute("UPDATE trials SET shape = '[9999]' WHERE key = 'bad'")
         raw.close()
         with pytest.raises(StoreError, match="corrupt"):
-            ResultStore(tmp_path / "store.db").get_trial("bad")
+            ResultStore(tmp_path / "store.db").get_trial("bad", strict=True)
+
+    def test_corrupt_payload_quarantined_by_default(self, store, tmp_path):
+        store.put_trial("bad", np.zeros(4))
+        store.put_trial("good", np.ones(3))
+        raw = sqlite3.connect(str(tmp_path / "store.db"))
+        with raw:
+            raw.execute("UPDATE trials SET shape = '[9999]' WHERE key = 'bad'")
+        raw.close()
+        reopened = ResultStore(tmp_path / "store.db")
+        with pytest.warns(UserWarning, match="quarantined"):
+            assert reopened.get_trial("bad") is None
+        # The healthy remainder still serves, the bad row is gone, and
+        # the quarantine is journalled.
+        assert reopened.get_trial("good") is not None
+        assert not reopened.has_trial("bad")
+        events = [e for e in reopened.events() if e["event"] == "trial_quarantined"]
+        assert events and events[0]["key"] == "bad"
+        # Content-addressed re-insert heals the hole.
+        assert reopened.put_trial("bad", np.zeros(4))
+        assert reopened.get_trial("bad") is not None
 
 
 class TestRunsAndMetrics:
