@@ -4,7 +4,7 @@
 # numerically identical at any job count.  e.g. `make bench JOBS=4`.
 JOBS ?= 1
 
-.PHONY: install test lint bench quick-bench store-smoke service-smoke chaos clean-cache loc
+.PHONY: install test lint bench quick-bench store-smoke service-smoke topo-smoke chaos clean-cache loc
 
 install:
 	pip install -e .
@@ -39,6 +39,14 @@ store-smoke:
 # SIGTERM (the same flow CI runs).
 service-smoke:
 	python examples/service_smoke.py
+
+# Fairness matrix over every built-in topology shape: validates the
+# specs, runs the campaign through the executor, and stores per-flow
+# shares + Jain's index (the same flow CI's topo-smoke job runs).
+topo-smoke:
+	PYTHONPATH=src python -m repro topo matrix --ccas cubic \
+	  --duration 3 --trials 1 --jobs 2 --store /tmp/quicbench-topo.db
+	PYTHONPATH=src python -m repro store runs --db /tmp/quicbench-topo.db
 
 # Deterministic fault injection against a real campaign: every trial
 # must land bit-identical to the fault-free baseline or fail typed and

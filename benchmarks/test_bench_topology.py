@@ -1,0 +1,46 @@
+"""repro.topo: multi-bottleneck simulation throughput.
+
+Runs the parking-lot shape (three bottleneck hops, one long flow plus a
+cross flow per hop) for a fixed simulated horizon and reports how many
+delivered packets the topology compiler pushes per wall-clock second.
+Numbers land in ``output/BENCH_topology.json`` so CI history can catch a
+pathological slowdown in the multi-hop queue wiring; functional
+guarantees (bit-identity with the dumbbell Network, byte conservation)
+live in tier-1 tests.
+"""
+
+import json
+import time
+
+from conftest import OUTPUT_DIR, run_once
+
+from repro.topo import TopoNetwork, parking_lot
+
+SIM_S = 10.0
+
+
+def test_parking_lot_throughput(benchmark):
+    spec = parking_lot("cubic")
+
+    def run():
+        start = time.perf_counter()
+        results = TopoNetwork(spec, seed=0).run(SIM_S)
+        wall_s = time.perf_counter() - start
+        packets = sum(len(r.trace.records) for r in results)
+        return packets, wall_s
+
+    packets, wall_s = run_once(benchmark, run)
+    assert packets > 0
+    payload = {
+        "topology": spec.name,
+        "links": len(spec.links),
+        "flows": len(spec.flows),
+        "sim_s": SIM_S,
+        "packets": packets,
+        "wall_s": round(wall_s, 4),
+        "packets_per_s": round(packets / wall_s, 1),
+    }
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / "BENCH_topology.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )

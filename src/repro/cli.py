@@ -29,6 +29,12 @@ The warehouse itself is driven by ``quicbench store``:
 * ``store render`` — re-render a stored run as an SVG heatmap.
 * ``store gc`` — purge trial payloads no run links to, then vacuum.
 
+Declarative topologies (``repro.topo``) are driven by ``quicbench topo``:
+
+* ``topo validate`` — strict-parse topology spec files, print fingerprints.
+* ``topo run`` — run a topology campaign from files and/or builtin shapes.
+* ``topo matrix`` — the fairness matrix: builtin shapes x CCAs.
+
 The long-running campaign service (``repro.service``) is driven by:
 
 * ``quicbench serve`` — boot the HTTP API + scheduler on a warehouse.
@@ -592,6 +598,151 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+def _topo_specs_from_args(args) -> list:
+    """Resolve --spec files and --shape builders into TopologySpecs."""
+    from repro.topo import spec as topospec
+
+    topologies = []
+    for path in args.spec or []:
+        topologies.append(topospec.load_topology_spec(path))
+    for shape in args.shape or []:
+        if shape not in topospec.SHAPES:
+            raise topospec.TopoSpecError(
+                f"unknown shape {shape!r} "
+                f"(known: {', '.join(sorted(topospec.SHAPES))})"
+            )
+        topologies.append(topospec.SHAPES[shape](args.cca))
+    if not topologies:
+        raise topospec.TopoSpecError(
+            "nothing to run: give --spec FILE and/or --shape NAME"
+        )
+    return topologies
+
+
+def _print_topology_results(result: dict) -> None:
+    for topo in result["topologies"]:
+        rows = [
+            [
+                f["label"],
+                round(f["share"], 3),
+                round(f["tput_mbps"], 2),
+                "-" if f["convergence_s"] is None else f["convergence_s"],
+            ]
+            for f in topo["flows"]
+        ]
+        print(
+            reporting.format_table(
+                ["flow", "share", "tput_mbps", "convergence_s"],
+                rows,
+                title=(
+                    f"{topo['topology']} [{topo['fingerprint']}]: "
+                    f"Jain {topo['jain']:.3f}, "
+                    f"utilization {topo['utilization']:.3f}"
+                ),
+            )
+        )
+        print()
+
+
+def cmd_topo_validate(args) -> int:
+    """Validate topology spec files; print their fingerprints."""
+    from repro.topo import spec as topospec
+
+    status = 0
+    for path in args.files:
+        try:
+            topo = topospec.load_topology_spec(path)
+        except (OSError, ValueError) as exc:
+            print(f"{path}: INVALID: {exc}")
+            status = 1
+        else:
+            print(
+                f"{path}: ok — {topo.name} [{topo.fingerprint()}], "
+                f"{len(topo.links)} link(s), {len(topo.flows)} flow(s)"
+            )
+    return status
+
+
+def cmd_topo_run(args) -> int:
+    """Run one topology campaign (files and/or builtin shapes)."""
+    from repro.service.specs import SpecError, execute_campaign, parse_campaign_spec
+    from repro.topo.spec import TopoSpecError
+
+    try:
+        topologies = _topo_specs_from_args(args)
+        payload = {
+            "kind": "topology",
+            "topologies": [t.canonical() for t in topologies],
+        }
+        if args.duration is not None:
+            payload["duration_s"] = args.duration
+        if args.trials is not None:
+            payload["trials"] = args.trials
+        if args.seed is not None:
+            payload["seed"] = args.seed
+        if args.run:
+            payload["run"] = args.run
+        spec = parse_campaign_spec(payload)
+    except (TopoSpecError, SpecError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    executor = _executor(args)
+    result = execute_campaign(spec, _store_of(executor), executor)
+    _report_executor(executor)
+    _print_topology_results(result)
+    print(f"campaign {spec.fingerprint()}: {result['cells']} cells recorded")
+    return 0
+
+
+def cmd_topo_matrix(args) -> int:
+    """Fairness matrix: every builtin shape x every requested CCA."""
+    from repro.service.specs import SpecError, execute_campaign, parse_campaign_spec
+    from repro.topo import spec as topospec
+
+    ccas = args.ccas or list(registry.CCAS)
+    topologies = []
+    for shape_name in sorted(topospec.SHAPES):
+        for cca in ccas:
+            topologies.append(topospec.SHAPES[shape_name](cca))
+    payload = {
+        "kind": "topology",
+        "topologies": [t.canonical() for t in topologies],
+        "run": args.run or "topo-matrix",
+    }
+    if args.duration is not None:
+        payload["duration_s"] = args.duration
+    if args.trials is not None:
+        payload["trials"] = args.trials
+    if args.seed is not None:
+        payload["seed"] = args.seed
+    try:
+        spec = parse_campaign_spec(payload)
+    except SpecError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    executor = _executor(args)
+    result = execute_campaign(spec, _store_of(executor), executor)
+    _report_executor(executor)
+    rows = [
+        [
+            t["topology"],
+            round(t["jain"], 3),
+            round(t["utilization"], 3),
+            "-" if t["convergence_s"] is None else t["convergence_s"],
+        ]
+        for t in result["topologies"]
+    ]
+    print(
+        reporting.format_table(
+            ["topology", "jain", "utilization", "convergence_s"],
+            rows,
+            title="Fairness matrix (builtin shapes x CCAs)",
+        )
+    )
+    print(f"campaign {spec.fingerprint()}: {result['cells']} cells recorded")
+    return 0
+
+
 def cmd_store_ingest(args) -> int:
     """Load manifests, a cache directory and/or a sideline spill."""
     from repro.store import (
@@ -1080,6 +1231,41 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--after", type=int, default=0,
                    help="resume the event stream after this cursor")
     p.set_defaults(fn=cmd_watch)
+
+    topo = sub.add_parser(
+        "topo", help="declarative topology & flow-spec campaigns (repro.topo)"
+    )
+    topo_sub = topo.add_subparsers(dest="topo_command", required=True)
+
+    p = topo_sub.add_parser("validate", help="validate topology spec files")
+    p.add_argument("files", nargs="+", help="topology spec JSON files")
+    p.set_defaults(fn=cmd_topo_validate)
+
+    def _topo_inputs(sp: argparse.ArgumentParser) -> None:
+        sp.add_argument("--spec", action="append", default=[],
+                        help="topology spec JSON file (repeatable)")
+        sp.add_argument("--shape", action="append", default=[],
+                        help="builtin shape: dumbbell, chain, parking-lot "
+                        "(repeatable)")
+        sp.add_argument("--cca", default="cubic",
+                        help="CCA used by builtin shapes")
+
+    p = topo_sub.add_parser(
+        "run", help="run a topology campaign from files and/or shapes"
+    )
+    _topo_inputs(p)
+    _add_experiment_args(p)
+    _add_exec_args(p)
+    p.set_defaults(fn=cmd_topo_run)
+
+    p = topo_sub.add_parser(
+        "matrix", help="fairness matrix: builtin shapes x CCAs"
+    )
+    p.add_argument("--ccas", nargs="*", default=None,
+                   help="CCAs to sweep (default: all registered)")
+    _add_experiment_args(p)
+    _add_exec_args(p)
+    p.set_defaults(fn=cmd_topo_matrix)
 
     p = sub.add_parser(
         "chaos",

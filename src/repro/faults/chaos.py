@@ -117,6 +117,22 @@ def _chaos_jobs(duration_s: float, trials: int):
     return measurement_trial_jobs("quiche", "cubic", condition, config)
 
 
+def _topology_joblist(duration_s: float, trials: int):
+    """The topology-campaign trial jobs the topology fault class runs.
+
+    Same shape of work as any ``"topology"`` campaign cell — a dumbbell
+    TopologySpec compiled and measured through the content-addressed
+    trial-job path — so the chaos invariant covers the topo subsystem
+    with the exact machinery every other class uses.
+    """
+    from repro.topo.campaign import topology_trial_jobs
+    from repro.topo.spec import dumbbell
+
+    return topology_trial_jobs(
+        dumbbell("cubic"), float(duration_s), int(trials), base_seed=0
+    )
+
+
 def _baseline(joblist, workdir: Path) -> Dict[str, _Snap]:
     from repro.exec import Executor
     from repro.harness.cache import ResultCache
@@ -430,6 +446,40 @@ def run_chaos(
             reset_breakers()
         say("chaos: " + outcome.summary().replace("\n", "\nchaos: "))
         report.outcomes.append(outcome)
+
+    # One topology-campaign class rides along in every matrix: the same
+    # store-locked schedule against repro.topo trial jobs, proving the
+    # bit-identical-or-typed-failure invariant holds for the new
+    # campaign kind with exactly the machinery used above.
+    from repro.faults.plan import FAULT_STORE_LOCKED, _single_class_plan
+
+    fault = f"{FAULT_STORE_LOCKED}@topology"
+    plan = _single_class_plan(FAULT_STORE_LOCKED, seed)
+    say(f"chaos: injecting {fault} ({plan.describe()})")
+    classdir = workdir / fault
+    classdir.mkdir(parents=True, exist_ok=True)
+    outcome = FaultOutcome(fault=fault)
+    reset_breakers()
+    try:
+        topo_jobs = _topology_joblist(duration_s, trials)
+        topo_baseline = _baseline(topo_jobs, workdir / "topology-baseline")
+        _run_faulted(fault, plan, topo_jobs, classdir, jobs, outcome)
+        sideline_keys = _sideline_keys(
+            Path(f"{classdir / 'store.db'}.sideline.jsonl")
+        )
+        violations, _missing = _check_store(
+            classdir / "store.db",
+            topo_baseline,
+            getattr(outcome, "accounted_keys", set()),
+            sideline_keys,
+        )
+        outcome.violations += violations
+        _recover(topo_jobs, classdir, topo_baseline, outcome)
+    finally:
+        inject.deactivate()
+        reset_breakers()
+    say("chaos: " + outcome.summary().replace("\n", "\nchaos: "))
+    report.outcomes.append(outcome)
     return report
 
 

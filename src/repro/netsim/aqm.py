@@ -1,20 +1,28 @@
-"""Active queue management disciplines (RED, CoDel).
+"""Active queue management disciplines (RED, CoDel, PIE, FQ-CoDel).
 
 The paper measures over plain drop-tail buffers on purpose — deviations
 should come from the implementation, not the network.  These disciplines
 extend the testbed beyond the paper (its §6 calls for wider network
-conditions): RED (random early detection, Floyd & Jacobson) and CoDel
-(controlled delay, Nichols & Jacobson), both plugging into
+conditions): RED (random early detection, Floyd & Jacobson), CoDel
+(controlled delay, Nichols & Jacobson), PIE (proportional-integral
+controller enhanced, RFC 8033) and FQ-CoDel (flow-queued CoDel,
+RFC 8290), all plugging into
 :class:`~repro.netsim.link.BottleneckLink` through the same
 offer/pop/bytes_queued interface as the drop-tail queue.
+
+Every discipline registers itself in :data:`DISCIPLINES`, the single
+source of truth consumed by :func:`make_queue` and by
+``LinkConfig.validate`` — a new discipline registers once and is
+immediately constructible and spec-valid everywhere.
 """
 
 from __future__ import annotations
 
 import random
-from collections import deque
-from typing import Callable, Optional
+from collections import OrderedDict, deque
+from typing import Callable, Dict, Optional, Tuple
 
+from repro.netsim.link import DropTailQueue
 from repro.netsim.packet import Packet
 
 
@@ -203,19 +211,306 @@ class CoDelQueue:
         return packet
 
 
+class PIEQueue:
+    """Proportional-Integral controller Enhanced AQM (RFC 8033, simplified).
+
+    On a fixed ``t_update`` cadence the controller estimates the current
+    queueing delay from the queue backlog and the measured drain rate,
+    then moves the drop probability with a PI step:
+    ``p += alpha * (delay - target) + beta * (delay - delay_old)``.
+    Arriving packets are random-dropped with probability ``p`` (RFC 8033
+    §4.2 safeguards: no early drops while the delay is clearly below
+    target and ``p`` small, nor while the backlog is under two packets).
+
+    Simplifications vs the RFC: no burst allowance and no derandomised
+    drops — both exist to smooth sub-second artifacts that the
+    deterministic event loop does not produce.
+    """
+
+    TARGET = 0.015
+    T_UPDATE = 0.015
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        clock: Callable[[], float],
+        target_s: float = TARGET,
+        t_update_s: float = T_UPDATE,
+        alpha: float = 0.125,
+        beta: float = 1.25,
+        rng: Optional[random.Random] = None,
+    ):
+        if capacity_bytes <= 0:
+            raise ValueError("capacity must be positive")
+        if target_s <= 0 or t_update_s <= 0:
+            raise ValueError("target and t_update must be positive")
+        self.capacity_bytes = capacity_bytes
+        self.target = target_s
+        self.t_update = t_update_s
+        self.alpha = alpha
+        self.beta = beta
+        self._clock = clock
+        self._rng = rng or random.Random(0)
+        self._queue: deque[Packet] = deque()
+        self._bytes = 0
+        self.enqueued = 0
+        self.dropped = 0
+        self.early_drops = 0
+        #: Current drop probability (diagnostics, tests).
+        self.drop_probability = 0.0
+        self._delay_old = 0.0
+        self._last_update = 0.0
+        self._dequeued_since_update = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def bytes_queued(self) -> int:
+        return self._bytes
+
+    def _update_probability(self, now: float) -> None:
+        elapsed = now - self._last_update
+        if elapsed < self.t_update:
+            return
+        # Little's-law delay estimate: backlog over the measured drain
+        # rate of the last interval (RFC 8033 §4.3, departure-rate mode).
+        drain_rate = self._dequeued_since_update / elapsed
+        if drain_rate > 0:
+            delay = self._bytes / drain_rate
+        else:
+            delay = 0.0 if self._bytes == 0 else self._delay_old
+        p = self.drop_probability
+        step = self.alpha * (delay - self.target) + self.beta * (
+            delay - self._delay_old
+        )
+        # RFC 8033 §4.2: scale the step down while p is small so the
+        # controller creeps out of the no-drop regime instead of jumping.
+        if p < 0.01:
+            step *= 0.125
+        elif p < 0.1:
+            step *= 0.5
+        self.drop_probability = min(max(p + step, 0.0), 1.0)
+        if self._bytes == 0:
+            # Idle queue: decay toward zero so a past overload does not
+            # tax the next burst.
+            self.drop_probability *= 0.98
+        self._delay_old = delay
+        self._last_update = now
+        self._dequeued_since_update = 0
+
+    def offer(self, packet: Packet) -> bool:
+        now = self._clock()
+        self._update_probability(now)
+        if self._bytes + packet.size > self.capacity_bytes:
+            self.dropped += 1
+            return False
+        safe = (
+            self._delay_old < self.target / 2 and self.drop_probability < 0.2
+        ) or self._bytes < 2 * 1500
+        if not safe and self._rng.random() < self.drop_probability:
+            self.dropped += 1
+            self.early_drops += 1
+            return False
+        packet.enqueue_time = now
+        self._queue.append(packet)
+        self._bytes += packet.size
+        self.enqueued += 1
+        return True
+
+    def pop(self) -> Optional[Packet]:
+        if not self._queue:
+            return None
+        packet = self._queue.popleft()
+        self._bytes -= packet.size
+        self._dequeued_since_update += packet.size
+        return packet
+
+
+class FQCoDelQueue:
+    """Flow-queued CoDel (RFC 8290, simplified).
+
+    Packets are partitioned into per-flow sub-queues by ``flow_id``;
+    a deficit round-robin scheduler (quantum = one MTU) serves the
+    sub-queues, giving new flows one quantum of priority before they
+    join the old-flows rotation.  Each sub-queue runs its own CoDel
+    sojourn-time drop logic, so one bufferbloating flow is shed without
+    touching well-behaved competitors — exactly the isolation that
+    matters once topologies carry heterogeneous flows.
+
+    Simplifications vs the RFC: flows hash perfectly (``flow_id`` is
+    already unique per flow here, so no set-associative collisions) and
+    overload drops fall on the fattest sub-queue without ECN.
+    """
+
+    QUANTUM = 1514
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        clock: Callable[[], float],
+        quantum_bytes: int = QUANTUM,
+        target_s: float = CoDelQueue.TARGET,
+        interval_s: float = CoDelQueue.INTERVAL,
+    ):
+        if capacity_bytes <= 0:
+            raise ValueError("capacity must be positive")
+        if quantum_bytes <= 0:
+            raise ValueError("quantum must be positive")
+        self.capacity_bytes = capacity_bytes
+        self.quantum = quantum_bytes
+        self.target = target_s
+        self.interval = interval_s
+        self._clock = clock
+        #: flow key -> per-flow CoDel sub-queue, in creation order.
+        self._flows: "OrderedDict[int, CoDelQueue]" = OrderedDict()
+        self._deficits: Dict[int, int] = {}
+        self._new_flows: deque[int] = deque()
+        self._old_flows: deque[int] = deque()
+        self._bytes = 0
+        self._count = 0
+        self.enqueued = 0
+        self.dropped = 0
+        self.early_drops = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def bytes_queued(self) -> int:
+        return self._bytes
+
+    def _subqueue(self, key: int) -> CoDelQueue:
+        sub = self._flows.get(key)
+        if sub is None:
+            sub = CoDelQueue(
+                self.capacity_bytes,
+                clock=self._clock,
+                target_s=self.target,
+                interval_s=self.interval,
+            )
+            self._flows[key] = sub
+            self._deficits[key] = self.quantum
+            self._new_flows.append(key)
+        return sub
+
+    def _drop_from_fattest(self) -> bool:
+        fattest = None
+        for key, sub in self._flows.items():
+            if len(sub) and (
+                fattest is None
+                or sub.bytes_queued > self._flows[fattest].bytes_queued
+            ):
+                fattest = key
+        if fattest is None:
+            return False
+        victim = self._flows[fattest]._dequeue()
+        if victim is None:  # pragma: no cover - guarded by len() above
+            return False
+        self._bytes -= victim.size
+        self._count -= 1
+        self.dropped += 1
+        return True
+
+    def offer(self, packet: Packet) -> bool:
+        if self._bytes + packet.size > self.capacity_bytes:
+            # RFC 8290 §4.1.2: overload sheds from the fattest flow so a
+            # hog cannot starve thin flows of buffer space.  The arriving
+            # packet is still accepted if that freed enough room.
+            if not self._drop_from_fattest() or (
+                self._bytes + packet.size > self.capacity_bytes
+            ):
+                self.dropped += 1
+                return False
+        sub = self._subqueue(packet.flow_id)
+        if not sub.offer(packet):  # pragma: no cover - parent bounds first
+            self.dropped += 1
+            return False
+        if packet.flow_id not in self._new_flows and (
+            packet.flow_id not in self._old_flows
+        ):
+            # The flow drained and left the rotation earlier; it re-enters
+            # as a new flow with a fresh quantum, per the RFC.
+            self._deficits[packet.flow_id] = self.quantum
+            self._new_flows.append(packet.flow_id)
+        self._bytes += packet.size
+        self._count += 1
+        self.enqueued += 1
+        return True
+
+    def pop(self) -> Optional[Packet]:
+        while self._count:
+            if self._new_flows:
+                schedule, key = self._new_flows, self._new_flows[0]
+            elif self._old_flows:
+                schedule, key = self._old_flows, self._old_flows[0]
+            else:  # pragma: no cover - _count implies a scheduled flow
+                return None
+            if self._deficits[key] <= 0:
+                self._deficits[key] += self.quantum
+                schedule.popleft()
+                self._old_flows.append(key)
+                continue
+            sub = self._flows[key]
+            before = sub.bytes_queued
+            dropped_before = sub.dropped
+            packet = sub.pop()
+            delta_dropped = sub.dropped - dropped_before
+            self.dropped += delta_dropped
+            self.early_drops += delta_dropped
+            if packet is None:
+                self._count -= delta_dropped
+                self._bytes -= before - sub.bytes_queued
+                # Empty sub-queue: a new flow moves to the old rotation
+                # (keeping its deficit); an old flow leaves the schedule.
+                schedule.popleft()
+                if schedule is self._new_flows:
+                    self._old_flows.append(key)
+                continue
+            self._count -= 1 + delta_dropped
+            self._bytes -= before - sub.bytes_queued
+            self._deficits[key] -= packet.size
+            return packet
+        return None
+
+
+#: The discipline registry: name -> factory(capacity_bytes, clock, rng).
+#: ``LinkConfig.validate`` and :func:`make_queue` both consume this, so
+#: registering here is the *only* step a new discipline needs.
+DISCIPLINES: Dict[str, Callable] = {}
+
+
+def register_discipline(name: str, factory: Callable) -> None:
+    """Register a queue factory ``(capacity_bytes, clock, rng) -> queue``."""
+    if name in DISCIPLINES:
+        raise ValueError(f"queue discipline {name!r} is already registered")
+    DISCIPLINES[name] = factory
+
+
+def disciplines() -> Tuple[str, ...]:
+    """Every registered discipline name, sorted (for messages and docs)."""
+    return tuple(sorted(DISCIPLINES))
+
+
+register_discipline("droptail", lambda capacity, clock, rng: DropTailQueue(capacity))
+register_discipline("red", lambda capacity, clock, rng: REDQueue(capacity, rng=rng))
+register_discipline("codel", lambda capacity, clock, rng: CoDelQueue(capacity, clock=clock))
+register_discipline("pie", lambda capacity, clock, rng: PIEQueue(capacity, clock=clock, rng=rng))
+register_discipline("fq_codel", lambda capacity, clock, rng: FQCoDelQueue(capacity, clock=clock))
+
+
 def make_queue(
     discipline: str,
     capacity_bytes: int,
     clock: Callable[[], float],
     rng: Optional[random.Random] = None,
 ):
-    """Factory used by the network wiring: 'droptail' | 'red' | 'codel'."""
-    from repro.netsim.link import DropTailQueue
-
-    if discipline == "droptail":
-        return DropTailQueue(capacity_bytes)
-    if discipline == "red":
-        return REDQueue(capacity_bytes, rng=rng)
-    if discipline == "codel":
-        return CoDelQueue(capacity_bytes, clock=clock)
-    raise ValueError(f"unknown queue discipline {discipline!r}")
+    """Factory used by the network wiring; see :data:`DISCIPLINES`."""
+    try:
+        factory = DISCIPLINES[discipline]
+    except KeyError:
+        raise ValueError(
+            f"unknown queue discipline {discipline!r} "
+            f"(known: {', '.join(disciplines())})"
+        ) from None
+    return factory(capacity_bytes, clock, rng)

@@ -38,8 +38,9 @@ class LinkConfig:
     buffer_bdp: float = 1.0
     #: Absolute override for the queue size in bytes (wins over buffer_bdp).
     buffer_bytes: Optional[int] = None
-    #: Bottleneck queue discipline: "droptail" (the paper's setting),
-    #: "red" or "codel" (extensions, see repro.netsim.aqm).
+    #: Bottleneck queue discipline: "droptail" (the paper's setting) or
+    #: any name in the repro.netsim.aqm DISCIPLINES registry ("red",
+    #: "codel", "pie", "fq_codel", ...).
     queue_discipline: str = "droptail"
 
     def queue_capacity(self) -> int:
@@ -56,8 +57,13 @@ class LinkConfig:
             raise ValueError("RTT must be positive")
         if self.buffer_bdp <= 0 and self.buffer_bytes is None:
             raise ValueError("buffer must be positive")
-        if self.queue_discipline not in ("droptail", "red", "codel"):
-            raise ValueError(f"unknown queue discipline {self.queue_discipline!r}")
+        from repro.netsim.aqm import DISCIPLINES, disciplines
+
+        if self.queue_discipline not in DISCIPLINES:
+            raise ValueError(
+                f"unknown queue discipline {self.queue_discipline!r} "
+                f"(known: {', '.join(disciplines())})"
+            )
 
 
 @dataclass

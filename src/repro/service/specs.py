@@ -2,8 +2,9 @@
 
 A *campaign spec* is the JSON document a client POSTs to
 ``/campaigns``: which kind of experiment to run (``conformance``,
-``matrix`` or ``regression``), over which implementations and network
-conditions, under which measurement protocol.  Parsing is strict —
+``matrix``, ``regression`` or ``topology``), over which implementations
+and network conditions — or, for topology campaigns, over declarative
+:mod:`repro.topo` topology documents — under which measurement protocol.  Parsing is strict —
 every field is validated against :mod:`repro.harness.config` and the
 stack registry before the campaign is accepted, so a bad request fails
 at submit time with a useful message instead of hours into a queue.
@@ -35,6 +36,7 @@ from repro.stacks import registry
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.exec import Executor
     from repro.store.warehouse import ResultStore
+    from repro.topo.spec import TopologySpec
 
 
 class SpecError(ValueError):
@@ -42,7 +44,7 @@ class SpecError(ValueError):
 
 
 #: Campaign kinds the service accepts.
-KINDS = ("conformance", "matrix", "regression")
+KINDS = ("conformance", "matrix", "regression", "topology")
 
 #: Fields a spec document may carry; anything else is a typo we reject.
 _ALLOWED_FIELDS = {
@@ -50,6 +52,7 @@ _ALLOWED_FIELDS = {
     "stacks",
     "ccas",
     "conditions",
+    "topologies",
     "duration_s",
     "trials",
     "seed",
@@ -66,6 +69,8 @@ class CampaignSpec:
     stacks: Tuple[str, ...] = ()
     ccas: Tuple[str, ...] = ()
     conditions: Tuple[NetworkCondition, ...] = ()
+    #: Topology campaigns only: the TopologySpecs to measure.
+    topologies: Tuple["TopologySpec", ...] = ()
     duration_s: Optional[float] = None
     trials: Optional[int] = None
     seed: Optional[int] = None
@@ -77,7 +82,7 @@ class CampaignSpec:
 
     def canonical(self) -> dict:
         """The fully-defaulted spec as a plain JSON-serialisable dict."""
-        return {
+        doc = {
             "kind": self.kind,
             "stacks": list(self.stacks),
             "ccas": list(self.ccas),
@@ -95,6 +100,12 @@ class CampaignSpec:
             "run": self.run,
             "note": self.note,
         }
+        # Only topology campaigns carry the key, so every pre-existing
+        # kind keeps its historical fingerprint (journaled canonical
+        # specs from older runs must keep resuming bit-exactly).
+        if self.topologies:
+            doc["topologies"] = [t.canonical() for t in self.topologies]
+        return doc
 
     def fingerprint(self) -> str:
         """Stable content hash of the canonical spec."""
@@ -215,6 +226,19 @@ def parse_campaign_spec(payload: Mapping) -> CampaignSpec:
         except (TypeError, ValueError) as exc:
             raise SpecError(f"spec.conditions[{i}] is invalid: {exc}")
 
+    topologies = _parse_topologies(payload, kind)
+    if kind == "topology":
+        if stacks or ccas or conditions:
+            raise SpecError(
+                "topology campaigns take their stacks, CCAs and links "
+                "from each topology's flow entries; spec.stacks, "
+                "spec.ccas and spec.conditions must be empty"
+            )
+        if not topologies:
+            raise SpecError(
+                "topology campaigns need a non-empty spec.topologies list"
+            )
+
     duration_s = _number(payload, "duration_s")
     trials = _number(payload, "trials", integral=True)
     seed = _number(payload, "seed", integral=True)
@@ -226,6 +250,7 @@ def parse_campaign_spec(payload: Mapping) -> CampaignSpec:
             stacks=tuple(stacks),
             ccas=tuple(ccas),
             conditions=tuple(conditions),
+            topologies=topologies,
             duration_s=duration_s,
             trials=trials,
             seed=seed,
@@ -237,12 +262,37 @@ def parse_campaign_spec(payload: Mapping) -> CampaignSpec:
         if isinstance(exc, SpecError):
             raise
         raise SpecError(str(exc))
-    if not spec.implementations():
+    if spec.kind != "topology" and not spec.implementations():
         raise SpecError(
             "spec selects no implementations: none of the requested "
             "stacks supports any of the requested CCAs"
         )
     return spec
+
+
+def _parse_topologies(payload: Mapping, kind: str) -> Tuple["TopologySpec", ...]:
+    raw = payload.get("topologies", [])
+    if kind != "topology":
+        if raw:
+            raise SpecError(
+                f"spec.topologies is only valid for kind 'topology', "
+                f"not {kind!r}"
+            )
+        return ()
+    if not isinstance(raw, Sequence) or isinstance(raw, (str, bytes)):
+        raise SpecError("spec.topologies must be a list of topology objects")
+    from repro.topo.spec import TopoSpecError, parse_topology_spec
+
+    topologies = []
+    for i, doc in enumerate(raw):
+        try:
+            topologies.append(parse_topology_spec(doc))
+        except TopoSpecError as exc:
+            raise SpecError(f"spec.topologies[{i}] is invalid: {exc}")
+    names = [t.name for t in topologies]
+    if len(set(names)) != len(names):
+        raise SpecError("spec.topologies contains duplicate topology names")
+    return tuple(topologies)
 
 
 def _string_list(payload: Mapping, field_name: str) -> List[str]:
@@ -283,6 +333,10 @@ def execute_campaign(
     heavy lifting is the same driver a direct harness call uses, which
     is what makes service results bit-identical to local ones.
     """
+    if spec.kind == "topology":
+        from repro.topo.campaign import run_topology_campaign
+
+        return run_topology_campaign(spec, store, executor)
     config = spec.experiment_config()
     implementations = spec.implementations()
     if spec.kind == "regression":

@@ -1,0 +1,132 @@
+"""Fairness and convergence metrics over topology runs.
+
+The campaign's trial payload is a windowed per-flow throughput matrix —
+shape ``(n_flows, n_windows)``, bits per second per window — computed
+from the same packet traces every other measurement uses.  Everything
+downstream (per-flow share, Jain's fairness index, convergence time,
+utilization) derives deterministically from that array, so the matrix
+is what gets cached, deduped and persisted as the trial identity.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.netsim.trace import FlowTrace
+
+
+def throughput_matrix(
+    traces: Sequence[FlowTrace],
+    duration_s: float,
+    window_s: float = 1.0,
+) -> np.ndarray:
+    """Per-flow delivered throughput per window, bits/second.
+
+    Row *i* is flow *i*'s delivery rate in consecutive ``window_s`` bins
+    over ``[0, duration_s)``; a flow that has not started (or already
+    ended) simply shows zeros, which is what lets convergence detection
+    see late joiners ramp up.
+    """
+    if duration_s <= 0 or window_s <= 0:
+        raise ValueError("duration and window must be positive")
+    n_windows = max(1, int(round(duration_s / window_s)))
+    matrix = np.zeros((len(traces), n_windows))
+    for i, trace in enumerate(traces):
+        for record in trace.records:
+            w = int(record.arrival_time / window_s)
+            if 0 <= w < n_windows:
+                matrix[i, w] += record.payload_bytes * 8
+    return matrix / window_s
+
+
+def flow_shares(matrix: np.ndarray) -> np.ndarray:
+    """Each flow's fraction of the total delivered bits (sums to 1)."""
+    totals = np.asarray(matrix, dtype=float).sum(axis=1)
+    aggregate = totals.sum()
+    if aggregate <= 0:
+        return np.full(len(totals), 1.0 / max(len(totals), 1))
+    return totals / aggregate
+
+
+def jain_index(values: Sequence[float]) -> float:
+    """Jain's fairness index: 1 = perfectly fair, 1/n = one flow hogs."""
+    x = np.asarray(values, dtype=float)
+    if x.size == 0:
+        return 1.0
+    square_of_sum = float(x.sum()) ** 2
+    sum_of_squares = float((x ** 2).sum())
+    if sum_of_squares <= 0:
+        return 1.0
+    return square_of_sum / (x.size * sum_of_squares)
+
+
+def convergence_time(
+    matrix: np.ndarray,
+    window_s: float = 1.0,
+    tolerance: float = 0.25,
+    hold_windows: int = 5,
+) -> float:
+    """Earliest time after which every flow stays near its final rate.
+
+    A flow has converged once its windowed throughput remains within
+    ``tolerance`` (relative) of its steady-state mean — the mean of its
+    last ``max(hold_windows, n/4)`` windows — for every subsequent
+    window.  The returned time is the latest per-flow convergence point
+    in seconds; ``nan`` when any flow never settles (or never starts).
+    """
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.ndim != 2 or matrix.shape[1] == 0:
+        raise ValueError("matrix must be (n_flows, n_windows)")
+    n_windows = matrix.shape[1]
+    tail = max(hold_windows, n_windows // 4)
+    worst = 0.0
+    for row in matrix:
+        steady = float(row[-tail:].mean())
+        if steady <= 0:
+            return float("nan")
+        inside = np.abs(row - steady) <= tolerance * steady
+        # The convergence point is the window after the last excursion.
+        outside = np.nonzero(~inside)[0]
+        converged_at = 0 if outside.size == 0 else int(outside[-1]) + 1
+        if converged_at >= n_windows:
+            return float("nan")
+        worst = max(worst, converged_at * window_s)
+    return worst
+
+
+def utilization(matrix: np.ndarray, bottleneck_bps: float) -> float:
+    """Aggregate delivered rate as a fraction of the bottleneck rate."""
+    if bottleneck_bps <= 0:
+        raise ValueError("bottleneck rate must be positive")
+    aggregate = float(np.asarray(matrix, dtype=float).sum(axis=0).mean())
+    return aggregate / bottleneck_bps
+
+
+def summarize(
+    matrix: np.ndarray,
+    window_s: float = 1.0,
+    bottleneck_bps: float = 0.0,
+) -> dict:
+    """The campaign's per-trial metric bundle from one payload matrix."""
+    shares = flow_shares(matrix)
+    out = {
+        "shares": shares,
+        "tput_mbps": np.asarray(matrix, dtype=float).mean(axis=1) / 1e6,
+        "jain": jain_index(shares),
+        "convergence_s": convergence_time(matrix, window_s=window_s),
+    }
+    if bottleneck_bps > 0:
+        out["utilization"] = utilization(matrix, bottleneck_bps)
+    return out
+
+
+__all__: List[str] = [
+    "convergence_time",
+    "flow_shares",
+    "jain_index",
+    "summarize",
+    "throughput_matrix",
+    "utilization",
+]

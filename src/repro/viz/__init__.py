@@ -14,14 +14,17 @@ from repro.viz.charts import (
     line_figure,
     save_figure,
 )
+from repro.viz.fairness import fairness_panel_figure, stored_fairness_matrix
 from repro.viz.store import stored_heatmap_figure, stored_heatmap_matrix
 
 __all__ = [
     "SvgCanvas",
     "envelope_figure",
+    "fairness_panel_figure",
     "heatmap_figure",
     "line_figure",
     "save_figure",
+    "stored_fairness_matrix",
     "stored_heatmap_figure",
     "stored_heatmap_matrix",
 ]

@@ -1,0 +1,81 @@
+"""Fairness panels for stored topology campaigns.
+
+A ``"topology"`` campaign records one row per flow — keyed by the flow
+label as the *variant* and by the topology name as the *condition* —
+plus one aggregate row (Jain's index, convergence time, utilization)
+per topology.  The panel pivots the per-flow rows into a
+flows x topologies heatmap, so a whole fairness matrix (who got what
+share, in which topology) reads at a glance; the aggregate Jain's
+index per topology is stitched into the column labels.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+import numpy as np
+
+from repro.viz.charts import heatmap_figure
+from repro.viz.svg import SvgCanvas
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.store.warehouse import ResultStore
+
+
+def stored_fairness_matrix(
+    store: "ResultStore", run, metric: str = "share"
+) -> Tuple[List[str], List[str], np.ndarray]:
+    """Pivot a topology run's per-flow metric into (flows, topologies).
+
+    Rows are flow labels, columns are topology names, cells are the
+    requested per-flow metric (``share``, ``tput_mbps`` or
+    ``convergence_s``).  Aggregate rows (``variant == "default"``) are
+    excluded — they describe topologies, not flows.
+    """
+    table = store.metric_table(run, metric)
+    per_flow = {
+        key: value
+        for key, value in table.items()
+        if key[2] != "default"  # (stack, cca, variant, condition)
+    }
+    if not per_flow:
+        raise ValueError(
+            f"run {run!r} holds no per-flow {metric!r} metrics "
+            "(is it a topology campaign run?)"
+        )
+    rows = sorted({variant for (_s, _c, variant, _cond) in per_flow})
+    cols = sorted({cond for (_s, _c, _v, cond) in per_flow})
+    values = np.full((len(rows), len(cols)), np.nan)
+    for (stack, cca, variant, cond), value in per_flow.items():
+        values[rows.index(variant), cols.index(cond)] = value
+    return rows, cols, values
+
+
+def fairness_panel_figure(
+    store: "ResultStore",
+    run,
+    metric: str = "share",
+    title: Optional[str] = None,
+) -> SvgCanvas:
+    """Render one topology run as a flows x topologies fairness panel."""
+    rows, cols, values = stored_fairness_matrix(store, run, metric)
+    jain = store.metric_table(run, "jain")
+    by_topology = {
+        cond: value
+        for (stack, _c, _v, cond), value in jain.items()
+        if stack == "topology"
+    }
+    labels = [
+        f"{col} (J={by_topology[col]:.2f})" if col in by_topology else col
+        for col in cols
+    ]
+    run_name = store.run(run).name
+    return heatmap_figure(
+        rows,
+        labels,
+        values,
+        title=title or f"{metric} per flow — run {run_name}",
+    )
+
+
+__all__ = ["fairness_panel_figure", "stored_fairness_matrix"]

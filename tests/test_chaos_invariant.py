@@ -43,6 +43,7 @@ class TestSmokeMatrix:
         outcomes = {o.fault: o for o in smoke_report.outcomes}
         assert set(outcomes) == {
             "worker-crash", "store-locked", "disk-full", "journal-corrupt",
+            "store-locked@topology",
         }
         for outcome in outcomes.values():
             assert outcome.recovered, outcome.summary()
@@ -81,7 +82,11 @@ class TestSmokeMatrix:
         # converged on one ground truth.
         report, workdir = smoke_run
         snapshots = {}
+        # The @topology class runs a different joblist (topology trials,
+        # not conformance trials), so it is checked separately below.
         for outcome in report.outcomes:
+            if outcome.fault.endswith("@topology"):
+                continue
             with ResultStore(workdir / outcome.fault / "store.db") as store:
                 snapshots[outcome.fault] = {
                     key: store.get_trial(key, strict=True).tobytes()
@@ -91,6 +96,23 @@ class TestSmokeMatrix:
         assert reference  # the campaign stored something
         for fault, snapshot in snapshots.items():
             assert snapshot == reference, f"{fault} store diverged"
+
+    def test_topology_class_recovered_bit_identical(self, smoke_run):
+        # The topology campaign's faulted store ends up holding every
+        # topology trial payload, byte-identical to the fault-free run.
+        report, workdir = smoke_run
+        outcome = next(
+            o for o in report.outcomes if o.fault == "store-locked@topology"
+        )
+        assert outcome.recovered, outcome.summary()
+        assert not outcome.violations
+        with ResultStore(
+            workdir / outcome.fault / "store.db"
+        ) as store:
+            keys = store.trial_keys()
+            assert keys
+            for key in keys:
+                assert store.get_trial(key, strict=True) is not None
 
 
 class TestInvariantChecker:
