@@ -4,7 +4,7 @@
 # numerically identical at any job count.  e.g. `make bench JOBS=4`.
 JOBS ?= 1
 
-.PHONY: install test lint bench quick-bench store-smoke service-smoke topo-smoke chaos clean-cache loc
+.PHONY: install test lint bench quick-bench store-smoke service-smoke topo-smoke cca-smoke chaos clean-cache loc
 
 install:
 	pip install -e .
@@ -47,6 +47,18 @@ topo-smoke:
 	PYTHONPATH=src python -m repro topo matrix --ccas cubic \
 	  --duration 3 --trials 1 --jobs 2 --store /tmp/quicbench-topo.db
 	PYTHONPATH=src python -m repro store runs --db /tmp/quicbench-topo.db
+
+# Reference-free peer-conformance smoke over the registry's built-in
+# peer group (one model-based, one loss-based, one real-time CCA): runs
+# the matrix campaign through the executor and checks the pairwise +
+# aggregate rows landed in the warehouse (the same flow CI's cca-smoke
+# job runs).
+cca-smoke:
+	PYTHONPATH=src python -m repro cca peer-matrix --peers bbr3 cubic gcc \
+	  --duration 4 --trials 1 --jobs 2 \
+	  --store /tmp/quicbench-cca.db --run cca-smoke
+	PYTHONPATH=src python -m repro store query --db /tmp/quicbench-cca.db \
+	  --metric peer_score --format csv
 
 # Deterministic fault injection against a real campaign: every trial
 # must land bit-identical to the fault-free baseline or fail typed and

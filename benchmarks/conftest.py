@@ -8,9 +8,18 @@ rendered text artifacts land in ``benchmarks/output/`` for inspection.
 Benchmarks run the underlying experiment exactly once
 (``benchmark.pedantic(..., rounds=1)``) — the interesting output is the
 reproduced numbers, not the timing.
+
+Every ``test_bench_*`` module additionally emits one machine-readable
+``output/BENCH_<module>.json`` record: an autouse fixture times every
+test, :func:`emit_bench` lets a module attach richer fields
+(packets/sec and the like), and the session-finish hook writes the
+merged record — so CI history can diff wall times per module without
+each benchmark hand-rolling its own JSON.
 """
 
+import json
 import os
+import time
 from pathlib import Path
 
 import pytest
@@ -86,3 +95,56 @@ def save_artifact():
 def run_once(benchmark, fn):
     """Run ``fn`` exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+# --------------------------------------------------- BENCH_*.json records
+
+#: module basename (e.g. "topology") -> {test name -> wall seconds}.
+_BENCH_TIMES = {}
+#: module basename -> extra fields attached via :func:`emit_bench`.
+_BENCH_EXTRA = {}
+
+
+def _bench_name(module_name: str) -> str:
+    short = module_name.rsplit(".", 1)[-1]
+    prefix = "test_bench_"
+    return short[len(prefix):] if short.startswith(prefix) else short
+
+
+def emit_bench(module_file: str, **payload) -> None:
+    """Attach module-specific fields to the module's BENCH record.
+
+    ``module_file`` is the calling module's ``__file__``; keyword fields
+    (packets, packets_per_s, ...) are merged into the
+    ``BENCH_<module>.json`` written at session end.
+    """
+    name = _bench_name(Path(module_file).stem)
+    _BENCH_EXTRA.setdefault(name, {}).update(payload)
+
+
+@pytest.fixture(autouse=True)
+def _bench_timer(request):
+    """Record every benchmark test's wall time for the module record."""
+    start = time.perf_counter()
+    yield
+    wall_s = time.perf_counter() - start
+    name = _bench_name(request.module.__name__)
+    _BENCH_TIMES.setdefault(name, {})[request.node.name] = round(wall_s, 4)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write one ``output/BENCH_<module>.json`` per benchmark module."""
+    if not _BENCH_TIMES and not _BENCH_EXTRA:
+        return
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    for name in sorted(set(_BENCH_TIMES) | set(_BENCH_EXTRA)):
+        tests = _BENCH_TIMES.get(name, {})
+        payload = {
+            "module": f"test_bench_{name}",
+            "tests": tests,
+            "wall_s": round(sum(tests.values()), 4),
+        }
+        payload.update(_BENCH_EXTRA.get(name, {}))
+        (OUTPUT_DIR / f"BENCH_{name}.json").write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )

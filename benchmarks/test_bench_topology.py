@@ -9,10 +9,9 @@ guarantees (bit-identity with the dumbbell Network, byte conservation)
 live in tier-1 tests.
 """
 
-import json
 import time
 
-from conftest import OUTPUT_DIR, run_once
+from conftest import emit_bench, run_once
 
 from repro.topo import TopoNetwork, parking_lot
 
@@ -31,16 +30,13 @@ def test_parking_lot_throughput(benchmark):
 
     packets, wall_s = run_once(benchmark, run)
     assert packets > 0
-    payload = {
-        "topology": spec.name,
-        "links": len(spec.links),
-        "flows": len(spec.flows),
-        "sim_s": SIM_S,
-        "packets": packets,
-        "wall_s": round(wall_s, 4),
-        "packets_per_s": round(packets / wall_s, 1),
-    }
-    OUTPUT_DIR.mkdir(exist_ok=True)
-    (OUTPUT_DIR / "BENCH_topology.json").write_text(
-        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    emit_bench(
+        __file__,
+        topology=spec.name,
+        links=len(spec.links),
+        flows=len(spec.flows),
+        sim_s=SIM_S,
+        packets=packets,
+        sim_wall_s=round(wall_s, 4),
+        packets_per_s=round(packets / wall_s, 1),
     )

@@ -16,6 +16,8 @@ from repro.cca.base import AckEvent, CongestionController
 from repro.cca.reno import NewReno
 from repro.cca.cubic import Cubic, CubicConfig
 from repro.cca.bbr import BBR, BBRConfig
+from repro.cca.bbr2 import BBR2, BBR3, BBR2Config, bbr3_config
+from repro.cca.gcc import GccConfig, GccController
 from repro.cca.windowed_filter import WindowedMaxFilter, WindowedMinFilter
 from repro.cca.rtt import RttEstimator
 
@@ -27,6 +29,12 @@ __all__ = [
     "CubicConfig",
     "BBR",
     "BBRConfig",
+    "BBR2",
+    "BBR3",
+    "BBR2Config",
+    "bbr3_config",
+    "GccController",
+    "GccConfig",
     "WindowedMaxFilter",
     "WindowedMinFilter",
     "RttEstimator",

@@ -1,0 +1,467 @@
+"""BBR v2/v3 congestion control (IETF draft-cardwell-ccwg-bbr).
+
+Extends the v1 model (:mod:`repro.cca.bbr`) with the mechanisms that
+distinguish the second and third generations:
+
+* **Loss-aware inflight bounds.**  ``inflight_hi`` is a long-term upper
+  bound on data in flight, learned from loss: when a congestion event
+  fires, the bound snaps to the larger of the data actually in flight
+  and ``(1 - beta)`` of the current target inflight (Linux
+  ``bbr2_handle_inflight_too_high``).  ``inflight_lo`` is the
+  short-term conservative bound applied while the loss signal is fresh;
+  it is cleared when the next REFILL (or ProbeRTT exit) declares the
+  signal stale.  Both bound the congestion window directly, which is
+  the ECN-independent loss response v1 lacked.
+* **ProbeBW UP/DOWN/CRUISE/REFILL cycling.**  The fixed 8-phase gain
+  cycle of v1 is replaced by the v2 state machine: DOWN drains the
+  queue, CRUISE holds at estimated BDP with headroom below
+  ``inflight_hi``, REFILL restores in-flight to the bound (clearing
+  ``inflight_lo``), and UP probes above it until loss or the bound is
+  reached.
+* **ProbeRTT cwnd floor.**  v2 floors ProbeRTT at half the estimated
+  BDP instead of v1's fixed 4 packets, so the RTT probe no longer
+  starves the flow.
+
+BBRv3 is the same machine with the tuning the BBRv3 presentations
+describe: a gentler DOWN gain (0.9 vs 0.75), a lower STARTUP cwnd gain
+(2.0 vs 2.89), and the same 15 % CRUISE headroom — see
+:func:`bbr3_config`.  Both versions are deterministic: where Linux
+randomises the CRUISE re-probe interval, this model uses the fixed
+``cruise_s`` so trials stay bit-reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.cca.base import AckEvent, CongestionController
+from repro.cca.windowed_filter import WindowedMaxFilter
+
+#: Same floor as v1 (Linux ``bbr_cwnd_min_target``).
+MIN_CWND_PACKETS = 4
+
+
+@dataclass
+class BBR2Config:
+    """Tunables; defaults mirror ``tcp_bbr2.c`` / the BBRv2 draft."""
+
+    initial_cwnd_packets: int = 10
+    #: cwnd gain outside STARTUP.
+    cwnd_gain: float = 2.0
+    #: cwnd gain during STARTUP (v2: 2.89; v3 lowers it to 2.0).
+    startup_cwnd_gain: float = 2.89
+    #: Pacing gain during STARTUP (v2/v3 use 2.77, not v1's 2.885).
+    startup_pacing_gain: float = 2.77
+    #: Scale applied to the final pacing rate (deviation knob, as v1).
+    pacing_rate_scale: float = 1.0
+    #: Bandwidth filter window, in round trips.
+    bw_window_rounds: int = 10
+    #: min_rtt filter window, seconds.
+    min_rtt_window_s: float = 10.0
+    #: PROBE_RTT duration, seconds.
+    probe_rtt_duration_s: float = 0.2
+    #: PROBE_RTT floors cwnd at this fraction of BDP (v2; v1 used 4 pkts).
+    probe_rtt_cwnd_gain: float = 0.5
+    #: Startup exits when bw grew by less than this for 3 rounds.
+    full_bw_threshold: float = 1.25
+    #: ProbeBW UP pacing gain.
+    probe_up_gain: float = 1.25
+    #: ProbeBW DOWN pacing gain (v2: 0.75; v3: 0.9).
+    probe_down_gain: float = 0.75
+    #: Fraction of the inflight target cut from ``inflight_hi`` on loss
+    #: (Linux ``bbr_beta`` = 0.3).
+    beta: float = 0.3
+    #: Fraction of ``inflight_hi`` kept free while CRUISEing
+    #: (``bbr2_inflight_with_headroom``).
+    headroom: float = 0.15
+    #: CRUISE dwell before the next REFILL/UP probe, seconds.  Linux
+    #: randomises 2-3 s; fixed here for determinism.
+    cruise_s: float = 2.0
+
+    def validate(self) -> None:
+        if self.initial_cwnd_packets <= 0:
+            raise ValueError("initial cwnd must be positive")
+        if self.cwnd_gain <= 0 or self.startup_cwnd_gain <= 0:
+            raise ValueError("cwnd gains must be positive")
+        if self.pacing_rate_scale <= 0:
+            raise ValueError("pacing scale must be positive")
+        if self.bw_window_rounds <= 0:
+            raise ValueError("bw window must be positive")
+        if not 0.0 < self.beta < 1.0:
+            raise ValueError("beta must be in (0, 1)")
+        if not 0.0 <= self.headroom < 1.0:
+            raise ValueError("headroom must be in [0, 1)")
+        if not 0.0 < self.probe_rtt_cwnd_gain <= 1.0:
+            raise ValueError("probe_rtt_cwnd_gain must be in (0, 1]")
+        if self.cruise_s <= 0:
+            raise ValueError("cruise_s must be positive")
+
+
+def bbr3_config(**overrides) -> BBR2Config:
+    """BBRv3 tuning of the v2 machine (gentler DOWN, lower startup gain)."""
+    base = BBR2Config(probe_down_gain=0.9, startup_cwnd_gain=2.0)
+    return replace(base, **overrides) if overrides else base
+
+
+class BBR2(CongestionController):
+    """BBRv2: the v1 model plus loss-aware inflight bounds."""
+
+    name = "bbr2"
+
+    STARTUP = "STARTUP"
+    DRAIN = "DRAIN"
+    PROBE_BW = "PROBE_BW"
+    PROBE_RTT = "PROBE_RTT"
+
+    #: ProbeBW phases, in cycling order starting from entry.
+    DOWN = "DOWN"
+    CRUISE = "CRUISE"
+    REFILL = "REFILL"
+    UP = "UP"
+
+    def __init__(self, mss: int, config: Optional[BBR2Config] = None):
+        config = config or BBR2Config()
+        config.validate()
+        super().__init__(mss)
+        self.config = config
+        self.state = self.STARTUP
+        self.phase: Optional[str] = None
+        self.pacing_gain = config.startup_pacing_gain
+        self.cwnd_gain = config.startup_cwnd_gain
+
+        self._bw_filter = WindowedMaxFilter(window=config.bw_window_rounds)
+        # Kernel-style min_rtt: one value held until the window expires
+        # (see repro.cca.bbr for why a sliding min is wrong here).
+        self._min_rtt: Optional[float] = None
+        self._min_rtt_timestamp = 0.0
+        self._min_rtt_expired = False
+        self._probe_rtt_done_time: Optional[float] = None
+        self._probe_rtt_round_done = False
+
+        self._round = 0
+        self._full_bw = 0.0
+        self._full_bw_count = 0
+        self._filled_pipe = False
+
+        self._phase_start = 0.0
+        self._phase_round = 0
+
+        #: Loss-learned bounds, bytes; None means "no bound yet".
+        self._inflight_hi: Optional[int] = None
+        self._inflight_lo: Optional[int] = None
+        self._loss_in_round = False
+        self._loss_round = -1
+
+        self._cwnd = config.initial_cwnd_packets * mss
+        self._prior_cwnd = 0
+        self._init_pacing = self._cwnd / 0.1 * config.startup_pacing_gain
+
+    # -- model accessors ---------------------------------------------------
+    @property
+    def btl_bw(self) -> Optional[float]:
+        """Bottleneck bandwidth estimate, bytes/s."""
+        return self._bw_filter.get()
+
+    @property
+    def min_rtt(self) -> Optional[float]:
+        return self._min_rtt
+
+    @property
+    def inflight_hi(self) -> Optional[int]:
+        """Loss-learned long-term inflight bound, bytes (None = unbounded)."""
+        return self._inflight_hi
+
+    @property
+    def inflight_lo(self) -> Optional[int]:
+        """Short-term conservative inflight bound, bytes (None = inactive)."""
+        return self._inflight_lo
+
+    def bdp(self, gain: float = 1.0) -> Optional[int]:
+        bw = self.btl_bw
+        rtt = self.min_rtt
+        if bw is None or rtt is None:
+            return None
+        return int(gain * bw * rtt)
+
+    def _target_inflight(self) -> int:
+        """BDP if the model has one, else the current window."""
+        return self.bdp() or self._cwnd
+
+    def _inflight_with_headroom(self) -> Optional[int]:
+        """CRUISE ceiling: ``inflight_hi`` minus the configured headroom."""
+        if self._inflight_hi is None:
+            return None
+        return max(
+            int(self._inflight_hi * (1.0 - self.config.headroom)),
+            MIN_CWND_PACKETS * self.mss,
+        )
+
+    # -- controller interface ----------------------------------------------
+    @property
+    def cwnd(self) -> int:
+        return self._cwnd
+
+    @property
+    def in_slow_start(self) -> bool:
+        return self.state == self.STARTUP
+
+    def pacing_rate(self) -> Optional[float]:
+        bw = self.btl_bw
+        if bw is None:
+            rate = self._init_pacing
+        else:
+            rate = self.pacing_gain * bw
+        return rate * self.config.pacing_rate_scale
+
+    def on_ack(self, event: AckEvent) -> None:
+        now = event.now
+        new_round = event.round_count > self._round
+        if new_round:
+            self._round = event.round_count
+            self._loss_in_round = self._loss_round == event.round_count
+
+        if event.delivery_rate is not None and (
+            not event.is_app_limited
+            or event.delivery_rate > (self.btl_bw or 0.0)
+        ):
+            self._bw_filter.update(self._round, event.delivery_rate)
+
+        self._min_rtt_expired = (
+            now - self._min_rtt_timestamp > self.config.min_rtt_window_s
+        )
+        if event.rtt_sample is not None:
+            if (
+                self._min_rtt is None
+                or event.rtt_sample <= self._min_rtt
+                or self._min_rtt_expired
+            ):
+                self._min_rtt = event.rtt_sample
+                self._min_rtt_timestamp = now
+
+        if new_round:
+            self._check_full_pipe(event)
+        self._update_state_machine(event, new_round)
+        self._set_cwnd(event)
+
+    def on_congestion_event(self, now: float, bytes_in_flight: int) -> None:
+        """ECN-independent loss response: learn the inflight bounds.
+
+        ``inflight_hi`` snaps to the larger of the data actually in
+        flight at the loss and ``(1 - beta)`` of the target inflight
+        (Linux ``bbr2_handle_inflight_too_high``); ``inflight_lo``
+        applies the same cut as a short-term bound until the next
+        REFILL declares the loss signal stale.  Packet conservation on
+        the window itself matches v1/Linux.
+        """
+        floor = MIN_CWND_PACKETS * self.mss
+        target = self._target_inflight()
+        cut = max(int(target * (1.0 - self.config.beta)), floor)
+        measured = max(bytes_in_flight, floor)
+        self._inflight_hi = max(measured, cut)
+        self._inflight_lo = cut
+        self._loss_in_round = True
+        self._loss_round = self._round + 1
+        self._prior_cwnd = max(self._prior_cwnd, self._cwnd)
+        self._cwnd = max(bytes_in_flight, floor)
+        # Loss while probing up ends the probe: fall into DOWN now.
+        if self.state == self.PROBE_BW and self.phase in (self.UP, self.REFILL):
+            self._enter_phase(self.DOWN, now)
+
+    def on_recovery_exit(self, now: float) -> None:
+        if self._prior_cwnd:
+            self._cwnd = max(self._cwnd, self._prior_cwnd)
+            self._prior_cwnd = 0
+
+    def on_rto(self, now: float) -> None:
+        self._prior_cwnd = self._cwnd
+        self._cwnd = MIN_CWND_PACKETS * self.mss
+
+    # -- internals -----------------------------------------------------
+    def _check_full_pipe(self, event: AckEvent) -> None:
+        if self._filled_pipe or event.is_app_limited:
+            return
+        bw = self.btl_bw or 0.0
+        if bw >= self._full_bw * self.config.full_bw_threshold:
+            self._full_bw = bw
+            self._full_bw_count = 0
+            return
+        self._full_bw_count += 1
+        if self._full_bw_count >= 3:
+            self._filled_pipe = True
+
+    def _update_state_machine(self, event: AckEvent, new_round: bool) -> None:
+        now = event.now
+        if self.state == self.STARTUP and (
+            self._filled_pipe or self._loss_in_round
+        ):
+            # v2 also exits STARTUP on loss (the pipe is evidently full).
+            self._filled_pipe = True
+            self.state = self.DRAIN
+            self.pacing_gain = 1.0 / self.config.startup_pacing_gain
+            self.cwnd_gain = self.config.startup_cwnd_gain
+        if self.state == self.DRAIN:
+            target = self.bdp()
+            if target is not None and event.bytes_in_flight <= target:
+                self._enter_probe_bw(now)
+        if self.state == self.PROBE_BW:
+            self._advance_probe_bw(event, new_round)
+        self._maybe_enter_or_exit_probe_rtt(event, new_round)
+
+    def _enter_probe_bw(self, now: float) -> None:
+        self.state = self.PROBE_BW
+        self.cwnd_gain = self.config.cwnd_gain
+        # Linux bbr2 enters PROBE_BW in the DOWN phase after DRAIN.
+        self._enter_phase(self.DOWN, now)
+
+    def _enter_phase(self, phase: str, now: float) -> None:
+        self.phase = phase
+        self._phase_start = now
+        self._phase_round = self._round
+        self.pacing_gain = {
+            self.DOWN: self.config.probe_down_gain,
+            self.CRUISE: 1.0,
+            self.REFILL: 1.0,
+            self.UP: self.config.probe_up_gain,
+        }[phase]
+        if phase == self.REFILL:
+            # The loss signal that set the short-term bound is stale by
+            # the time we deliberately refill the pipe.
+            self._inflight_lo = None
+
+    def _advance_probe_bw(self, event: AckEvent, new_round: bool) -> None:
+        now = event.now
+        rtt = self.min_rtt or 0.1
+        elapsed = now - self._phase_start
+        if self.phase == self.DOWN:
+            # Drain until in flight reaches the target (with headroom
+            # below inflight_hi when one is set), but at least one RTT.
+            ceiling = self._inflight_with_headroom()
+            target = self._target_inflight()
+            if ceiling is not None:
+                target = min(target, ceiling)
+            if elapsed > rtt and event.bytes_in_flight <= target:
+                self._enter_phase(self.CRUISE, now)
+        elif self.phase == self.CRUISE:
+            if elapsed > self.config.cruise_s:
+                self._enter_phase(self.REFILL, now)
+        elif self.phase == self.REFILL:
+            # One full round restoring in flight to the bound, then probe.
+            if self._round > self._phase_round:
+                self._enter_phase(self.UP, now)
+        elif self.phase == self.UP:
+            bound_hit = (
+                self._inflight_hi is not None
+                and event.bytes_in_flight >= self._inflight_hi
+            )
+            if self._loss_in_round or (elapsed > rtt and bound_hit):
+                self._enter_phase(self.DOWN, now)
+            elif bound_hit is False and new_round and self._inflight_hi is not None:
+                # Probing above a loss-learned bound without new loss:
+                # raise the bound multiplicatively, as bbr2 probes hi.
+                self._inflight_hi = int(self._inflight_hi * 1.25)
+
+    def _probe_rtt_cwnd(self) -> int:
+        """v2 ProbeRTT floor: half BDP, never below 4 packets."""
+        floor = MIN_CWND_PACKETS * self.mss
+        bdp = self.bdp(self.config.probe_rtt_cwnd_gain)
+        return max(bdp or floor, floor)
+
+    def _maybe_enter_or_exit_probe_rtt(
+        self, event: AckEvent, new_round: bool
+    ) -> None:
+        now = event.now
+        if (
+            self.state != self.PROBE_RTT
+            and self._min_rtt_expired
+            and self._filled_pipe
+        ):
+            self.state = self.PROBE_RTT
+            self.phase = None
+            self.pacing_gain = 1.0
+            self.cwnd_gain = 1.0
+            self._prior_cwnd = self._cwnd
+            self._probe_rtt_done_time = None
+            self._probe_rtt_round_done = False
+        if self.state == self.PROBE_RTT:
+            probe_cwnd = self._probe_rtt_cwnd()
+            if (
+                self._probe_rtt_done_time is None
+                and event.bytes_in_flight <= probe_cwnd
+            ):
+                self._probe_rtt_done_time = now + self.config.probe_rtt_duration_s
+                self._probe_rtt_round_done = False
+            elif self._probe_rtt_done_time is not None:
+                if new_round:
+                    self._probe_rtt_round_done = True
+                if self._probe_rtt_round_done and now >= self._probe_rtt_done_time:
+                    self._min_rtt_timestamp = now
+                    self._exit_probe_rtt(now)
+
+    def _exit_probe_rtt(self, now: float) -> None:
+        self._cwnd = max(self._cwnd, self._prior_cwnd)
+        self._inflight_lo = None
+        if self._filled_pipe:
+            self._enter_probe_bw(now)
+        else:
+            self.state = self.STARTUP
+            self.pacing_gain = self.config.startup_pacing_gain
+            self.cwnd_gain = self.config.startup_cwnd_gain
+
+    def _cwnd_bound(self) -> Optional[int]:
+        """The loss-learned cap currently in force, if any."""
+        bounds = []
+        if self._inflight_hi is not None:
+            if self.state == self.PROBE_BW and self.phase == self.CRUISE:
+                bounds.append(self._inflight_with_headroom())
+            else:
+                bounds.append(self._inflight_hi)
+        if self._inflight_lo is not None:
+            bounds.append(self._inflight_lo)
+        bounds = [b for b in bounds if b is not None]
+        return min(bounds) if bounds else None
+
+    def _set_cwnd(self, event: AckEvent) -> None:
+        if self.state == self.PROBE_RTT:
+            self._cwnd = min(self._cwnd, self._probe_rtt_cwnd())
+            return
+        floor = MIN_CWND_PACKETS * self.mss
+        target = self.bdp(self.cwnd_gain)
+        if target is None:
+            self._cwnd += event.bytes_acked
+        else:
+            target = max(target, floor)
+            if self._filled_pipe:
+                self._cwnd = min(self._cwnd + event.bytes_acked, target)
+            elif self._cwnd < target:
+                self._cwnd += event.bytes_acked
+        bound = self._cwnd_bound()
+        if bound is not None:
+            self._cwnd = min(self._cwnd, max(bound, floor))
+
+    def debug_state(self) -> dict:
+        state = super().debug_state()
+        state.update(
+            state=self.state,
+            phase=self.phase,
+            pacing_gain=self.pacing_gain,
+            cwnd_gain=self.cwnd_gain,
+            btl_bw=self.btl_bw,
+            min_rtt=self.min_rtt,
+            filled_pipe=self._filled_pipe,
+            inflight_hi=self._inflight_hi,
+            inflight_lo=self._inflight_lo,
+        )
+        return state
+
+
+class BBR3(BBR2):
+    """BBRv3: the v2 machine with the v3 tuning (see :func:`bbr3_config`)."""
+
+    name = "bbr3"
+
+    def __init__(self, mss: int, config: Optional[BBR2Config] = None):
+        super().__init__(mss, config or bbr3_config())
+
+
+__all__ = ["BBR2", "BBR3", "BBR2Config", "bbr3_config", "MIN_CWND_PACKETS"]

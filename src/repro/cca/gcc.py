@@ -1,0 +1,304 @@
+"""GCC-style delay/rate-based real-time congestion control.
+
+A from-scratch model of the Google Congestion Control family (GCC /
+REMB, as deployed for WebRTC): a *delay-gradient* estimator feeding an
+*AIMD rate controller*, mapped onto the transport-agnostic
+:class:`~repro.cca.base.CongestionController` interface.
+
+* **Arrival filter.**  Each RTT sample, less the running minimum RTT,
+  is a queueing-delay proxy.  A least-squares trendline over the last
+  ``gradient_window`` (time, smoothed-delay) samples estimates the
+  delay *gradient* — the modern trendline variant of GCC's original
+  Kalman arrival filter.
+* **Overuse detector.**  The gradient is compared against an adaptive
+  threshold (gamma adapts toward the observed gradient magnitude, as
+  in the GCC draft, so the detector is neither starved by TCP-like
+  competitors nor trigger-happy on jittery paths).  A sustained
+  positive crossing signals *overuse*; a negative crossing signals
+  *underuse*.
+* **AIMD rate controller.**  The target rate increases multiplicatively
+  (``eta``) while the detector reads normal and no decrease happened
+  recently, increases additively (one packet per RTT) near the last
+  known-good rate, and on overuse decreases to ``beta`` times the
+  measured delivery rate, then holds until the queue drains.
+
+The controller is rate-based: :meth:`pacing_rate` carries the target
+rate and the congestion window is derived as ``rate x smoothed RTT``
+plus slack, so the pacer — not the window — shapes the flow, as in a
+real-time stack.  Loss feeds back the GCC way: the loss-based
+controller only bites when loss is persistent (each congestion event
+applies a mild multiplicative cut), so the delay signal dominates.
+Everything is deterministic; there is no randomised start-up probing.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional, Tuple
+
+from repro.cca.base import AckEvent, CongestionController
+
+
+@dataclass
+class GccConfig:
+    """Tunables; defaults follow the GCC draft / WebRTC implementation."""
+
+    #: Starting target rate, bytes/s (1.0 Mbps).
+    initial_rate: float = 125_000.0
+    #: Rate floor, bytes/s (~64 kbps, a voice-call floor).
+    min_rate: float = 8_000.0
+    #: Rate ceiling, bytes/s (500 Mbps — effectively uncapped here).
+    max_rate: float = 62_500_000.0
+    #: Samples in the trendline regression window.
+    gradient_window: int = 20
+    #: EWMA smoothing factor for the queueing-delay series.
+    smoothing: float = 0.9
+    #: Initial overuse threshold on the delay gradient, dimensionless
+    #: (seconds of queueing-delay growth per second of observation —
+    #: the draft's gamma, rescaled to the slope the trendline yields).
+    threshold: float = 0.015
+    #: Adaptation gains for the threshold (draft k_u / k_d).
+    k_up: float = 0.01
+    k_down: float = 0.00018
+    #: Consecutive over-threshold samples required to declare overuse.
+    overuse_samples: int = 2
+    #: Multiplicative increase per RTT while far from the link limit.
+    eta: float = 1.08
+    #: Decrease factor applied to the measured delivery rate on overuse.
+    beta: float = 0.85
+    #: Multiplicative cut per congestion (loss) event; GCC's loss-based
+    #: controller reacts mildly, the delay signal is meant to dominate.
+    loss_beta: float = 0.95
+    #: cwnd slack over rate x RTT, so pacing (not the window) limits.
+    cwnd_gain: float = 1.5
+
+    def validate(self) -> None:
+        if self.initial_rate <= 0 or self.min_rate <= 0:
+            raise ValueError("rates must be positive")
+        if self.min_rate > self.max_rate:
+            raise ValueError("min_rate must not exceed max_rate")
+        if self.gradient_window < 2:
+            raise ValueError("gradient_window must be >= 2")
+        if not 0.0 < self.smoothing <= 1.0:
+            raise ValueError("smoothing must be in (0, 1]")
+        if not 0.0 < self.beta < 1.0 or not 0.0 < self.loss_beta <= 1.0:
+            raise ValueError("decrease factors must be in (0, 1]")
+        if self.eta <= 1.0:
+            raise ValueError("eta must exceed 1")
+        if self.overuse_samples < 1:
+            raise ValueError("overuse_samples must be >= 1")
+
+
+class GccController(CongestionController):
+    """Delay-gradient AIMD rate controller (GCC/REMB style)."""
+
+    name = "gcc"
+
+    #: Detector readings.
+    NORMAL = "NORMAL"
+    OVERUSE = "OVERUSE"
+    UNDERUSE = "UNDERUSE"
+
+    #: Rate-controller states.
+    INCREASE = "INCREASE"
+    DECREASE = "DECREASE"
+    HOLD = "HOLD"
+
+    def __init__(self, mss: int, config: Optional[GccConfig] = None):
+        config = config or GccConfig()
+        config.validate()
+        super().__init__(mss)
+        self.config = config
+        self._rate = config.initial_rate
+        self._min_rtt: Optional[float] = None
+        self._srtt: Optional[float] = None
+        self._smoothed_delay: Optional[float] = None
+        self._samples: Deque[Tuple[float, float]] = deque(
+            maxlen=config.gradient_window
+        )
+        self._threshold = config.threshold
+        self._signal = self.NORMAL
+        self._state = self.INCREASE
+        self._over_count = 0
+        self._under_count = 0
+        self._last_update = 0.0
+        self._last_decrease_rate: Optional[float] = None
+        self._delivery_rate: Optional[float] = None
+
+    # -- model accessors ---------------------------------------------------
+    @property
+    def rate(self) -> float:
+        """Current target sending rate, bytes/s."""
+        return self._rate
+
+    @property
+    def signal(self) -> str:
+        """Latest detector reading (NORMAL / OVERUSE / UNDERUSE)."""
+        return self._signal
+
+    @property
+    def state(self) -> str:
+        """Rate-controller state (INCREASE / DECREASE / HOLD)."""
+        return self._state
+
+    @property
+    def gradient(self) -> Optional[float]:
+        """Least-squares slope of the smoothed queueing-delay series."""
+        return self._trendline()
+
+    # -- controller interface ----------------------------------------------
+    @property
+    def cwnd(self) -> int:
+        # Base the window on the *minimum* RTT: deriving it from the
+        # smoothed RTT would let self-built queueing delay inflate the
+        # window, which inflates the queue further — a feedback loop
+        # the pacing-limited design exists to avoid.
+        rtt = self._min_rtt or 0.1
+        window = int(self.config.cwnd_gain * self._rate * rtt)
+        return max(window, 2 * self.mss)
+
+    def pacing_rate(self) -> Optional[float]:
+        return self._rate
+
+    def on_ack(self, event: AckEvent) -> None:
+        if event.delivery_rate is not None and not event.is_app_limited:
+            self._delivery_rate = event.delivery_rate
+        if event.rtt_sample is None:
+            return
+        sample = event.rtt_sample
+        if self._min_rtt is None or sample < self._min_rtt:
+            self._min_rtt = sample
+        self._srtt = (
+            sample
+            if self._srtt is None
+            else 0.875 * self._srtt + 0.125 * sample
+        )
+        queue_delay = sample - self._min_rtt
+        s = self.config.smoothing
+        self._smoothed_delay = (
+            queue_delay
+            if self._smoothed_delay is None
+            else s * self._smoothed_delay + (1 - s) * queue_delay
+        )
+        self._samples.append((event.now, self._smoothed_delay))
+        self._detect(event.now)
+        self._run_rate_controller(event.now)
+
+    def on_congestion_event(self, now: float, bytes_in_flight: int) -> None:
+        # GCC's loss-based controller: a mild multiplicative cut per
+        # recovery period; the delay path handles sustained queues.
+        self._rate = max(
+            self._rate * self.config.loss_beta, self.config.min_rate
+        )
+
+    def on_rto(self, now: float) -> None:
+        self._rate = max(self._rate * 0.5, self.config.min_rate)
+        self._state = self.HOLD
+
+    # -- internals -----------------------------------------------------
+    def _trendline(self) -> Optional[float]:
+        if len(self._samples) < 2:
+            return None
+        n = len(self._samples)
+        mean_t = sum(t for t, _ in self._samples) / n
+        mean_d = sum(d for _, d in self._samples) / n
+        num = sum((t - mean_t) * (d - mean_d) for t, d in self._samples)
+        den = sum((t - mean_t) ** 2 for t, _ in self._samples)
+        if den <= 0.0:
+            return None
+        return num / den
+
+    def _detect(self, now: float) -> None:
+        slope = self._trendline()
+        if slope is None:
+            return
+        # The gradient is already the draft's signal: seconds of
+        # queueing-delay growth per second of observation.  Comparing
+        # it directly (not projected over the sample span) keeps the
+        # detector's sensitivity independent of the ACK rate.
+        trend = slope
+        threshold = self._threshold
+        if trend > threshold:
+            self._over_count += 1
+            self._under_count = 0
+            if self._over_count >= self.config.overuse_samples:
+                self._signal = self.OVERUSE
+        elif trend < -threshold:
+            self._under_count += 1
+            self._over_count = 0
+            if self._under_count >= self.config.overuse_samples:
+                self._signal = self.UNDERUSE
+        else:
+            self._over_count = 0
+            self._under_count = 0
+            self._signal = self.NORMAL
+        # Adaptive gamma: track |trend| so a TCP competitor cannot park
+        # the detector permanently in OVERUSE (draft section 5.4) — but
+        # never adapt toward a far excursion, or a queue-filling
+        # competitor would blind the detector entirely (the draft's
+        # 15 ms adaptation guard, rescaled to the slope signal).
+        if abs(trend) - threshold <= 0.05:
+            gain = (
+                self.config.k_up
+                if abs(trend) > threshold
+                else self.config.k_down
+            )
+            self._threshold += gain * (abs(trend) - threshold)
+            self._threshold = min(max(self._threshold, 5e-3), 0.1)
+
+    def _run_rate_controller(self, now: float) -> None:
+        elapsed = now - self._last_update
+        rtt = self._srtt or 0.1
+        if self._signal == self.OVERUSE:
+            self._state = self.DECREASE
+        elif self._signal == self.UNDERUSE:
+            # The queue is draining: hold until it is empty again.
+            self._state = self.HOLD
+        else:
+            self._state = self.INCREASE
+
+        if self._state == self.DECREASE:
+            # Cut at most once per RTT so persistent overuse *ratchets*
+            # the rate down (beta applied to the lower of the measured
+            # delivery rate and the current target) instead of pinning
+            # it at beta x link rate forever.
+            if elapsed < rtt:
+                return
+            measured = min(self._delivery_rate or self._rate, self._rate)
+            self._rate = max(
+                self.config.beta * measured, self.config.min_rate
+            )
+            self._last_decrease_rate = measured
+            self._last_update = now
+            return
+        if self._state != self.INCREASE or elapsed < rtt:
+            return
+        near_limit = (
+            self._last_decrease_rate is not None
+            and self._rate > 0.95 * self._last_decrease_rate
+        )
+        if near_limit:
+            # Additive: one MSS per RTT, scaled by elapsed time.
+            self._rate += self.mss * (elapsed / rtt)
+        else:
+            self._rate *= min(
+                self.config.eta ** (elapsed / rtt), self.config.eta
+            )
+        self._rate = min(self._rate, self.config.max_rate)
+        self._last_update = now
+
+    def debug_state(self) -> dict:
+        state = super().debug_state()
+        state.update(
+            rate=self._rate,
+            signal=self._signal,
+            controller_state=self._state,
+            threshold=self._threshold,
+            gradient=self._trendline(),
+            min_rtt=self._min_rtt,
+        )
+        return state
+
+
+__all__ = ["GccController", "GccConfig"]

@@ -8,6 +8,8 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.faults import inject
+
 
 class RttEstimator:
     """Keeps srtt/rttvar per RFC 6298 plus the running minimum RTT."""
@@ -27,6 +29,10 @@ class RttEstimator:
         self.min_rtt: Optional[float] = None
 
     def update(self, sample: float) -> None:
+        # Fault seam: the clock-skew class shifts RTT samples here, so
+        # chaos tests can prove the running minimum is skew-robust
+        # (identity when no fault plan is active).
+        sample = inject.fault_value("cca.rtt.sample", sample)
         if sample <= 0:
             raise ValueError("RTT sample must be positive")
         self.latest = sample

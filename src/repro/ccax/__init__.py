@@ -1,0 +1,31 @@
+"""repro.ccax: the open congestion-control subsystem.
+
+Layered on :mod:`repro.cca`, this package provides
+
+* the :func:`register_congestion_control` registry every layer resolves
+  CCA names through (:mod:`repro.ccax.registry`),
+* built-in registrations for the paper's kernel-referenced trio plus
+  the BBRv2/BBRv3 and GCC families (:mod:`repro.ccax.builtins`), and
+* reference-free *peer-conformance* campaigns, which cluster a peer
+  group of CCAs against each other instead of against the kernel
+  anchor (:mod:`repro.ccax.campaign`, engine in :mod:`repro.core.peer`).
+"""
+
+from repro.ccax.registry import (
+    CCACapabilities,
+    CCAInfo,
+    RegistrationError,
+    UnknownCCA,
+    load_modules,
+    register_congestion_control,
+)
+from repro.ccax import builtins as _builtins  # noqa: F401 - registrations
+
+__all__ = [
+    "CCACapabilities",
+    "CCAInfo",
+    "RegistrationError",
+    "UnknownCCA",
+    "load_modules",
+    "register_congestion_control",
+]

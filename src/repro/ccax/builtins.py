@@ -1,0 +1,125 @@
+"""Built-in registry entries: the paper's trio plus the new families.
+
+Imported for its side effects by :mod:`repro.ccax`; every factory is a
+module-level function so registry-driven flows stay picklable for the
+``repro.exec`` worker pool.
+"""
+
+from __future__ import annotations
+
+from repro.cca.base import CongestionController
+from repro.cca.bbr import BBR
+from repro.cca.bbr2 import BBR2, BBR3
+from repro.cca.cubic import Cubic
+from repro.cca.gcc import GccController
+from repro.cca.reno import NewReno
+from repro.ccax import registry
+
+
+def make_cubic(mss: int) -> CongestionController:
+    return Cubic(mss)
+
+
+def make_bbr(mss: int) -> CongestionController:
+    return BBR(mss)
+
+
+def make_reno(mss: int) -> CongestionController:
+    return NewReno(mss)
+
+
+def make_bbr2(mss: int) -> CongestionController:
+    return BBR2(mss)
+
+
+def make_bbr3(mss: int) -> CongestionController:
+    return BBR3(mss)
+
+
+def make_gcc(mss: int) -> CongestionController:
+    return GccController(mss)
+
+
+def register_builtins() -> None:
+    """Idempotently (re-)register the shipped algorithms."""
+    shipped = [
+        (
+            "cubic",
+            make_cubic,
+            registry.CCACapabilities(
+                family="loss-based",
+                kernel_reference=True,
+                # The kernel trio is hosted only through each stack's
+                # explicit deviation table (Table 1), never the fallback.
+                host_stacks=(),
+                description="CUBIC (RFC 8312) with HyStart, kernel reference",
+            ),
+        ),
+        (
+            "bbr",
+            make_bbr,
+            registry.CCACapabilities(
+                family="model-based",
+                kernel_reference=True,
+                paced=True,
+                host_stacks=(),
+                description="BBR v1 (btl_bw/min_rtt model), kernel reference",
+            ),
+        ),
+        (
+            "reno",
+            make_reno,
+            registry.CCACapabilities(
+                family="loss-based",
+                kernel_reference=True,
+                host_stacks=(),
+                description="NewReno (RFC 6582), kernel reference",
+            ),
+        ),
+        (
+            "bbr2",
+            make_bbr2,
+            registry.CCACapabilities(
+                family="model-based",
+                paced=True,
+                description=(
+                    "BBRv2: loss-aware inflight_hi/inflight_lo bounds, "
+                    "ProbeBW UP/DOWN/CRUISE/REFILL (no kernel reference)"
+                ),
+            ),
+        ),
+        (
+            "bbr3",
+            make_bbr3,
+            registry.CCACapabilities(
+                family="model-based",
+                paced=True,
+                description=(
+                    "BBRv3: the v2 machine with gentler DOWN gain and "
+                    "lower startup cwnd gain (no kernel reference)"
+                ),
+            ),
+        ),
+        (
+            "gcc",
+            make_gcc,
+            registry.CCACapabilities(
+                family="real-time",
+                paced=True,
+                delay_based=True,
+                description=(
+                    "GCC/REMB-style delay-gradient AIMD rate controller "
+                    "(no kernel reference)"
+                ),
+            ),
+        ),
+    ]
+    for name, factory, capabilities in shipped:
+        if registry.is_registered(name):
+            continue
+        registry.register_congestion_control(
+            name, factory, capabilities, origin="builtin"
+        )
+
+
+register_builtins()

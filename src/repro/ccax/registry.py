@@ -1,0 +1,308 @@
+"""The open congestion-control registry.
+
+``register_congestion_control(name, factory, capabilities)`` is the
+single seam through which every layer — stack profiles, the harness,
+topology flows, campaign specs and the CLI — resolves a CCA name.  The
+built-in algorithms (the paper's three kernel-referenced CCAs plus the
+BBRv2/BBRv3 and GCC families) register themselves on import; third
+party algorithms register from a user module loaded with
+:func:`load_modules`, with zero edits to core packages.
+
+Capabilities are declarative metadata, not behaviour:
+
+* ``kernel_reference`` — the CCA has a Linux-kernel reference
+  implementation; exactly these names form
+  :data:`repro.stacks.registry.CCAS` (the paper's study set).
+* ``host_stacks`` — which stack profiles may host the CCA through the
+  registry fallback when their own ``ccas`` table lacks it: ``"*"``
+  (any stack) or an explicit tuple of stack names.  The kernel trio
+  uses ``()`` because every hosting decision for them is an explicit,
+  per-stack deviation table (Table 1) that a blanket fallback would
+  falsify.
+* ``family`` / ``paced`` / ``delay_based`` — descriptive, surfaced by
+  ``repro cca list|describe``.
+
+Registration is idempotent only for an identical re-registration of a
+builtin; replacing an existing name requires ``replace=True`` so a
+typo cannot silently shadow a studied algorithm.
+"""
+
+from __future__ import annotations
+
+import importlib
+import importlib.util
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple, Union
+
+from repro.cca.base import CongestionController
+
+#: Factory signature: mss (bytes) -> a fresh controller instance.
+CCAFactory = Callable[[int], CongestionController]
+
+
+class UnknownCCA(KeyError):
+    """Raised when a name is not in the registry."""
+
+
+class RegistrationError(ValueError):
+    """Raised for invalid or conflicting registrations."""
+
+
+@dataclass(frozen=True)
+class CCACapabilities:
+    """Declarative metadata attached to a registered CCA."""
+
+    #: Algorithm family ("loss-based", "model-based", "delay-based", ...).
+    family: str = "unspecified"
+    #: True when a Linux-kernel reference implementation exists (the
+    #: paper's conformance anchor); drives ``stacks.registry.CCAS``.
+    kernel_reference: bool = False
+    #: Whether the algorithm paces (informational).
+    paced: bool = False
+    #: Whether the primary congestion signal is delay (informational).
+    delay_based: bool = False
+    #: ``"*"`` = any stack may host via the registry fallback; a tuple
+    #: restricts the fallback to those stacks; ``()`` disables it.
+    host_stacks: Union[str, Tuple[str, ...]] = "*"
+    #: One-line description for ``repro cca list``.
+    description: str = ""
+
+    def hosts(self, stack: str) -> bool:
+        """Whether ``stack`` may host this CCA via the registry fallback."""
+        if self.host_stacks == "*":
+            return True
+        return stack in self.host_stacks
+
+    def as_dict(self) -> dict:
+        return {
+            "family": self.family,
+            "kernel_reference": self.kernel_reference,
+            "paced": self.paced,
+            "delay_based": self.delay_based,
+            "host_stacks": (
+                "*" if self.host_stacks == "*" else list(self.host_stacks)
+            ),
+            "description": self.description,
+        }
+
+
+@dataclass(frozen=True)
+class CCAInfo:
+    """One registry entry."""
+
+    name: str
+    factory: CCAFactory
+    capabilities: CCACapabilities
+    #: "builtin" or the module (path) that registered the CCA.
+    origin: str = "builtin"
+
+    def build(self, mss: int) -> CongestionController:
+        controller = self.factory(mss)
+        if not isinstance(controller, CongestionController):
+            raise RegistrationError(
+                f"factory for {self.name!r} returned "
+                f"{type(controller).__name__}, not a CongestionController"
+            )
+        return controller
+
+    def describe(self) -> dict:
+        return {
+            "name": self.name,
+            "origin": self.origin,
+            **self.capabilities.as_dict(),
+        }
+
+
+_LOCK = threading.Lock()
+#: Insertion-ordered: builtins first (paper order), then externals.
+_REGISTRY: Dict[str, CCAInfo] = {}
+#: Resolved module paths already loaded via :func:`load_modules`.
+_LOADED_MODULES: Dict[str, str] = {}
+
+
+def _coerce_capabilities(
+    capabilities: Union[CCACapabilities, Mapping, None],
+) -> CCACapabilities:
+    if capabilities is None:
+        return CCACapabilities()
+    if isinstance(capabilities, CCACapabilities):
+        return capabilities
+    if isinstance(capabilities, Mapping):
+        allowed = set(CCACapabilities.__dataclass_fields__)
+        unknown = set(capabilities) - allowed
+        if unknown:
+            raise RegistrationError(
+                f"unknown capability field(s): {', '.join(sorted(unknown))} "
+                f"(allowed: {', '.join(sorted(allowed))})"
+            )
+        doc = dict(capabilities)
+        hosts = doc.get("host_stacks")
+        if isinstance(hosts, list):
+            doc["host_stacks"] = tuple(hosts)
+        return CCACapabilities(**doc)
+    raise RegistrationError(
+        "capabilities must be a CCACapabilities or a mapping"
+    )
+
+
+def register_congestion_control(
+    name: str,
+    factory: CCAFactory,
+    capabilities: Union[CCACapabilities, Mapping, None] = None,
+    origin: str = "user",
+    replace: bool = False,
+) -> CCAInfo:
+    """Register a congestion-control factory under ``name``.
+
+    ``factory(mss)`` must return a fresh
+    :class:`~repro.cca.base.CongestionController` per call.  Returns
+    the :class:`CCAInfo` now in the registry.
+    """
+    if not name or not isinstance(name, str):
+        raise RegistrationError("cca name must be a non-empty string")
+    if not name.replace("-", "").replace("_", "").isalnum():
+        raise RegistrationError(
+            f"cca name {name!r} must be alphanumeric (plus - or _)"
+        )
+    if not callable(factory):
+        raise RegistrationError(f"factory for {name!r} is not callable")
+    info = CCAInfo(
+        name=name,
+        factory=factory,
+        capabilities=_coerce_capabilities(capabilities),
+        origin=origin,
+    )
+    with _LOCK:
+        existing = _REGISTRY.get(name)
+        if existing is not None and not replace:
+            raise RegistrationError(
+                f"cca {name!r} is already registered (origin: "
+                f"{existing.origin}); pass replace=True to override"
+            )
+        _REGISTRY[name] = info
+    return info
+
+
+def unregister(name: str) -> None:
+    """Remove an entry (primarily for tests of the registration seam)."""
+    with _LOCK:
+        _REGISTRY.pop(name, None)
+
+
+def get(name: str) -> CCAInfo:
+    """Look up a registered CCA; raises :class:`UnknownCCA` with hints."""
+    with _LOCK:
+        info = _REGISTRY.get(name)
+    if info is None:
+        raise UnknownCCA(
+            f"unknown cca {name!r}; registered: {', '.join(names())}"
+        )
+    return info
+
+
+def is_registered(name: str) -> bool:
+    with _LOCK:
+        return name in _REGISTRY
+
+
+def names() -> Tuple[str, ...]:
+    """All registered names, in registration order."""
+    with _LOCK:
+        return tuple(_REGISTRY)
+
+
+def entries() -> List[CCAInfo]:
+    """All registry entries, in registration order."""
+    with _LOCK:
+        return list(_REGISTRY.values())
+
+
+def kernel_reference_ccas() -> Tuple[str, ...]:
+    """Names with a kernel reference — the paper's study set, in order."""
+    with _LOCK:
+        return tuple(
+            name
+            for name, info in _REGISTRY.items()
+            if info.capabilities.kernel_reference
+        )
+
+
+def hosted_by(stack: str, cca: str) -> bool:
+    """Whether ``stack`` may host ``cca`` through the registry fallback."""
+    with _LOCK:
+        info = _REGISTRY.get(cca)
+    return info is not None and info.capabilities.hosts(stack)
+
+
+def build(name: str, mss: int) -> CongestionController:
+    """Instantiate a registered CCA for the given MSS."""
+    return get(name).build(mss)
+
+
+def load_modules(paths: Iterable[str]) -> List[str]:
+    """Import user CCA modules so their registrations take effect.
+
+    Each entry is a filesystem path to a ``.py`` file or an importable
+    module name.  Loading is idempotent per resolved path — the
+    executor's worker processes call this before building flows, so an
+    external CCA participates in parallel campaigns without the module
+    being imported at interpreter start.  Returns the module names that
+    were (already or newly) loaded.
+    """
+    loaded: List[str] = []
+    for raw in paths:
+        path = str(raw)
+        resolved = path
+        candidate = Path(path)
+        if candidate.suffix == ".py" or candidate.exists():
+            resolved = str(candidate.resolve())
+        with _LOCK:
+            already = _LOADED_MODULES.get(resolved)
+        if already is not None:
+            loaded.append(already)
+            continue
+        if candidate.suffix == ".py" or candidate.exists():
+            if not candidate.exists():
+                raise RegistrationError(f"cca module not found: {path}")
+            module_name = f"repro_ccax_ext_{candidate.stem}"
+            spec = importlib.util.spec_from_file_location(
+                module_name, str(candidate)
+            )
+            if spec is None or spec.loader is None:
+                raise RegistrationError(f"cannot load cca module: {path}")
+            module = importlib.util.module_from_spec(spec)
+            spec.loader.exec_module(module)
+        else:
+            module_name = path
+            importlib.import_module(module_name)
+        with _LOCK:
+            _LOADED_MODULES[resolved] = module_name
+        loaded.append(module_name)
+    return loaded
+
+
+def external_entries() -> List[CCAInfo]:
+    """Entries registered by non-builtin origins."""
+    return [info for info in entries() if info.origin != "builtin"]
+
+
+__all__ = [
+    "CCACapabilities",
+    "CCAFactory",
+    "CCAInfo",
+    "RegistrationError",
+    "UnknownCCA",
+    "build",
+    "entries",
+    "external_entries",
+    "get",
+    "hosted_by",
+    "is_registered",
+    "kernel_reference_ccas",
+    "load_modules",
+    "names",
+    "register_congestion_control",
+    "unregister",
+]

@@ -35,6 +35,14 @@ Declarative topologies (``repro.topo``) are driven by ``quicbench topo``:
 * ``topo run`` — run a topology campaign from files and/or builtin shapes.
 * ``topo matrix`` — the fairness matrix: builtin shapes x CCAs.
 
+The pluggable CCA registry (``repro.ccax``) is driven by ``quicbench cca``:
+
+* ``cca list`` — every registered CCA with its capability record.
+* ``cca describe`` — one CCA's full registration record as JSON.
+* ``cca peer-matrix`` — a reference-free peer-conformance campaign:
+  pairwise PE conformance, k-selected clusters and peer scores for a
+  CCA group (``--modules`` loads external CCAs with zero core edits).
+
 The long-running campaign service (``repro.service``) is driven by:
 
 * ``quicbench serve`` — boot the HTTP API + scheduler on a warehouse.
@@ -45,6 +53,7 @@ The long-running campaign service (``repro.service``) is driven by:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -743,6 +752,141 @@ def cmd_topo_matrix(args) -> int:
     return 0
 
 
+def _ccax_registry(args):
+    """The ccax registry, with any user modules from --modules loaded."""
+    from repro.ccax import registry as ccax
+
+    modules = getattr(args, "modules", None) or []
+    if modules:
+        ccax.load_modules(modules)
+    return ccax
+
+
+def cmd_cca_list(args) -> int:
+    """List every CCA registered with repro.ccax."""
+    ccax = _ccax_registry(args)
+    rows = []
+    for info in ccax.entries():
+        caps = info.capabilities
+        if caps.host_stacks == "*":
+            hosts = "*"
+        else:
+            hosts = ",".join(caps.host_stacks) or "(deviation tables)"
+        rows.append(
+            [
+                info.name,
+                caps.family,
+                info.origin,
+                "yes" if caps.kernel_reference else "no",
+                "yes" if caps.paced else "no",
+                "yes" if caps.delay_based else "no",
+                hosts,
+            ]
+        )
+    print(
+        reporting.format_table(
+            ["cca", "family", "origin", "kernel-ref", "paced",
+             "delay-based", "hosts"],
+            rows,
+            title="registered congestion-control algorithms (repro.ccax)",
+        )
+    )
+    return 0
+
+
+def cmd_cca_describe(args) -> int:
+    """One CCA's full registration record, as JSON."""
+    ccax = _ccax_registry(args)
+    try:
+        info = ccax.get(args.name)
+    except ccax.UnknownCCA as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(info.describe(), indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_cca_peer_matrix(args) -> int:
+    """Reference-free peer-conformance matrix for a CCA peer group."""
+    from repro.service.specs import SpecError, execute_campaign, parse_campaign_spec
+
+    payload = {
+        "kind": "peer_conformance",
+        "peers": list(args.peers),
+        "conditions": [
+            {
+                "bandwidth_mbps": args.bandwidth,
+                "rtt_ms": args.rtt,
+                "buffer_bdp": args.buffer,
+            }
+        ],
+    }
+    if args.host_stack:
+        payload["host_stack"] = args.host_stack
+    if args.modules:
+        payload["cca_modules"] = list(args.modules)
+    if args.duration is not None:
+        payload["duration_s"] = args.duration
+    if args.trials is not None:
+        payload["trials"] = args.trials
+    if args.seed is not None:
+        payload["seed"] = args.seed
+    if getattr(args, "run", None):
+        payload["run"] = args.run
+    try:
+        spec = parse_campaign_spec(payload)
+    except SpecError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    executor = _executor(args)
+    result = execute_campaign(spec, _store_of(executor), executor)
+    _report_executor(executor)
+    for group in result["peer_conformance"]:
+        peers = group["peers"]
+        matrix_rows = [
+            [peer] + [f"{value:.3f}" for value in row]
+            for peer, row in zip(peers, group["matrix"])
+        ]
+        print(
+            reporting.format_table(
+                ["peer"] + peers,
+                matrix_rows,
+                title=(
+                    f"pairwise conformance @ {group['condition']} "
+                    f"(k={group['k']})"
+                ),
+            )
+        )
+        print(
+            reporting.format_table(
+                ["peer", "cluster", "peer-score"],
+                [
+                    [peer, group["clusters"][peer],
+                     f"{group['scores'][peer]:.3f}"]
+                    for peer in peers
+                ],
+            )
+        )
+        print()
+    if args.svg:
+        import numpy as np
+
+        from repro.viz.charts import heatmap_figure
+
+        group = result["peer_conformance"][0]
+        figure = heatmap_figure(
+            group["peers"],
+            group["peers"],
+            np.array(group["matrix"], dtype=float),
+            title=f"peer conformance @ {group['condition']}",
+        )
+        with open(args.svg, "w") as fh:
+            fh.write(figure.to_svg())
+        print(f"wrote {args.svg}")
+    print(f"campaign {spec.fingerprint()}: {result['cells']} cells recorded")
+    return 0
+
+
 def cmd_store_ingest(args) -> int:
     """Load manifests, a cache directory and/or a sideline spill."""
     from repro.store import (
@@ -1042,7 +1186,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("conformance", help="measure one implementation")
     p.add_argument("--stack", required=True, choices=sorted(registry.STACKS))
-    p.add_argument("--cca", required=True, choices=list(registry.CCAS))
+    p.add_argument("--cca", required=True,
+                   choices=list(registry.registered_ccas()))
     p.add_argument("--variant", default="default")
     p.add_argument("--plot", action="store_true", help="ASCII envelope plots")
     p.add_argument("--svg", default=None, help="write an SVG envelope figure")
@@ -1057,7 +1202,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=cmd_heatmap)
 
     p = sub.add_parser("fairness", help="intra-CCA bandwidth-share matrix")
-    p.add_argument("--cca", required=True, choices=list(registry.CCAS))
+    p.add_argument("--cca", required=True,
+                   choices=list(registry.registered_ccas()))
     _add_condition_args(p)
     p.set_defaults(bandwidth=20.0, rtt=50.0, buffer=1.0)
     _add_experiment_args(p)
@@ -1109,7 +1255,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("qlog", help="export a flow's qlog (and pcap) trace")
     p.add_argument("--stack", required=True, choices=sorted(registry.STACKS))
-    p.add_argument("--cca", required=True, choices=list(registry.CCAS))
+    p.add_argument("--cca", required=True,
+                   choices=list(registry.registered_ccas()))
     p.add_argument("--variant", default="default")
     p.add_argument("--out", required=True)
     p.add_argument("--pcap", default=None, help="also write a pcap here")
@@ -1262,10 +1409,49 @@ def build_parser() -> argparse.ArgumentParser:
         "matrix", help="fairness matrix: builtin shapes x CCAs"
     )
     p.add_argument("--ccas", nargs="*", default=None,
-                   help="CCAs to sweep (default: all registered)")
+                   choices=list(registry.registered_ccas()),
+                   help="CCAs to sweep (default: the kernel-reference trio)")
     _add_experiment_args(p)
     _add_exec_args(p)
     p.set_defaults(fn=cmd_topo_matrix)
+
+    cca = sub.add_parser(
+        "cca", help="the pluggable CCA registry (repro.ccax)"
+    )
+    cca_sub = cca.add_subparsers(dest="cca_command", required=True)
+
+    def _cca_modules(sp: argparse.ArgumentParser) -> None:
+        sp.add_argument("--modules", action="append", default=[],
+                        help="user module (file path or import name) "
+                        "registering external CCAs (repeatable)")
+
+    p = cca_sub.add_parser("list", help="list registered CCAs")
+    _cca_modules(p)
+    p.set_defaults(fn=cmd_cca_list)
+
+    p = cca_sub.add_parser(
+        "describe", help="one CCA's registration record as JSON"
+    )
+    p.add_argument("name", help="registered CCA name")
+    _cca_modules(p)
+    p.set_defaults(fn=cmd_cca_describe)
+
+    p = cca_sub.add_parser(
+        "peer-matrix",
+        help="reference-free peer-conformance matrix for a CCA group",
+    )
+    p.add_argument("--peers", nargs="+", required=True,
+                   help="CCA peer group (registered names)")
+    p.add_argument("--host-stack", default=None,
+                   help="neutral host stack carrying the peers "
+                   "(default: linux)")
+    p.add_argument("--svg", default=None,
+                   help="write the matrix panel SVG here")
+    _cca_modules(p)
+    _add_condition_args(p)
+    _add_experiment_args(p)
+    _add_exec_args(p)
+    p.set_defaults(fn=cmd_cca_peer_matrix)
 
     p = sub.add_parser(
         "chaos",

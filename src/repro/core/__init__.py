@@ -42,6 +42,14 @@ from repro.core.apps import (
     match_envelope,
     select_cca,
 )
+from repro.core.peer import (
+    PeerConformanceResult,
+    cluster_peers,
+    evaluate_peer_conformance,
+    pairwise_conformance_matrix,
+    peer_distance_matrix,
+    peer_scores,
+)
 
 __all__ = [
     "convex_hull",
@@ -71,4 +79,10 @@ __all__ = [
     "live_streaming_region",
     "match_envelope",
     "select_cca",
+    "PeerConformanceResult",
+    "cluster_peers",
+    "evaluate_peer_conformance",
+    "pairwise_conformance_matrix",
+    "peer_distance_matrix",
+    "peer_scores",
 ]

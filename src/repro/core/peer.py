@@ -1,0 +1,225 @@
+"""Reference-free peer conformance: clustering CCAs against each other.
+
+The paper's conformance metric anchors every implementation to a
+Linux-kernel reference.  The next wave of algorithms (BBRv2/BBRv3,
+GCC-style real-time CCAs, learned CCAs) has no kernel reference, so
+this module replaces the anchor with the *peer group* itself:
+
+1. Build one Performance Envelope per peer from its self-competition
+   trials (X vs X under the same condition — the same construction the
+   kernel reference uses for itself).
+2. Compute the pairwise conformance matrix over the peer group; the
+   point-weighted PE overlap (:func:`repro.core.conformance.conformance`)
+   is symmetric, so ``1 - conformance`` is a proper distance.
+3. Cluster the peers against each other — each peer's feature vector
+   is its row of the conformance matrix — with the deterministic
+   k-means of :mod:`repro.core.clustering`, selecting k by the same
+   steepest-drop rule the PE construction uses, applied to the
+   *within-cluster conformance mass* retained at each k.
+4. Score each peer by its mean conformance to the other members of its
+   cluster: the **peer-conformance score**, the drop-in replacement for
+   the kernel-reference conformance number.  A singleton peer scores
+   its best conformance to *any* peer, so "conforms to nothing" reads
+   as a low score rather than a vacuous 1.0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.clustering import KSelection, kmeans, select_k
+from repro.core.conformance import conformance
+from repro.core.envelope import (
+    EnvelopeConfig,
+    PerformanceEnvelope,
+    build_envelope,
+)
+
+
+def pairwise_conformance_matrix(
+    envelopes: Mapping[str, PerformanceEnvelope],
+) -> Tuple[List[str], np.ndarray]:
+    """Symmetric peer-to-peer conformance matrix, diagonal = 1.
+
+    Peers keep the mapping's insertion order so the matrix layout is
+    deterministic for identical inputs.
+    """
+    names = list(envelopes)
+    n = len(names)
+    matrix = np.eye(n, dtype=float)
+    for i in range(n):
+        for j in range(i + 1, n):
+            value = conformance(envelopes[names[i]], envelopes[names[j]])
+            matrix[i, j] = matrix[j, i] = value
+    return names, matrix
+
+
+def peer_distance_matrix(matrix: np.ndarray) -> np.ndarray:
+    """PE distance: ``1 - conformance``, zero diagonal."""
+    return 1.0 - np.asarray(matrix, dtype=float)
+
+
+def _within_cluster_retention(matrix: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of off-diagonal conformance mass kept within clusters."""
+    n = len(labels)
+    total = 0.0
+    within = 0.0
+    for i in range(n):
+        for j in range(i + 1, n):
+            total += matrix[i, j]
+            if labels[i] == labels[j]:
+                within += matrix[i, j]
+    if total <= 1e-12:
+        # No conformance mass anywhere: every split is as good as none.
+        return 1.0
+    return within / total
+
+
+def cluster_peers(
+    matrix: np.ndarray,
+    seed: int = 0,
+    k_max: int = 4,
+) -> Tuple[np.ndarray, KSelection]:
+    """k-means over conformance-matrix rows with steepest-drop k choice.
+
+    R(k) is the within-cluster conformance mass retained by the k-way
+    split: R(1) = 1 and R is non-increasing, the same shape as the PE
+    retention curve, so :func:`repro.core.clustering.select_k` applies
+    unchanged.
+    """
+    matrix = np.asarray(matrix, dtype=float)
+    n = len(matrix)
+    if n == 0:
+        raise ValueError("cannot cluster an empty peer group")
+    k_max = max(1, min(k_max, n))
+
+    def retention(k: int) -> float:
+        result = kmeans(matrix, k, seed=seed, standardize=False)
+        return _within_cluster_retention(matrix, result.labels)
+
+    selection = select_k(retention, k_max=k_max)
+    labels = kmeans(matrix, selection.k, seed=seed, standardize=False).labels
+    return labels, selection
+
+
+def peer_scores(
+    matrix: np.ndarray, labels: np.ndarray
+) -> np.ndarray:
+    """Per-peer conformance score against its own cluster.
+
+    Mean conformance to the peer's cluster-mates; a singleton falls
+    back to its best conformance to any other peer (0 when alone in
+    the whole group is impossible — a one-peer group scores 1.0, its
+    self-conformance).
+    """
+    matrix = np.asarray(matrix, dtype=float)
+    n = len(labels)
+    if n == 1:
+        return np.ones(1, dtype=float)
+    scores = np.zeros(n, dtype=float)
+    for i in range(n):
+        mates = [j for j in range(n) if j != i and labels[j] == labels[i]]
+        if mates:
+            scores[i] = float(np.mean([matrix[i, j] for j in mates]))
+        else:
+            others = [matrix[i, j] for j in range(n) if j != i]
+            scores[i] = float(np.max(others))
+    return scores
+
+
+@dataclass
+class PeerConformanceResult:
+    """Full outcome of a reference-free peer-conformance evaluation."""
+
+    peers: List[str]
+    #: Symmetric pairwise conformance, diagonal = 1.
+    matrix: np.ndarray
+    #: Cluster label per peer (aligned with ``peers``).
+    labels: np.ndarray
+    #: The k-selection trace (retention curve and chosen k).
+    selection: KSelection
+    #: Peer-conformance score per peer (aligned with ``peers``).
+    scores: np.ndarray
+    #: The per-peer envelopes the matrix was computed from.
+    envelopes: Dict[str, PerformanceEnvelope]
+
+    @property
+    def k(self) -> int:
+        return self.selection.k
+
+    def distance_matrix(self) -> np.ndarray:
+        return peer_distance_matrix(self.matrix)
+
+    def clusters(self) -> Dict[str, int]:
+        return {name: int(label) for name, label in zip(self.peers, self.labels)}
+
+    def score_of(self, peer: str) -> float:
+        return float(self.scores[self.peers.index(peer)])
+
+    def pair_conformance(self, a: str, b: str) -> float:
+        return float(self.matrix[self.peers.index(a), self.peers.index(b)])
+
+    def summary(self) -> dict:
+        """JSON-ready digest (matrix row-major, retention curve included)."""
+        return {
+            "peers": list(self.peers),
+            "k": int(self.k),
+            "clusters": self.clusters(),
+            "scores": {
+                name: round(float(score), 4)
+                for name, score in zip(self.peers, self.scores)
+            },
+            "matrix": [
+                [round(float(v), 4) for v in row] for row in self.matrix
+            ],
+            "retention": [round(float(r), 4) for r in self.selection.retention],
+        }
+
+
+def evaluate_peer_conformance(
+    trials_by_peer: Mapping[str, Sequence[Sequence]],
+    config: EnvelopeConfig = EnvelopeConfig(),
+    seed: int = 0,
+    k_max: int = 4,
+    envelopes: Optional[Mapping[str, PerformanceEnvelope]] = None,
+) -> PeerConformanceResult:
+    """End-to-end: per-peer trials -> matrix -> clusters -> scores.
+
+    ``trials_by_peer`` maps each peer name to its self-competition
+    trials (lists of sampled (delay, throughput) points).  Passing
+    pre-built ``envelopes`` skips the PE construction (the campaign
+    path builds them once for recording anyway).
+    """
+    if envelopes is None:
+        envelopes = {
+            name: build_envelope(trials, config)
+            for name, trials in trials_by_peer.items()
+        }
+    else:
+        envelopes = dict(envelopes)
+    if not envelopes:
+        raise ValueError("peer group must not be empty")
+    peers, matrix = pairwise_conformance_matrix(envelopes)
+    labels, selection = cluster_peers(matrix, seed=seed, k_max=k_max)
+    scores = peer_scores(matrix, labels)
+    return PeerConformanceResult(
+        peers=peers,
+        matrix=matrix,
+        labels=labels,
+        selection=selection,
+        scores=scores,
+        envelopes=dict(envelopes),
+    )
+
+
+__all__ = [
+    "PeerConformanceResult",
+    "cluster_peers",
+    "evaluate_peer_conformance",
+    "pairwise_conformance_matrix",
+    "peer_distance_matrix",
+    "peer_scores",
+]

@@ -133,6 +133,28 @@ def _topology_joblist(duration_s: float, trials: int):
     )
 
 
+def _peer_joblist(duration_s: float, trials: int):
+    """The peer-conformance trial jobs the peer fault class runs.
+
+    Same shape of work as any ``"peer_conformance"`` campaign cell — a
+    two-CCA peer group's self-competition trials through the
+    content-addressed trial-job path — so the chaos invariant covers
+    the ccax subsystem with the exact machinery every other class uses.
+    """
+    from dataclasses import replace
+
+    from repro.ccax.campaign import peer_trial_jobs
+    from repro.harness import scenarios
+    from repro.harness.config import ExperimentConfig
+
+    config = replace(
+        ExperimentConfig(), duration_s=float(duration_s), trials=int(trials)
+    )
+    return peer_trial_jobs(
+        ["bbr3", "gcc"], scenarios.shallow_buffer(), config
+    )
+
+
 def _baseline(joblist, workdir: Path) -> Dict[str, _Snap]:
     from repro.exec import Executor
     from repro.harness.cache import ResultCache
@@ -447,39 +469,45 @@ def run_chaos(
         say("chaos: " + outcome.summary().replace("\n", "\nchaos: "))
         report.outcomes.append(outcome)
 
-    # One topology-campaign class rides along in every matrix: the same
-    # store-locked schedule against repro.topo trial jobs, proving the
-    # bit-identical-or-typed-failure invariant holds for the new
-    # campaign kind with exactly the machinery used above.
+    # Campaign-kind classes ride along in every matrix: the same
+    # store-locked schedule against repro.topo and repro.ccax trial
+    # jobs, proving the bit-identical-or-typed-failure invariant holds
+    # for each newer campaign kind with exactly the machinery used
+    # above.
     from repro.faults.plan import FAULT_STORE_LOCKED, _single_class_plan
 
-    fault = f"{FAULT_STORE_LOCKED}@topology"
-    plan = _single_class_plan(FAULT_STORE_LOCKED, seed)
-    say(f"chaos: injecting {fault} ({plan.describe()})")
-    classdir = workdir / fault
-    classdir.mkdir(parents=True, exist_ok=True)
-    outcome = FaultOutcome(fault=fault)
-    reset_breakers()
-    try:
-        topo_jobs = _topology_joblist(duration_s, trials)
-        topo_baseline = _baseline(topo_jobs, workdir / "topology-baseline")
-        _run_faulted(fault, plan, topo_jobs, classdir, jobs, outcome)
-        sideline_keys = _sideline_keys(
-            Path(f"{classdir / 'store.db'}.sideline.jsonl")
-        )
-        violations, _missing = _check_store(
-            classdir / "store.db",
-            topo_baseline,
-            getattr(outcome, "accounted_keys", set()),
-            sideline_keys,
-        )
-        outcome.violations += violations
-        _recover(topo_jobs, classdir, topo_baseline, outcome)
-    finally:
-        inject.deactivate()
+    ride_alongs = (
+        ("topology", _topology_joblist),
+        ("peer_conformance", _peer_joblist),
+    )
+    for kind, joblist_fn in ride_alongs:
+        fault = f"{FAULT_STORE_LOCKED}@{kind}"
+        plan = _single_class_plan(FAULT_STORE_LOCKED, seed)
+        say(f"chaos: injecting {fault} ({plan.describe()})")
+        classdir = workdir / fault
+        classdir.mkdir(parents=True, exist_ok=True)
+        outcome = FaultOutcome(fault=fault)
         reset_breakers()
-    say("chaos: " + outcome.summary().replace("\n", "\nchaos: "))
-    report.outcomes.append(outcome)
+        try:
+            kind_jobs = joblist_fn(duration_s, trials)
+            kind_baseline = _baseline(kind_jobs, workdir / f"{kind}-baseline")
+            _run_faulted(fault, plan, kind_jobs, classdir, jobs, outcome)
+            sideline_keys = _sideline_keys(
+                Path(f"{classdir / 'store.db'}.sideline.jsonl")
+            )
+            violations, _missing = _check_store(
+                classdir / "store.db",
+                kind_baseline,
+                getattr(outcome, "accounted_keys", set()),
+                sideline_keys,
+            )
+            outcome.violations += violations
+            _recover(kind_jobs, classdir, kind_baseline, outcome)
+        finally:
+            inject.deactivate()
+            reset_breakers()
+        say("chaos: " + outcome.summary().replace("\n", "\nchaos: "))
+        report.outcomes.append(outcome)
     return report
 
 

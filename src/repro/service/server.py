@@ -16,6 +16,7 @@ with a ``ThreadingHTTPServer`` serving a small JSON REST API:
 ``GET  /runs/{name}/metrics.json``    one run's metric rows (also ``.csv``)
 ``GET  /runs/{a}/diff/{b}``           run diff (moves + verdict flips)
 ``GET  /runs/{name}/heatmap.svg``     SVG heatmap straight from the store
+``GET  /runs/{name}/peer-matrix.svg`` SVG peer-conformance matrix panel
 ``GET  /healthz``                     liveness + store integrity
 ``GET  /metrics``                     Prometheus text exposition
 ====================================  =========================================
@@ -231,6 +232,8 @@ class _Handler(BaseHTTPRequestHandler):
             return self._run_diff(parts[1], parts[3])
         if len(parts) == 3 and parts[0] == "runs" and parts[2] == "heatmap.svg":
             return self._run_heatmap(parts[1])
+        if len(parts) == 3 and parts[0] == "runs" and parts[2] == "peer-matrix.svg":
+            return self._run_peer_matrix(parts[1])
         return self._error(404, f"no such resource: GET {self.path}")
 
     def _route_post(self, parts):
@@ -477,6 +480,21 @@ class _Handler(BaseHTTPRequestHandler):
             with self._store() as store:
                 figure = stored_heatmap_figure(
                     store, run_name, metric=self.query.get("metric", "conf")
+                )
+        except StoreError as exc:
+            return self._error(404, str(exc))
+        except ValueError as exc:
+            return self._error(404, str(exc))
+        self._send(200, figure.to_svg().encode(), "image/svg+xml")
+
+    def _run_peer_matrix(self, run_name: str):
+        from repro.store import StoreError
+        from repro.viz.store import stored_peer_matrix_figure
+
+        try:
+            with self._store() as store:
+                figure = stored_peer_matrix_figure(
+                    store, run_name, metric=self.query.get("metric", "peer_conf")
                 )
         except StoreError as exc:
             return self._error(404, str(exc))

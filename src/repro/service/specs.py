@@ -2,9 +2,11 @@
 
 A *campaign spec* is the JSON document a client POSTs to
 ``/campaigns``: which kind of experiment to run (``conformance``,
-``matrix``, ``regression`` or ``topology``), over which implementations
-and network conditions — or, for topology campaigns, over declarative
-:mod:`repro.topo` topology documents — under which measurement protocol.  Parsing is strict —
+``matrix``, ``regression``, ``topology`` or ``peer_conformance``), over
+which implementations and network conditions — or, for topology
+campaigns, over declarative :mod:`repro.topo` topology documents; for
+peer-conformance campaigns, over a ``peers`` CCA group resolved through
+the :mod:`repro.ccax` registry — under which measurement protocol.  Parsing is strict —
 every field is validated against :mod:`repro.harness.config` and the
 stack registry before the campaign is accepted, so a bad request fails
 at submit time with a useful message instead of hours into a queue.
@@ -44,7 +46,7 @@ class SpecError(ValueError):
 
 
 #: Campaign kinds the service accepts.
-KINDS = ("conformance", "matrix", "regression", "topology")
+KINDS = ("conformance", "matrix", "regression", "topology", "peer_conformance")
 
 #: Fields a spec document may carry; anything else is a typo we reject.
 _ALLOWED_FIELDS = {
@@ -53,6 +55,9 @@ _ALLOWED_FIELDS = {
     "ccas",
     "conditions",
     "topologies",
+    "peers",
+    "host_stack",
+    "cca_modules",
     "duration_s",
     "trials",
     "seed",
@@ -71,6 +76,12 @@ class CampaignSpec:
     conditions: Tuple[NetworkCondition, ...] = ()
     #: Topology campaigns only: the TopologySpecs to measure.
     topologies: Tuple["TopologySpec", ...] = ()
+    #: Peer-conformance campaigns only: the CCA peer group, the neutral
+    #: host stack carrying them, and user modules registering external
+    #: CCAs (loaded through :func:`repro.ccax.registry.load_modules`).
+    peers: Tuple[str, ...] = ()
+    host_stack: str = ""
+    cca_modules: Tuple[str, ...] = ()
     duration_s: Optional[float] = None
     trials: Optional[int] = None
     seed: Optional[int] = None
@@ -105,6 +116,14 @@ class CampaignSpec:
         # specs from older runs must keep resuming bit-exactly).
         if self.topologies:
             doc["topologies"] = [t.canonical() for t in self.topologies]
+        # Same care for the peer-conformance fields: emitted only when
+        # set, so every older kind's fingerprint is untouched.
+        if self.peers:
+            doc["peers"] = list(self.peers)
+        if self.host_stack:
+            doc["host_stack"] = self.host_stack
+        if self.cca_modules:
+            doc["cca_modules"] = list(self.cca_modules)
         return doc
 
     def fingerprint(self) -> str:
@@ -127,6 +146,11 @@ class CampaignSpec:
 
     def implementations(self) -> List[Tuple[str, str]]:
         """(stack, cca) cells this campaign measures, in a stable order."""
+        if self.kind == "peer_conformance":
+            from repro.ccax.campaign import DEFAULT_HOST_STACK
+
+            host = self.host_stack or DEFAULT_HOST_STACK
+            return [(host, peer) for peer in self.peers]
         stacks = (
             list(self.stacks)
             if self.stacks
@@ -195,9 +219,13 @@ def parse_campaign_spec(payload: Mapping) -> CampaignSpec:
             )
     ccas = _string_list(payload, "ccas")
     for cca in ccas:
-        if cca not in registry.CCAS:
+        # Any CCA registered with repro.ccax qualifies — the kernel trio
+        # plus the model-based and real-time families, plus externals
+        # already loaded into this process.
+        if cca not in registry.registered_ccas():
             raise SpecError(
-                f"unknown cca {cca!r} (known: {', '.join(registry.CCAS)})"
+                f"unknown cca {cca!r} "
+                f"(registered: {', '.join(registry.registered_ccas())})"
             )
 
     conditions = []
@@ -239,6 +267,14 @@ def parse_campaign_spec(payload: Mapping) -> CampaignSpec:
                 "topology campaigns need a non-empty spec.topologies list"
             )
 
+    peers, host_stack, cca_modules = _parse_peer_fields(payload, kind)
+    if kind == "peer_conformance" and (stacks or ccas):
+        raise SpecError(
+            "peer_conformance campaigns name their CCAs in spec.peers "
+            "and their host in spec.host_stack; spec.stacks and "
+            "spec.ccas must be empty"
+        )
+
     duration_s = _number(payload, "duration_s")
     trials = _number(payload, "trials", integral=True)
     seed = _number(payload, "seed", integral=True)
@@ -251,6 +287,9 @@ def parse_campaign_spec(payload: Mapping) -> CampaignSpec:
             ccas=tuple(ccas),
             conditions=tuple(conditions),
             topologies=topologies,
+            peers=peers,
+            host_stack=host_stack,
+            cca_modules=cca_modules,
             duration_s=duration_s,
             trials=trials,
             seed=seed,
@@ -295,6 +334,66 @@ def _parse_topologies(payload: Mapping, kind: str) -> Tuple["TopologySpec", ...]
     return tuple(topologies)
 
 
+def _parse_peer_fields(
+    payload: Mapping, kind: str
+) -> Tuple[Tuple[str, ...], str, Tuple[str, ...]]:
+    """Validate peers / host_stack / cca_modules for peer campaigns.
+
+    ``cca_modules`` are loaded *here*, at submit time, so a broken or
+    missing user module fails the POST with a 400 instead of hours
+    later in a worker — and so the peer names they register are
+    available for validation immediately below.
+    """
+    peers = _string_list(payload, "peers")
+    host_stack = str(payload.get("host_stack", "") or "")
+    cca_modules = _string_list(payload, "cca_modules")
+    if kind != "peer_conformance":
+        for field_name, value in (
+            ("peers", peers),
+            ("host_stack", host_stack),
+            ("cca_modules", cca_modules),
+        ):
+            if value:
+                raise SpecError(
+                    f"spec.{field_name} is only valid for kind "
+                    f"'peer_conformance', not {kind!r}"
+                )
+        return (), "", ()
+    if not peers:
+        raise SpecError(
+            "peer_conformance campaigns need a non-empty spec.peers list"
+        )
+    if len(set(peers)) != len(peers):
+        raise SpecError("spec.peers contains duplicate peer names")
+    if host_stack and host_stack not in registry.STACKS:
+        raise SpecError(
+            f"unknown host_stack {host_stack!r} "
+            f"(known: {', '.join(sorted(registry.STACKS))})"
+        )
+    from repro.ccax import registry as ccax
+    from repro.ccax.campaign import DEFAULT_HOST_STACK
+
+    if cca_modules:
+        try:
+            ccax.load_modules(cca_modules)
+        except Exception as exc:
+            raise SpecError(f"spec.cca_modules failed to load: {exc}")
+    for peer in peers:
+        if not ccax.is_registered(peer):
+            raise SpecError(
+                f"unknown peer cca {peer!r} "
+                f"(registered: {', '.join(ccax.names())})"
+            )
+    host = host_stack or DEFAULT_HOST_STACK
+    profile = registry.get_stack(host)
+    for peer in peers:
+        if not profile.supports(peer):
+            raise SpecError(
+                f"host stack {host!r} does not host peer cca {peer!r}"
+            )
+    return tuple(peers), host_stack, tuple(cca_modules)
+
+
 def _string_list(payload: Mapping, field_name: str) -> List[str]:
     raw = payload.get(field_name, [])
     if isinstance(raw, str):
@@ -337,6 +436,10 @@ def execute_campaign(
         from repro.topo.campaign import run_topology_campaign
 
         return run_topology_campaign(spec, store, executor)
+    if spec.kind == "peer_conformance":
+        from repro.ccax.campaign import run_peer_conformance_campaign
+
+        return run_peer_conformance_campaign(spec, store, executor)
     config = spec.experiment_config()
     implementations = spec.implementations()
     if spec.kind == "regression":

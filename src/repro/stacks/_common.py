@@ -5,7 +5,9 @@ from __future__ import annotations
 from typing import Dict
 
 from repro.cca.bbr import BBR, BBRConfig
+from repro.cca.bbr2 import BBR2, BBR2Config, BBR3, bbr3_config
 from repro.cca.cubic import Cubic, CubicConfig
+from repro.cca.gcc import GccConfig, GccController
 from repro.cca.reno import NewReno
 from repro.stacks.base import CCAVariant
 
@@ -42,6 +44,42 @@ def bbr_variant(
     """A BBR CCAVariant with the given BBRConfig overrides."""
     def factory(mss: int) -> BBR:
         return BBR(mss, BBRConfig(**config_kwargs))
+
+    return CCAVariant(name=name, factory=factory, note=note)
+
+
+def bbr2_variant(
+    name: str = "default",
+    note: str = "",
+    **config_kwargs,
+) -> CCAVariant:
+    """A BBRv2 CCAVariant with the given BBR2Config overrides."""
+    def factory(mss: int) -> BBR2:
+        return BBR2(mss, BBR2Config(**config_kwargs))
+
+    return CCAVariant(name=name, factory=factory, note=note)
+
+
+def bbr3_variant(
+    name: str = "default",
+    note: str = "",
+    **config_kwargs,
+) -> CCAVariant:
+    """A BBRv3 CCAVariant with overrides on top of the v3 tuning."""
+    def factory(mss: int) -> BBR3:
+        return BBR3(mss, bbr3_config(**config_kwargs))
+
+    return CCAVariant(name=name, factory=factory, note=note)
+
+
+def gcc_variant(
+    name: str = "default",
+    note: str = "",
+    **config_kwargs,
+) -> CCAVariant:
+    """A GCC CCAVariant with the given GccConfig overrides."""
+    def factory(mss: int) -> GccController:
+        return GccController(mss, GccConfig(**config_kwargs))
 
     return CCAVariant(name=name, factory=factory, note=note)
 

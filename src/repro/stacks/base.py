@@ -59,18 +59,46 @@ class StackProfile:
     is_reference: bool = False
 
     def available_ccas(self) -> list[str]:
+        """Explicitly profiled CCAs — the stack's Table 1 row.
+
+        Deliberately excludes registry-hosted families so the paper's
+        deviation tables stay readable as published; see
+        :meth:`hosted_ccas` for the capability-driven extras.
+        """
         return sorted(self.ccas)
 
+    def hosted_ccas(self) -> list[str]:
+        """CCAs this stack hosts via ccax capability metadata only."""
+        from repro.ccax import registry as ccax
+
+        return sorted(
+            info.name
+            for info in ccax.entries()
+            if info.name not in self.ccas and info.capabilities.hosts(self.name)
+        )
+
     def supports(self, cca: str) -> bool:
-        return cca in self.ccas
+        """Explicit profile entry, or hosted via the ccax registry.
+
+        The registry's capability metadata decides hosting for CCAs the
+        profile does not list itself (``host_stacks``), which is what
+        lets ``registry.implementations()`` pick up newly registered
+        families with zero per-stack edits.
+        """
+        from repro.ccax import registry as ccax
+
+        return cca in self.ccas or ccax.hosted_by(self.name, cca)
 
     def variant(self, cca: str, variant: str = "default") -> CCAVariant:
         try:
             variants = self.ccas[cca]
         except KeyError:
+            fallback = self._registry_variant(cca, variant)
+            if fallback is not None:
+                return fallback
             raise UnknownCCAError(
                 f"stack {self.name!r} does not implement {cca!r} "
-                f"(available: {self.available_ccas()})"
+                f"(available: {self.available_ccas() + self.hosted_ccas()})"
             ) from None
         try:
             return variants[variant]
@@ -79,6 +107,32 @@ class StackProfile:
                 f"{self.name}/{cca} has no variant {variant!r} "
                 f"(available: {sorted(variants)})"
             ) from None
+
+    def _registry_variant(
+        self, cca: str, variant: str
+    ) -> Optional[CCAVariant]:
+        """Synthesize a variant for a ccax-hosted CCA, if eligible.
+
+        Hosted CCAs carry exactly one buildable configuration — the
+        registered factory — so only ``"default"`` resolves; a stack's
+        own deviation variants always require an explicit profile entry.
+        """
+        from repro.ccax import registry as ccax
+
+        if not ccax.hosted_by(self.name, cca):
+            return None
+        if variant != "default":
+            raise UnknownVariantError(
+                f"{self.name}/{cca} is registry-hosted and only has the "
+                f"'default' variant, not {variant!r}"
+            )
+        info = ccax.get(cca)
+        return CCAVariant(
+            name="default",
+            factory=info.build,
+            note=f"ccax registry ({info.origin}): "
+            f"{info.capabilities.description or info.capabilities.family}",
+        )
 
     def flow_spec(
         self,

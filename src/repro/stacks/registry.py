@@ -50,8 +50,22 @@ STACKS: Dict[str, StackProfile] = {
     )
 }
 
-#: The three CCAs the paper studies, in its presentation order.
-CCAS = ("cubic", "bbr", "reno")
+from repro.ccax import registry as _ccax
+
+#: The CCAs the paper studies — exactly the registry entries carrying a
+#: kernel reference, in registration (= presentation) order.  Derived,
+#: not hard-coded, so the study set and the ccax registry cannot drift.
+CCAS = _ccax.kernel_reference_ccas()
+
+
+def registered_ccas() -> Tuple[str, ...]:
+    """Every CCA resolvable by name — kernel-referenced or not.
+
+    The superset campaign specs validate against; includes families
+    without a kernel reference (bbr2/bbr3/gcc) and any third-party
+    registrations loaded from user modules.
+    """
+    return _ccax.names()
 
 
 def get_stack(name: str) -> StackProfile:

@@ -51,6 +51,66 @@ def stored_heatmap_matrix(
     return rows, cols, values
 
 
+def stored_peer_matrix(
+    store: "ResultStore", run, metric: str = "peer_conf"
+) -> Tuple[List[str], List[str], np.ndarray]:
+    """Pivot one run's peer-conformance rows into a square matrix.
+
+    Peer campaigns record pairwise cells under ``variant="peer"`` with
+    the row peer in the ``stack`` column and the column peer in ``cca``
+    (the share-matrix convention).  The diagonal is reconstructed —
+    1 for conformance, 0 for distance — since self-pairs are not
+    stored.  Multi-condition runs get one column block per condition.
+    """
+    table = store.metric_table(run, metric)
+    cells = {
+        (stack, cca, cond): value
+        for (stack, cca, variant, cond), value in table.items()
+        if variant == "peer"
+    }
+    if not cells:
+        raise ValueError(f"run {run!r} holds no peer-matrix {metric!r} rows")
+    conditions = sorted({cond for (_s, _c, cond) in cells})
+    multi_condition = len(conditions) > 1
+    peers = sorted(
+        {s for (s, _c, _cond) in cells} | {c for (_s, c, _cond) in cells}
+    )
+    cols: List[str] = []
+    col_keys: List[Tuple[str, str]] = []
+    for cond in conditions:
+        for peer in peers:
+            col_keys.append((peer, cond))
+            cols.append(f"{peer}@{cond}" if multi_condition else peer)
+    diagonal = 1.0 if metric == "peer_conf" else 0.0
+    values = np.full((len(peers), len(cols)), np.nan)
+    for i, row_peer in enumerate(peers):
+        for j, (col_peer, cond) in enumerate(col_keys):
+            if row_peer == col_peer:
+                values[i, j] = diagonal
+            else:
+                values[i, j] = cells.get(
+                    (row_peer, col_peer, cond), np.nan
+                )
+    return peers, cols, values
+
+
+def stored_peer_matrix_figure(
+    store: "ResultStore",
+    run,
+    metric: str = "peer_conf",
+    title: Optional[str] = None,
+) -> SvgCanvas:
+    """Render one stored peer-conformance run as an SVG matrix panel."""
+    rows, cols, values = stored_peer_matrix(store, run, metric)
+    run_name = store.run(run).name
+    return heatmap_figure(
+        rows,
+        cols,
+        values,
+        title=title or f"peer {metric} — run {run_name}",
+    )
+
+
 def stored_heatmap_figure(
     store: "ResultStore",
     run,
@@ -68,4 +128,9 @@ def stored_heatmap_figure(
     )
 
 
-__all__ = ["stored_heatmap_matrix", "stored_heatmap_figure"]
+__all__ = [
+    "stored_heatmap_matrix",
+    "stored_heatmap_figure",
+    "stored_peer_matrix",
+    "stored_peer_matrix_figure",
+]

@@ -1,0 +1,290 @@
+"""BBR v2/v3 unit behaviour: inflight bounds, ProbeBW cycle, ProbeRTT."""
+
+import pytest
+
+from repro.cca.base import AckEvent
+from repro.cca.bbr2 import BBR2, BBR3, BBR2Config, bbr3_config
+
+MSS = 1000
+
+
+class Driver:
+    """Feeds a BBR2 instance a synthetic steady ACK stream."""
+
+    def __init__(self, bbr, rtt=0.05):
+        self.bbr = bbr
+        self.rtt = rtt
+        self.now = 0.0
+        self.round = 0
+
+    def ack(self, rate_bytes_s, inflight=0, dt=0.01, rtt=None):
+        self.now += dt
+        self.bbr.on_ack(
+            AckEvent(
+                now=self.now,
+                bytes_acked=MSS,
+                rtt_sample=rtt if rtt is not None else self.rtt,
+                delivery_rate=rate_bytes_s,
+                is_app_limited=False,
+                bytes_in_flight=inflight,
+                round_count=self.round,
+            )
+        )
+
+    def run_rounds(self, n, rate, inflight=0, acks_per_round=5, rtt=None):
+        for _ in range(n):
+            self.round += 1
+            for _ in range(acks_per_round):
+                self.ack(rate, inflight=inflight, rtt=rtt)
+
+
+def make_probe_bw(cls=BBR2, config=None, rate=2e6):
+    """Drive a fresh controller to PROBE_BW (bw 2 MB/s, min_rtt 50 ms)."""
+    bbr = cls(MSS) if config is None else cls(MSS, config)
+    driver = Driver(bbr)
+    driver.run_rounds(3, rate=rate)
+    driver.run_rounds(4, rate=rate, inflight=1000 * MSS)
+    driver.run_rounds(1, rate=rate, inflight=0)
+    assert bbr.state == BBR2.PROBE_BW
+    return bbr, driver
+
+
+def test_startup_gains_and_slow_start():
+    bbr = BBR2(MSS)
+    assert bbr.state == BBR2.STARTUP
+    assert bbr.in_slow_start
+    assert bbr.pacing_gain == pytest.approx(2.77)
+    assert bbr.cwnd_gain == pytest.approx(2.89)
+
+
+def test_startup_exits_on_loss():
+    """v2 exits STARTUP on loss, not only on a bandwidth plateau."""
+    bbr = BBR2(MSS)
+    driver = Driver(bbr)
+    driver.run_rounds(2, rate=1e6)
+    assert bbr.state == BBR2.STARTUP
+    bbr.on_congestion_event(driver.now, bytes_in_flight=20 * MSS)
+    driver.ack(1e6, inflight=20 * MSS)
+    assert bbr.state in (BBR2.DRAIN, BBR2.PROBE_BW)
+
+
+def test_probe_bw_entered_in_down_phase():
+    bbr, _ = make_probe_bw()
+    assert bbr.phase == BBR2.DOWN
+    assert bbr.pacing_gain == pytest.approx(0.75)
+
+
+def test_model_estimates():
+    bbr, _ = make_probe_bw()
+    assert bbr.btl_bw == pytest.approx(2e6)
+    assert bbr.min_rtt == pytest.approx(0.05)
+    assert bbr.bdp() == pytest.approx(2e6 * 0.05, rel=0.01)
+
+
+def test_probe_bw_phase_sequence():
+    """DOWN -> CRUISE -> REFILL -> UP, with the configured gains."""
+    bbr, driver = make_probe_bw(config=BBR2Config(cruise_s=0.2))
+    # DOWN drains: low inflight + one RTT elapsed moves to CRUISE.
+    for _ in range(8):
+        driver.ack(2e6, inflight=10 * MSS)
+    assert bbr.phase == BBR2.CRUISE
+    assert bbr.pacing_gain == pytest.approx(1.0)
+    # CRUISE dwells for cruise_s, then REFILL.
+    for _ in range(25):
+        driver.ack(2e6, inflight=80 * MSS)
+    assert bbr.phase == BBR2.REFILL
+    # REFILL lasts one round, then UP probes with the up gain.
+    driver.run_rounds(1, rate=2e6, inflight=90 * MSS)
+    assert bbr.phase == BBR2.UP
+    assert bbr.pacing_gain == pytest.approx(1.25)
+
+
+def test_inflight_hi_clamp_after_loss():
+    """Loss snaps inflight_hi to max(in flight, (1-beta) x target)."""
+    bbr, driver = make_probe_bw()
+    assert bbr.inflight_hi is None and bbr.inflight_lo is None
+    target = bbr._target_inflight()
+    assert target == pytest.approx(100 * MSS, rel=0.01)
+    cut = max(int(target * 0.7), 4 * MSS)
+
+    # Loss with little in flight: the (1-beta) cut dominates both bounds.
+    bbr.on_congestion_event(driver.now, bytes_in_flight=30 * MSS)
+    assert bbr.inflight_hi == cut
+    assert bbr.inflight_lo == cut
+    assert bbr.cwnd == 30 * MSS  # packet conservation
+
+    # Loss with more in flight than the cut: hi keeps the measured value.
+    bbr2, driver2 = make_probe_bw()
+    target2 = bbr2._target_inflight()
+    cut2 = max(int(target2 * 0.7), 4 * MSS)
+    bbr2.on_congestion_event(driver2.now, bytes_in_flight=120 * MSS)
+    assert bbr2.inflight_hi == 120 * MSS
+    assert bbr2.inflight_lo == cut2
+
+
+def test_inflight_bounds_cap_cwnd():
+    bbr, driver = make_probe_bw()
+    driver.run_rounds(30, rate=2e6, inflight=0)
+    assert bbr.cwnd > 70 * MSS  # converged near gain x BDP
+    bbr.on_congestion_event(driver.now, bytes_in_flight=90 * MSS)
+    cut = bbr.inflight_lo
+    # While the loss signal is fresh (before the next REFILL) the
+    # short-term bound holds the window at the cut.
+    for _ in range(8):
+        driver.ack(2e6, inflight=0)
+    assert bbr.inflight_lo == cut
+    assert bbr.cwnd <= cut
+
+
+def test_loss_during_up_falls_into_down():
+    bbr, driver = make_probe_bw(config=BBR2Config(cruise_s=0.2))
+    for _ in range(8):
+        driver.ack(2e6, inflight=10 * MSS)
+    for _ in range(25):
+        driver.ack(2e6, inflight=80 * MSS)
+    driver.run_rounds(1, rate=2e6, inflight=90 * MSS)
+    assert bbr.phase == BBR2.UP
+    bbr.on_congestion_event(driver.now, bytes_in_flight=110 * MSS)
+    assert bbr.phase == BBR2.DOWN
+
+
+def test_refill_clears_short_term_bound():
+    bbr, driver = make_probe_bw(config=BBR2Config(cruise_s=0.2))
+    bbr.on_congestion_event(driver.now, bytes_in_flight=50 * MSS)
+    assert bbr.phase == BBR2.DOWN  # loss-learned bounds now set
+    assert bbr.inflight_lo is not None
+    for _ in range(8):
+        driver.ack(2e6, inflight=10 * MSS)
+    assert bbr.phase == BBR2.CRUISE
+    for _ in range(25):
+        driver.ack(2e6, inflight=10 * MSS)
+    assert bbr.phase == BBR2.REFILL
+    # REFILL declares the loss signal stale: the short-term bound lifts,
+    # the long-term bound stays.
+    assert bbr.inflight_lo is None
+    assert bbr.inflight_hi is not None
+
+
+def test_up_raises_inflight_hi_without_loss():
+    bbr, driver = make_probe_bw(config=BBR2Config(cruise_s=0.2))
+    bbr.on_congestion_event(driver.now, bytes_in_flight=50 * MSS)
+    # Consume the loss round while still in DOWN so the UP probe below
+    # starts loss-free.
+    driver.run_rounds(1, rate=2e6, inflight=10 * MSS)
+    for _ in range(8):
+        driver.ack(2e6, inflight=10 * MSS)
+    for _ in range(25):
+        driver.ack(2e6, inflight=10 * MSS)
+    driver.run_rounds(1, rate=2e6, inflight=10 * MSS)
+    assert bbr.phase == BBR2.UP
+    hi_before = bbr.inflight_hi
+    # A loss-free round probing below the bound raises it x1.25.
+    driver.run_rounds(1, rate=2e6, inflight=10 * MSS)
+    assert bbr.phase == BBR2.UP
+    assert bbr.inflight_hi == int(hi_before * 1.25)
+
+
+def test_cruise_keeps_headroom_below_inflight_hi():
+    bbr, driver = make_probe_bw()
+    bbr.on_congestion_event(driver.now, bytes_in_flight=100 * MSS)
+    for _ in range(8):
+        driver.ack(2e6, inflight=10 * MSS)
+    assert bbr.phase == BBR2.CRUISE
+    driver.run_rounds(30, rate=2e6, inflight=0)
+    if bbr.phase == BBR2.CRUISE:
+        assert bbr.cwnd <= int(bbr.inflight_hi * 0.85)
+
+
+def test_probe_rtt_floors_cwnd_at_half_bdp():
+    """v2 ProbeRTT floors at half BDP, not v1's 4 packets."""
+    bbr, driver = make_probe_bw()
+    driver.run_rounds(10, rate=2e6, inflight=0)
+    saw_probe_rtt = False
+    cwnds = []
+    for _ in range(1200):
+        driver.ack(2e6, inflight=10 * MSS, dt=0.01, rtt=0.08)
+        if bbr.state == BBR2.PROBE_RTT:
+            saw_probe_rtt = True
+            cwnds.append(bbr.cwnd)
+    assert saw_probe_rtt
+    floor = min(cwnds)
+    assert floor > 4 * MSS  # well above the v1 floor
+    # Half BDP at the re-measured 80 ms RTT: 0.5 x 2e6 x 0.08 = 80 kB.
+    assert floor == pytest.approx(0.5 * 2e6 * 0.08, rel=0.05)
+
+
+def test_probe_rtt_exits_back_to_probe_bw():
+    bbr, driver = make_probe_bw()
+    driver.run_rounds(10, rate=2e6, inflight=0)
+    entered = False
+    for i in range(3000):
+        if i % 5 == 0:
+            driver.round += 1
+        driver.ack(2e6, inflight=3 * MSS, dt=0.01, rtt=0.08)
+        entered = entered or bbr.state == BBR2.PROBE_RTT
+    assert entered
+    assert bbr.state == BBR2.PROBE_BW
+    assert bbr.phase in (BBR2.DOWN, BBR2.CRUISE, BBR2.REFILL, BBR2.UP)
+
+
+def test_recovery_exit_restores_window():
+    bbr, driver = make_probe_bw()
+    driver.run_rounds(30, rate=2e6, inflight=0)
+    before = bbr.cwnd
+    bbr.on_congestion_event(driver.now, bytes_in_flight=5 * MSS)
+    assert bbr.cwnd == 5 * MSS
+    bbr.on_recovery_exit(driver.now)
+    assert bbr.cwnd == before
+    # The fresh loss bounds re-cap the window on the next ACK.
+    driver.ack(2e6, inflight=0)
+    assert bbr.cwnd <= bbr.inflight_lo
+
+
+def test_rto_collapses_to_min_cwnd():
+    bbr, _ = make_probe_bw()
+    bbr.on_rto(1.0)
+    assert bbr.cwnd == 4 * MSS
+
+
+def test_bbr3_tuning():
+    config = bbr3_config()
+    assert config.probe_down_gain == pytest.approx(0.9)
+    assert config.startup_cwnd_gain == pytest.approx(2.0)
+    assert bbr3_config(cruise_s=0.5).cruise_s == pytest.approx(0.5)
+    bbr = BBR3(MSS)
+    assert bbr.name == "bbr3"
+    assert bbr.config.probe_down_gain == pytest.approx(0.9)
+    # The v3 DOWN phase drains more gently than v2's.
+    v3, _ = make_probe_bw(cls=BBR3)
+    assert v3.phase == BBR2.DOWN
+    assert v3.pacing_gain == pytest.approx(0.9)
+
+
+def test_invalid_configs():
+    for bad in (
+        BBR2Config(initial_cwnd_packets=0),
+        BBR2Config(cwnd_gain=0),
+        BBR2Config(startup_cwnd_gain=-1),
+        BBR2Config(pacing_rate_scale=0),
+        BBR2Config(bw_window_rounds=0),
+        BBR2Config(beta=0.0),
+        BBR2Config(beta=1.0),
+        BBR2Config(headroom=1.0),
+        BBR2Config(headroom=-0.1),
+        BBR2Config(probe_rtt_cwnd_gain=0.0),
+        BBR2Config(probe_rtt_cwnd_gain=1.5),
+        BBR2Config(cruise_s=0.0),
+    ):
+        with pytest.raises(ValueError):
+            bad.validate()
+
+
+def test_debug_state_contents():
+    bbr, driver = make_probe_bw()
+    bbr.on_congestion_event(driver.now, bytes_in_flight=50 * MSS)
+    state = bbr.debug_state()
+    assert state["state"] == BBR2.PROBE_BW
+    assert state["phase"] == BBR2.DOWN
+    assert state["inflight_hi"] == bbr.inflight_hi
+    assert state["inflight_lo"] == bbr.inflight_lo
+    assert "btl_bw" in state and "min_rtt" in state

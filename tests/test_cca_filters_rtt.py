@@ -5,6 +5,8 @@ from hypothesis import given, settings, strategies as st
 
 from repro.cca.rtt import RttEstimator
 from repro.cca.windowed_filter import WindowedMaxFilter, WindowedMinFilter
+from repro.faults import inject
+from repro.faults.plan import FAULT_CLOCK_SKEW, FaultPlan, rule
 
 
 class TestWindowedMax:
@@ -132,3 +134,126 @@ class TestRttEstimator:
             est.update(s)
         assert min(samples) - 1e-9 <= est.srtt <= max(samples) + 1e-9
         assert est.min_rtt == pytest.approx(min(samples))
+
+
+class TestWindowBoundary:
+    """Expiry semantics at exactly one window of distance.
+
+    The kernel filter's reset condition is strictly ``time - best.time >
+    window``: a sample landing exactly one window after the best is still
+    *inside* the window, one tick beyond it is not.
+    """
+
+    def test_sample_at_exact_boundary_keeps_old_best(self):
+        f = WindowedMaxFilter(window=10)
+        f.update(0, 100)
+        assert f.update(10, 5) == 100  # exactly window distance: retained
+
+    def test_sample_just_past_boundary_resets(self):
+        f = WindowedMaxFilter(window=10)
+        f.update(0, 100)
+        assert f.update(10.000001, 5) == 5
+
+    def test_min_filter_same_boundary(self):
+        f = WindowedMinFilter(window=10)
+        f.update(0, 1)
+        assert f.update(10, 50) == 1
+        assert f.update(10.000001, 60) == 60
+
+
+class TestDuplicateTimestamps:
+    """Several samples sharing one timestamp must not corrupt the filter."""
+
+    def test_equal_value_at_same_time_resets_cleanly(self):
+        # _better uses >= / <=, so an equal-value duplicate takes the
+        # hard-reset path; the estimate must not change.
+        f = WindowedMaxFilter(window=10)
+        f.update(5, 42)
+        assert f.update(5, 42) == 42
+        assert f.get() == 42
+
+    def test_worse_values_at_same_time_are_absorbed(self):
+        f = WindowedMaxFilter(window=10)
+        f.update(5, 100)
+        for v in (90, 80, 70):
+            assert f.update(5, v) == 100
+        # Zero elapsed time: no sub-window aging branch fires, so the
+        # worse duplicates are dropped and every estimate stays at the
+        # best — no slot corruption.
+        assert [s.value for s in f._estimates] == [100, 100, 100]
+
+    def test_better_value_at_same_time_wins(self):
+        f = WindowedMinFilter(window=10)
+        f.update(5, 10)
+        assert f.update(5, 3) == 3
+
+    def test_duplicates_then_aging_still_expires(self):
+        f = WindowedMaxFilter(window=10)
+        for _ in range(5):
+            f.update(0, 100)
+        for t in range(1, 25):
+            f.update(t, 10)
+        assert f.get() == 10
+
+
+class TestClockSkewFault:
+    """min-RTT robustness under the repro.faults clock-skew class.
+
+    ``RttEstimator.update`` passes every sample through the
+    ``cca.rtt.sample`` transform seam; the ``clock-skew`` fault class
+    shifts numeric values by its param, modelling a telemetry clock that
+    jumps mid-connection.
+    """
+
+    @staticmethod
+    def _plan(param, hits=None):
+        return FaultPlan(
+            name="rtt-skew",
+            rules=(
+                rule(FAULT_CLOCK_SKEW, "cca.rtt.sample", hits=hits, param=param),
+            ),
+            seed=0,
+        )
+
+    def test_seam_is_identity_without_plan(self):
+        assert inject.active() is None
+        est = RttEstimator()
+        est.update(0.05)
+        assert est.latest == 0.05
+        assert est.min_rtt == 0.05
+
+    def test_min_rtt_survives_forward_skew(self):
+        # Honest samples first, then the clock jumps forward by 500 ms:
+        # every later sample reads inflated, but the running minimum
+        # keeps the pre-skew floor.
+        est = RttEstimator()
+        est.update(0.05)
+        est.update(0.048)
+        with inject.active_plan(self._plan(param=0.5)):
+            for _ in range(20):
+                est.update(0.05)
+        assert est.min_rtt == pytest.approx(0.048)
+        # The smoothed estimate does chase the skewed samples — that is
+        # the failure mode the running minimum is robust against.
+        assert est.srtt > 0.2
+
+    def test_backward_skew_cannot_fake_a_negative_sample(self):
+        # A backward jump larger than the sample would produce a
+        # non-positive RTT; the estimator rejects it as it rejects any
+        # invalid sample, instead of poisoning min_rtt.
+        est = RttEstimator()
+        est.update(0.05)
+        with inject.active_plan(self._plan(param=-1.0)):
+            with pytest.raises(ValueError):
+                est.update(0.05)
+        assert est.min_rtt == pytest.approx(0.05)
+
+    def test_skew_on_selected_hits_only(self):
+        # hits=(1,) skews only the second sample seen at the site.
+        est = RttEstimator()
+        with inject.active_plan(self._plan(param=0.5, hits=(1,))):
+            est.update(0.05)
+            est.update(0.05)
+            est.update(0.04)
+        assert est.min_rtt == pytest.approx(0.04)
+        assert est.rto() <= 60.0

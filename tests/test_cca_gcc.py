@@ -1,0 +1,210 @@
+"""GCC delay-gradient controller: detector, AIMD, loss paths."""
+
+import pytest
+
+from repro.cca.base import AckEvent
+from repro.cca.gcc import GccController, GccConfig
+
+MSS = 1200
+
+
+class Driver:
+    """Feeds a GCC instance a synthetic ACK stream."""
+
+    def __init__(self, gcc):
+        self.gcc = gcc
+        self.now = 0.0
+
+    def ack(self, rtt, rate=125_000.0, dt=0.01):
+        self.now += dt
+        self.gcc.on_ack(
+            AckEvent(
+                now=self.now,
+                bytes_acked=MSS,
+                rtt_sample=rtt,
+                delivery_rate=rate,
+                is_app_limited=False,
+                bytes_in_flight=0,
+                round_count=0,
+            )
+        )
+
+
+def settle(driver, rtt=0.05, n=30, rate=125_000.0):
+    """Establish min_rtt and a flat delay baseline."""
+    for _ in range(n):
+        driver.ack(rtt, rate=rate)
+
+
+def test_initial_state():
+    gcc = GccController(MSS)
+    assert gcc.rate == pytest.approx(125_000.0)
+    assert gcc.signal == GccController.NORMAL
+    assert gcc.state == GccController.INCREASE
+    assert gcc.pacing_rate() == gcc.rate
+
+
+def test_rising_delay_triggers_overuse_and_decrease():
+    gcc = GccController(MSS)
+    driver = Driver(gcc)
+    settle(driver)
+    rate_before = gcc.rate
+    # Queueing delay growing 2 ms per 10 ms tick: slope ~0.2 s/s, far
+    # above the 0.015 detector threshold.
+    rtt = 0.05
+    for _ in range(60):
+        rtt += 0.002
+        driver.ack(rtt, rate=100_000.0)
+    assert gcc.signal == GccController.OVERUSE
+    assert gcc.state == GccController.DECREASE
+    # The decrease applies beta to the measured delivery rate.
+    assert gcc.rate <= 0.85 * 100_000.0 + 1e-6
+    assert gcc.rate < rate_before
+
+
+def test_persistent_overuse_ratchets_rate_down():
+    gcc = GccController(MSS)
+    driver = Driver(gcc)
+    settle(driver)
+    rates = []
+    rtt = 0.05
+    for _ in range(400):
+        rtt += 0.002
+        driver.ack(rtt, rate=100_000.0)
+        rates.append(gcc.rate)
+    # More than one cut happened: the rate keeps stepping down instead
+    # of pinning at beta x delivery forever.
+    distinct_cuts = {round(r) for r in rates if r < 125_000.0}
+    assert len(distinct_cuts) >= 2
+    assert gcc.rate < 0.85 * 100_000.0
+
+
+def test_falling_delay_reads_underuse_and_holds():
+    gcc = GccController(MSS)
+    driver = Driver(gcc)
+    settle(driver)
+    # Build a queue, then let it drain.
+    rtt = 0.05
+    for _ in range(40):
+        rtt += 0.002
+        driver.ack(rtt)
+    for _ in range(25):
+        rtt = max(0.05, rtt - 0.002)
+        driver.ack(rtt)
+    assert gcc.signal == GccController.UNDERUSE
+    assert gcc.state == GccController.HOLD
+    rate_at_hold = gcc.rate
+    for _ in range(5):
+        rtt = max(0.05, rtt - 0.002)
+        driver.ack(rtt)
+    if gcc.state == GccController.HOLD:
+        assert gcc.rate == pytest.approx(rate_at_hold)
+
+
+def test_flat_delay_increases_rate_multiplicatively():
+    gcc = GccController(MSS)
+    driver = Driver(gcc)
+    settle(driver, n=200)
+    assert gcc.signal == GccController.NORMAL
+    assert gcc.state == GccController.INCREASE
+    assert gcc.rate > 125_000.0
+
+
+def test_additive_increase_near_last_decrease():
+    gcc = GccController(MSS)
+    driver = Driver(gcc)
+    settle(driver)
+    # Mark the current rate as the last known-good (post-decrease) rate:
+    # the controller is now "near the limit" and must grow additively —
+    # about one MSS per RTT — instead of 8 % per RTT.
+    before = gcc.rate
+    gcc._last_decrease_rate = before
+    for _ in range(100):  # 1 s = ~20 RTTs at 50 ms
+        driver.ack(0.05)
+    grown = gcc.rate - before
+    assert grown > 0
+    # Multiplicative growth over 20 RTTs would be ~4.6x; additive is a
+    # handful of MSS.
+    assert grown < 40 * MSS
+    assert gcc.rate < before * 1.5
+
+
+def test_cwnd_derives_from_min_rtt_not_smoothed_rtt():
+    gcc = GccController(MSS)
+    driver = Driver(gcc)
+    settle(driver, rtt=0.05, n=5)
+    # Inflate the smoothed RTT with a standing queue; the window must
+    # keep using the 50 ms minimum, or the queue would feed itself.
+    for _ in range(30):
+        driver.ack(0.25)
+    expected = max(int(gcc.config.cwnd_gain * gcc.rate * 0.05), 2 * MSS)
+    assert gcc.cwnd == expected
+
+
+def test_cwnd_floor_is_two_packets():
+    gcc = GccController(MSS, GccConfig(initial_rate=8_000.0, min_rate=8_000.0))
+    driver = Driver(gcc)
+    settle(driver, rtt=0.01, n=5)
+    assert gcc.cwnd == 2 * MSS
+
+
+def test_loss_applies_mild_multiplicative_cut():
+    gcc = GccController(MSS)
+    before = gcc.rate
+    gcc.on_congestion_event(1.0, bytes_in_flight=10 * MSS)
+    assert gcc.rate == pytest.approx(0.95 * before)
+    # The floor holds under repeated loss.
+    for _ in range(200):
+        gcc.on_congestion_event(1.0, bytes_in_flight=10 * MSS)
+    assert gcc.rate >= gcc.config.min_rate
+
+
+def test_rto_halves_rate_and_holds():
+    gcc = GccController(MSS)
+    before = gcc.rate
+    gcc.on_rto(1.0)
+    assert gcc.rate == pytest.approx(0.5 * before)
+    assert gcc.state == GccController.HOLD
+
+
+def test_rate_respects_configured_ceiling():
+    gcc = GccController(MSS, GccConfig(max_rate=150_000.0))
+    driver = Driver(gcc)
+    settle(driver, n=600)
+    assert gcc.rate <= 150_000.0 + 1e-6
+
+
+def test_threshold_adapts_but_stays_clamped():
+    gcc = GccController(MSS)
+    driver = Driver(gcc)
+    settle(driver, n=100)
+    assert 5e-3 <= gcc._threshold <= 0.1
+
+
+def test_invalid_configs():
+    for bad in (
+        GccConfig(initial_rate=0),
+        GccConfig(min_rate=-1),
+        GccConfig(min_rate=10, max_rate=5),
+        GccConfig(gradient_window=1),
+        GccConfig(smoothing=0.0),
+        GccConfig(smoothing=1.5),
+        GccConfig(beta=0.0),
+        GccConfig(beta=1.0),
+        GccConfig(loss_beta=0.0),
+        GccConfig(eta=1.0),
+        GccConfig(overuse_samples=0),
+    ):
+        with pytest.raises(ValueError):
+            bad.validate()
+
+
+def test_debug_state_contents():
+    gcc = GccController(MSS)
+    driver = Driver(gcc)
+    settle(driver, n=10)
+    state = gcc.debug_state()
+    assert state["rate"] == gcc.rate
+    assert state["signal"] == gcc.signal
+    assert state["controller_state"] == gcc.state
+    assert "gradient" in state and "threshold" in state and "min_rtt" in state

@@ -1,0 +1,180 @@
+"""The open CCA registry: registration seam, capabilities, module loading."""
+
+import pytest
+
+import repro.ccax as ccax
+from repro.cca.base import CongestionController
+from repro.cca.reno import NewReno
+from repro.ccax import (
+    CCACapabilities,
+    RegistrationError,
+    UnknownCCA,
+    register_congestion_control,
+)
+from repro.ccax import registry as reg
+
+
+def make_reno(mss):
+    return NewReno(mss)
+
+
+@pytest.fixture
+def scratch_cca():
+    """Register a throwaway CCA; always unregister on the way out."""
+    names = []
+
+    def register(name="testcca", factory=make_reno, **kwargs):
+        info = register_congestion_control(name, factory, **kwargs)
+        names.append(name)
+        return info
+
+    try:
+        yield register
+    finally:
+        for name in names:
+            reg.unregister(name)
+
+
+def test_builtins_are_registered():
+    for name in ("cubic", "bbr", "reno", "bbr2", "bbr3", "gcc"):
+        assert reg.is_registered(name)
+    # The kernel-referenced trio is exactly the paper's study set.
+    assert reg.kernel_reference_ccas() == ("cubic", "bbr", "reno")
+
+
+def test_register_and_build(scratch_cca):
+    info = scratch_cca(
+        "testcca",
+        capabilities=CCACapabilities(family="loss-based", description="demo"),
+    )
+    assert info.name == "testcca"
+    assert reg.is_registered("testcca")
+    controller = reg.build("testcca", 1200)
+    assert isinstance(controller, CongestionController)
+    assert controller.mss == 1200
+
+
+def test_duplicate_registration_requires_replace(scratch_cca):
+    scratch_cca("testcca")
+    with pytest.raises(RegistrationError, match="already registered"):
+        register_congestion_control("testcca", make_reno)
+    replaced = register_congestion_control(
+        "testcca", make_reno, origin="elsewhere", replace=True
+    )
+    assert replaced.origin == "elsewhere"
+
+
+def test_builtin_cannot_be_shadowed_by_accident():
+    with pytest.raises(RegistrationError, match="already registered"):
+        register_congestion_control("cubic", make_reno)
+    assert reg.get("cubic").origin == "builtin"
+
+
+def test_unknown_cca_names_the_alternatives():
+    with pytest.raises(UnknownCCA, match="registered: .*cubic"):
+        reg.get("definitely-not-a-cca")
+    assert not reg.is_registered("definitely-not-a-cca")
+
+
+def test_invalid_registrations():
+    with pytest.raises(RegistrationError):
+        register_congestion_control("", make_reno)
+    with pytest.raises(RegistrationError):
+        register_congestion_control("bad name!", make_reno)
+    with pytest.raises(RegistrationError):
+        register_congestion_control("okname", "not-callable")
+
+
+def test_factory_type_is_validated_at_build(scratch_cca):
+    scratch_cca("testcca", factory=lambda mss: object())
+    with pytest.raises(RegistrationError, match="not a CongestionController"):
+        reg.build("testcca", 1200)
+
+
+def test_capabilities_from_mapping(scratch_cca):
+    info = scratch_cca(
+        "testcca",
+        capabilities={
+            "family": "delay-based",
+            "delay_based": True,
+            "host_stacks": ["quiche"],
+        },
+    )
+    caps = info.capabilities
+    assert caps.family == "delay-based"
+    assert caps.host_stacks == ("quiche",)
+    assert caps.hosts("quiche") and not caps.hosts("xquic")
+
+
+def test_capabilities_reject_unknown_fields():
+    with pytest.raises(RegistrationError, match="unknown capability"):
+        register_congestion_control(
+            "testcca", make_reno, capabilities={"fmaily": "typo"}
+        )
+    with pytest.raises(RegistrationError, match="mapping"):
+        register_congestion_control(
+            "testcca", make_reno, capabilities="loss-based"
+        )
+
+
+def test_host_stacks_wildcard_and_disabled():
+    assert CCACapabilities(host_stacks="*").hosts("anything")
+    assert not CCACapabilities(host_stacks=()).hosts("quiche")
+    # The kernel trio disables the fallback: hosting them is a per-stack
+    # deviation-table decision, never a blanket default.
+    for name in reg.kernel_reference_ccas():
+        assert reg.get(name).capabilities.host_stacks == ()
+        assert not reg.hosted_by("quiche", name)
+    # The new families are hostable anywhere.
+    assert reg.hosted_by("quiche", "bbr3")
+    assert reg.hosted_by("linux", "gcc")
+    assert not reg.hosted_by("linux", "no-such-cca")
+
+
+def test_describe_is_json_ready(scratch_cca):
+    import json
+
+    info = scratch_cca("testcca")
+    doc = info.describe()
+    assert doc["name"] == "testcca"
+    assert doc["origin"] == "user"
+    json.dumps(doc)  # no non-serialisable values
+    assert reg.get("bbr2").describe()["family"] == "model-based"
+
+
+def test_registration_order_is_stable(scratch_cca):
+    before = reg.names()
+    scratch_cca("testcca")
+    assert reg.names() == before + ("testcca",)
+    assert [i.name for i in reg.entries()] == list(before) + ["testcca"]
+    assert [i.name for i in reg.external_entries()] == ["testcca"]
+
+
+def test_load_modules_is_idempotent(tmp_path):
+    module = tmp_path / "my_cca.py"
+    module.write_text(
+        "from repro.cca.reno import NewReno\n"
+        "from repro.ccax import CCACapabilities, register_congestion_control\n"
+        "\n"
+        "def make(mss):\n"
+        "    return NewReno(mss)\n"
+        "\n"
+        "register_congestion_control(\n"
+        "    'loadedcca', make,\n"
+        "    CCACapabilities(family='loss-based'), replace=True,\n"
+        ")\n"
+    )
+    try:
+        first = ccax.load_modules([str(module)])
+        assert reg.is_registered("loadedcca")
+        # Loading the same path again is a no-op, not a duplicate-name
+        # error: workers re-load modules before building flows.
+        second = ccax.load_modules([str(module)])
+        assert first == second
+    finally:
+        reg.unregister("loadedcca")
+
+
+def test_load_modules_missing_file(tmp_path):
+    with pytest.raises(RegistrationError, match="not found"):
+        ccax.load_modules([str(tmp_path / "nope.py")])

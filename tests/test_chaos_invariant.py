@@ -43,7 +43,7 @@ class TestSmokeMatrix:
         outcomes = {o.fault: o for o in smoke_report.outcomes}
         assert set(outcomes) == {
             "worker-crash", "store-locked", "disk-full", "journal-corrupt",
-            "store-locked@topology",
+            "store-locked@topology", "store-locked@peer_conformance",
         }
         for outcome in outcomes.values():
             assert outcome.recovered, outcome.summary()
@@ -82,10 +82,11 @@ class TestSmokeMatrix:
         # converged on one ground truth.
         report, workdir = smoke_run
         snapshots = {}
-        # The @topology class runs a different joblist (topology trials,
-        # not conformance trials), so it is checked separately below.
+        # The @<kind> classes run different joblists (topology / peer
+        # trials, not conformance trials), so they are checked
+        # separately below.
         for outcome in report.outcomes:
-            if outcome.fault.endswith("@topology"):
+            if "@" in outcome.fault:
                 continue
             with ResultStore(workdir / outcome.fault / "store.db") as store:
                 snapshots[outcome.fault] = {
@@ -97,13 +98,14 @@ class TestSmokeMatrix:
         for fault, snapshot in snapshots.items():
             assert snapshot == reference, f"{fault} store diverged"
 
-    def test_topology_class_recovered_bit_identical(self, smoke_run):
-        # The topology campaign's faulted store ends up holding every
-        # topology trial payload, byte-identical to the fault-free run.
+    @pytest.mark.parametrize(
+        "fault", ["store-locked@topology", "store-locked@peer_conformance"]
+    )
+    def test_campaign_kind_class_recovered_bit_identical(self, smoke_run, fault):
+        # Each campaign-kind class's faulted store ends up holding every
+        # one of its trial payloads, byte-identical to the fault-free run.
         report, workdir = smoke_run
-        outcome = next(
-            o for o in report.outcomes if o.fault == "store-locked@topology"
-        )
+        outcome = next(o for o in report.outcomes if o.fault == fault)
         assert outcome.recovered, outcome.summary()
         assert not outcome.violations
         with ResultStore(

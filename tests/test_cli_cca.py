@@ -1,0 +1,116 @@
+"""The ``repro cca`` command group: list, describe, peer-matrix."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+EXTERNAL_MODULE = """\
+from repro.cca.reno import NewReno
+from repro.ccax import CCACapabilities, register_congestion_control
+
+
+def make(mss):
+    return NewReno(mss)
+
+
+register_congestion_control(
+    'clidemo', make,
+    CCACapabilities(family='loss-based', description='cli test cca'),
+    replace=True,
+)
+"""
+
+
+@pytest.fixture
+def external_module(tmp_path):
+    module = tmp_path / "cli_cca.py"
+    module.write_text(EXTERNAL_MODULE)
+    try:
+        yield module
+    finally:
+        from repro.ccax import registry
+
+        registry.unregister("clidemo")
+
+
+def test_cca_group_listed():
+    text = build_parser().format_help()
+    assert "cca" in text
+
+
+def test_cca_list(capsys):
+    assert main(["cca", "list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("cubic", "bbr", "reno", "bbr2", "bbr3", "gcc"):
+        assert name in out
+    assert "kernel-ref" in out
+    assert "model-based" in out
+
+
+def test_cca_list_includes_loaded_modules(external_module, capsys):
+    assert main(["cca", "list", "--modules", str(external_module)]) == 0
+    out = capsys.readouterr().out
+    assert "clidemo" in out
+    assert "user" in out  # origin column distinguishes external CCAs
+
+
+def test_cca_describe(capsys):
+    assert main(["cca", "describe", "bbr3"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["name"] == "bbr3"
+    assert doc["origin"] == "builtin"
+    assert doc["family"] == "model-based"
+
+
+def test_cca_describe_unknown_fails(capsys):
+    assert main(["cca", "describe", "vegas"]) == 1
+    err = capsys.readouterr().err
+    assert "unknown cca" in err
+
+
+def test_cca_peer_matrix(tmp_path, capsys):
+    store = tmp_path / "store.db"
+    svg = tmp_path / "matrix.svg"
+    code = main(
+        [
+            "cca", "peer-matrix",
+            "--peers", "bbr3", "gcc",
+            "--duration", "4", "--trials", "2",
+            "--store", str(store), "--run", "cli-peer",
+            "--svg", str(svg),
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "bbr3" in out and "gcc" in out
+    assert "peer-score" in out or "peer_score" in out or "score" in out
+    assert "cells recorded" in out
+    assert svg.exists() and "<svg" in svg.read_text()[:200]
+
+    from repro.store import ResultStore
+
+    with ResultStore(str(store)) as result_store:
+        rows = list(result_store.query(run="cli-peer"))
+    assert any(r.metric == "peer_conf" for r in rows)
+    assert any(r.metric == "peer_score" for r in rows)
+
+
+def test_cca_peer_matrix_with_external_peer(external_module, tmp_path, capsys):
+    code = main(
+        [
+            "cca", "peer-matrix",
+            "--peers", "clidemo", "cubic",
+            "--modules", str(external_module),
+            "--duration", "4", "--trials", "1",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "clidemo" in out
+
+
+def test_cca_peer_matrix_rejects_unknown_peer(capsys):
+    code = main(["cca", "peer-matrix", "--peers", "vegas", "--duration", "4"])
+    assert code != 0

@@ -1,0 +1,155 @@
+"""Reference-free peer conformance: matrix, clustering, scores."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.envelope import EnvelopeConfig, build_envelope
+from repro.core.peer import (
+    cluster_peers,
+    evaluate_peer_conformance,
+    pairwise_conformance_matrix,
+    peer_distance_matrix,
+    peer_scores,
+)
+
+
+def blob(center, n=60, spread=0.5, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.normal(center, spread, size=(n, 2))
+
+
+def trials_at(center, seed=0):
+    """Three self-competition trials sampling the same behaviour."""
+    return [blob(center, seed=seed + t) for t in range(3)]
+
+
+def make_pe(center, seed=0):
+    return build_envelope(trials_at(center, seed=seed), EnvelopeConfig(k=1))
+
+
+def test_matrix_is_symmetric_with_unit_diagonal():
+    envelopes = {
+        "a": make_pe((10, 10), seed=1),
+        "b": make_pe((10.5, 10.5), seed=2),
+        "c": make_pe((100, 100), seed=3),
+    }
+    names, matrix = pairwise_conformance_matrix(envelopes)
+    assert names == ["a", "b", "c"]  # insertion order preserved
+    assert np.allclose(matrix, matrix.T)
+    assert np.allclose(np.diag(matrix), 1.0)
+    assert ((matrix >= 0.0) & (matrix <= 1.0)).all()
+    # Nearby behaviours overlap; the distant one does not.
+    assert matrix[0, 1] > 0.3
+    assert matrix[0, 2] == 0.0
+
+
+def test_distance_is_one_minus_conformance():
+    matrix = np.array([[1.0, 0.4], [0.4, 1.0]])
+    dist = peer_distance_matrix(matrix)
+    assert np.allclose(dist, [[0.0, 0.6], [0.6, 0.0]])
+
+
+def test_clustering_separates_distant_peer():
+    envelopes = {
+        "a": make_pe((10, 10), seed=1),
+        "b": make_pe((10, 10), seed=4),
+        "far": make_pe((100, 100), seed=5),
+    }
+    _, matrix = pairwise_conformance_matrix(envelopes)
+    labels, selection = cluster_peers(matrix, seed=0)
+    assert selection.k == 2
+    assert labels[0] == labels[1]
+    assert labels[2] != labels[0]
+    # R(1) = 1 by construction; the retention curve is non-increasing.
+    assert selection.retention[0] == pytest.approx(1.0)
+    assert all(
+        a >= b - 1e-9
+        for a, b in zip(selection.retention, selection.retention[1:])
+    )
+
+
+def test_clustering_rejects_empty_group():
+    with pytest.raises(ValueError):
+        cluster_peers(np.zeros((0, 0)))
+
+
+def test_scores_mean_conformance_to_cluster_mates():
+    matrix = np.array(
+        [
+            [1.0, 0.8, 0.1],
+            [0.8, 1.0, 0.2],
+            [0.1, 0.2, 1.0],
+        ]
+    )
+    labels = np.array([0, 0, 1])
+    scores = peer_scores(matrix, labels)
+    assert scores[0] == pytest.approx(0.8)
+    assert scores[1] == pytest.approx(0.8)
+    # The singleton scores its best conformance to ANY peer, so
+    # "conforms to nothing" reads low instead of a vacuous 1.0.
+    assert scores[2] == pytest.approx(0.2)
+
+
+def test_single_peer_scores_one():
+    assert peer_scores(np.eye(1), np.zeros(1)) == pytest.approx([1.0])
+
+
+def test_evaluate_end_to_end():
+    trials = {
+        "a": trials_at((10, 10), seed=1),
+        "b": trials_at((10, 10), seed=7),
+        "far": trials_at((100, 100), seed=9),
+    }
+    result = evaluate_peer_conformance(trials, seed=0)
+    assert result.peers == ["a", "b", "far"]
+    assert result.k == 2
+    clusters = result.clusters()
+    assert clusters["a"] == clusters["b"] != clusters["far"]
+    assert result.score_of("a") > 0.3
+    assert result.score_of("far") < result.score_of("a")
+    assert result.pair_conformance("a", "b") == result.pair_conformance("b", "a")
+    assert np.allclose(result.distance_matrix(), 1.0 - result.matrix)
+
+
+def test_evaluate_accepts_prebuilt_envelopes():
+    envelopes = {"a": make_pe((10, 10), seed=1), "b": make_pe((10, 10), seed=2)}
+    result = evaluate_peer_conformance({}, envelopes=envelopes)
+    assert result.peers == ["a", "b"]
+    assert result.envelopes.keys() == envelopes.keys()
+
+
+def test_evaluate_empty_group_raises():
+    with pytest.raises(ValueError, match="empty"):
+        evaluate_peer_conformance({})
+
+
+def test_summary_is_json_ready_and_faithful():
+    trials = {
+        "a": trials_at((10, 10), seed=1),
+        "b": trials_at((100, 100), seed=2),
+    }
+    result = evaluate_peer_conformance(trials, seed=0)
+    summary = json.loads(json.dumps(result.summary()))
+    assert summary["peers"] == ["a", "b"]
+    assert summary["k"] == result.k
+    assert summary["clusters"] == {
+        name: int(label) for name, label in zip(result.peers, result.labels)
+    }
+    assert summary["matrix"][0][0] == pytest.approx(1.0)
+    assert summary["scores"]["a"] == pytest.approx(result.score_of("a"), abs=1e-4)
+    assert summary["retention"][0] == pytest.approx(1.0)
+
+
+def test_determinism_same_seed_same_outcome():
+    trials = {
+        "a": trials_at((10, 10), seed=1),
+        "b": trials_at((11, 11), seed=2),
+        "c": trials_at((50, 50), seed=3),
+    }
+    r1 = evaluate_peer_conformance(trials, seed=0)
+    r2 = evaluate_peer_conformance(trials, seed=0)
+    assert np.array_equal(r1.matrix, r2.matrix)
+    assert np.array_equal(r1.labels, r2.labels)
+    assert np.array_equal(r1.scores, r2.scores)

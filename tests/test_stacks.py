@@ -124,3 +124,56 @@ def test_loss_styles():
     assert registry.get_stack("linux").sender_config.loss_style == "tcp"
     for profile in registry.quic_stacks():
         assert profile.sender_config.loss_style == "quic"
+
+
+class TestRegistryDerivedCapabilities:
+    """stacks.registry derives from the ccax registry, not hard-coding."""
+
+    def test_study_set_is_the_kernel_reference_set(self):
+        from repro.ccax import registry as ccax
+
+        assert registry.CCAS == ccax.kernel_reference_ccas()
+        assert registry.CCAS == ("cubic", "bbr", "reno")
+
+    def test_new_families_hosted_via_capability_fallback(self):
+        # bbr2/bbr3/gcc are not in any profile's own ccas table, yet
+        # every stack hosts them through host_stacks="*".
+        quiche = registry.get_stack("quiche")
+        assert "bbr3" not in quiche.ccas
+        assert quiche.supports("bbr3")
+        assert quiche.supports("gcc")
+        spec = quiche.flow_spec("gcc")
+        from repro.cca.gcc import GccController
+
+        assert isinstance(spec.cca_factory(), GccController)
+
+    def test_external_registration_reaches_profiles_with_zero_edits(self):
+        from repro.cca.reno import NewReno
+        from repro.ccax import registry as ccax
+        from repro.ccax import register_congestion_control
+
+        try:
+            register_congestion_control(
+                "stacktestcca", lambda mss: NewReno(mss)
+            )
+            profile = registry.get_stack("quicgo")
+            assert profile.supports("stacktestcca")
+            assert "stacktestcca" in profile.hosted_ccas()
+            # Table 1 stays as published: hosted extras never leak in.
+            assert "stacktestcca" not in profile.available_ccas()
+            assert isinstance(
+                profile.flow_spec("stacktestcca").cca_factory(), NewReno
+            )
+        finally:
+            ccax.unregister("stacktestcca")
+        assert not registry.get_stack("quicgo").supports("stacktestcca")
+
+    def test_kernel_trio_never_blanket_hosted(self):
+        # Hosting cubic/bbr/reno is a per-stack deviation-table decision
+        # (Table 1); the registry fallback must not invent support.
+        from repro.ccax import registry as ccax
+
+        for cca in registry.CCAS:
+            for profile in registry.quic_stacks():
+                assert profile.supports(cca) == (cca in profile.ccas)
+                assert not ccax.hosted_by(profile.name, cca)

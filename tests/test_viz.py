@@ -127,3 +127,86 @@ class TestLineFigure:
     def test_requires_series(self):
         with pytest.raises(ValueError):
             line_figure({})
+
+
+class TestStoredPeerMatrix:
+    """Pivoting stored peer-conformance rows into the SVG matrix panel."""
+
+    @staticmethod
+    def _store_with_peer_rows(tmp_path, conditions=1):
+        from repro.harness.config import NetworkCondition
+        from repro.store import ResultStore
+
+        store = ResultStore(str(tmp_path / "store.db"))
+        run = store.ensure_run("peer-viz")
+        values = {("a", "b"): 0.8, ("b", "a"): 0.8,
+                  ("a", "c"): 0.1, ("c", "a"): 0.1,
+                  ("b", "c"): 0.2, ("c", "b"): 0.2}
+        for n in range(conditions):
+            condition = NetworkCondition(
+                bandwidth_mbps=8 + n, rtt_ms=20, buffer_bdp=1.0
+            )
+            for (row, col), value in values.items():
+                store.record_metrics(
+                    run, stack=row, cca=col, variant="peer",
+                    condition=condition,
+                    metrics={"peer_conf": value,
+                             "peer_distance": 1.0 - value},
+                )
+        return store
+
+    def test_matrix_pivot_and_diagonal(self, tmp_path):
+        from repro.viz.store import stored_peer_matrix
+
+        store = self._store_with_peer_rows(tmp_path)
+        with store:
+            peers, cols, values = stored_peer_matrix(store, "peer-viz")
+        assert peers == ["a", "b", "c"]
+        assert cols == peers  # single condition: plain peer labels
+        assert values.shape == (3, 3)
+        # Diagonal reconstructed at 1.0 for conformance ...
+        assert np.allclose(np.diag(values), 1.0)
+        assert values[0, 1] == pytest.approx(0.8)
+        assert values[2, 0] == pytest.approx(0.1)
+
+    def test_distance_metric_has_zero_diagonal(self, tmp_path):
+        from repro.viz.store import stored_peer_matrix
+
+        store = self._store_with_peer_rows(tmp_path)
+        with store:
+            _, _, values = stored_peer_matrix(
+                store, "peer-viz", metric="peer_distance"
+            )
+        assert np.allclose(np.diag(values), 0.0)
+        assert values[0, 1] == pytest.approx(0.2)
+
+    def test_multi_condition_gets_column_blocks(self, tmp_path):
+        from repro.viz.store import stored_peer_matrix
+
+        store = self._store_with_peer_rows(tmp_path, conditions=2)
+        with store:
+            peers, cols, values = stored_peer_matrix(store, "peer-viz")
+        assert len(peers) == 3
+        assert len(cols) == 6
+        assert all("@" in c for c in cols)
+        assert values.shape == (3, 6)
+
+    def test_figure_renders_svg(self, tmp_path):
+        from repro.viz.store import stored_peer_matrix_figure
+
+        store = self._store_with_peer_rows(tmp_path)
+        with store:
+            canvas = stored_peer_matrix_figure(store, "peer-viz")
+        svg = canvas.to_svg()
+        root = parse(svg)
+        assert root.tag.endswith("svg")
+        assert "peer peer_conf" in svg and "peer-viz" in svg
+
+    def test_missing_rows_raise(self, tmp_path):
+        from repro.store import ResultStore
+        from repro.viz.store import stored_peer_matrix
+
+        with ResultStore(str(tmp_path / "empty.db")) as store:
+            store.ensure_run("bare")
+            with pytest.raises(ValueError, match="no peer-matrix"):
+                stored_peer_matrix(store, "bare")
