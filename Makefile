@@ -4,7 +4,7 @@
 # numerically identical at any job count.  e.g. `make bench JOBS=4`.
 JOBS ?= 1
 
-.PHONY: install test lint bench quick-bench store-smoke service-smoke topo-smoke cca-smoke chaos clean-cache loc
+.PHONY: install test lint bench quick-bench store-smoke service-smoke topo-smoke cca-smoke fabric-smoke chaos clean-cache loc
 
 install:
 	pip install -e .
@@ -59,6 +59,14 @@ cca-smoke:
 	  --store /tmp/quicbench-cca.db --run cca-smoke
 	PYTHONPATH=src python -m repro store query --db /tmp/quicbench-cca.db \
 	  --metric peer_score --format csv
+
+# Distributed fabric exercise over real process boundaries: boot the
+# coordinator and two worker processes, run a campaign, assert the
+# warehouse is bit-identical to the single-process scheduler and that an
+# identical resubmission is fully cache-served (the same flow CI's
+# fabric-smoke job runs).
+fabric-smoke:
+	python examples/fabric_smoke.py
 
 # Deterministic fault injection against a real campaign: every trial
 # must land bit-identical to the fault-free baseline or fail typed and

@@ -9,7 +9,7 @@
 """
 
 import numpy as np
-from conftest import run_once
+from conftest import emit_bench, run_once
 
 from repro.core.conformance import conformance, conformance_post_translation
 from repro.core.envelope import EnvelopeConfig, build_envelope
@@ -56,6 +56,10 @@ def test_ablation_clustering_and_outliers(benchmark, bench_config, bench_cache, 
         title="Ablation: PE construction choices vs measured conformance",
     )
     save_artifact("ablation_pe_construction", text)
+    emit_bench(__file__, pe_construction={
+        r[0]: {"clustered": r[1], "single_hull": r[2], "pooled": r[3]}
+        for r in rows
+    })
     by_stack = {r[0]: r for r in rows}
     # Single hull inflates the low-conformance cases.
     assert by_stack["quiche"][2] >= by_stack["quiche"][1]

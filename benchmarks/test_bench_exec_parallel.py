@@ -12,7 +12,7 @@ parallelism) is what this benchmark pins down.
 
 import time
 
-from conftest import run_once
+from conftest import emit_bench, run_once
 
 from repro.exec import Executor
 from repro.harness import scenarios
@@ -63,3 +63,10 @@ def test_exec_parallel_matches_serial(benchmark, save_artifact):
         "all heatmap cells numerically identical: yes",
     ]
     save_artifact("exec_parallel", "\n".join(lines))
+    emit_bench(
+        __file__,
+        cells=len(serial),
+        serial_wall_s=round(serial_wall, 3),
+        parallel_wall_s=round(parallel_wall, 3),
+        exec_mode=executor.last_mode,
+    )

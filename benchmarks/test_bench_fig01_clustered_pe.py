@@ -6,7 +6,7 @@ single hull's overlap is mostly empty space.
 """
 
 import numpy as np
-from conftest import run_once
+from conftest import emit_bench, run_once
 
 from repro.core.conformance import conformance, conformance_legacy
 from repro.core.envelope import EnvelopeConfig, build_envelope
@@ -44,5 +44,7 @@ def test_fig1_single_hull_vs_clustered(benchmark, bench_config, bench_cache, sav
         "  -> the single hull overestimates conformance for clustered clouds"
     )
     save_artifact("fig01_clustered_pe", text)
+    emit_bench(__file__, single_hull=round(single, 3),
+               clustered=round(clustered, 3), legacy=round(legacy, 3))
     assert clustered < single
     assert clustered < 0.5

@@ -9,7 +9,7 @@
 """
 
 import numpy as np
-from conftest import run_once
+from conftest import emit_bench, run_once
 
 from repro.core.envelope import EnvelopeConfig, build_envelope
 from repro.harness import reporting, scenarios
@@ -65,6 +65,8 @@ def test_fig4_retention_curve(benchmark, bench_config, bench_cache, save_artifac
         title=f"Fig 4: information retained vs cluster count (chosen k={pe.k})",
     )
     save_artifact("fig04_k_selection", text)
+    emit_bench(__file__, chosen_k=pe.k,
+               retention_curve=[round(float(r), 3) for r in curve])
     # R is (weakly) decreasing in k.
     assert all(a >= b - 0.05 for a, b in zip(curve, curve[1:]))
     # The chosen k retains most points; k+1 retains fewer.

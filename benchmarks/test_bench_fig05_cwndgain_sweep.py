@@ -5,7 +5,7 @@ from the default 2.0 collapses Conformance while Conformance-T stays
 high, and the translation components grow with the gain.
 """
 
-from conftest import run_once
+from conftest import emit_bench, run_once
 
 from repro.analysis.sweeps import cwnd_gain_sweep
 from repro.harness import reporting
@@ -37,6 +37,11 @@ def test_fig5_cwnd_gain_sweep(
         "gain 2.0, Conf-T stays high)",
     )
     save_artifact("fig05_cwndgain_sweep", text)
+    emit_bench(__file__, conformance={
+        str(p.cwnd_gain): round(p.conformance, 3) for p in points
+    }, conformance_t={
+        str(p.cwnd_gain): round(p.conformance_t, 3) for p in points
+    })
 
     by_gain = {p.cwnd_gain: p for p in points}
     default = by_gain[2.0]

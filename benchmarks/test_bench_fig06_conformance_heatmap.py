@@ -6,7 +6,7 @@ degrades at 5 BDP (Fig. 6a).
 """
 
 import numpy as np
-from conftest import run_once
+from conftest import emit_bench, run_once
 
 from repro.harness import reporting, scenarios
 from repro.harness.conformance import conformance_heatmap
@@ -82,6 +82,8 @@ def test_fig6a_deep_buffer(
         "EXPERIMENTS.md 'Known fidelity gaps')"
     )
     save_artifact("fig06_summary", summary)
+    emit_bench(__file__, mean_shallow=round(float(mean_shallow), 3),
+               mean_deep=round(float(mean_deep), 3), cells=len(deep_values))
     # The per-implementation deep-buffer claims the paper makes explicitly:
     # xquic BBR's lack of conformance "became worse in deep buffers"
     # (Fig 10)...

@@ -7,7 +7,7 @@ buffer depths (0.5, 1, 3, 5 BDP).
 * Fig 10 — xquic BBR (paper: worse in deep buffers)
 """
 
-from conftest import run_once
+from conftest import emit_bench, run_once
 
 from repro.harness import reporting, scenarios
 from repro.harness.conformance import measure_conformance
@@ -49,6 +49,9 @@ def test_fig7_to_10_buffer_sweep(benchmark, bench_config, bench_cache, save_arti
         title="Figs 7-10: non-conformant implementations across buffer depths",
     )
     save_artifact("fig07_10_envelopes", text)
+    emit_bench(__file__, cells=len(results), low_conformance_cells=sum(
+        1 for m in results.values() if m.conformance < 0.5
+    ))
 
     # Fig 9: mvfst BBR shows high Conf-T at every buffer depth.
     for buf in BUFFERS:

@@ -10,7 +10,7 @@ one CCA every stack implements; the harness function accepts any subset.
 """
 
 import numpy as np
-from conftest import run_once
+from conftest import emit_bench, run_once
 
 from repro.harness import reporting, scenarios
 from repro.harness.config import ExperimentConfig
@@ -51,6 +51,8 @@ def test_fig11_internet_conformance(
         "(paper: 'similar to our results for 1 BDP buffer')",
     )
     save_artifact("fig11_internet", text)
+    emit_bench(__file__, stacks=len(rows),
+               verdict_agreement=round(float(np.mean(agree)), 3))
 
     # The low/high conformance verdicts mostly agree with the testbed.
     assert np.mean(agree) >= 0.6

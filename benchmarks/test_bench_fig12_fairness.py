@@ -6,7 +6,7 @@ and lsquic CUBIC is mildly unfair despite high conformance, so high
 conformance does not guarantee fairness.
 """
 
-from conftest import run_once
+from conftest import emit_bench, run_once
 
 from repro.harness import reporting, scenarios
 from repro.harness.fairness import intra_cca_matrix
@@ -46,6 +46,11 @@ def test_fig12_intra_cca_share_matrices(
         sections.append(f"overly aggressive ({cca}): {aggressive or 'none'}")
     text = "\n\n".join(sections)
     save_artifact("fig12_fairness", text)
+    emit_bench(__file__, quiche_vs_kernel_cubic=round(
+        matrices["cubic"].share("quiche-cubic", "linux-cubic"), 3
+    ), mvfst_vs_kernel_bbr=round(
+        matrices["bbr"].share("mvfst-bbr", "linux-bbr"), 3
+    ))
 
     cubic = matrices["cubic"]
     # The aggressive CUBIC implementations beat the kernel.

@@ -10,7 +10,7 @@ the low-conformance CUBICs + two conformant ones); the harness accepts
 any subset.
 """
 
-from conftest import run_once
+from conftest import emit_bench, run_once
 
 from repro.harness import reporting, scenarios
 from repro.harness.fairness import inter_cca_matrix
@@ -56,6 +56,10 @@ def test_fig13_inter_cca_matrices(
     save_artifact("fig13_inter_cca", "\n\n".join(sections))
 
     shallow, deep = matrices["shallow"], matrices["deep"]
+    emit_bench(__file__, kernel_bbr_vs_kernel_cubic={
+        "shallow": round(shallow.share("linux-bbr", "linux-cubic"), 3),
+        "deep": round(deep.share("linux-bbr", "linux-cubic"), 3),
+    })
     # Textbook: kernel BBR beats kernel CUBIC in shallow buffers...
     assert shallow.share("linux-bbr", "linux-cubic") > 0.6
     # ...and loses in deep buffers.

@@ -7,7 +7,7 @@ from ever backing off).
 """
 
 import numpy as np
-from conftest import run_once
+from conftest import emit_bench, run_once
 
 from repro.analysis.fixes import FIXES, cwnd_time_series, evaluate_all_fixes
 from repro.harness import reporting, scenarios
@@ -42,6 +42,11 @@ def test_table4_fixes(benchmark, bench_config, bench_cache, save_artifact):
         "(primed columns = after the fix / verification reference)",
     )
     save_artifact("table4_fixes", text)
+    emit_bench(__file__, fixes=len(outcomes), improved=sum(
+        1 for o in outcomes
+        if o.after is not None
+        and o.after.conformance > o.before.conformance
+    ))
 
     by_key = {(o.case.stack, o.case.cca): o for o in outcomes}
     # Each applied fix improves conformance (paper Table 4 / Figs 14-15).

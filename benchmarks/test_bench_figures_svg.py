@@ -10,7 +10,7 @@ cached measurements the other benchmarks use:
 """
 
 import numpy as np
-from conftest import OUTPUT_DIR, run_once
+from conftest import OUTPUT_DIR, emit_bench, run_once
 
 from repro.analysis.sweeps import cwnd_gain_sweep
 from repro.harness import scenarios
@@ -73,6 +73,7 @@ def test_svg_figures(benchmark, bench_config, bench_cache, save_artifact):
         "rendered: fig06b_heatmap.svg, fig09_mvfst_envelope.svg, "
         "fig15_quiche_envelope.svg, fig05_sweep.svg",
     )
+    emit_bench(__file__, figures=4, heatmap_cells=len(heat))
     for name in (
         "fig06b_heatmap.svg",
         "fig09_mvfst_envelope.svg",

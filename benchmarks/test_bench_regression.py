@@ -7,7 +7,7 @@ it is conformant to the HyStart-less kernel (Table 4's verification) —
 which is exactly the phenomenon §6 says demands per-milestone testing.
 """
 
-from conftest import run_once
+from conftest import emit_bench, run_once
 
 from repro.harness import reporting, scenarios
 from repro.harness.regression import MILESTONES, flipped_verdicts, regression_matrix
@@ -47,6 +47,9 @@ def test_kernel_milestone_regression(benchmark, bench_config, bench_cache, save_
         "(§6 'Keeping up with the kernel')",
     )
     save_artifact("regression_kernel_milestones", text)
+    emit_bench(__file__, implementations=len(rows_data), verdict_flips=sum(
+        1 for r in rows_data if r.verdict_flips
+    ))
 
     by_key = {(r.stack, r.cca): r for r in rows_data}
     xquic = by_key[("xquic", "cubic")]

@@ -1,6 +1,6 @@
 """Tables 1 and 2: the stack inventory."""
 
-from conftest import run_once
+from conftest import emit_bench, run_once
 
 from repro.harness import reporting
 from repro.stacks import registry
@@ -28,6 +28,8 @@ def test_table1_studied_stacks(benchmark, save_artifact):
 
     text = run_once(benchmark, build)
     save_artifact("table1_stacks", text)
+    emit_bench(__file__, studied_stacks=len(registry.STACKS),
+               known_stacks=len(registry.KNOWN_STACKS))
     assert "quiche" in text and "xquic" in text
 
 

@@ -15,7 +15,7 @@ import time
 
 import numpy as np
 
-from conftest import OUTPUT_DIR, run_once
+from conftest import OUTPUT_DIR, emit_bench, run_once
 
 from repro.harness.config import NetworkCondition
 from repro.store import ResultStore, diff_runs
@@ -128,3 +128,10 @@ def test_store_ingest_and_query(benchmark, save_artifact):
         f"database size:   {db_mb:.1f} MB",
     ]
     save_artifact("store_throughput", "\n".join(lines))
+    emit_bench(
+        __file__,
+        trials_per_s=round(N_TRIALS / ingest_wall, 1),
+        measurements_per_s=round(n_measurements / metrics_wall, 1),
+        query_all_ms=round(query_all_ms, 2),
+        diff_ms=round(diff_ms, 2),
+    )

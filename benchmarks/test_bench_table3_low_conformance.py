@@ -6,7 +6,7 @@ implementations are low-conformance, Conformance-T far above Conformance,
 and the sign of the Δ offsets.
 """
 
-from conftest import run_once
+from conftest import emit_bench, run_once
 
 from repro.harness import reporting, scenarios
 from repro.harness.conformance import measure_conformance
@@ -55,6 +55,12 @@ def test_table3(benchmark, bench_config, bench_cache, save_artifact):
         "(measured vs paper 'p:' columns)",
     )
     save_artifact("table3_low_conformance", text)
+    emit_bench(__file__, conformance={
+        f"{stack}-{cca}": round(
+            measurements[(stack, cca)].result.conformance, 3
+        )
+        for stack, cca in PAPER_ROWS
+    })
 
     for key, m in measurements.items():
         r = m.result

@@ -6,7 +6,7 @@ Uses the deep-buffer interaction setting of the paper's counterexample
 beat chromium BBR in deep buffers).
 """
 
-from conftest import run_once
+from conftest import emit_bench, run_once
 
 from repro.analysis.transitivity import analyze
 from repro.harness import reporting, scenarios
@@ -46,6 +46,8 @@ def test_transitivity(benchmark, share_config, bench_cache, save_artifact):
     )
     text = "\n".join(lines) + "\n\n" + matrix
     save_artifact("transitivity", text)
+    emit_bench(__file__, intra_violations=len(intra.violations),
+               inter_violations=len(inter.violations))
 
     # Paper: intra-CCA relations are (at most weakly) intransitive
     # compared to the cross-CCA ones.

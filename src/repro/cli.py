@@ -1120,7 +1120,9 @@ def cmd_submit(args) -> int:
     client = ServiceClient(args.url)
     spec = _read_spec(args.spec)
     try:
-        campaign = client.submit_blocking(spec, priority=args.priority)
+        campaign = client.submit_blocking(
+            spec, priority=args.priority, tenant=args.tenant
+        )
     except ServiceError as exc:
         print(f"submit rejected: {exc}", file=sys.stderr)
         return 1
@@ -1152,6 +1154,115 @@ def cmd_watch(args) -> int:
         print(f"watch failed: {exc}", file=sys.stderr)
         return 1
     return 0 if final["state"] == "done" else 1
+
+
+def cmd_fabric_serve(args) -> int:
+    """Boot the fabric coordinator: durable queue + HTTP front door."""
+    from repro.fabric.coordinator import Coordinator
+    from repro.fabric.frontdoor import FabricFrontDoor
+    from repro.service.server import ServiceApp
+
+    coordinator = Coordinator(
+        args.db,
+        exec_jobs=args.jobs,
+        max_pending=args.max_pending,
+        lease_ttl_s=args.lease_ttl,
+        max_attempts=args.max_attempts,
+    )
+    for entry in args.tenant or []:
+        name, _, weight = entry.partition(":")
+        coordinator.ensure_tenant(name, weight=int(weight) if weight else 1)
+    if args.threaded:
+        app = ServiceApp(
+            args.db, host=args.host, port=args.port, scheduler=coordinator
+        )
+    else:
+        app = FabricFrontDoor(
+            args.db, host=args.host, port=args.port, scheduler=coordinator
+        )
+    app.install_signal_handlers()
+    app.start()
+    if app.resumed:
+        print(f"resumed {len(app.resumed)} pending campaign(s) from the journal")
+    front = "threaded" if args.threaded else "async"
+    print(
+        f"repro fabric coordinator listening on {app.url} "
+        f"({front} front door, store: {args.db})",
+        flush=True,
+    )
+    app.wait()
+    print("repro fabric coordinator stopped (queue remains durable)")
+    return 0
+
+
+def cmd_fabric_worker(args) -> int:
+    """Run a fabric worker: lease campaigns from a coordinator and
+    execute them through the standard exec+store pipeline."""
+    import os as _os
+    import signal
+
+    from repro.fabric.worker import FabricWorker, HttpTransport
+
+    name = args.name or f"worker-{_os.getpid()}"
+    worker = FabricWorker(
+        HttpTransport(args.url),
+        name=name,
+        store_path=args.store,
+        scratch_dir=args.scratch,
+        jobs=args.jobs,
+        poll_s=args.poll,
+        ttl_s=args.ttl,
+        log=lambda msg: print(msg, flush=True),
+    )
+
+    def _terminate(signum, frame):
+        worker.stop()
+
+    signal.signal(signal.SIGTERM, _terminate)
+    signal.signal(signal.SIGINT, _terminate)
+    mode = "shared store" if args.store else "remote (result bundles)"
+    print(f"{name}: polling {args.url} ({mode})", flush=True)
+    handled = worker.run(once=args.once, max_tasks=args.max_tasks)
+    print(f"{name}: exiting after {handled} task(s)")
+    return 0
+
+
+def cmd_fabric_status(args) -> int:
+    """Snapshot a coordinator's queue: depth, tenants, live leases."""
+    from repro.service import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url)
+    try:
+        status = client.fabric_status()
+    except ServiceError as exc:
+        print(f"status failed: {exc}", file=sys.stderr)
+        return 1
+    states = ", ".join(
+        f"{count} {state}" for state, count in sorted(status["states"].items())
+    ) or "empty"
+    print(f"queue depth {status['depth']} ({states})")
+    if status["tenants"]:
+        print("tenants:")
+        for name, t in sorted(status["tenants"].items()):
+            quota = ""
+            if t.get("max_pending") is not None:
+                quota += f" max_pending={t['max_pending']}"
+            if t.get("max_active") is not None:
+                quota += f" max_active={t['max_active']}"
+            print(
+                f"  {name:<16} weight={t['weight']} "
+                f"pending={t['pending']} leased={t['leased']} "
+                f"done={t['done']} failed={t['failed']}{quota}"
+            )
+    if status["leases"]:
+        print("leases:")
+        for lease in status["leases"]:
+            print(
+                f"  {lease['campaign']} -> {lease['owner']} "
+                f"(tenant {lease['tenant']}, attempt {lease['attempt']}, "
+                f"expires in {lease['expires_in_s']:.1f}s)"
+            )
+    return 0
 
 
 def cmd_store_render(args) -> int:
@@ -1366,6 +1477,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--spec", required=True,
                    help="campaign spec JSON file ('-' reads stdin)")
     p.add_argument("--priority", type=int, default=0)
+    p.add_argument("--tenant", default=None,
+                   help="tenant the campaign is billed to (fabric "
+                   "deployments schedule fairly across tenants)")
     p.add_argument("--wait", action="store_true",
                    help="block until the campaign finishes")
     p.add_argument("--watch", action="store_true",
@@ -1452,6 +1566,67 @@ def build_parser() -> argparse.ArgumentParser:
     _add_experiment_args(p)
     _add_exec_args(p)
     p.set_defaults(fn=cmd_cca_peer_matrix)
+
+    fabric = sub.add_parser(
+        "fabric", help="distributed campaign fabric (repro.fabric)"
+    )
+    fabric_sub = fabric.add_subparsers(dest="fabric_command", required=True)
+
+    p = fabric_sub.add_parser(
+        "serve", help="run the coordinator: durable queue + front door"
+    )
+    p.add_argument("--db", required=True, help="warehouse SQLite file")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8437,
+                   help="TCP port (0 = pick a free one; the chosen port "
+                   "is printed on the listening line)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="executor jobs per campaign (workers inherit)")
+    p.add_argument("--max-pending", type=int, default=64,
+                   help="queued-campaign cap; beyond it POST /campaigns "
+                   "returns 429 + Retry-After")
+    p.add_argument("--lease-ttl", type=float, default=30.0,
+                   help="seconds a worker lease lives between heartbeats")
+    p.add_argument("--max-attempts", type=int, default=3,
+                   help="lease attempts before a task fails for good")
+    p.add_argument("--tenant", action="append", default=[],
+                   metavar="NAME[:WEIGHT]",
+                   help="pre-register a tenant with a DRR weight "
+                   "(repeatable)")
+    p.add_argument("--threaded", action="store_true",
+                   help="serve on the thread-per-connection front end "
+                   "instead of the asyncio front door")
+    p.set_defaults(fn=cmd_fabric_serve)
+
+    p = fabric_sub.add_parser(
+        "worker", help="run a worker agent against a coordinator"
+    )
+    p.add_argument("--url", required=True, help="coordinator base URL")
+    p.add_argument("--name", default=None,
+                   help="worker name (default: worker-<pid>)")
+    p.add_argument("--store", default=None,
+                   help="shared warehouse file (same host/filesystem as "
+                   "the coordinator); omit to run remote and ship "
+                   "result bundles")
+    p.add_argument("--scratch", default=None,
+                   help="scratch directory for remote-mode stores")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="executor processes per campaign")
+    p.add_argument("--poll", type=float, default=0.5,
+                   help="seconds between empty lease polls")
+    p.add_argument("--ttl", type=float, default=30.0,
+                   help="lease TTL requested from the coordinator")
+    p.add_argument("--once", action="store_true",
+                   help="exit at the first empty poll (drain mode)")
+    p.add_argument("--max-tasks", type=int, default=None,
+                   help="exit after handling this many tasks")
+    p.set_defaults(fn=cmd_fabric_worker)
+
+    p = fabric_sub.add_parser(
+        "status", help="queue depth, tenants and live leases"
+    )
+    p.add_argument("--url", required=True, help="coordinator base URL")
+    p.set_defaults(fn=cmd_fabric_status)
 
     p = sub.add_parser(
         "chaos",

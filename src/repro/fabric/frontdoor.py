@@ -1,0 +1,356 @@
+"""The fabric's asyncio front door: one event loop, thousands of watchers.
+
+The threaded server in :mod:`repro.service.server` spends a thread per
+connection — fine for a laptop service, but a coordinator fronting a
+worker fleet holds many long-lived connections open at once (every
+worker long-polls for leases, every dashboard long-polls or streams
+events).  :class:`FabricFrontDoor` serves the *same* REST surface —
+routes come from the shared :class:`~repro.service.router.ServiceRouter`
+— on a single asyncio event loop:
+
+* **long-poll** and **SSE** wait on the loop, not on a thread.  The
+  scheduler's event listener seam
+  (:meth:`~repro.service.scheduler.Scheduler.add_event_listener`) is
+  bridged into the loop with ``call_soon_threadsafe``, so a trial
+  finishing on a worker heartbeat wakes exactly the coroutines watching
+  that campaign;
+* **blocking routes** (SQLite reads, scheduler mutations) run in the
+  default executor so the loop never stalls;
+* the HTTP/1.1 parsing is a deliberately small stdlib-only reader —
+  request line, headers, ``Content-Length`` body, keep-alive.
+
+The front door owns its scheduler the way :class:`ServiceApp` does;
+pass a :class:`~repro.fabric.coordinator.Coordinator` to serve the
+fabric worker protocol (``repro fabric serve`` does).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from typing import Dict, Optional, Tuple
+
+from repro.service.router import (
+    MAX_BODY_BYTES,
+    EventStream,
+    LongPoll,
+    Response,
+    ServiceRouter,
+    error_response,
+    sse_chunk,
+    sse_final,
+)
+from repro.service.scheduler import Scheduler, TERMINAL_STATES
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+}
+
+
+class _Notifier:
+    """Bridge scheduler events (emitted on arbitrary threads) into the
+    event loop: one waiter set per campaign, woken via
+    ``call_soon_threadsafe``."""
+
+    def __init__(self, loop: asyncio.AbstractEventLoop):
+        self._loop = loop
+        self._waiters: Dict[str, asyncio.Event] = {}
+
+    def listener(self, campaign_id: str) -> None:
+        """Scheduler-side callback; safe from any thread."""
+        self._loop.call_soon_threadsafe(self._wake, campaign_id)
+
+    def _wake(self, campaign_id: str) -> None:
+        event = self._waiters.get(campaign_id)
+        if event is not None:
+            event.set()
+
+    async def wait(self, campaign_id: str, timeout: float) -> None:
+        """Park until the campaign emits an event or the timeout lapses."""
+        event = self._waiters.get(campaign_id)
+        if event is None or event.is_set():
+            event = asyncio.Event()
+            self._waiters[campaign_id] = event
+        try:
+            await asyncio.wait_for(event.wait(), timeout)
+        except asyncio.TimeoutError:
+            pass
+        finally:
+            if self._waiters.get(campaign_id) is event and event.is_set():
+                del self._waiters[campaign_id]
+
+
+class FabricFrontDoor:
+    """Asyncio HTTP server over the shared service router."""
+
+    def __init__(
+        self,
+        store_path: str,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        scheduler: Optional[Scheduler] = None,
+        resume: bool = True,
+    ):
+        self.store_path = str(store_path)
+        self.scheduler = scheduler or Scheduler(
+            store_path=store_path, workers=1
+        )
+        self.resumed = self.scheduler.resume_pending() if resume else []
+        self.router = ServiceRouter(self.store_path, self.scheduler)
+        self._host = host
+        self._port = port
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._notifier: Optional[_Notifier] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._stopping: Optional[asyncio.Event] = None
+        self._stopped = threading.Event()
+        self._bound: Tuple[str, int] = (host, port)
+
+    # ----------------------------------------------------------- lifecycle
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self._bound
+
+    @property
+    def url(self) -> str:
+        host, port = self._bound
+        return f"http://{host}:{port}"
+
+    def start(self) -> None:
+        """Run the event loop on a background thread until :meth:`stop`."""
+        self._thread = threading.Thread(
+            target=self._run_loop, name="repro-fabric-frontdoor", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait(timeout=10.0)
+
+    def _run_loop(self) -> None:
+        asyncio.run(self._serve())
+
+    async def _serve(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._notifier = _Notifier(self._loop)
+        self.scheduler.add_event_listener(self._notifier.listener)
+        self._stopping = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle, self._host, self._port
+        )
+        sock = self._server.sockets[0].getsockname()
+        self._bound = (sock[0], sock[1])
+        self._ready.set()
+        async with self._server:
+            await self._stopping.wait()
+
+    def stop(self, drain: bool = False) -> None:
+        """Close the listener, stop the loop, then stop the scheduler."""
+        if self._loop is not None and self._stopping is not None:
+            self._loop.call_soon_threadsafe(self._stopping.set)
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+        self.scheduler.shutdown(drain=drain)
+        self._stopped.set()
+
+    def install_signal_handlers(self) -> None:
+        """SIGTERM/SIGINT => graceful stop (journal keeps queued work)."""
+        import signal
+
+        def _terminate(signum, frame):
+            threading.Thread(
+                target=self.stop, kwargs={"drain": False}, daemon=True
+            ).start()
+
+        signal.signal(signal.SIGTERM, _terminate)
+        signal.signal(signal.SIGINT, _terminate)
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        return self._stopped.wait(timeout)
+
+    # ---------------------------------------------------------- connection
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                method, parts, query, accept, payload = request
+                keep_alive = await self._dispatch(
+                    writer, method, parts, query, accept, payload
+                )
+                if not keep_alive:
+                    break
+        except (
+            asyncio.IncompleteReadError,
+            ConnectionResetError,
+            BrokenPipeError,
+        ):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader):
+        from urllib.parse import parse_qs, unquote, urlparse
+
+        request_line = await reader.readline()
+        if not request_line or not request_line.strip():
+            return None
+        try:
+            method, target, _version = request_line.decode().split(None, 2)
+        except ValueError:
+            return None
+        headers: Dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode().partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length") or 0)
+        if length > MAX_BODY_BYTES:
+            return method, ["__too_large__"], {}, "", None
+        body = await reader.readexactly(length) if length else b""
+        parsed = urlparse(target)
+        query = {
+            key: values[-1]
+            for key, values in parse_qs(parsed.query).items()
+        }
+        parts = [unquote(p) for p in parsed.path.split("/") if p]
+        payload = None
+        if method == "POST":
+            try:
+                payload = json.loads(body.decode() or "{}")
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                payload = ...  # sentinel: malformed JSON
+        return method, parts, query, headers.get("accept", ""), payload
+
+    async def _dispatch(
+        self, writer, method, parts, query, accept, payload
+    ) -> bool:
+        if parts == ["__too_large__"]:
+            await self._write(
+                writer, error_response(413, "request body too large")
+            )
+            return False
+        if method == "GET":
+            result = await self._in_executor(
+                self.router.handle_get, parts, query, accept
+            )
+            if isinstance(result, LongPoll):
+                result = await self._long_poll(result)
+            elif isinstance(result, EventStream):
+                await self._sse(writer, result)
+                return False  # SSE closes the connection
+            await self._write(writer, result)
+            return True
+        if method == "POST":
+            if payload is ...:
+                await self._write(
+                    writer,
+                    error_response(400, "request body is not valid JSON"),
+                )
+                return True
+            result = await self._in_executor(
+                self.router.handle_post, parts, query, payload
+            )
+            await self._write(writer, result)
+            return True
+        await self._write(
+            writer, error_response(404, f"unsupported method: {method}")
+        )
+        return False
+
+    async def _in_executor(self, fn, *args):
+        return await asyncio.get_running_loop().run_in_executor(
+            None, lambda: fn(*args)
+        )
+
+    # ---------------------------------------------------------- long waits
+
+    async def _events_since(self, campaign_id: str, after: int):
+        return await self._in_executor(
+            self.scheduler.events_since, campaign_id, after
+        )
+
+    async def _long_poll(self, poll: LongPoll) -> Response:
+        """Async long-poll: park on the notifier instead of a thread."""
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + poll.timeout
+        while True:
+            events = await self._events_since(poll.campaign_id, poll.after)
+            job = self.scheduler.job(poll.campaign_id)
+            terminal = job is None or job.state in TERMINAL_STATES
+            if events or terminal:
+                return self.router.events_page(
+                    poll.campaign_id, poll.after, events
+                )
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                return self.router.events_page(
+                    poll.campaign_id, poll.after, events
+                )
+            await self._notifier.wait(poll.campaign_id, min(remaining, 15.0))
+
+    async def _sse(self, writer, stream: EventStream) -> None:
+        head = (
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: text/event-stream\r\n"
+            b"Cache-Control: no-cache\r\n"
+            b"Connection: close\r\n\r\n"
+        )
+        writer.write(head)
+        await writer.drain()
+        cursor = stream.after
+        while True:
+            events = await self._events_since(stream.campaign_id, cursor)
+            if events:
+                writer.write(sse_chunk(events))
+                await writer.drain()
+            cursor += len(events)
+            job = self.scheduler.job(stream.campaign_id)
+            if job is None:
+                return
+            if job.state in TERMINAL_STATES and len(job.events) <= cursor:
+                writer.write(sse_final(job.snapshot()))
+                await writer.drain()
+                return
+            if not events:
+                writer.write(sse_chunk([]))  # keep-alive comment
+                await writer.drain()
+                await self._notifier.wait(stream.campaign_id, 15.0)
+
+    # ------------------------------------------------------------ response
+
+    async def _write(self, writer, response: Response) -> None:
+        reason = _REASONS.get(response.status, "OK")
+        lines = [
+            f"HTTP/1.1 {response.status} {reason}",
+            f"Content-Type: {response.content_type}",
+            f"Content-Length: {len(response.body)}",
+        ]
+        for name, value in response.headers.items():
+            lines.append(f"{name.replace('_', '-')}: {value}")
+        lines.append("Connection: keep-alive")
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode()
+        writer.write(head + response.body)
+        await writer.drain()
+
+
+__all__ = ["FabricFrontDoor"]

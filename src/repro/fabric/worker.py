@@ -1,0 +1,388 @@
+"""The fabric worker agent: lease → execute → report, survivably.
+
+A worker is a separate process (``repro fabric worker``), optionally on
+a different machine, that pulls campaign leases from the coordinator
+and runs them through the same :class:`repro.exec.Executor` +
+:class:`repro.store.StoreCache` pipeline the single-process scheduler
+uses — so results are bit-identical by construction.
+
+Two store modes:
+
+* **shared** (``store_path`` given): the worker opens the coordinator's
+  warehouse file directly (same host / shared filesystem).  Trials
+  write through as they complete; ``complete`` ships only the summary.
+* **remote** (no ``store_path``): the worker runs against a scratch
+  store and ships a :mod:`repro.fabric.wire` result bundle back on
+  ``complete``; the coordinator ingests it into the shared warehouse.
+
+Crash-safety is lease-based, not protocol-based: a worker that is
+SIGKILLed mid-campaign simply stops heartbeating, its lease expires,
+and the task returns to the queue for the next worker.  Completed
+trials are already durable (shared mode) or recomputed deterministically
+(remote mode), and content-addressed keys dedupe either way.  All HTTP
+calls ride the unified :class:`repro.faults.RetryPolicy`.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import threading
+from pathlib import Path
+from typing import Callable, List, Optional
+
+from repro.exec.telemetry import default_clock
+from repro.faults import inject
+from repro.faults.retry import RetryPolicy, default_sleep
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.specs import execute_campaign, parse_campaign_spec
+
+
+class _LeaseLost(Exception):
+    """The coordinator re-leased our task; abandon it quietly."""
+
+
+class _CancelRequested(Exception):
+    """The campaign was cancelled; abort at the trial boundary."""
+
+
+def lease_to_wire(lease) -> dict:
+    """Flatten a :class:`repro.fabric.queue.Lease` for JSON transport."""
+    payload = lease.spec if isinstance(lease.spec, dict) else {}
+    return {
+        "campaign": lease.campaign,
+        "lease_id": lease.lease_id,
+        "tenant": lease.tenant,
+        "attempt": lease.attempt,
+        "expires_at": lease.expires_at,
+        "spec": payload.get("spec", payload),
+    }
+
+
+class LocalTransport:
+    """Drive a :class:`~repro.fabric.coordinator.Coordinator` in-process
+    (tests, benchmarks, chaos harnesses — no HTTP hop)."""
+
+    def __init__(self, coordinator):
+        self._coordinator = coordinator
+
+    def lease(self, worker: str, ttl_s: float) -> Optional[dict]:
+        lease = self._coordinator.lease_task(worker, ttl_s=ttl_s)
+        return None if lease is None else lease_to_wire(lease)
+
+    def heartbeat(
+        self,
+        campaign: str,
+        lease_id: str,
+        ttl_s: float,
+        progress: List[dict],
+    ) -> dict:
+        return self._coordinator.heartbeat_task(
+            campaign, lease_id, ttl_s=ttl_s, progress=progress
+        )
+
+    def complete(
+        self,
+        campaign: str,
+        lease_id: str,
+        summary: dict,
+        bundle: Optional[dict],
+    ) -> dict:
+        outcome = self._coordinator.complete_task(
+            campaign, lease_id, summary=summary, bundle=bundle
+        )
+        return {"outcome": outcome}
+
+    def fail(
+        self, campaign: str, lease_id: str, error: str, retryable: bool
+    ) -> dict:
+        outcome = self._coordinator.fail_task(
+            campaign, lease_id, error, retryable=retryable
+        )
+        return {"outcome": outcome}
+
+
+class HttpTransport:
+    """The production transport: the coordinator's HTTP fabric endpoints
+    via :class:`ServiceClient`, with transient failures (connection drops
+    and backpressure) retried through one :class:`RetryPolicy`."""
+
+    RETRYABLE_STATUSES = (0, 429, 503)
+
+    def __init__(
+        self,
+        base_url: str,
+        retry: Optional[RetryPolicy] = None,
+        timeout_s: float = 30.0,
+    ):
+        self.client = ServiceClient(base_url, timeout_s=timeout_s)
+        if retry is None:
+            retry = RetryPolicy(
+                max_attempts=None,
+                backoff_s=0.2,
+                backoff_cap_s=5.0,
+                deadline_s=60.0,
+                jitter=0.5,
+            )
+        self._retry = retry
+
+    def _call(self, fn):
+        def retryable(exc: BaseException) -> bool:
+            return (
+                isinstance(exc, ServiceError)
+                and exc.status in self.RETRYABLE_STATUSES
+            )
+
+        return self._retry.call(fn, retryable=retryable)
+
+    def lease(self, worker: str, ttl_s: float) -> Optional[dict]:
+        return self._call(
+            lambda: self.client.fabric_lease(worker, ttl_s=ttl_s)
+        )
+
+    def heartbeat(
+        self,
+        campaign: str,
+        lease_id: str,
+        ttl_s: float,
+        progress: List[dict],
+    ) -> dict:
+        # Heartbeats are deliberately *not* retried: a missed beat is
+        # recoverable (the next one extends the lease) and retries would
+        # delay noticing a lost lease.
+        return self.client.fabric_heartbeat(
+            campaign, lease_id, ttl_s=ttl_s, progress=progress
+        )
+
+    def complete(
+        self,
+        campaign: str,
+        lease_id: str,
+        summary: dict,
+        bundle: Optional[dict],
+    ) -> dict:
+        return self._call(
+            lambda: self.client.fabric_complete(
+                campaign, lease_id, summary=summary, bundle=bundle
+            )
+        )
+
+    def fail(
+        self, campaign: str, lease_id: str, error: str, retryable: bool
+    ) -> dict:
+        return self._call(
+            lambda: self.client.fabric_fail(
+                campaign, lease_id, error, retryable=retryable
+            )
+        )
+
+
+class FabricWorker:
+    """Lease loop: claim a campaign, execute it, report, repeat."""
+
+    def __init__(
+        self,
+        transport,
+        name: str = "fabric-worker",
+        store_path: Optional[str] = None,
+        scratch_dir: Optional[str] = None,
+        jobs: int = 1,
+        poll_s: float = 0.5,
+        ttl_s: float = 30.0,
+        sleep: Callable[[float], None] = default_sleep,
+        clock: Callable[[], float] = default_clock,
+        log: Optional[Callable[[str], None]] = None,
+    ):
+        self.transport = transport
+        self.name = name
+        self.store_path = str(store_path) if store_path else None
+        self.scratch_dir = scratch_dir
+        self.jobs = max(1, int(jobs))
+        self.poll_s = float(poll_s)
+        self.ttl_s = float(ttl_s)
+        self._sleep = sleep
+        self._clock = clock
+        self._log = log or (lambda msg: None)
+        self._stop = threading.Event()
+
+    def stop(self) -> None:
+        """Finish the current campaign, then exit the lease loop."""
+        self._stop.set()
+
+    # ------------------------------------------------------------- the loop
+
+    def run(self, once: bool = False, max_tasks: Optional[int] = None) -> int:
+        """Pull and execute leases; returns how many tasks were handled.
+
+        ``once=True`` exits at the first empty poll (smoke tests drain
+        the queue and stop); otherwise the loop polls until
+        :meth:`stop`.
+        """
+        handled = 0
+        while not self._stop.is_set():
+            try:
+                lease = self.transport.lease(self.name, self.ttl_s)
+            except ServiceError as exc:
+                self._log(f"{self.name}: lease failed ({exc}); backing off")
+                if once:
+                    break
+                self._sleep(self.poll_s)
+                continue
+            if lease is None:
+                if once:
+                    break
+                self._sleep(self.poll_s)
+                continue
+            self._run_lease(lease)
+            handled += 1
+            if max_tasks is not None and handled >= max_tasks:
+                break
+        return handled
+
+    # ------------------------------------------------------------ one lease
+
+    def _run_lease(self, lease: dict) -> None:
+        campaign = lease["campaign"]
+        lease_id = lease["lease_id"]
+        self._log(
+            f"{self.name}: leased {campaign} "
+            f"(attempt {lease.get('attempt')})"
+        )
+        state = {"abort": False, "cancel": False}
+        pending: List[dict] = []
+        lock = threading.Lock()
+        stop_beat = threading.Event()
+
+        def send_beat() -> None:
+            with lock:
+                batch, pending[:] = list(pending), []
+            try:
+                inject.fault_point(
+                    "fabric.heartbeat",
+                    campaign=campaign,
+                    attempt=lease.get("attempt"),
+                )
+                beat = self.transport.heartbeat(
+                    campaign, lease_id, self.ttl_s, batch
+                )
+            except Exception:  # noqa: BLE001 - a missed beat is recoverable
+                with lock:
+                    pending[:0] = batch  # don't lose the progress batch
+                return
+            if not beat.get("ok", False):
+                state["abort"] = True
+            if beat.get("cancel", False):
+                state["cancel"] = True
+
+        def beat_loop() -> None:
+            # Three beats per TTL: one lost heartbeat never kills a lease.
+            while not stop_beat.wait(self.ttl_s / 3.0):
+                send_beat()
+
+        def progress(record, done, total) -> None:
+            with lock:
+                pending.append(
+                    {
+                        "event": "trial",
+                        "label": record.label,
+                        "status": record.status,
+                        "done": done,
+                        "total": total,
+                    }
+                )
+            if state["abort"]:
+                raise _LeaseLost()
+            if state["cancel"]:
+                raise _CancelRequested()
+
+        beater = threading.Thread(
+            target=beat_loop, name=f"{self.name}-heartbeat", daemon=True
+        )
+        beater.start()
+        try:
+            summary, bundle = self._execute(lease, progress)
+        except _LeaseLost:
+            self._log(f"{self.name}: lease lost for {campaign}; abandoning")
+            return
+        except _CancelRequested:
+            self._report_fail(
+                campaign, lease_id, "cancelled by request", retryable=False
+            )
+            return
+        except Exception as exc:  # noqa: BLE001 - report typed failure
+            self._report_fail(
+                campaign, lease_id, f"{type(exc).__name__}: {exc}",
+                retryable=True,
+            )
+            return
+        finally:
+            stop_beat.set()
+            beater.join(timeout=5.0)
+        send_beat()  # final flush so watchers see the last trials
+        if state["abort"]:
+            return  # completion would be stale; the new lease owns it
+        try:
+            self.transport.complete(campaign, lease_id, summary, bundle)
+        except ServiceError as exc:
+            self._log(f"{self.name}: complete failed for {campaign}: {exc}")
+        else:
+            self._log(f"{self.name}: completed {campaign}")
+
+    def _report_fail(
+        self, campaign: str, lease_id: str, error: str, retryable: bool
+    ) -> None:
+        try:
+            self.transport.fail(campaign, lease_id, error, retryable)
+        except ServiceError as exc:
+            self._log(f"{self.name}: fail report for {campaign} lost: {exc}")
+
+    # ------------------------------------------------------------- execute
+
+    def _execute(self, lease: dict, progress):
+        from repro.exec import Executor
+        from repro.store import ResultStore, StoreCache
+
+        spec = parse_campaign_spec(lease["spec"])
+        if self.store_path is not None:
+            store_file, bundle_runs = self.store_path, None
+        else:
+            scratch = Path(
+                self.scratch_dir
+                or tempfile.mkdtemp(prefix=f"repro-{self.name}-")
+            )
+            scratch.mkdir(parents=True, exist_ok=True)
+            store_file = str(scratch / f"{lease['campaign']}.db")
+            bundle_runs = spec.run_names()
+        with ResultStore(store_file) as store:
+            cache = StoreCache(store)
+            with Executor(
+                jobs=self.jobs,
+                cache=cache,
+                progress=progress,
+                store=store,
+                store_run=spec.run_name(),
+            ) as executor:
+                summary = execute_campaign(spec, store, executor)
+                telemetry = executor.telemetry
+                summary["exec"] = {
+                    "jobs": telemetry.jobs,
+                    "ok": telemetry.ok,
+                    "cached": telemetry.cached,
+                    "wall_s": round(telemetry.wall_s, 4),
+                    "mode": telemetry.mode,
+                }
+            bundle = None
+            if bundle_runs is not None:
+                from repro.fabric.wire import export_bundle
+
+                names = [n for n in bundle_runs if store.has_run(n)]
+                bundle = export_bundle(store, names)
+        summary["worker"] = self.name
+        return summary, bundle
+
+
+__all__ = [
+    "FabricWorker",
+    "LocalTransport",
+    "HttpTransport",
+    "lease_to_wire",
+]

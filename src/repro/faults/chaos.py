@@ -25,6 +25,7 @@ Everything is seeded: a failing chaos run reproduces with the same
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple, Union
@@ -35,11 +36,13 @@ from repro.faults import inject
 from repro.faults.breaker import reset_breakers
 from repro.faults.plan import (
     FAULT_HTTP_DISCONNECT,
+    FAULT_LEASE_EXPIRY,
     FAULT_WORKER_HANG,
+    FAULT_WORKER_SIGKILL,
     FaultPlan,
     fault_matrix,
 )
-from repro.faults.retry import RetryPolicy
+from repro.faults.retry import RetryPolicy, default_sleep
 
 #: Statuses that count as "typed, resumable failure" under the invariant.
 _TYPED_FAILURES = ("failed", "crashed", "timeout", "quarantined")
@@ -407,6 +410,241 @@ def _run_service_class(
         outcome.note = "service round trip survived the reset"
 
 
+def _fabric_spec(duration_s: float, trials: int) -> dict:
+    """The campaign the fabric fault classes run: enough work that a
+    lease reliably outlives its TTL mid-execution."""
+    return {
+        "kind": "conformance",
+        "stacks": ["quiche"],
+        "ccas": ["cubic"],
+        "duration_s": float(max(duration_s, 2.0)),
+        "trials": max(int(trials), 2),
+        "run": "chaos-fabric",
+    }
+
+
+def _store_snaps(path: Path) -> Dict[str, _Snap]:
+    from repro.store.warehouse import ResultStore
+
+    with ResultStore(path) as store:
+        return {key: _snap(store.get_trial(key)) for key in store.trial_keys()}
+
+
+def _fabric_baseline(spec: dict, basedir: Path) -> Dict[str, _Snap]:
+    """Run the fabric chaos campaign fault-free through the
+    single-process scheduler; its store is the bit-identity reference."""
+    import time
+
+    from repro.harness.cache import cache_dir_override
+    from repro.service.scheduler import TERMINAL_STATES, Scheduler
+    from repro.service.specs import parse_campaign_spec
+
+    basedir.mkdir(parents=True, exist_ok=True)
+    store_path = basedir / "baseline.db"
+    with cache_dir_override(basedir / "baseline-cache"):
+        scheduler = Scheduler(str(store_path), workers=1)
+        job = scheduler.submit(parse_campaign_spec(spec))
+        deadline = time.monotonic() + 300.0
+        while time.monotonic() < deadline:
+            if scheduler.job(job.id).state in TERMINAL_STATES:
+                break
+            default_sleep(0.05)
+        scheduler.shutdown(drain=True, timeout=30.0)
+    return _store_snaps(store_path)
+
+
+def _check_fabric_outcome(
+    classdir: Path,
+    campaign_id: str,
+    coordinator,
+    baseline: Dict[str, _Snap],
+    outcome: FaultOutcome,
+) -> None:
+    """The fabric invariant: campaign done after >= 2 lease attempts,
+    and the store matches the fault-free baseline bit-for-bit."""
+    from repro.fabric.queue import WorkQueue
+
+    job = coordinator.job(campaign_id)
+    if job is None or job.state != "done":
+        state = job.state if job else "missing"
+        outcome.violations.append(
+            f"campaign did not complete after the fault: {state}"
+        )
+    with WorkQueue(str(classdir / "store.db")) as q:
+        task = q.task(campaign_id)
+    attempts = task.attempts if task else 0
+    if attempts < 2:
+        outcome.violations.append(
+            f"the lease never turned over (attempts={attempts})"
+        )
+    else:
+        outcome.note = (
+            outcome.note + "  " if outcome.note else ""
+        ) + f"attempts={attempts}"
+    violations, missing = _check_store(
+        classdir / "store.db", baseline, set(), set()
+    )
+    outcome.violations += violations
+    outcome.violations += [f"trial {k} missing after recovery" for k in missing]
+    if not outcome.violations:
+        outcome.recovered = True
+
+
+def _run_lease_expiry_class(
+    plan: FaultPlan,
+    classdir: Path,
+    duration_s: float,
+    trials: int,
+    outcome: FaultOutcome,
+) -> None:
+    """lease-expiry: attempt 1's heartbeats are all lost, the lease
+    expires mid-campaign, attempt 2 re-runs it; the stale attempt-1
+    completion must dedupe ('duplicate'), never double-write."""
+    import threading
+    import time
+
+    from repro.fabric.coordinator import Coordinator
+    from repro.fabric.worker import FabricWorker, LocalTransport
+    from repro.harness.cache import cache_dir_override
+    from repro.service.scheduler import TERMINAL_STATES
+    from repro.service.specs import parse_campaign_spec
+
+    spec = _fabric_spec(duration_s, trials)
+    baseline = _fabric_baseline(spec, classdir / "baseline")
+    store_path = classdir / "store.db"
+    coordinator = Coordinator(
+        str(store_path), lease_ttl_s=0.4, max_attempts=5
+    )
+    try:
+        with cache_dir_override(classdir / "cache"), inject.active_plan(
+            plan
+        ) as injector:
+            job = coordinator.submit(parse_campaign_spec(spec))
+            workers = [
+                FabricWorker(
+                    LocalTransport(coordinator),
+                    name=f"chaos-lease-w{i}",
+                    store_path=str(store_path),
+                    poll_s=0.05,
+                    ttl_s=0.4,
+                )
+                for i in (1, 2)
+            ]
+            threads = [
+                threading.Thread(target=w.run, daemon=True) for w in workers
+            ]
+            for thread in threads:
+                thread.start()
+            deadline = time.monotonic() + 300.0
+            while time.monotonic() < deadline:
+                if coordinator.job(job.id).state in TERMINAL_STATES:
+                    break
+                default_sleep(0.05)
+            for worker in workers:
+                worker.stop()
+            for thread in threads:
+                thread.join(timeout=10.0)
+            outcome.fires = injector.fire_count()
+        if outcome.fires == 0:
+            outcome.violations.append("lease-expiry fault never fired")
+        _check_fabric_outcome(
+            classdir, job.id, coordinator, baseline, outcome
+        )
+    finally:
+        coordinator.shutdown(drain=False)
+
+
+def _run_worker_sigkill_class(
+    plan: FaultPlan,
+    classdir: Path,
+    duration_s: float,
+    trials: int,
+    outcome: FaultOutcome,
+) -> None:
+    """worker-sigkill: a real ``repro fabric worker`` subprocess is
+    SIGKILLed mid-lease (no cleanup, no goodbye); the lease expires and
+    a second worker finishes the campaign bit-identically."""
+    import os
+    import signal
+    import subprocess
+    import sys
+    import threading
+    import time
+
+    from repro.fabric.coordinator import Coordinator
+    from repro.fabric.worker import FabricWorker, LocalTransport
+    from repro.harness.cache import CACHE_DIR_ENV, cache_dir_override
+    from repro.service.scheduler import TERMINAL_STATES
+    from repro.service.server import ServiceApp
+    from repro.service.specs import parse_campaign_spec
+
+    spec = _fabric_spec(duration_s, trials)
+    baseline = _fabric_baseline(spec, classdir / "baseline")
+    store_path = classdir / "store.db"
+    coordinator = Coordinator(
+        str(store_path), lease_ttl_s=1.0, max_attempts=5
+    )
+    app = ServiceApp(str(store_path), port=0, scheduler=coordinator)
+    app.start()
+    proc = None
+    try:
+        with cache_dir_override(classdir / "cache"):
+            job = coordinator.submit(parse_campaign_spec(spec))
+            env = dict(os.environ)
+            env[CACHE_DIR_ENV] = str(classdir / "victim-cache")
+            proc = subprocess.Popen(
+                [
+                    sys.executable, "-m", "repro", "fabric", "worker",
+                    "--url", app.url, "--store", str(store_path),
+                    "--ttl", "1.0", "--poll", "0.05",
+                    "--name", "chaos-victim",
+                ],
+                env=env,
+                stdout=subprocess.DEVNULL,
+                stderr=subprocess.DEVNULL,
+            )
+            # Kill the instant the victim holds the lease: mid-campaign,
+            # trials in flight, nothing flushed.
+            leased = False
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline:
+                if coordinator.fabric_status()["leases"]:
+                    leased = True
+                    break
+                default_sleep(0.02)
+            if not leased:
+                outcome.violations.append(
+                    "victim worker never leased the task"
+                )
+                return
+            os.kill(proc.pid, signal.SIGKILL)
+            proc.wait(timeout=30.0)
+            outcome.fires = 1  # the kill is the (process-level) fault
+            rescuer = FabricWorker(
+                LocalTransport(coordinator),
+                name="chaos-rescuer",
+                store_path=str(store_path),
+                poll_s=0.05,
+                ttl_s=1.0,
+            )
+            thread = threading.Thread(target=rescuer.run, daemon=True)
+            thread.start()
+            deadline = time.monotonic() + 300.0
+            while time.monotonic() < deadline:
+                if coordinator.job(job.id).state in TERMINAL_STATES:
+                    break
+                default_sleep(0.05)
+            rescuer.stop()
+            thread.join(timeout=10.0)
+        _check_fabric_outcome(
+            classdir, job.id, coordinator, baseline, outcome
+        )
+    finally:
+        if proc is not None and proc.poll() is None:
+            proc.kill()
+        app.stop(drain=False)
+
+
 def run_chaos(
     matrix: str = "smoke",
     workdir: Optional[Union[str, Path]] = None,
@@ -451,6 +689,14 @@ def run_chaos(
         try:
             if fault == FAULT_HTTP_DISCONNECT:
                 _run_service_class(plan, classdir, duration_s, trials, outcome)
+            elif fault == FAULT_LEASE_EXPIRY:
+                _run_lease_expiry_class(
+                    plan, classdir, duration_s, trials, outcome
+                )
+            elif fault == FAULT_WORKER_SIGKILL:
+                _run_worker_sigkill_class(
+                    plan, classdir, duration_s, trials, outcome
+                )
             else:
                 _run_faulted(fault, plan, joblist, classdir, jobs, outcome)
                 accounted = getattr(outcome, "accounted_keys", set())

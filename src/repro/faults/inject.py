@@ -37,6 +37,7 @@ from repro.faults.plan import (
     FAULT_FSYNC_FAIL,
     FAULT_HTTP_DISCONNECT,
     FAULT_JOURNAL_CORRUPT,
+    FAULT_LEASE_EXPIRY,
     FAULT_JOURNAL_TRUNCATE,
     FAULT_STORE_LOCKED,
     FAULT_WORKER_CRASH,
@@ -161,7 +162,9 @@ class FaultInjector:
             raise InjectedDiskError(r.fault, site, errno.ENOSPC)
         if r.fault == FAULT_FSYNC_FAIL:
             raise InjectedDiskError(r.fault, site, errno.EIO)
-        if r.fault == FAULT_HTTP_DISCONNECT:
+        if r.fault in (FAULT_HTTP_DISCONNECT, FAULT_LEASE_EXPIRY):
+            # lease-expiry is a lost heartbeat: same wire-level failure
+            # as a disconnect, struck at the fabric.heartbeat seam.
             raise InjectedDisconnect(r.fault, site)
         # Transform-class faults scheduled at an act site degrade to a
         # generic typed failure rather than passing silently.

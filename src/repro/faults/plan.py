@@ -23,6 +23,9 @@ Fault classes (see ``docs/robustness.md`` for the full taxonomy):
 ``journal-corrupt``  a journal line is replaced with garbage
 ``clock-skew``       a telemetry timestamp jumps by ``param`` seconds
 ``http-disconnect``  the HTTP client's connection resets mid-request
+``lease-expiry``     a fabric worker's heartbeats stop reaching the
+                     coordinator; its lease expires and the task re-runs
+``worker-sigkill``   a fabric worker process is SIGKILLed mid-lease
 ===================  ====================================================
 """
 
@@ -42,8 +45,12 @@ FAULT_JOURNAL_TRUNCATE = "journal-truncate"
 FAULT_JOURNAL_CORRUPT = "journal-corrupt"
 FAULT_CLOCK_SKEW = "clock-skew"
 FAULT_HTTP_DISCONNECT = "http-disconnect"
+FAULT_LEASE_EXPIRY = "lease-expiry"
+FAULT_WORKER_SIGKILL = "worker-sigkill"
 
-#: Every fault class, in documentation order.
+#: Every fault class, in documentation order.  New classes append: the
+#: per-class schedule mix uses positional indices, and appending keeps
+#: every older class's seeded schedule byte-stable.
 FAULT_CLASSES = (
     FAULT_WORKER_CRASH,
     FAULT_WORKER_HANG,
@@ -55,6 +62,8 @@ FAULT_CLASSES = (
     FAULT_JOURNAL_CORRUPT,
     FAULT_CLOCK_SKEW,
     FAULT_HTTP_DISCONNECT,
+    FAULT_LEASE_EXPIRY,
+    FAULT_WORKER_SIGKILL,
 )
 
 
@@ -194,6 +203,16 @@ def _single_class_plan(fault: str, seed: int) -> FaultPlan:
         rules = (rule(fault, "exec.manifest.clock", param=7200.0),)
     elif fault == FAULT_HTTP_DISCONNECT:
         rules = (rule(fault, "client.request", hits=(1,)),)
+    elif fault == FAULT_LEASE_EXPIRY:
+        # Every heartbeat the first lease attempt sends is lost; the
+        # lease expires under the worker and the task re-runs on
+        # attempt 2, whose beats get through.
+        rules = (rule(fault, "fabric.heartbeat", when={"attempt": 1}),)
+    elif fault == FAULT_WORKER_SIGKILL:
+        # Process-level: the chaos driver SIGKILLs a real worker
+        # subprocess mid-lease; the rule documents the schedule (first
+        # lease dies) rather than firing through the in-process seam.
+        rules = (rule(fault, "fabric.worker.process", hits=(1,)),)
     else:  # pragma: no cover - FAULT_CLASSES is exhaustive
         raise ValueError(f"unknown fault class {fault!r}")
     return FaultPlan(name=fault, rules=rules, seed=seed)
@@ -208,6 +227,8 @@ MATRIX_CLASSES = {
         FAULT_STORE_LOCKED,
         FAULT_DISK_FULL,
         FAULT_JOURNAL_CORRUPT,
+        FAULT_LEASE_EXPIRY,
+        FAULT_WORKER_SIGKILL,
     ),
     "default": FAULT_CLASSES,
 }
@@ -238,6 +259,8 @@ __all__ = [
     "FAULT_JOURNAL_CORRUPT",
     "FAULT_CLOCK_SKEW",
     "FAULT_HTTP_DISCONNECT",
+    "FAULT_LEASE_EXPIRY",
+    "FAULT_WORKER_SIGKILL",
     "FaultRule",
     "FaultPlan",
     "FaultMatrix",

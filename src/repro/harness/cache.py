@@ -25,6 +25,7 @@ import itertools
 import json
 import os
 from collections import OrderedDict
+from contextlib import contextmanager
 from pathlib import Path
 from typing import Callable, Optional, Union
 
@@ -59,6 +60,25 @@ def cache_key(**params) -> str:
         default=str,
     )
     return hashlib.sha256(payload.encode()).hexdigest()[:32]
+
+
+@contextmanager
+def cache_dir_override(directory: Union[str, Path]):
+    """Temporarily pin :data:`CACHE_DIR_ENV` to ``directory``.
+
+    The hermeticity seam for chaos runs and tests: campaigns inside the
+    block cache under ``directory`` regardless of the user's
+    environment, and the previous value is restored on exit.
+    """
+    before = os.environ.get(CACHE_DIR_ENV)
+    os.environ[CACHE_DIR_ENV] = str(directory)
+    try:
+        yield
+    finally:
+        if before is None:
+            os.environ.pop(CACHE_DIR_ENV, None)
+        else:
+            os.environ[CACHE_DIR_ENV] = before
 
 
 def _tmp_path(path: Path) -> Path:

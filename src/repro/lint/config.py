@@ -56,7 +56,9 @@ class LintConfig:
 
     #: Packages with shared mutable state: the concurrency pack applies
     #: to every file under these first-level directories.
-    concurrency_dirs: Tuple[str, ...] = ("service", "exec", "store", "faults")
+    concurrency_dirs: Tuple[str, ...] = (
+        "service", "exec", "store", "faults", "fabric",
+    )
 
     #: Files allowed to call ``time.sleep`` directly: the RetryPolicy
     #: sleep seam itself and the fault injector's hang/slow actions.

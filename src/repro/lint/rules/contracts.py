@@ -11,6 +11,11 @@ lockstep with the code:
   ``on_congestion_event``) and declares its ``name``.
 * ``cli-doc-coverage`` — every CLI subcommand registered in
   ``cli.py`` appears somewhere in README.md / docs/*.md.
+* ``queue-sql-confinement`` — SQL touching the fabric queue tables
+  (``fabric_tasks`` / ``fabric_tenants``) lives only in
+  ``fabric/queue.py`` and the schema ladder; every other module goes
+  through :class:`repro.fabric.queue.WorkQueue`, so lease/state
+  invariants have exactly one enforcement point.
 """
 
 from __future__ import annotations
@@ -208,8 +213,62 @@ class CliDocCoverageRule(Rule):
         return findings
 
 
-RULES = (StackProfileFieldsRule, CCAHookSurfaceRule, CliDocCoverageRule)
+#: The fabric queue tables and the only modules allowed to name them in
+#: SQL (the queue itself, and the schema migration ladder).
+QUEUE_TABLES = ("fabric_tasks", "fabric_tenants")
+_QUEUE_SQL_ALLOWED = {
+    "fabric/queue.py",
+    "store/schema.py",
+    # The rule's own definition names the tables it polices.
+    "lint/rules/contracts.py",
+}
 
-__all__ = ["RULES", "REQUIRED_PROFILE_FIELDS", "REQUIRED_CCA_HOOKS"] + [
-    cls.__name__ for cls in RULES
-]
+
+class QueueSqlConfinementRule(Rule):
+    id = "queue-sql-confinement"
+    pack = "contracts"
+    description = (
+        "SQL against the fabric queue tables ("
+        + "/".join(QUEUE_TABLES)
+        + ") is confined to fabric/queue.py and store/schema.py"
+    )
+
+    def check(self, modules, config):
+        findings: List[Finding] = []
+        for module in modules:
+            if module.rel in _QUEUE_SQL_ALLOWED:
+                continue
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Constant) or not isinstance(
+                    node.value, str
+                ):
+                    continue
+                named = [t for t in QUEUE_TABLES if t in node.value]
+                if not named:
+                    continue
+                findings.append(
+                    module.finding(
+                        self.id,
+                        node,
+                        "queue-table SQL ("
+                        + ", ".join(named)
+                        + ") outside fabric/queue.py — go through "
+                        "repro.fabric.queue.WorkQueue",
+                    )
+                )
+        return findings
+
+
+RULES = (
+    StackProfileFieldsRule,
+    CCAHookSurfaceRule,
+    CliDocCoverageRule,
+    QueueSqlConfinementRule,
+)
+
+__all__ = [
+    "RULES",
+    "REQUIRED_PROFILE_FIELDS",
+    "REQUIRED_CCA_HOOKS",
+    "QUEUE_TABLES",
+] + [cls.__name__ for cls in RULES]

@@ -23,6 +23,7 @@ import json
 import time
 import urllib.error
 import urllib.request
+import zlib
 from typing import Iterator, List, Mapping, Optional
 from urllib.parse import quote, urlencode
 
@@ -51,11 +52,34 @@ class CampaignFailed(ServiceError):
 
 
 class ServiceClient:
-    """Talk to a running ``repro serve`` instance."""
+    """Talk to a running ``repro serve`` instance.
 
-    def __init__(self, base_url: str, timeout_s: float = 30.0):
+    ``reconnect`` is the unified :class:`RetryPolicy` behind every
+    long-poll/stream page: a dropped connection (status 0) is retried
+    with seeded-jitter backoff bounded by the policy's deadline instead
+    of surfacing raw urllib errors mid-stream.  The jitter seed derives
+    from the base URL, so a fleet of watchers de-synchronises its
+    reconnect storms deterministically.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout_s: float = 30.0,
+        reconnect: Optional[RetryPolicy] = None,
+    ):
         self.base_url = base_url.rstrip("/")
         self.timeout_s = timeout_s
+        if reconnect is None:
+            reconnect = RetryPolicy(
+                max_attempts=None,
+                backoff_s=0.2,
+                backoff_cap_s=5.0,
+                deadline_s=60.0,
+                jitter=0.5,
+                seed=zlib.crc32(self.base_url.encode()),
+            )
+        self.reconnect = reconnect
 
     # ------------------------------------------------------------ plumbing
 
@@ -106,6 +130,20 @@ class ServiceClient:
             # the raw socket error out of callers' laps.
             raise ServiceError(0, f"connection failed: {exc}") from exc
 
+    def request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Mapping] = None,
+        query: Optional[Mapping] = None,
+        timeout_s: Optional[float] = None,
+    ):
+        """Public raw-request escape hatch (fabric worker protocol, new
+        endpoints): same JSON handling and typed errors as every helper."""
+        return self._request(
+            method, path, body=body, query=query, timeout_s=timeout_s
+        )
+
     # ------------------------------------------------------------- service
 
     def health(self) -> dict:
@@ -117,16 +155,20 @@ class ServiceClient:
 
     # ----------------------------------------------------------- campaigns
 
-    def submit(self, spec: Mapping, priority: int = 0) -> dict:
+    def submit(
+        self, spec: Mapping, priority: int = 0, tenant: Optional[str] = None
+    ) -> dict:
         """POST a campaign spec; returns the accepted campaign snapshot.
 
         Raises :class:`ServiceError` on rejection — status 400 for an
-        invalid spec, 429 (with ``retry_after_s`` set) when the queue is
-        full.
+        invalid spec, 429 (with ``retry_after_s`` set) when the queue or
+        the tenant's quota is full.
         """
         payload = dict(spec)
         if priority:
             payload["priority"] = priority
+        if tenant:
+            payload["tenant"] = tenant
         return self._request("POST", "/campaigns", body=payload)
 
     def submit_blocking(
@@ -135,6 +177,7 @@ class ServiceClient:
         priority: int = 0,
         give_up_after_s: float = 60.0,
         retry: Optional[RetryPolicy] = None,
+        tenant: Optional[str] = None,
     ) -> dict:
         """Submit, retrying 429 backpressure and transport failures.
 
@@ -163,7 +206,7 @@ class ServiceClient:
             return retry.backoff(attempt)
 
         return retry.call(
-            lambda: self.submit(spec, priority=priority),
+            lambda: self.submit(spec, priority=priority, tenant=tenant),
             retryable=retryable,
             delay=delay,
         )
@@ -190,13 +233,36 @@ class ServiceClient:
             timeout_s=timeout_s + self.timeout_s,
         )
 
+    def _events_reconnecting(
+        self, campaign_id: str, after: int, timeout_s: float
+    ) -> dict:
+        """One long-poll page, reconnecting through ``self.reconnect``.
+
+        Only transport-level drops (status 0) are retried; HTTP errors
+        (404, 429...) surface immediately.  The ``after`` cursor makes
+        the retried poll idempotent — no event is lost or duplicated
+        across a reconnect.
+        """
+
+        def retryable(exc: BaseException) -> bool:
+            return isinstance(exc, ServiceError) and exc.status == 0
+
+        return self.reconnect.call(
+            lambda: self.events(campaign_id, after=after, timeout_s=timeout_s),
+            retryable=retryable,
+        )
+
     def stream(
         self, campaign_id: str, after: int = 0, poll_timeout_s: float = 10.0
     ) -> Iterator[dict]:
-        """Yield progress events until the campaign reaches a terminal state."""
+        """Yield progress events until the campaign reaches a terminal
+        state, transparently reconnecting dropped long-polls through the
+        client's :class:`RetryPolicy`."""
         cursor = after
         while True:
-            page = self.events(campaign_id, after=cursor, timeout_s=poll_timeout_s)
+            page = self._events_reconnecting(
+                campaign_id, after=cursor, timeout_s=poll_timeout_s
+            )
             for event in page["events"]:
                 yield event
             cursor = page["next"]
@@ -221,7 +287,9 @@ class ServiceClient:
                         f"campaign {campaign_id} still running after {timeout_s}s"
                     )
                 poll = min(poll, max(0.1, remaining))
-            page = self.events(campaign_id, after=cursor, timeout_s=poll)
+            page = self._events_reconnecting(
+                campaign_id, after=cursor, timeout_s=poll
+            )
             cursor = page["next"]
             if page["state"] in ("done", "failed", "cancelled"):
                 snapshot = self.status(campaign_id)
@@ -267,6 +335,70 @@ class ServiceClient:
             "GET",
             f"/runs/{quote(run, safe='')}/heatmap.svg",
             query={"metric": metric},
+        )
+
+    # -------------------------------------------------------------- fabric
+
+    def fabric_status(self) -> dict:
+        """Queue depth, per-tenant backlog and live leases."""
+        return self._request("GET", "/fabric/status")
+
+    def fabric_lease(self, worker: str, ttl_s: float = 30.0) -> Optional[dict]:
+        """Claim a task for ``worker``; None when the queue is idle."""
+        payload = self._request(
+            "POST", "/fabric/lease", body={"worker": worker, "ttl_s": ttl_s}
+        )
+        return payload or None
+
+    def fabric_heartbeat(
+        self,
+        campaign: str,
+        lease_id: str,
+        ttl_s: Optional[float] = None,
+        progress: Optional[List[dict]] = None,
+    ) -> dict:
+        return self._request(
+            "POST",
+            f"/fabric/tasks/{quote(campaign, safe='')}/heartbeat",
+            body={
+                "lease_id": lease_id,
+                "ttl_s": ttl_s,
+                "progress": progress or [],
+            },
+        )
+
+    def fabric_complete(
+        self,
+        campaign: str,
+        lease_id: str,
+        summary: Optional[Mapping] = None,
+        bundle: Optional[Mapping] = None,
+    ) -> dict:
+        return self._request(
+            "POST",
+            f"/fabric/tasks/{quote(campaign, safe='')}/complete",
+            body={
+                "lease_id": lease_id,
+                "summary": dict(summary or {}),
+                "bundle": dict(bundle) if bundle is not None else None,
+            },
+        )
+
+    def fabric_fail(
+        self,
+        campaign: str,
+        lease_id: str,
+        error: str,
+        retryable: bool = True,
+    ) -> dict:
+        return self._request(
+            "POST",
+            f"/fabric/tasks/{quote(campaign, safe='')}/fail",
+            body={
+                "lease_id": lease_id,
+                "error": error,
+                "retryable": bool(retryable),
+            },
         )
 
 

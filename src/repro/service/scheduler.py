@@ -83,6 +83,7 @@ class CampaignJob:
     id: str
     spec: CampaignSpec
     priority: int = 0
+    tenant: str = "default"
     state: str = PENDING
     submitted_at: float = 0.0
     started_at: Optional[float] = None
@@ -102,6 +103,7 @@ class CampaignJob:
             "kind": self.spec.kind,
             "state": self.state,
             "priority": self.priority,
+            "tenant": self.tenant,
             "submitted_at": self.submitted_at,
             "started_at": self.started_at,
             "finished_at": self.finished_at,
@@ -162,6 +164,7 @@ class Scheduler:
         self._seq = itertools.count()
         self._id_seq = itertools.count(1)
         self._stopping = False
+        self._listeners: List[Callable[[str], None]] = []
         self._workers: List[threading.Thread] = []
         for i in range(max(0, int(workers))):
             thread = threading.Thread(
@@ -195,6 +198,7 @@ class Scheduler:
                     campaign=job.id,
                     payload={
                         "priority": job.priority,
+                        "tenant": job.tenant,
                         "spec": job.spec.canonical(),
                         **payload,
                     },
@@ -225,6 +229,7 @@ class Scheduler:
         spec: CampaignSpec,
         priority: int = 0,
         campaign_id: Optional[str] = None,
+        tenant: str = "default",
     ) -> CampaignJob:
         """Queue a campaign; returns its job (raises QueueFull/RuntimeError).
 
@@ -246,6 +251,7 @@ class Scheduler:
                 id=campaign_id,
                 spec=spec,
                 priority=int(priority),
+                tenant=str(tenant or "default"),
                 submitted_at=self._clock(),
             )
             # Journal before exposing the job: a crash after this line
@@ -253,8 +259,14 @@ class Scheduler:
             self._journal(EVENT_SUBMITTED, job)
             self._jobs[campaign_id] = job
             self._emit(job, {"event": "state", "state": PENDING})
-            self._queue.put((-job.priority, next(self._seq), campaign_id))
+            # Dispatch seam: the base scheduler hands the job to its
+            # in-process worker threads; the fabric Coordinator overrides
+            # this to enqueue into the durable leased work queue instead.
+            self._dispatch(job)
         return job
+
+    def _dispatch(self, job: CampaignJob) -> None:
+        self._queue.put((-job.priority, next(self._seq), job.id))
 
     def resume_pending(self) -> List[str]:
         """Re-enqueue campaigns the journal says never finished.
@@ -300,6 +312,7 @@ class Scheduler:
                 spec,
                 priority=int(event.get("priority", 0) or 0),
                 campaign_id=campaign,
+                tenant=str(event.get("tenant", "default") or "default"),
             )
             self._emit(job, {"event": "resumed"})
             resumed.append(job.id)
@@ -363,12 +376,25 @@ class Scheduler:
 
     # -------------------------------------------------------------- events
 
+    def add_event_listener(self, listener: Callable[[str], None]) -> None:
+        """Register a callback fired (with the campaign id) after every
+        emitted event.  The async front door bridges this into its event
+        loop via ``call_soon_threadsafe``; callbacks must not block."""
+        with self._lock:
+            self._listeners.append(listener)
+
     def _emit(self, job: CampaignJob, event: dict) -> None:
         with self._events_cond:
             job.events.append(
                 {"seq": len(job.events), "time": self._clock(), **event}
             )
             self._events_cond.notify_all()
+            listeners = list(self._listeners)
+        for listener in listeners:
+            try:
+                listener(job.id)
+            except Exception:  # noqa: BLE001 - listeners must not kill emits
+                pass
 
     def events_since(self, campaign_id: str, after: int = 0) -> List[dict]:
         with self._lock:

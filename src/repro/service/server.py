@@ -12,6 +12,11 @@ with a ``ThreadingHTTPServer`` serving a small JSON REST API:
                                       (``?after=N&timeout=S``) or SSE
                                       (``?stream=1`` / Accept:
                                       ``text/event-stream``)
+``POST /fabric/lease``                worker claims a task (coordinator only)
+``POST /fabric/tasks/{id}/heartbeat`` extend a lease + ship progress
+``POST /fabric/tasks/{id}/complete``  finish a task (optional result bundle)
+``POST /fabric/tasks/{id}/fail``      report a failure (retryable or not)
+``GET  /fabric/status``               queue depth, tenants, live leases
 ``GET  /runs``                        stored runs with row counts
 ``GET  /runs/{name}/metrics.json``    one run's metric rows (also ``.csv``)
 ``GET  /runs/{a}/diff/{b}``           run diff (moves + verdict flips)
@@ -20,6 +25,14 @@ with a ``ThreadingHTTPServer`` serving a small JSON REST API:
 ``GET  /healthz``                     liveness + store integrity
 ``GET  /metrics``                     Prometheus text exposition
 ====================================  =========================================
+
+Route handlers live in :class:`~repro.service.router.ServiceRouter`,
+shared with the asyncio front door in :mod:`repro.fabric.frontdoor`;
+this module is only the threaded transport.  The fabric endpoints are
+served when the app's scheduler is a
+:class:`~repro.fabric.coordinator.Coordinator` (pass one via the
+``scheduler`` argument, or use ``repro fabric serve``); a plain
+single-process scheduler 404s them.
 
 Run names may contain ``:`` and other URL-hostile characters; path
 segments are percent-decoded, so clients should quote them.
@@ -38,11 +51,17 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
 from urllib.parse import parse_qs, unquote, urlparse
 
-from repro.service.scheduler import QueueFull, Scheduler, TERMINAL_STATES
-from repro.service.specs import SpecError, parse_campaign_spec
-
-#: Cap on request bodies; campaign specs are tiny.
-_MAX_BODY_BYTES = 1 << 20
+from repro.service.router import (
+    MAX_BODY_BYTES,
+    EventStream,
+    LongPoll,
+    Response,
+    ServiceRouter,
+    sse_chunk,
+    sse_final,
+)
+from repro.service.scheduler import Scheduler, TERMINAL_STATES
+from repro.service.specs import SpecError
 
 
 class ServiceApp:
@@ -57,15 +76,17 @@ class ServiceApp:
         exec_jobs: int = 1,
         max_pending: int = 64,
         resume: bool = True,
+        scheduler: Optional[Scheduler] = None,
     ):
         self.store_path = str(store_path)
-        self.scheduler = Scheduler(
+        self.scheduler = scheduler or Scheduler(
             store_path=store_path,
             workers=workers,
             exec_jobs=exec_jobs,
             max_pending=max_pending,
         )
         self.resumed = self.scheduler.resume_pending() if resume else []
+        self.router = ServiceRouter(self.store_path, self.scheduler)
         handler = type("_BoundHandler", (_Handler,), {"app": self})
         self.server = ThreadingHTTPServer((host, port), handler)
         self.server.daemon_threads = True
@@ -128,7 +149,7 @@ class ServiceApp:
 
 
 class _Handler(BaseHTTPRequestHandler):
-    """Request handler; the class is subclassed per app with ``app`` set."""
+    """Threaded transport: parse, delegate to the router, write bytes."""
 
     app: ServiceApp
     protocol_version = "HTTP/1.1"
@@ -146,31 +167,21 @@ class _Handler(BaseHTTPRequestHandler):
         }
         return [unquote(part) for part in parsed.path.split("/") if part]
 
-    def _send(self, code: int, body: bytes, content_type: str, **headers):
-        self.send_response(code)
-        self.send_header("Content-Type", content_type)
-        self.send_header("Content-Length", str(len(body)))
-        for name, value in headers.items():
+    def _respond(self, response: Response):
+        self.send_response(response.status)
+        self.send_header("Content-Type", response.content_type)
+        self.send_header("Content-Length", str(len(response.body)))
+        for name, value in response.headers.items():
             self.send_header(name.replace("_", "-"), str(value))
         self.end_headers()
         try:
-            self.wfile.write(body)
+            self.wfile.write(response.body)
         except (BrokenPipeError, ConnectionResetError):
             pass
 
-    def _json(self, code: int, payload, **headers):
-        body = (json.dumps(payload, indent=2, sort_keys=True) + "\n").encode()
-        self._send(code, body, "application/json", **headers)
-
-    def _text(self, code: int, text: str, content_type: str = "text/plain"):
-        self._send(code, text.encode(), f"{content_type}; charset=utf-8")
-
-    def _error(self, code: int, message: str, **headers):
-        self._json(code, {"error": message}, **headers)
-
     def _body_json(self):
         length = int(self.headers.get("Content-Length") or 0)
-        if length > _MAX_BODY_BYTES:
+        if length > MAX_BODY_BYTES:
             raise SpecError("request body too large")
         raw = self.rfile.read(length) if length else b"{}"
         try:
@@ -178,110 +189,35 @@ class _Handler(BaseHTTPRequestHandler):
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
             raise SpecError(f"request body is not valid JSON: {exc}")
 
-    def _store(self):
-        from repro.store import ResultStore
-
-        return ResultStore(self.app.store_path)
-
     # ------------------------------------------------------------- routing
 
     def do_GET(self):  # noqa: N802 - stdlib naming
-        try:
-            self._route_get(self._segments())
-        except Exception as exc:  # noqa: BLE001 - last-resort 500
-            try:
-                self._error(500, f"{type(exc).__name__}: {exc}")
-            except Exception:
-                pass
+        router = self.app.router
+        result = router.handle_get(
+            self._segments(), self.query, self.headers.get("Accept") or ""
+        )
+        if isinstance(result, LongPoll):
+            # Block this request thread until events arrive or timeout.
+            events = self.app.scheduler.wait_events(
+                result.campaign_id, after=result.after, timeout=result.timeout
+            )
+            result = router.events_page(result.campaign_id, result.after, events)
+        elif isinstance(result, EventStream):
+            return self._sse(result.campaign_id, result.after)
+        self._respond(result)
 
     def do_POST(self):  # noqa: N802 - stdlib naming
+        router = self.app.router
+        parts = self._segments()
         try:
-            self._route_post(self._segments())
-        except QueueFull as exc:
-            self._error(429, str(exc), Retry_After=exc.retry_after_s)
+            payload = self._body_json()
         except SpecError as exc:
-            self._error(400, str(exc))
-        except Exception as exc:  # noqa: BLE001 - last-resort 500
-            try:
-                self._error(500, f"{type(exc).__name__}: {exc}")
-            except Exception:
-                pass
-
-    def _route_get(self, parts):
-        if parts == ["healthz"]:
-            return self._healthz()
-        if parts == ["metrics"]:
-            return self._prometheus()
-        if parts == ["campaigns"]:
-            return self._json(
-                200,
-                {"campaigns": [j.snapshot() for j in self.app.scheduler.jobs()]},
+            return self._respond(
+                Response(400, (json.dumps({"error": str(exc)}) + "\n").encode())
             )
-        if len(parts) == 2 and parts[0] == "campaigns":
-            job = self.app.scheduler.job(parts[1])
-            if job is None:
-                return self._error(404, f"unknown campaign: {parts[1]!r}")
-            return self._json(200, job.snapshot())
-        if len(parts) == 3 and parts[0] == "campaigns" and parts[2] == "events":
-            return self._campaign_events(parts[1])
-        if parts == ["runs"]:
-            return self._runs()
-        if len(parts) == 3 and parts[0] == "runs" and parts[2].startswith("metrics"):
-            return self._run_metrics(parts[1], parts[2])
-        if len(parts) == 4 and parts[0] == "runs" and parts[2] == "diff":
-            return self._run_diff(parts[1], parts[3])
-        if len(parts) == 3 and parts[0] == "runs" and parts[2] == "heatmap.svg":
-            return self._run_heatmap(parts[1])
-        if len(parts) == 3 and parts[0] == "runs" and parts[2] == "peer-matrix.svg":
-            return self._run_peer_matrix(parts[1])
-        return self._error(404, f"no such resource: GET {self.path}")
+        self._respond(router.handle_post(parts, self.query, payload))
 
-    def _route_post(self, parts):
-        if parts == ["campaigns"]:
-            return self._submit()
-        if len(parts) == 3 and parts[0] == "campaigns" and parts[2] == "cancel":
-            if self.app.scheduler.cancel(parts[1]):
-                return self._json(200, self.app.scheduler.job(parts[1]).snapshot())
-            job = self.app.scheduler.job(parts[1])
-            if job is None:
-                return self._error(404, f"unknown campaign: {parts[1]!r}")
-            return self._error(409, f"campaign {parts[1]} is already {job.state}")
-        return self._error(404, f"no such resource: POST {self.path}")
-
-    # ------------------------------------------------------------ handlers
-
-    def _submit(self):
-        payload = self._body_json()
-        if not isinstance(payload, dict):
-            raise SpecError("campaign submission must be a JSON object")
-        priority = payload.pop("priority", 0)
-        if not isinstance(priority, int) or isinstance(priority, bool):
-            raise SpecError("priority must be an integer")
-        spec = parse_campaign_spec(payload)
-        job = self.app.scheduler.submit(spec, priority=priority)
-        self._json(202, job.snapshot(), Location=f"/campaigns/{job.id}")
-
-    def _campaign_events(self, campaign_id: str):
-        scheduler = self.app.scheduler
-        if scheduler.job(campaign_id) is None:
-            return self._error(404, f"unknown campaign: {campaign_id!r}")
-        after = int(self.query.get("after", 0))
-        wants_sse = self.query.get("stream") == "1" or "text/event-stream" in (
-            self.headers.get("Accept") or ""
-        )
-        if wants_sse:
-            return self._sse(campaign_id, after)
-        timeout = min(60.0, float(self.query.get("timeout", 10.0)))
-        events = scheduler.wait_events(campaign_id, after=after, timeout=timeout)
-        job = scheduler.job(campaign_id)
-        self._json(
-            200,
-            {
-                "events": events,
-                "next": after + len(events),
-                "state": job.state if job else "unknown",
-            },
-        )
+    # ------------------------------------------------------------------ SSE
 
     def _sse(self, campaign_id: str, after: int):
         """Server-sent events until the campaign reaches a terminal state."""
@@ -294,213 +230,25 @@ class _Handler(BaseHTTPRequestHandler):
         cursor = after
         try:
             while True:
-                events = scheduler.wait_events(campaign_id, after=cursor, timeout=15.0)
-                for event in events:
-                    data = json.dumps(event, sort_keys=True)
-                    self.wfile.write(f"data: {data}\n\n".encode())
+                events = scheduler.wait_events(
+                    campaign_id, after=cursor, timeout=15.0
+                )
+                if events:
+                    self.wfile.write(sse_chunk(events))
                 cursor += len(events)
                 self.wfile.flush()
                 job = scheduler.job(campaign_id)
                 if job is None:
                     return
                 if job.state in TERMINAL_STATES and len(job.events) <= cursor:
-                    final = json.dumps(job.snapshot(), sort_keys=True)
-                    self.wfile.write(f"event: end\ndata: {final}\n\n".encode())
+                    self.wfile.write(sse_final(job.snapshot()))
                     self.wfile.flush()
                     return
                 if not events:
-                    self.wfile.write(b": keep-alive\n\n")
+                    self.wfile.write(sse_chunk([]))
                     self.wfile.flush()
         except (BrokenPipeError, ConnectionResetError):
             return  # client went away mid-stream
-
-    def _healthz(self):
-        from repro.faults.breaker import degraded
-
-        with self._store() as store:
-            ok = store.integrity_ok()
-        open_breakers = degraded()
-        if not ok:
-            status = "store-corrupt"
-        elif open_breakers:
-            # Open circuit breakers (store sink spilling, journal down):
-            # the service is up and serving, but running in a reduced
-            # mode — callers see why, probes still get a 200.
-            status = "degraded"
-        else:
-            status = "ok"
-        metrics = self.app.scheduler.metrics()
-        self._json(
-            500 if not ok else 200,
-            {
-                "status": status,
-                "degraded": open_breakers,
-                "store": self.app.store_path,
-                "queue_depth": metrics["queue_depth"],
-                "running": metrics["running"],
-                "uptime_s": round(metrics["uptime_s"], 3),
-            },
-        )
-
-    def _prometheus(self):
-        m = self.app.scheduler.metrics()
-        with self._store() as store:
-            counts = store.counts()
-        lines = [
-            "# HELP repro_queue_depth Campaigns waiting to run.",
-            "# TYPE repro_queue_depth gauge",
-            f"repro_queue_depth {m['queue_depth']}",
-            "# HELP repro_campaigns_running Campaigns currently executing.",
-            "# TYPE repro_campaigns_running gauge",
-            f"repro_campaigns_running {m['running']}",
-            "# HELP repro_campaigns_total Campaigns by lifecycle state.",
-            "# TYPE repro_campaigns_total gauge",
-        ]
-        for state in sorted(m["campaign_states"]):
-            lines.append(
-                f'repro_campaigns_total{{state="{state}"}} '
-                f"{m['campaign_states'][state]}"
-            )
-        lines += [
-            "# HELP repro_trials_total Trials finished, by executor status.",
-            "# TYPE repro_trials_total counter",
-        ]
-        for status in sorted(m["trial_statuses"]):
-            lines.append(
-                f'repro_trials_total{{status="{status}"}} '
-                f"{m['trial_statuses'][status]}"
-            )
-        lines += [
-            "# HELP repro_trials_per_second Finished trials per uptime second.",
-            "# TYPE repro_trials_per_second gauge",
-            f"repro_trials_per_second {m['trials_per_second']:.6f}",
-            "# HELP repro_cache_hit_rate Fraction of trials served from cache.",
-            "# TYPE repro_cache_hit_rate gauge",
-            f"repro_cache_hit_rate {m['cache_hit_rate']:.6f}",
-            "# HELP repro_service_uptime_seconds Service uptime.",
-            "# TYPE repro_service_uptime_seconds gauge",
-            f"repro_service_uptime_seconds {m['uptime_s']:.3f}",
-            "# HELP repro_store_rows Warehouse row counts by table.",
-            "# TYPE repro_store_rows gauge",
-        ]
-        for table in ("runs", "trials", "measurements", "metrics", "events"):
-            lines.append(f'repro_store_rows{{table="{table}"}} {counts[table]}')
-        self._text(200, "\n".join(lines) + "\n", "text/plain; version=0.0.4")
-
-    def _runs(self):
-        with self._store() as store:
-            runs = []
-            for info in store.runs():
-                runs.append(
-                    {
-                        "id": info.id,
-                        "name": info.name,
-                        "created_at": info.created_at,
-                        "note": info.note,
-                        "metrics": len(store.query(run=info.id)),
-                        "trials": len(store.trial_keys(info.id)),
-                    }
-                )
-        self._json(200, {"runs": runs})
-
-    def _run_metrics(self, run_name: str, resource: str):
-        from repro.store import ResultStore, StoreError
-
-        fmt = resource[len("metrics"):].lstrip(".") or "json"
-        if fmt not in ("json", "csv"):
-            return self._error(404, f"unknown metrics format: {fmt!r}")
-        try:
-            with self._store() as store:
-                rows = store.query(
-                    run=run_name,
-                    metric=self.query.get("metric"),
-                    stack=self.query.get("stack"),
-                    cca=self.query.get("cca"),
-                )
-        except StoreError as exc:
-            return self._error(404, str(exc))
-        if fmt == "csv":
-            return self._text(200, ResultStore.export_csv(rows), "text/csv")
-        self._send(
-            200, (ResultStore.export_json(rows) + "\n").encode(), "application/json"
-        )
-
-    def _run_diff(self, run_a: str, run_b: str):
-        from repro.store import StoreError, diff_runs
-
-        try:
-            with self._store() as store:
-                diff = diff_runs(
-                    store,
-                    run_a,
-                    run_b,
-                    metric=self.query.get("metric", "conf"),
-                    threshold=float(self.query.get("threshold", 0.5)),
-                    atol=float(self.query.get("atol", 0.0)),
-                )
-        except StoreError as exc:
-            return self._error(404, str(exc))
-        self._json(
-            200,
-            {
-                "run_a": diff.run_a,
-                "run_b": diff.run_b,
-                "metric": diff.metric,
-                "threshold": diff.threshold,
-                "clean": diff.clean,
-                "compared": diff.compared,
-                "added": [list(s) for s in diff.added],
-                "removed": [list(s) for s in diff.removed],
-                "changed": [
-                    {
-                        "subject": list(d.subject),
-                        "before": d.before,
-                        "after": d.after,
-                        "delta": d.delta,
-                    }
-                    for d in diff.changed
-                ],
-                "flips": [
-                    {
-                        "subject": list(f.subject),
-                        "before": f.before,
-                        "after": f.after,
-                        "label": f.label(),
-                    }
-                    for f in diff.flips
-                ],
-            },
-        )
-
-    def _run_heatmap(self, run_name: str):
-        from repro.store import StoreError
-        from repro.viz.store import stored_heatmap_figure
-
-        try:
-            with self._store() as store:
-                figure = stored_heatmap_figure(
-                    store, run_name, metric=self.query.get("metric", "conf")
-                )
-        except StoreError as exc:
-            return self._error(404, str(exc))
-        except ValueError as exc:
-            return self._error(404, str(exc))
-        self._send(200, figure.to_svg().encode(), "image/svg+xml")
-
-    def _run_peer_matrix(self, run_name: str):
-        from repro.store import StoreError
-        from repro.viz.store import stored_peer_matrix_figure
-
-        try:
-            with self._store() as store:
-                figure = stored_peer_matrix_figure(
-                    store, run_name, metric=self.query.get("metric", "peer_conf")
-                )
-        except StoreError as exc:
-            return self._error(404, str(exc))
-        except ValueError as exc:
-            return self._error(404, str(exc))
-        self._send(200, figure.to_svg().encode(), "image/svg+xml")
 
 
 __all__ = ["ServiceApp"]

@@ -38,6 +38,13 @@ Tables
 ``events``
     Executor telemetry journal: campaign_start / job / campaign_end
     records mirroring the JSONL manifest, but queryable.
+``fabric_tasks`` / ``fabric_tenants`` (v2)
+    The fabric's durable leased work queue: one ``fabric_tasks`` row per
+    submitted campaign (spec JSON, tenant, priority, lease bookkeeping,
+    attempt counter, result summary) and one ``fabric_tenants`` row per
+    tenant (deficit-round-robin weight and deficit, quotas).  All SQL
+    against these tables lives in :mod:`repro.fabric.queue` — the
+    ``queue-sql-confinement`` lint rule enforces that.
 """
 
 from __future__ import annotations
@@ -46,7 +53,7 @@ import sqlite3
 from typing import Callable, List
 
 #: Version written to ``PRAGMA user_version`` by the newest code.
-STORE_SCHEMA_VERSION = 1
+STORE_SCHEMA_VERSION = 2
 
 
 class SchemaError(RuntimeError):
@@ -126,8 +133,49 @@ def _migrate_0_to_1(conn: sqlite3.Connection) -> None:
     conn.executescript(_BOOTSTRAP_DDL)
 
 
+_FABRIC_DDL = """
+CREATE TABLE IF NOT EXISTS fabric_tasks (
+    id               INTEGER PRIMARY KEY,
+    campaign         TEXT NOT NULL UNIQUE,
+    tenant           TEXT NOT NULL DEFAULT 'default',
+    spec             TEXT NOT NULL,
+    priority         INTEGER NOT NULL DEFAULT 0,
+    state            TEXT NOT NULL DEFAULT 'pending',
+    attempts         INTEGER NOT NULL DEFAULT 0,
+    lease_id         TEXT,
+    lease_owner      TEXT,
+    lease_expires_at REAL,
+    cancel_requested INTEGER NOT NULL DEFAULT 0,
+    created_at       REAL NOT NULL,
+    updated_at       REAL NOT NULL,
+    result           TEXT NOT NULL DEFAULT '{}',
+    error            TEXT
+);
+
+CREATE TABLE IF NOT EXISTS fabric_tenants (
+    name        TEXT PRIMARY KEY,
+    weight      INTEGER NOT NULL DEFAULT 1,
+    deficit     REAL NOT NULL DEFAULT 0,
+    max_pending INTEGER,
+    max_active  INTEGER,
+    created_at  REAL NOT NULL
+);
+
+CREATE INDEX IF NOT EXISTS idx_fabric_tasks_state
+    ON fabric_tasks (state, tenant, priority);
+"""
+
+
+def _migrate_1_to_2(conn: sqlite3.Connection) -> None:
+    """v2: the fabric's durable leased work queue + tenant table."""
+    conn.executescript(_FABRIC_DDL)
+
+
 #: ``MIGRATIONS[i]`` upgrades a version-``i`` database to ``i + 1``.
-MIGRATIONS: List[Callable[[sqlite3.Connection], None]] = [_migrate_0_to_1]
+MIGRATIONS: List[Callable[[sqlite3.Connection], None]] = [
+    _migrate_0_to_1,
+    _migrate_1_to_2,
+]
 
 
 def schema_version(conn: sqlite3.Connection) -> int:

@@ -253,6 +253,17 @@ class ResultStore:
 
         return self._retry(attempt)
 
+    def write_transaction(self, fn):
+        """Public seam for sibling subsystems that keep their own tables
+        in the warehouse file (``repro.fabric.queue``): run ``fn(conn)``
+        inside one retried write transaction, with the same locked-retry
+        discipline and fault seams as the store's own writes."""
+        return self._write(fn)
+
+    def read_transaction(self, fn):
+        """Run ``fn(conn)`` read-only under the store's retry policy."""
+        return self._retry(lambda: fn(self._conn))
+
     # ---------------------------------------------------------------- runs
 
     def ensure_run(
@@ -501,7 +512,6 @@ class ResultStore:
         metric values — the warehouse keeps the latest numbers per run.
         Returns the measurement id.
         """
-        run_id = self.run(run).id
         if condition is not None:
             bandwidth = float(condition.bandwidth_mbps)
             rtt = float(condition.rtt_ms)
@@ -510,6 +520,40 @@ class ResultStore:
         else:
             bandwidth = rtt = buffer_bdp = None
             describe = ""
+        return self.record_metrics_raw(
+            run,
+            stack=stack,
+            cca=cca,
+            variant=variant,
+            bandwidth_mbps=bandwidth,
+            rtt_ms=rtt,
+            buffer_bdp=buffer_bdp,
+            condition=describe,
+            metrics=metrics,
+        )
+
+    def record_metrics_raw(
+        self,
+        run: RunRef,
+        stack: str,
+        cca: str,
+        metrics: Mapping[str, Optional[float]],
+        variant: str = "default",
+        bandwidth_mbps: Optional[float] = None,
+        rtt_ms: Optional[float] = None,
+        buffer_bdp: Optional[float] = None,
+        condition: str = "",
+    ) -> int:
+        """Upsert a measurement from already-flattened condition values.
+
+        The replay half of :meth:`record_metrics`: ingest paths (fabric
+        result bundles, exports) carry the recorded scalars, not live
+        ``NetworkCondition`` objects, and must round-trip them exactly.
+        """
+        run_id = self.run(run).id
+        bandwidth = bandwidth_mbps
+        rtt = rtt_ms
+        describe = condition
 
         def upsert(conn) -> int:
             # Select-first rather than ON CONFLICT: SQLite's UNIQUE treats

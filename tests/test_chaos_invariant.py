@@ -44,6 +44,7 @@ class TestSmokeMatrix:
         assert set(outcomes) == {
             "worker-crash", "store-locked", "disk-full", "journal-corrupt",
             "store-locked@topology", "store-locked@peer_conformance",
+            "lease-expiry", "worker-sigkill",
         }
         for outcome in outcomes.values():
             assert outcome.recovered, outcome.summary()
@@ -83,10 +84,13 @@ class TestSmokeMatrix:
         report, workdir = smoke_run
         snapshots = {}
         # The @<kind> classes run different joblists (topology / peer
-        # trials, not conformance trials), so they are checked
+        # trials, not conformance trials) and the fabric classes run
+        # their own coordinator campaign, so they are checked
         # separately below.
         for outcome in report.outcomes:
-            if "@" in outcome.fault:
+            if "@" in outcome.fault or outcome.fault in (
+                "lease-expiry", "worker-sigkill"
+            ):
                 continue
             with ResultStore(workdir / outcome.fault / "store.db") as store:
                 snapshots[outcome.fault] = {
@@ -115,6 +119,23 @@ class TestSmokeMatrix:
             assert keys
             for key in keys:
                 assert store.get_trial(key, strict=True) is not None
+
+    @pytest.mark.parametrize("fault", ["lease-expiry", "worker-sigkill"])
+    def test_fabric_class_survived_and_retried(self, smoke_run, fault):
+        # The fabric classes kill a worker's lease (cut heartbeats /
+        # real SIGKILL); the campaign must still land, on attempt >= 2.
+        # Bit-identity against the fabric baseline is asserted inside
+        # run_chaos; here we check the queue story the note records.
+        report, workdir = smoke_run
+        outcome = next(o for o in report.outcomes if o.fault == fault)
+        assert outcome.recovered, outcome.summary()
+        assert not outcome.violations
+        assert outcome.fires > 0
+        assert "attempts=" in outcome.note
+        attempts = int(outcome.note.split("attempts=")[1].split()[0])
+        assert attempts >= 2
+        with ResultStore(workdir / fault / "store.db") as store:
+            assert store.trial_keys()
 
 
 class TestInvariantChecker:

@@ -1,0 +1,223 @@
+"""FabricFrontDoor: the asyncio front door over a real socket.
+
+Same route table as the threaded ``ServiceApp`` (both consume
+``ServiceRouter``), so the assertions here mirror the service HTTP
+suite: submit/long-poll/SSE and the fabric worker protocol must all
+work against the event-loop transport, including malformed requests
+and connection reuse.
+"""
+
+import http.client
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.fabric.coordinator import Coordinator
+from repro.fabric.frontdoor import FabricFrontDoor
+from repro.fabric.worker import FabricWorker, LocalTransport
+from repro.faults.retry import RetryPolicy
+from repro.harness.cache import CACHE_DIR_ENV
+from repro.service import ServiceClient, ServiceError
+
+TINY = {
+    "kind": "conformance",
+    "stacks": ["xquic"],
+    "ccas": ["cubic"],
+    "duration_s": 3,
+    "trials": 2,
+    "run": "frontdoor-test",
+}
+
+
+@pytest.fixture(scope="module")
+def frontdoor(tmp_path_factory):
+    """Front door + coordinator + one local worker draining the queue."""
+    import os
+
+    root = tmp_path_factory.mktemp("frontdoor")
+    before = os.environ.get(CACHE_DIR_ENV)
+    os.environ[CACHE_DIR_ENV] = str(root / "cache")
+    coordinator = Coordinator(str(root / "store.db"), lease_ttl_s=5.0)
+    coordinator.ensure_tenant("teamA", weight=2)
+    door = FabricFrontDoor(str(root / "store.db"), scheduler=coordinator)
+    door.start()
+    worker = FabricWorker(
+        LocalTransport(coordinator),
+        name="door-worker",
+        store_path=coordinator.store_path,
+        poll_s=0.05,
+        ttl_s=5.0,
+    )
+    thread = threading.Thread(target=worker.run, daemon=True)
+    thread.start()
+    client = ServiceClient(door.url, timeout_s=30.0)
+    try:
+        yield door, client, coordinator
+    finally:
+        worker.stop()
+        thread.join(timeout=10.0)
+        door.stop(drain=False)
+        if before is None:
+            os.environ.pop(CACHE_DIR_ENV, None)
+        else:
+            os.environ[CACHE_DIR_ENV] = before
+
+
+def test_healthz_and_keepalive(frontdoor):
+    door, client, _ = frontdoor
+    assert client.health()["status"] == "ok"
+    # Two requests down one kept-alive connection.
+    host, port = door.address
+    conn = http.client.HTTPConnection(host, port, timeout=10.0)
+    try:
+        for _ in range(2):
+            conn.request("GET", "/healthz")
+            response = conn.getresponse()
+            assert response.status == 200
+            assert json.loads(response.read())["status"] == "ok"
+    finally:
+        conn.close()
+
+
+def test_submit_longpoll_and_wait(frontdoor):
+    _, client, _ = frontdoor
+    accepted = client.submit(TINY, tenant="teamA")
+    assert accepted["state"] in ("pending", "running")
+    page = client.events(accepted["id"], after=0, timeout_s=5.0)
+    assert page["events"], "long-poll returned no events"
+    assert page["next"] >= len(page["events"])
+    final = client.wait(accepted["id"], timeout_s=120.0)
+    assert final["state"] == "done"
+    assert final["progress"]["done"] == final["progress"]["total"] > 0
+    rows = client.metrics("frontdoor-test")
+    assert rows
+
+
+def test_sse_stream_ends_with_final_snapshot(frontdoor):
+    door, client, _ = frontdoor
+    accepted = client.submit(dict(TINY, note="sse"))
+    host, port = door.address
+    conn = http.client.HTTPConnection(host, port, timeout=60.0)
+    try:
+        conn.request(
+            "GET",
+            f"/campaigns/{accepted['id']}/events?stream=1",
+            headers={"Accept": "text/event-stream"},
+        )
+        response = conn.getresponse()
+        assert response.status == 200
+        assert "text/event-stream" in response.getheader("Content-Type")
+        body = b""
+        deadline = time.monotonic() + 120.0
+        while time.monotonic() < deadline:
+            chunk = response.read(256)
+            if not chunk:
+                break
+            body += chunk
+            tail = body.split(b"event: end")
+            if len(tail) > 1 and b"\n\n" in tail[-1]:
+                break  # the final frame arrived in full
+        text = body.decode()
+        assert "event: end" in text
+        assert '"state": "done"' in text.split("event: end")[-1]
+    finally:
+        conn.close()
+
+
+def test_fabric_worker_protocol_over_http(frontdoor):
+    _, client, _ = frontdoor
+    status = client.fabric_status()
+    assert "depth" in status and "tenants" in status
+    accepted = client.submit(dict(TINY, note="protocol"))
+    lease = None
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline and lease is None:
+        lease = client.fabric_lease("http-probe", ttl_s=30.0)
+        if lease is not None and lease["campaign"] != accepted["id"]:
+            # Raced another test's campaign: give it back untouched.
+            client.fabric_fail(
+                lease["campaign"], lease["lease_id"], "probe", retryable=True
+            )
+            lease = None
+        time.sleep(0.05)
+    assert lease is not None, "the probe never won the lease"
+    beat = client.fabric_heartbeat(
+        lease["campaign"],
+        lease["lease_id"],
+        ttl_s=30.0,
+        progress=[{"event": "trial", "status": "ok", "done": 1, "total": 4}],
+    )
+    assert beat["ok"] is True
+    # Hand the campaign back; the resident worker finishes it for real.
+    outcome = client.fabric_fail(
+        lease["campaign"], lease["lease_id"], "probe done", retryable=True
+    )
+    assert outcome["outcome"] == "retried"
+    final = client.wait(accepted["id"], timeout_s=120.0)
+    assert final["state"] == "done"
+
+
+def test_prometheus_exposes_fabric_series(frontdoor):
+    _, client, _ = frontdoor
+    text = client.metrics_text()
+    assert "repro_fabric_queue_depth" in text
+    assert 'repro_fabric_tenant_backlog{tenant="teamA"}' in text
+
+
+def test_unknown_routes_and_campaigns_404(frontdoor):
+    _, client, _ = frontdoor
+    with pytest.raises(ServiceError) as err:
+        client.request("GET", "/no/such/route")
+    assert err.value.status == 404
+    with pytest.raises(ServiceError) as err:
+        client.status("c9999-missing")
+    assert err.value.status == 404
+
+
+def test_malformed_json_body_is_400(frontdoor):
+    door, _, _ = frontdoor
+    host, port = door.address
+    with socket.create_connection((host, port), timeout=10.0) as sock:
+        payload = b"not-json!"
+        sock.sendall(
+            b"POST /campaigns HTTP/1.1\r\nHost: t\r\n"
+            b"Content-Type: application/json\r\n"
+            b"Content-Length: " + str(len(payload)).encode() + b"\r\n\r\n"
+            + payload
+        )
+        head = sock.recv(4096).decode()
+    assert head.startswith("HTTP/1.1 400")
+
+
+def test_client_reconnects_through_retry_policy(frontdoor):
+    """Satellite contract: dropped long-polls (status 0) reconnect via
+    the unified RetryPolicy with the cursor intact — no event lost."""
+    door, _, _ = frontdoor
+    client = ServiceClient(
+        door.url,
+        timeout_s=30.0,
+        reconnect=RetryPolicy(
+            max_attempts=10, backoff_s=0.01, backoff_cap_s=0.01,
+            sleep=lambda s: None,
+        ),
+    )
+    accepted = client.submit(dict(TINY, note="reconnect"))
+    real_request = client._request
+    drops = {"left": 2}
+
+    def flaky(method, path, **kwargs):
+        if "/events" in path and drops["left"] > 0:
+            drops["left"] -= 1
+            raise ServiceError(0, "connection failed: injected reset")
+        return real_request(method, path, **kwargs)
+
+    client._request = flaky
+    events = list(client.stream(accepted["id"]))
+    assert drops["left"] == 0, "the injected drops were never exercised"
+    assert any(e.get("event") == "state" for e in events)
+    seqs = [e["seq"] for e in events if "seq" in e]
+    assert seqs == sorted(set(seqs)), "reconnect lost or duplicated events"
+    assert client.status(accepted["id"])["state"] == "done"

@@ -1,0 +1,206 @@
+"""WorkQueue: lease lifecycle, expiry, DRR fairness, quotas, idempotence.
+
+Everything here drives the queue with a fake clock, so lease expiry and
+attempt accounting are exact — no sleeps, no wall-clock flake.
+"""
+
+import pytest
+
+from repro.fabric.queue import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    LEASED,
+    PENDING,
+    QueueError,
+    QuotaExceeded,
+    WorkQueue,
+)
+
+SPEC = {"kind": "conformance", "stacks": ["quiche"], "ccas": ["cubic"]}
+
+
+class FakeClock:
+    def __init__(self, now: float = 1000.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def q(tmp_path, clock):
+    with WorkQueue(str(tmp_path / "store.db"), clock=clock) as queue:
+        yield queue
+
+
+def test_lease_lifecycle(q):
+    task = q.enqueue("c1", SPEC)
+    assert task.state == PENDING and task.attempts == 0
+    lease = q.lease("w1", ttl_s=30.0)
+    assert lease.campaign == "c1"
+    assert lease.attempt == 1
+    assert q.task("c1").state == LEASED
+    beat = q.heartbeat("c1", lease.lease_id, ttl_s=30.0)
+    assert beat == {"ok": True, "cancel": False}
+    assert q.complete("c1", lease.lease_id, {"cells": 1}) == "done"
+    done = q.task("c1")
+    assert done.state == DONE
+    assert done.result == {"cells": 1}
+    assert done.lease_id is None
+
+
+def test_enqueue_is_idempotent_by_campaign(q):
+    first = q.enqueue("c1", SPEC, priority=3)
+    again = q.enqueue("c1", {"different": "spec"}, priority=9)
+    assert again.spec == first.spec
+    assert again.priority == first.priority == 3
+    assert q.depth() == 1
+
+
+def test_complete_twice_is_duplicate_not_error(q):
+    q.enqueue("c1", SPEC)
+    lease = q.lease("w1")
+    assert q.complete("c1", lease.lease_id) == "done"
+    assert q.complete("c1", lease.lease_id) == "duplicate"
+    with pytest.raises(QueueError):
+        q.complete("no-such-campaign", "L000000.1")
+
+
+def test_expired_lease_returns_to_pending(q, clock):
+    q.enqueue("c1", SPEC)
+    first = q.lease("w1", ttl_s=10.0)
+    clock.advance(10.1)
+    assert q.sweep() == ["c1"]
+    assert q.task("c1").state == PENDING
+    second = q.lease("w2", ttl_s=10.0)
+    assert second.attempt == 2
+    assert second.lease_id != first.lease_id
+
+
+def test_heartbeat_on_lost_lease_reports_not_ok(q, clock):
+    q.enqueue("c1", SPEC)
+    stale = q.lease("w1", ttl_s=5.0)
+    clock.advance(6.0)
+    q.lease("w2", ttl_s=30.0)  # sweeps, then re-leases to w2
+    beat = q.heartbeat("c1", stale.lease_id)
+    assert beat["ok"] is False
+    # ... and the stale owner's completion must not clobber w2's lease.
+    assert q.task("c1").lease_owner == "w2"
+
+
+def test_heartbeat_extends_expiry(q, clock):
+    q.enqueue("c1", SPEC)
+    lease = q.lease("w1", ttl_s=10.0)
+    clock.advance(8.0)
+    q.heartbeat("c1", lease.lease_id, ttl_s=10.0)
+    clock.advance(8.0)  # 16s after lease, but only 8s after the beat
+    assert q.sweep() == []
+    assert q.task("c1").state == LEASED
+
+
+def test_attempt_cap_fails_task(tmp_path, clock):
+    with WorkQueue(str(tmp_path / "s.db"), max_attempts=2, clock=clock) as q:
+        q.enqueue("c1", SPEC)
+        q.lease("w1", ttl_s=1.0)
+        clock.advance(1.1)
+        q.sweep()  # attempt 1 expired, under cap: back to pending
+        q.lease("w1", ttl_s=1.0)
+        clock.advance(1.1)
+        q.sweep()  # attempt 2 expired at the cap: failed
+        task = q.task("c1")
+        assert task.state == FAILED
+        assert "max_attempts=2" in task.error
+
+
+def test_fail_retryable_requeues_then_terminal(q):
+    q.enqueue("c1", SPEC)
+    lease = q.lease("w1")
+    assert q.fail("c1", lease.lease_id, "transient", retryable=True) == "retried"
+    assert q.task("c1").state == PENDING
+    lease = q.lease("w1")
+    assert q.fail("c1", lease.lease_id, "fatal", retryable=False) == "failed"
+    assert q.task("c1").error == "fatal"
+    # A stale lease id is acknowledged, never applied.
+    assert q.fail("c1", "L999999.9", "late", retryable=True) == "duplicate"
+
+
+def test_cancel_pending_and_leased(q):
+    q.enqueue("c1", SPEC)
+    assert q.cancel("c1") == CANCELLED
+    q.enqueue("c2", SPEC)
+    lease = q.lease("w1")
+    assert lease.campaign == "c2"
+    assert q.cancel("c2") == "cancel-requested"
+    beat = q.heartbeat("c2", lease.lease_id)
+    assert beat == {"ok": True, "cancel": True}
+    assert q.complete("c1", "any") == "cancelled"
+
+
+def test_tenant_max_pending_quota(q):
+    q.ensure_tenant("t", max_pending=1)
+    q.enqueue("c1", SPEC, tenant="t")
+    with pytest.raises(QuotaExceeded):
+        q.enqueue("c2", SPEC, tenant="t")
+    # Re-submitting an existing campaign never trips the quota.
+    q.enqueue("c1", SPEC, tenant="t")
+    lease = q.lease("w1")
+    q.complete("c1", lease.lease_id)
+    q.enqueue("c2", SPEC, tenant="t")  # slot freed
+
+
+def test_tenant_max_active_blocks_leasing(q):
+    q.ensure_tenant("t", max_active=1)
+    q.enqueue("c1", SPEC, tenant="t")
+    q.enqueue("c2", SPEC, tenant="t")
+    first = q.lease("w1")
+    assert first is not None
+    assert q.lease("w2") is None  # tenant at its lease quota
+    q.complete(first.campaign, first.lease_id)
+    assert q.lease("w2") is not None
+
+
+def test_deficit_round_robin_honours_weights(q):
+    q.ensure_tenant("heavy", weight=2)
+    q.ensure_tenant("light", weight=1)
+    for i in range(6):
+        q.enqueue(f"h{i}", SPEC, tenant="heavy")
+        q.enqueue(f"l{i}", SPEC, tenant="light")
+    order = []
+    for _ in range(6):
+        lease = q.lease("w", ttl_s=1000.0)
+        order.append(lease.tenant)
+        q.complete(lease.campaign, lease.lease_id)
+    # Weight 2 drains twice per DRR round: heavy, heavy, light, repeat.
+    assert order == ["heavy", "heavy", "light"] * 2
+
+
+def test_priority_orders_within_tenant(q):
+    q.enqueue("low", SPEC, priority=0)
+    q.enqueue("high", SPEC, priority=5)
+    assert q.lease("w1").campaign == "high"
+    assert q.lease("w2").campaign == "low"
+
+
+def test_status_snapshot(q, clock):
+    q.ensure_tenant("t", weight=2)
+    q.enqueue("c1", SPEC, tenant="t")
+    q.enqueue("c2", SPEC, tenant="t")
+    lease = q.lease("w1", ttl_s=30.0)
+    status = q.status()
+    assert status["depth"] == 2
+    assert status["states"] == {PENDING: 1, LEASED: 1}
+    tenant = status["tenants"]["t"]
+    assert tenant["pending"] == 1 and tenant["leased"] == 1
+    (live,) = status["leases"]
+    assert live["campaign"] == lease.campaign
+    assert live["owner"] == "w1"
+    assert 0 < live["expires_in_s"] <= 30.0
