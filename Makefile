@@ -4,7 +4,7 @@
 # numerically identical at any job count.  e.g. `make bench JOBS=4`.
 JOBS ?= 1
 
-.PHONY: install test lint bench quick-bench store-smoke service-smoke topo-smoke cca-smoke fabric-smoke chaos clean-cache loc
+.PHONY: install test lint lint-graph bench quick-bench store-smoke service-smoke topo-smoke cca-smoke fabric-smoke chaos clean-cache loc
 
 install:
 	pip install -e .
@@ -12,10 +12,18 @@ install:
 test:
 	pytest tests/
 
-# Determinism/concurrency/contract static analysis (the CI gate).  Pure
-# AST walking, no cache needed — finishes in seconds.
+# Determinism/concurrency/contract static analysis (the CI gate):
+# per-file rule packs plus the whole-program pass (lock-order cycles,
+# held-lock blocking chains, determinism taint).  Warm runs replay
+# per-file summaries from .lint-cache.json and finish in well under a
+# second; `repro lint --no-cache` forces a cold run.
 lint:
 	PYTHONPATH=src python -m repro lint --stats
+
+# Whole-program graph dumps (imports / calls / locks), e.g. the
+# interprocedural lock-order graph with its witness chains.
+lint-graph:
+	PYTHONPATH=src python -m repro lint --dump-graph locks
 
 # Regenerates every table/figure; first run simulates (~25 min), later
 # runs replay from benchmarks/.quicbench_cache.

@@ -29,16 +29,23 @@ checked-in ``lint-baseline.json``.
 
 from repro.lint.baseline import Baseline
 from repro.lint.config import LintConfig, find_repo_root
-from repro.lint.engine import LintReport, lint_paths
+from repro.lint.engine import LintReport, build_project_graph, lint_paths
 from repro.lint.findings import Finding, render_findings
+from repro.lint.graph import ProjectGraph, build_graph, extract_summary
 from repro.lint.rules import all_rules
+from repro.lint.sanitizer import LockOrderSanitizer
 
 __all__ = [
     "Baseline",
     "Finding",
     "LintConfig",
     "LintReport",
+    "LockOrderSanitizer",
+    "ProjectGraph",
     "all_rules",
+    "build_graph",
+    "build_project_graph",
+    "extract_summary",
     "find_repo_root",
     "lint_paths",
     "render_findings",

@@ -1,0 +1,188 @@
+"""Incremental analysis cache: content-hashed per-file lint results.
+
+The whole-program passes made a cold ``repro lint`` run parse and
+analyse 265+ files; this cache makes the warm run skip all of it.  For
+every file the engine stores, keyed by the sha256 of its source text:
+
+* the extracted analysis **summary** (:mod:`repro.lint.graph`) — enough
+  to re-assemble the project graph without re-parsing anything;
+* the **findings** every file-scoped rule produced for it;
+* its parsed **suppressions** (and any justification-less ones, which
+  are themselves findings).
+
+A warm run with no modified files therefore does zero ``ast.parse``
+calls: it re-assembles the graph from cached summaries, re-runs only the
+(cheap, pure-Python) whole-program passes, and replays the cached
+per-file findings.  The cache **signature** covers the engine version,
+the summary shape, every enabled rule's ``(id, version)``, the scoping
+config and the documentation corpus — any of those changing discards
+the whole cache, so a cached result is always exactly what a cold run
+would produce.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.lint.findings import Finding
+from repro.lint.graph import SUMMARY_VERSION
+from repro.lint.suppress import Suppression
+
+CACHE_VERSION = 1
+
+
+def text_hash(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def compute_signature(config, rules) -> str:
+    """Fingerprint of everything besides file contents that findings
+    depend on."""
+    material = {
+        "cache_version": CACHE_VERSION,
+        "summary_version": SUMMARY_VERSION,
+        "rules": sorted(
+            (r.id, getattr(r, "version", 1), getattr(r, "scope", "file"))
+            for r in rules
+        ),
+        "config": _config_fingerprint(config),
+        "docs": hashlib.sha256(
+            config.doc_corpus().encode("utf-8")
+        ).hexdigest(),
+    }
+    return hashlib.sha256(
+        json.dumps(material, sort_keys=True).encode("utf-8")
+    ).hexdigest()
+
+
+def _config_fingerprint(config) -> Dict:
+    """The config fields that affect findings (paths excluded: the cache
+    lives at the root it describes)."""
+    out = {}
+    for name, value in sorted(vars(config).items()):
+        if isinstance(value, Path):
+            continue
+        if isinstance(value, frozenset):
+            value = sorted(value)
+        elif isinstance(value, tuple):
+            value = list(value)
+        out[name] = value
+    return out
+
+
+class FileEntry:
+    """Cached analysis of one file at one content hash."""
+
+    __slots__ = ("hash", "summary", "findings", "sups", "bad_sups", "error")
+
+    def __init__(self, hash: str, summary: Optional[Dict],
+                 findings: List[Finding], sups: List[Suppression],
+                 bad_sups: List[Finding], error: bool = False):
+        self.hash = hash
+        self.summary = summary
+        self.findings = findings
+        self.sups = sups
+        self.bad_sups = bad_sups
+        self.error = error
+
+    def to_json(self) -> Dict:
+        return {
+            "hash": self.hash,
+            "summary": self.summary,
+            "findings": [f.row() for f in self.findings],
+            "sups": [
+                [s.line, list(s.rules), s.justification] for s in self.sups
+            ],
+            "bad_sups": [f.row() for f in self.bad_sups],
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict) -> "FileEntry":
+        return cls(
+            hash=data["hash"],
+            summary=data.get("summary"),
+            findings=[Finding(**row) for row in data.get("findings", [])],
+            sups=[
+                Suppression(line, tuple(rules), why)
+                for line, rules, why in data.get("sups", [])
+            ],
+            bad_sups=[Finding(**row) for row in data.get("bad_sups", [])],
+            error=bool(data.get("error")),
+        )
+
+
+class AnalysisCache:
+    """The on-disk cache: ``<root>/.lint-cache.json``."""
+
+    def __init__(self, path: Path, signature: str):
+        self.path = Path(path)
+        self.signature = signature
+        self.entries: Dict[str, FileEntry] = {}
+        self.hits = 0
+        self.misses = 0
+        self._loaded_ok = False
+
+    @classmethod
+    def load(cls, path: Path, signature: str) -> "AnalysisCache":
+        cache = cls(path, signature)
+        try:
+            data = json.loads(Path(path).read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return cache
+        if data.get("signature") != signature:
+            return cache  # engine/rules/config changed: start cold
+        for rel, entry in data.get("files", {}).items():
+            try:
+                cache.entries[rel] = FileEntry.from_json(entry)
+            except (KeyError, TypeError):
+                continue
+        cache._loaded_ok = True
+        return cache
+
+    def get(self, rel: str, content_hash: str) -> Optional[FileEntry]:
+        entry = self.entries.get(rel)
+        if entry is not None and entry.hash == content_hash:
+            self.hits += 1
+            return entry
+        self.misses += 1
+        return None
+
+    def put(self, rel: str, entry: FileEntry) -> None:
+        self.entries[rel] = entry
+
+    def save(self, keep: Optional[Sequence[str]] = None) -> None:
+        """Persist, pruning entries for files no longer analysed."""
+        entries = self.entries
+        if keep is not None:
+            keep_set = set(keep)
+            entries = {
+                rel: e for rel, e in entries.items() if rel in keep_set
+            }
+        payload = {
+            "version": CACHE_VERSION,
+            "signature": self.signature,
+            "files": {
+                rel: entries[rel].to_json() for rel in sorted(entries)
+            },
+        }
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        try:
+            tmp.write_text(
+                json.dumps(payload, sort_keys=True), encoding="utf-8"
+            )
+            tmp.replace(self.path)
+        except OSError:
+            pass  # caching is best-effort; never fail the lint run
+
+
+__all__ = [
+    "AnalysisCache",
+    "CACHE_VERSION",
+    "FileEntry",
+    "compute_signature",
+    "text_hash",
+]

@@ -66,6 +66,26 @@ def add_lint_parser(sub) -> None:
         default=None,
         help="comma-separated rule ids to run (default: all)",
     )
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="parallel analysis workers (default: os.cpu_count(); "
+        "output is bit-identical at any jobs count)",
+    )
+    p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore and do not write the incremental analysis cache",
+    )
+    p.add_argument(
+        "--dump-graph",
+        choices=("imports", "calls", "locks"),
+        default=None,
+        help="print the whole-program graph (imports/calls/locks) "
+        "instead of linting",
+    )
     p.set_defaults(fn=cmd_lint)
 
 
@@ -103,8 +123,8 @@ def cmd_lint(args) -> int:
     unknown = [rule_id for rule_id in enabled if rule_id not in known]
     if unknown:
         print(
-            f"unknown rule id(s): {', '.join(unknown)} "
-            f"(see 'repro lint --list-rules')",
+            f"unknown rule id(s): {', '.join(unknown)}; known rules: "
+            f"{', '.join(sorted(known))}",
             file=sys.stderr,
         )
         return 2
@@ -113,8 +133,23 @@ def cmd_lint(args) -> int:
         Path(args.baseline) if args.baseline else config.baseline_path()
     )
     paths = [Path(p) for p in args.paths] if args.paths else None
+
+    if args.dump_graph:
+        from repro.lint.engine import build_project_graph
+        from repro.lint.graph import render_graph
+
+        graph = build_project_graph(
+            config=config, paths=paths, use_cache=not args.no_cache
+        )
+        print(render_graph(graph, args.dump_graph))
+        return 0
+
     report = lint_paths(
-        paths=paths, config=config, baseline=Baseline.load(baseline_path)
+        paths=paths,
+        config=config,
+        baseline=Baseline.load(baseline_path),
+        jobs=args.jobs,
+        use_cache=not args.no_cache,
     )
 
     if args.write_baseline:
@@ -130,7 +165,8 @@ def cmd_lint(args) -> int:
         return 0
 
     gated = report.findings + report.parse_errors
-    if gated:
+    if gated or args.format == "sarif":
+        # SARIF consumers need a (possibly empty) document every run.
         print(render_findings(gated, args.format))
     if args.stats:
         print(_stats_table(report))
@@ -140,7 +176,7 @@ def cmd_lint(args) -> int:
             f"{len(report.baselined)} baselined"
         )
     if gated:
-        if args.format != "github":
+        if args.format not in ("github", "sarif"):
             print(
                 f"\nlint: {len(gated)} finding(s); suppress with "
                 "'# lint: disable=RULE -- why' or grandfather via "
@@ -148,10 +184,11 @@ def cmd_lint(args) -> int:
                 file=sys.stderr,
             )
         return 1
-    if not args.stats:
+    if not args.stats and args.format != "sarif":
         print(
             f"lint: clean ({report.files} files, "
             f"{len(report.rules_run)} rules, "
+            f"{report.cache_hits} cached, "
             f"{len(report.suppressed)} suppressed, "
             f"{len(report.baselined)} baselined)"
         )

@@ -98,8 +98,27 @@ class LintConfig:
     doc_files: Tuple[str, ...] = ("README.md",)
     doc_dirs: Tuple[str, ...] = ("docs",)
 
+    #: Identity sinks for the determinism taint pass: values reaching
+    #: these callables must be pure functions of the campaign spec.
+    #: Exact qualified names resolved against the project call graph.
+    taint_sinks: Tuple[str, ...] = (
+        "repro.harness.runner.trial_identity",
+        "repro.harness.runner._trial_seed",
+        "repro.harness.cache.cache_key",
+    )
+    #: Qualified-name suffixes also treated as identity sinks (the spec
+    #: ``fingerprint()`` methods and the content-addressed trial writes).
+    taint_sink_suffixes: Tuple[str, ...] = (
+        ".fingerprint",
+        ".put_trial",
+        ".put_trials",
+    )
+
     #: Default baseline location (repo-relative).
     baseline_name: str = "lint-baseline.json"
+
+    #: Incremental analysis cache location (repo-relative, gitignored).
+    cache_name: str = ".lint-cache.json"
 
     #: Rule ids to run; empty means every registered rule.
     enabled_rules: Tuple[str, ...] = ()
@@ -111,6 +130,9 @@ class LintConfig:
 
     def baseline_path(self) -> Path:
         return self.root / self.baseline_name
+
+    def cache_path(self) -> Path:
+        return self.root / self.cache_name
 
     def doc_corpus(self) -> str:
         """Concatenated documentation text for contract rules."""

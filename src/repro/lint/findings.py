@@ -50,7 +50,70 @@ def _github(findings: List[Finding]) -> str:
     return "\n".join(lines)
 
 
-FORMATS = {"text": _text, "json": _json, "github": _github}
+def _sarif(findings: List[Finding]) -> str:
+    """SARIF 2.1.0 for CI code scanning (GitHub's security tab)."""
+    # Lazy import: findings is a leaf module the rules themselves import.
+    from repro.lint.rules import all_rules
+
+    descriptions = {r.id: r.description for r in all_rules()}
+    used = sorted({f.rule for f in findings})
+    rules = [
+        {
+            "id": rule_id,
+            "shortDescription": {
+                "text": descriptions.get(rule_id, rule_id)
+            },
+        }
+        for rule_id in used
+    ]
+    results = [
+        {
+            "ruleId": f.rule,
+            "ruleIndex": used.index(f.rule),
+            "level": "error",
+            "message": {"text": f"{f.rule}: {f.message}"},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": f.path,
+                            "uriBaseId": "%SRCROOT%",
+                        },
+                        "region": {
+                            "startLine": max(1, f.line),
+                            "snippet": {"text": f.snippet},
+                        },
+                    }
+                }
+            ],
+        }
+        for f in findings
+    ]
+    document = {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+            "master/Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": (
+                            "https://github.com/example/repro"
+                        ),
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
+FORMATS = {"text": _text, "json": _json, "github": _github, "sarif": _sarif}
 
 
 def render_findings(findings: List[Finding], fmt: str = "text") -> str:

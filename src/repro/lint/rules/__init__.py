@@ -116,11 +116,21 @@ def call_name(node: ast.Call, imports: Dict[str, str]) -> Optional[str]:
 
 
 class Rule:
-    """Base class; subclasses set ``id``/``pack`` and implement check()."""
+    """Base class; subclasses set ``id``/``pack`` and implement check().
+
+    ``scope`` partitions rules: ``"file"`` rules see parsed modules one
+    file at a time (their findings are cacheable per content hash);
+    ``"project"`` rules implement :meth:`check_project` against the
+    assembled whole-program graph instead.  ``version`` participates in
+    the analysis-cache signature — bump it whenever a rule's behaviour
+    changes, so stale cached findings are discarded.
+    """
 
     id: str = ""
     pack: str = ""
     description: str = ""
+    scope: str = "file"
+    version: int = 1
 
     def check(
         self, modules: List[ModuleSource], config: LintConfig
@@ -128,12 +138,31 @@ class Rule:
         raise NotImplementedError
 
 
+class ProjectRule(Rule):
+    """A whole-program rule: runs once per lint against the project graph."""
+
+    scope = "project"
+
+    def check(self, modules, config) -> List[Finding]:
+        return []
+
+    def check_project(
+        self, graph, config: LintConfig
+    ) -> List[Finding]:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
 def all_rules() -> List[Rule]:
     """Instantiate every registered rule (import cycles kept local)."""
-    from repro.lint.rules import concurrency, contracts, determinism
+    from repro.lint.rules import (
+        concurrency,
+        contracts,
+        determinism,
+        wholeprogram,
+    )
 
     rules: List[Rule] = []
-    for module in (determinism, concurrency, contracts):
+    for module in (determinism, concurrency, contracts, wholeprogram):
         for cls in module.RULES:
             rules.append(cls())
     return rules
@@ -141,6 +170,7 @@ def all_rules() -> List[Rule]:
 
 __all__ = [
     "ModuleSource",
+    "ProjectRule",
     "Rule",
     "all_rules",
     "call_name",

@@ -1,0 +1,378 @@
+"""Runtime lock-order sanitizer: validate the static lock graph by execution.
+
+The static analysis in :mod:`repro.lint.graph` is an approximation — it
+merges lock instances per construction site and resolves calls through
+annotations and class hierarchies.  This module closes the loop: an
+opt-in instrumented lock factory records the acquisition orders that
+*actually happen* while the test suite runs, and the recorded orders are
+cross-checked against the static graph.  A runtime order that
+contradicts the static edges (i.e. makes the merged graph cyclic) means
+either a real latent deadlock or a hole in the static model; both are
+release blockers.
+
+Usage (the tier-1 suite wires this up via ``tests/conftest.py``)::
+
+    REPRO_LOCK_SANITIZER=1 python -m pytest -x -q
+
+Implementation notes:
+
+* Only locks **constructed in project code** are instrumented — the
+  factory inspects the construction frame and passes stdlib/third-party
+  construction sites through untouched, so ``queue.Queue`` internals do
+  not pollute the graph.
+* The wrapper implements the private ``_release_save`` /
+  ``_acquire_restore`` / ``_is_owned`` protocol so
+  ``threading.Condition`` built on an instrumented lock keeps working,
+  and the held-stack is correctly popped across ``Condition.wait``.
+* A lock's identity is its construction site ``(file, line)`` — the
+  same abstraction the static analysis uses, which is what makes the
+  cross-check a direct graph merge.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+Site = Tuple[str, int]  # (repo-relative posix path, construction line)
+
+_THIS_FILE = os.path.abspath(__file__)
+
+
+def _caller_site() -> Tuple[str, int]:
+    """Construction site: first frame outside this module."""
+    frame = sys._getframe(1)
+    while frame is not None:
+        filename = frame.f_code.co_filename
+        if os.path.abspath(filename) != _THIS_FILE:
+            return (filename, frame.f_lineno)
+        frame = frame.f_back
+    return ("<unknown>", 0)
+
+
+def _normalize(filename: str) -> str:
+    """Absolute construction path -> ``src/repro``-relative posix path."""
+    path = filename.replace(os.sep, "/")
+    marker = "/src/repro/"
+    if marker in path:
+        return path.split(marker, 1)[1]
+    return path
+
+
+class _SanitizedLock:
+    """Wrapper around a real lock that records acquisition order."""
+
+    def __init__(self, inner, site: Site, sanitizer: "LockOrderSanitizer"):
+        self._inner = inner
+        self._site = site
+        self._san = sanitizer
+
+    # ------------------------------------------------------- lock protocol
+
+    def acquire(self, blocking: bool = True, timeout: float = -1):
+        self._san._before_acquire(self)
+        if timeout == -1:
+            ok = self._inner.acquire(blocking)
+        else:
+            ok = self._inner.acquire(blocking, timeout)
+        if ok:
+            self._san._push(self)
+        return ok
+
+    def release(self):
+        self._san._pop(self)
+        return self._inner.release()
+
+    def locked(self):
+        return self._inner.locked()
+
+    def __enter__(self):
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc):
+        self.release()
+        return False
+
+    # -------------------------- Condition compatibility (private protocol)
+
+    def _release_save(self):
+        count = self._san._pop_all(self)
+        inner_save = getattr(self._inner, "_release_save", None)
+        if inner_save is not None:
+            return (inner_save(), count)
+        self._inner.release()
+        return (None, count)
+
+    def _acquire_restore(self, state):
+        inner_state, count = state
+        inner_restore = getattr(self._inner, "_acquire_restore", None)
+        if inner_restore is not None:
+            inner_restore(inner_state)
+        else:
+            self._inner.acquire()
+        self._san._push(self, count)
+
+    def _is_owned(self):
+        inner_owned = getattr(self._inner, "_is_owned", None)
+        if inner_owned is not None:
+            return inner_owned()
+        # Plain Lock fallback, mirroring threading.Condition._is_owned.
+        if self._inner.acquire(False):
+            self._inner.release()
+            return False
+        return True
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return f"<SanitizedLock {self._site[0]}:{self._site[1]}>"
+
+
+class LockOrderSanitizer:
+    """Instrumented ``threading.Lock``/``RLock`` factories + order recorder."""
+
+    def __init__(self, package_roots: Sequence[str] = ("src/repro",)):
+        self.package_roots = tuple(
+            r.replace(os.sep, "/").rstrip("/") for r in package_roots
+        )
+        self._orig_lock = None
+        self._orig_rlock = None
+        self._installed = False
+        self._tls = threading.local()
+        self._mutex = threading.Lock()  # guards the edge table
+        #: (src Site, dst Site) -> occurrence count
+        self.edges: Dict[Tuple[Site, Site], int] = {}
+        self.sites: Dict[Site, str] = {}  # site -> kind
+
+    @classmethod
+    def for_package(cls) -> "LockOrderSanitizer":
+        return cls()
+
+    # -------------------------------------------------------- installation
+
+    def _site_if_project(self) -> Optional[Site]:
+        filename, lineno = _caller_site()
+        path = filename.replace(os.sep, "/")
+        for root in self.package_roots:
+            if f"/{root}/" in path or path.startswith(f"{root}/"):
+                return (_normalize(path), lineno)
+        return None
+
+    def install(self) -> None:
+        if self._installed:
+            return
+        self._orig_lock = threading.Lock
+        self._orig_rlock = threading.RLock
+        sanitizer = self
+
+        def make_lock():
+            inner = sanitizer._orig_lock()
+            site = sanitizer._site_if_project()
+            if site is None:
+                return inner
+            sanitizer.sites.setdefault(site, "Lock")
+            return _SanitizedLock(inner, site, sanitizer)
+
+        def make_rlock():
+            inner = sanitizer._orig_rlock()
+            site = sanitizer._site_if_project()
+            if site is None:
+                return inner
+            sanitizer.sites.setdefault(site, "RLock")
+            return _SanitizedLock(inner, site, sanitizer)
+
+        threading.Lock = make_lock
+        threading.RLock = make_rlock
+        self._installed = True
+
+    def uninstall(self) -> None:
+        if not self._installed:
+            return
+        threading.Lock = self._orig_lock
+        threading.RLock = self._orig_rlock
+        self._installed = False
+
+    def __enter__(self) -> "LockOrderSanitizer":
+        self.install()
+        return self
+
+    def __exit__(self, *exc):
+        self.uninstall()
+        return False
+
+    # ----------------------------------------------------------- recording
+
+    def _held(self) -> List[_SanitizedLock]:
+        held = getattr(self._tls, "held", None)
+        if held is None:
+            held = []
+            self._tls.held = held
+        return held
+
+    def _before_acquire(self, lock: _SanitizedLock) -> None:
+        held = self._held()
+        if any(h is lock for h in held):
+            return  # re-entrant acquire: no new ordering
+        seen: set = set()
+        new_edges = []
+        for h in held:
+            if h._site == lock._site or h._site in seen:
+                continue
+            seen.add(h._site)
+            new_edges.append((h._site, lock._site))
+        if new_edges:
+            with self._mutex:
+                for edge in new_edges:
+                    self.edges[edge] = self.edges.get(edge, 0) + 1
+
+    def _push(self, lock: _SanitizedLock, count: int = 1) -> None:
+        held = self._held()
+        for _ in range(max(1, count)):
+            held.append(lock)
+
+    def _pop(self, lock: _SanitizedLock) -> None:
+        held = self._held()
+        for i in range(len(held) - 1, -1, -1):
+            if held[i] is lock:
+                del held[i]
+                return
+
+    def _pop_all(self, lock: _SanitizedLock) -> int:
+        held = self._held()
+        count = sum(1 for h in held if h is lock)
+        self._tls.held = [h for h in held if h is not lock]
+        return count
+
+    # ------------------------------------------------------------ analysis
+
+    def runtime_cycles(self) -> List[List[Site]]:
+        return find_cycles(list(self.edges))
+
+    def crosscheck(self, graph=None) -> Dict:
+        """Merge runtime orders into the static lock graph and re-check.
+
+        Returns a report dict; ``report["ok"]`` is False when the runtime
+        orders among *this tree's* locks cycle, or when merging them with
+        the static edges creates a cycle the static pass could not see.
+        A lock belongs to the tree when its construction site translates
+        onto the static lock index, or failing that when its file is one
+        of the graph's modules (a hole in the static model — still ours).
+        Instrumented locks from other trees (e.g. lint-test fixture
+        packages under a tmp ``src/repro/``) are reported but never gate.
+        """
+        if graph is None:
+            graph = _default_graph()
+        analysis = graph.lock_analysis()
+        index = graph.lock_index()
+        by_site: Dict[Site, str] = {
+            (info["rel"], info["line"]): lock_id
+            for lock_id, info in index.items()
+        }
+        module_rels = {s["rel"] for s in graph.modules.values()}
+
+        def in_tree(site: Site) -> bool:
+            return site in by_site or site[0] in module_rels
+
+        translated: List[Tuple[str, str]] = []
+        untranslated: List[Tuple[Site, Site]] = []
+        project_edges: List[Tuple[Site, Site]] = []
+        for (src, dst), _count in sorted(self.edges.items()):
+            a, b = by_site.get(src), by_site.get(dst)
+            if a and b and a != b:
+                translated.append((a, b))
+            elif src != dst:
+                untranslated.append((src, dst))
+            if src != dst and in_tree(src) and in_tree(dst):
+                project_edges.append((src, dst))
+        merged = sorted(
+            set(analysis.edges) | set(translated)
+        )
+        merged_cycles = find_cycles(merged)
+        runtime_cycles = find_cycles(project_edges)
+        return {
+            "ok": not merged_cycles and not runtime_cycles,
+            "locks_instrumented": len(self.sites),
+            "runtime_edges": [
+                [list(s), list(d), n]
+                for (s, d), n in sorted(self.edges.items())
+            ],
+            "translated_edges": [list(e) for e in translated],
+            "untranslated_edges": [
+                [list(s), list(d)] for s, d in untranslated
+            ],
+            "static_edges": [list(e) for e in sorted(analysis.edges)],
+            "runtime_cycles": [
+                [list(s) for s in c] for c in runtime_cycles
+            ],
+            "merged_cycles": [list(c) for c in merged_cycles],
+        }
+
+
+def find_cycles(edges: Sequence[Tuple]) -> List[List]:
+    """Nodes of every non-trivial SCC in a directed edge list (sorted)."""
+    adj: Dict = {}
+    nodes = set()
+    edge_set = set(edges)
+    for src, dst in edges:
+        nodes.add(src)
+        nodes.add(dst)
+        adj.setdefault(src, set()).add(dst)
+    index: Dict = {}
+    low: Dict = {}
+    on_stack = set()
+    stack: List = []
+    out: List[List] = []
+    counter = [0]
+    for start in sorted(nodes):
+        if start in index:
+            continue
+        work = [(start, iter(sorted(adj.get(start, ()))))]
+        index[start] = low[start] = counter[0]
+        counter[0] += 1
+        stack.append(start)
+        on_stack.add(start)
+        while work:
+            v, it = work[-1]
+            advanced = False
+            for w in it:
+                if w not in index:
+                    index[w] = low[w] = counter[0]
+                    counter[0] += 1
+                    stack.append(w)
+                    on_stack.add(w)
+                    work.append((w, iter(sorted(adj.get(w, ())))))
+                    advanced = True
+                    break
+                if w in on_stack:
+                    low[v] = min(low[v], index[w])
+            if advanced:
+                continue
+            work.pop()
+            if low[v] == index[v]:
+                scc = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    scc.append(w)
+                    if w == v:
+                        break
+                if len(scc) > 1 or (v, v) in edge_set:
+                    out.append(sorted(scc))
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[v])
+    return sorted(out)
+
+
+def _default_graph():
+    """Build the static graph for ``src/repro`` (for the cross-check)."""
+    from repro.lint.config import LintConfig, find_repo_root
+    from repro.lint.engine import build_project_graph
+
+    config = LintConfig.for_root(find_repo_root())
+    return build_project_graph(config)
+
+
+__all__ = ["LockOrderSanitizer", "Site", "find_cycles"]

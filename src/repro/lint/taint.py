@@ -1,0 +1,283 @@
+"""Determinism taint pass: nondeterminism sources must not reach identity sinks.
+
+The repository's core guarantee is that a trial's identity, its
+fingerprints and its stored payloads are pure functions of the campaign
+spec — that is what makes results deduplicable, diffable and
+bit-identical across the fabric.  This pass enforces the guarantee
+statically: it traces **taint** from nondeterminism sources (wall-clock
+reads, ``random.*``, ``os.urandom``/``uuid``, ``id()``, iteration over
+sets) through assignments, returns and project-resolvable calls, and
+reports any path that reaches a **sink** — :func:`trial_identity`,
+``cache_key``, the spec ``fingerprint()`` methods, and the warehouse's
+content-addressed trial writes (``put_trial``/``put_trials``).
+
+The machinery is summary-based, like the lock analysis: extraction
+(:mod:`repro.lint.graph`) records per-function taint *descriptors* —
+``{"t": "src"}`` a source observed locally, ``{"t": "param", "i": n}``
+the n-th parameter, ``{"t": "call", "c": i}`` the value of the i-th
+recorded call, ``{"t": "attr", "attr": a}`` a ``self`` attribute — and
+this module runs two whole-program fixpoints over the call graph:
+
+* ``ret_atoms``  — which sources / parameters may flow *out of* each
+  function's return value;
+* ``param_sink`` — which parameters of each function flow *into* a sink
+  (directly or through further calls).
+
+A finding is produced where the two meet: a call site passing a
+source-tainted value into a sink-flowing parameter.  ``sorted()``
+launders set-iteration taint (a sorted set is deterministic), and the
+sanctioned clock seam is still a source — timestamps are fine in
+telemetry, never in identity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.config import LintConfig
+from repro.lint.findings import Finding
+from repro.lint.graph import ProjectGraph
+
+#: An atom is the fully-resolved form of a taint descriptor:
+#:   ("src", kind, what)   a nondeterminism source
+#:   ("param", i)          the i-th parameter of the current function
+Atom = Tuple
+
+
+class TaintAnalysis:
+    """Whole-program source->sink reachability over a :class:`ProjectGraph`."""
+
+    def __init__(self, graph: ProjectGraph, config: LintConfig):
+        self.graph = graph
+        self.config = config
+        self.sink_names: FrozenSet[str] = frozenset(config.taint_sinks)
+        self.sink_suffixes: Tuple[str, ...] = tuple(config.taint_sink_suffixes)
+        #: qname -> atoms that may flow out of the return value
+        self.ret_atoms: Dict[str, Set[Atom]] = {}
+        #: qname -> {param index -> sink qname it flows into}
+        self.param_sink: Dict[str, Dict[int, str]] = {}
+        #: (class dotted, attr) -> src atoms assigned to it anywhere
+        self.attr_atoms: Dict[Tuple[str, str], Set[Atom]] = {}
+        #: raw material for findings: dicts with display/line/what/sink
+        self.hits: List[Dict] = []
+        self._resolved_calls: Dict[str, List[List[str]]] = {}
+        self._run()
+
+    # -------------------------------------------------------------- helpers
+
+    def is_sink(self, qname: str) -> Optional[str]:
+        if qname in self.sink_names:
+            return qname
+        for suffix in self.sink_suffixes:
+            if qname.endswith(suffix):
+                return qname
+        return None
+
+    def _callees(self, qname: str, call_index: int) -> List[str]:
+        return self._resolved_calls.get(qname, [[]] * (call_index + 1))[
+            call_index
+        ]
+
+    def _fn(self, qname: str) -> Optional[Dict]:
+        return self.graph.functions.get(qname)
+
+    def _class_of(self, qname: str) -> Optional[str]:
+        f = self._fn(qname)
+        if not f or not f.get("cls"):
+            return None
+        mod = self.graph.module_of_function(qname)
+        if not mod:
+            return None
+        return f"{mod['module']}.{f['cls']}"
+
+    # ------------------------------------------------------------ resolution
+
+    def _atoms(
+        self, desc: Dict, qname: str, depth: int = 0
+    ) -> Set[Atom]:
+        """Resolve one descriptor to atoms, in the context of ``qname``."""
+        if depth > 6:
+            return set()
+        t = desc.get("t")
+        if t == "src":
+            return {("src", desc["kind"], desc["what"])}
+        if t == "param":
+            return {("param", desc["i"])}
+        if t == "attr":
+            cls = self._class_of(qname)
+            if cls is None:
+                return set()
+            out: Set[Atom] = set()
+            for candidate in self.graph.mro(cls):
+                out |= self.attr_atoms.get((candidate, desc["attr"]), set())
+            return out
+        if t == "call":
+            f = self._fn(qname)
+            if f is None:
+                return set()
+            calls = f["calls"]
+            idx = desc.get("c", -1)
+            if not (0 <= idx < len(calls)):
+                return set()
+            call = calls[idx]
+            out = set()
+            for callee in self._callees(qname, idx):
+                for atom in self.ret_atoms.get(callee, set()):
+                    if atom[0] == "src":
+                        out.add(atom)
+                    elif atom[0] == "param":
+                        # Substitute the caller's argument for the
+                        # callee's pass-through parameter.
+                        for key, arg_desc in call["args"]:
+                            if key == atom[1]:
+                                out |= self._atoms(
+                                    arg_desc, qname, depth + 1
+                                )
+            return out
+        return set()
+
+    # --------------------------------------------------------------- driver
+
+    def _run(self) -> None:
+        graph = self.graph
+        # Pre-resolve every call once (the inner loops are fixpoints).
+        for mod, s in sorted(graph.modules.items()):
+            for qname, f in sorted(s["functions"].items()):
+                self._resolved_calls[qname] = [
+                    graph.resolve_call(call["callee"], mod)
+                    for call in f["calls"]
+                ]
+                cls = self._class_of(qname)
+                if cls:
+                    for entry in f["self_sets"]:
+                        self.attr_atoms.setdefault(
+                            (cls, entry["attr"]), set()
+                        ).add(
+                            (
+                                "src",
+                                entry["taint"]["kind"],
+                                entry["taint"]["what"],
+                            )
+                        )
+
+        # Fixpoint 1: return-value atoms.
+        for qname in self.graph.functions:
+            self.ret_atoms[qname] = set()
+        changed = True
+        rounds = 0
+        while changed and rounds < 30:
+            changed = False
+            rounds += 1
+            for qname, f in sorted(self.graph.functions.items()):
+                atoms: Set[Atom] = set()
+                for desc in f["returns"]:
+                    atoms |= self._atoms(desc, qname)
+                if not atoms <= self.ret_atoms[qname]:
+                    self.ret_atoms[qname] |= atoms
+                    changed = True
+
+        # Fixpoint 2: parameters that flow into sinks.
+        for qname in self.graph.functions:
+            self.param_sink[qname] = {}
+        changed = True
+        rounds = 0
+        while changed and rounds < 30:
+            changed = False
+            rounds += 1
+            for qname, f in sorted(self.graph.functions.items()):
+                for idx, call in enumerate(f["calls"]):
+                    for callee in self._resolved_calls[qname][idx]:
+                        sink = self.is_sink(callee)
+                        sink_params: Dict[int, str] = {}
+                        if sink is not None:
+                            params = self._fn(callee)
+                            count = (
+                                len(params["params"]) if params else 8
+                            )
+                            skip_self = bool(
+                                params
+                                and params["params"][:1] == ["self"]
+                            )
+                            for i in range(count):
+                                if skip_self and i == 0:
+                                    continue
+                                sink_params[i] = sink
+                        else:
+                            sink_params = dict(
+                                self.param_sink.get(callee, {})
+                            )
+                        if not sink_params:
+                            continue
+                        for key, arg_desc in call["args"]:
+                            pos = key if isinstance(key, int) else None
+                            if pos is None or pos not in sink_params:
+                                # Keyword args / unknown position: treat
+                                # as sinking when the callee is a sink.
+                                if sink is None:
+                                    continue
+                                target = sink
+                            else:
+                                target = sink_params[pos]
+                            for atom in self._atoms(arg_desc, qname):
+                                if atom[0] == "src":
+                                    self._hit(
+                                        qname, call, atom, target
+                                    )
+                                elif atom[0] == "param":
+                                    cur = self.param_sink[qname]
+                                    if atom[1] not in cur:
+                                        cur[atom[1]] = target
+                                        changed = True
+
+        self.hits.sort(
+            key=lambda h: (h["display"], h["line"], h["what"], h["sink"])
+        )
+
+    def _hit(self, qname: str, call: Dict, atom: Atom, sink: str) -> None:
+        s = self.graph.module_of_function(qname) or {}
+        entry = {
+            "fn": qname,
+            "display": s.get("display", ""),
+            "line": call["line"],
+            "snip": call.get("snip", ""),
+            "kind": atom[1],
+            "what": atom[2],
+            "sink": sink,
+        }
+        if entry not in self.hits:
+            self.hits.append(entry)
+
+    # ------------------------------------------------------------- findings
+
+    def findings(self, rule_id: str) -> List[Finding]:
+        out: List[Finding] = []
+        seen: Set[Tuple[str, int, str, str]] = set()
+        for hit in self.hits:
+            key = (hit["display"], hit["line"], hit["what"], hit["sink"])
+            if key in seen:
+                continue
+            seen.add(key)
+            out.append(
+                Finding(
+                    rule=rule_id,
+                    path=hit["display"],
+                    line=hit["line"],
+                    message=(
+                        f"nondeterministic value from {hit['what']} "
+                        f"({hit['kind']}) flows into identity sink "
+                        f"{hit['sink']} — trial identity must be a pure "
+                        "function of the spec"
+                    ),
+                    snippet=hit["snip"],
+                )
+            )
+        return out
+
+
+def analyze_taint(
+    graph: ProjectGraph, config: LintConfig
+) -> TaintAnalysis:
+    return TaintAnalysis(graph, config)
+
+
+__all__ = ["Atom", "TaintAnalysis", "analyze_taint"]

@@ -256,12 +256,18 @@ class Scheduler:
             )
             # Journal before exposing the job: a crash after this line
             # leaves a resumable record, never a silently lost campaign.
+            # The journal commit deliberately happens under the lock so
+            # no reader can observe a job whose submitted record could
+            # still be lost; the write is a bounded single-row WAL
+            # commit, not open-ended I/O.
+            # lint: disable=lock-held-blocking -- journal-before-expose durability: the submitted record must be durable before any thread can see the job; bounded single-row WAL commit
             self._journal(EVENT_SUBMITTED, job)
             self._jobs[campaign_id] = job
             self._emit(job, {"event": "state", "state": PENDING})
             # Dispatch seam: the base scheduler hands the job to its
             # in-process worker threads; the fabric Coordinator overrides
             # this to enqueue into the durable leased work queue instead.
+            # lint: disable=lock-held-blocking -- in-process dispatch puts on an unbounded PriorityQueue (never blocks); the fabric override must enqueue durably before submit returns or an accepted campaign could vanish on crash
             self._dispatch(job)
         return job
 
@@ -346,6 +352,7 @@ class Scheduler:
             if job.state == PENDING:
                 # Mark now (journal included, so a restart doesn't resume
                 # it); the worker discards the queue entry when dequeued.
+                # lint: disable=lock-held-blocking -- cancel must journal before the state flip is visible, or a crash between the two resurrects a cancelled campaign; bounded single-row WAL commit
                 self._journal(EVENT_CANCELLED, job)
                 self._finish(job, CANCELLED, None)
             return True

@@ -1,0 +1,33 @@
+"""Golden fixture: classes, inheritance, locks, devirtualized calls."""
+
+import threading
+
+from repro.beta import Helper, make_helper
+
+GLOBAL_LOCK = threading.Lock()
+
+
+class Base:
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._cond = threading.Condition(self._lock)
+        self._helper = Helper()
+
+    def run(self):
+        with self._lock:
+            self.step()
+            self._helper.ping()
+
+    def step(self):
+        return 0
+
+
+class Child(Base):
+    def step(self):
+        with GLOBAL_LOCK:
+            return 1
+
+
+def use_var():
+    h = make_helper()
+    h.ping()

@@ -1,0 +1,16 @@
+"""Golden fixture: helper class with its own lock, annotated factory."""
+
+import threading
+
+
+class Helper:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def ping(self):
+        with self._lock:
+            return "pong"
+
+
+def make_helper() -> Helper:
+    return Helper()

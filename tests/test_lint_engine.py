@@ -327,6 +327,9 @@ def test_cli_list_rules(capsys):
         "stack-profile-fields",
         "cca-hook-surface",
         "cli-doc-coverage",
+        "lock-order-cycle",
+        "lock-held-blocking",
+        "taint-identity",
     ):
         assert rule_id in out
 
