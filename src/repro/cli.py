@@ -120,9 +120,9 @@ def _executor(args):
     cache = None
     store = None
     if store_path:
-        from repro.store import ResultStore, StoreCache
+        from repro.store import StoreCache, open_store
 
-        store = ResultStore(store_path)
+        store = open_store(store_path)
         # Three-tier cache: campaigns reuse any trial the warehouse
         # already holds and write new ones through.
         cache = StoreCache(store)
@@ -430,9 +430,9 @@ def cmd_regression(args) -> int:
         if not args.store:
             print("--from-store requires --store PATH", file=sys.stderr)
             return 2
-        from repro.store import ResultStore
+        from repro.store import open_store
 
-        with ResultStore(args.store) as store:
+        with open_store(args.store) as store:
             rows_data = regression_matrix_from_store(
                 store, MILESTONES, run_prefix=args.run or REGRESSION_RUN_PREFIX
             )
@@ -890,13 +890,13 @@ def cmd_cca_peer_matrix(args) -> int:
 def cmd_store_ingest(args) -> int:
     """Load manifests, a cache directory and/or a sideline spill."""
     from repro.store import (
-        ResultStore,
         ingest_cache_dir,
         ingest_manifest,
         ingest_sideline,
+        open_store,
     )
 
-    with ResultStore(args.db) as store:
+    with open_store(args.db) as store:
         for path in args.manifest:
             report = ingest_manifest(store, path, run_prefix=args.run)
             print(f"{path}: {report.summary()}")
@@ -936,9 +936,9 @@ def cmd_chaos(args) -> int:
 
 def cmd_store_runs(args) -> int:
     """List a warehouse's runs and overall row counts."""
-    from repro.store import ResultStore
+    from repro.store import open_store
 
-    with ResultStore(args.db) as store:
+    with open_store(args.db) as store:
         runs = store.runs()
         baselines = {run: name for name, run in store.baselines().items()}
         rows = []
@@ -969,9 +969,9 @@ def cmd_store_runs(args) -> int:
 
 def cmd_store_query(args) -> int:
     """Filtered metric export from a warehouse (table, CSV or JSON)."""
-    from repro.store import QUERY_HEADERS, ResultStore
+    from repro.store import QUERY_HEADERS, ResultStore, open_store
 
-    with ResultStore(args.db) as store:
+    with open_store(args.db) as store:
         rows = store.query(
             run=args.run,
             stack=args.stack,
@@ -1001,12 +1001,12 @@ def cmd_store_query(args) -> int:
 
 def cmd_store_diff(args) -> int:
     """Diff two stored runs (or a run against a named baseline)."""
-    from repro.store import ResultStore, diff_against_baseline, diff_runs
+    from repro.store import diff_against_baseline, diff_runs, open_store
 
     if not args.baseline and not args.run_a:
         print("store diff needs --run-a or --baseline", file=sys.stderr)
         return 2
-    with ResultStore(args.db) as store:
+    with open_store(args.db) as store:
         if args.baseline:
             diff = diff_against_baseline(
                 store, args.run_b, args.baseline,
@@ -1025,9 +1025,9 @@ def cmd_store_diff(args) -> int:
 
 def cmd_store_baseline(args) -> int:
     """Name a run as a regression anchor, or list the anchors."""
-    from repro.store import ResultStore
+    from repro.store import open_store
 
-    with ResultStore(args.db) as store:
+    with open_store(args.db) as store:
         if args.set:
             if not args.run:
                 print("--set requires --run", file=sys.stderr)
@@ -1046,9 +1046,9 @@ def cmd_store_baseline(args) -> int:
 
 def cmd_store_gc(args) -> int:
     """Purge unlinked trial payloads and vacuum the warehouse file."""
-    from repro.store import ResultStore
+    from repro.store import open_store
 
-    with ResultStore(args.db) as store:
+    with open_store(args.db) as store:
         report = store.gc(dry_run=args.dry_run)
     verb = "would purge" if args.dry_run else "purged"
     print(
@@ -1162,6 +1162,17 @@ def cmd_fabric_serve(args) -> int:
     from repro.fabric.frontdoor import FabricFrontDoor
     from repro.service.server import ServiceApp
 
+    if args.shards and args.shards > 1:
+        # Materialise (or open) the sharded layout up front so every
+        # later open_store() on this path sees the manifest.
+        from repro.store import open_store
+
+        with open_store(args.db, shards=args.shards) as store:
+            report = store.shard_report()
+        print(
+            f"sharded warehouse at {args.db} "
+            f"({report['shards']} shards, {len(report['lost'])} lost)"
+        )
     coordinator = Coordinator(
         args.db,
         exec_jobs=args.jobs,
@@ -1212,6 +1223,8 @@ def cmd_fabric_worker(args) -> int:
         jobs=args.jobs,
         poll_s=args.poll,
         ttl_s=args.ttl,
+        version=args.worker_version,
+        drain_policy=args.drain_policy,
         log=lambda msg: print(msg, flush=True),
     )
 
@@ -1262,15 +1275,106 @@ def cmd_fabric_status(args) -> int:
                 f"(tenant {lease['tenant']}, attempt {lease['attempt']}, "
                 f"expires in {lease['expires_in_s']:.1f}s)"
             )
+    if status.get("workers"):
+        print("workers:")
+        for w in status["workers"]:
+            version = f" v{w['version']}" if w.get("version") else ""
+            print(
+                f"  {w['name']:<16} {w['state']}{version} "
+                f"heartbeat {w['heartbeat_age_s']:.1f}s ago, "
+                f"{w['leases']} lease(s) held, "
+                f"{w['leases_total']} completed"
+            )
+    return 0
+
+
+def cmd_fabric_drain(args) -> int:
+    """Set the durable drain directive on a worker: it finishes (or
+    hands back) its lease, deregisters and exits — never killed."""
+    from repro.service import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url)
+    try:
+        info = client.fabric_drain(args.worker)
+    except ServiceError as exc:
+        print(f"drain failed: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"{info['name']}: draining ({info['leases']} lease(s) "
+        "to finish before exit)"
+    )
+    return 0
+
+
+def cmd_fabric_supervise(args) -> int:
+    """Run the fleet supervisor: liveness reaping, backlog autoscaling
+    and (with --roll) a lease-safe rolling upgrade."""
+    import subprocess
+
+    from repro.fabric.queue import WorkQueue
+    from repro.fabric.supervisor import FleetSupervisor, SupervisorConfig
+
+    def spawn(name: str, version: str):
+        cmd = [
+            sys.executable, "-m", "repro", "fabric", "worker",
+            "--url", args.url, "--name", name,
+            "--poll", str(args.poll), "--ttl", str(args.ttl),
+        ]
+        if version:
+            cmd += ["--version", version]
+        if args.store:
+            cmd += ["--store", args.store]
+        if args.jobs != 1:
+            cmd += ["--jobs", str(args.jobs)]
+        print(f"supervisor: spawning {name}" + (f" v{version}" if version else ""))
+        return subprocess.Popen(cmd)
+
+    config = SupervisorConfig(
+        min_workers=args.min_workers,
+        max_workers=args.max_workers,
+        backlog_per_worker=args.backlog_per_worker,
+        heartbeat_timeout_s=args.heartbeat_timeout,
+        version=args.fleet_version,
+    )
+    with WorkQueue(args.db) as queue:
+        supervisor = FleetSupervisor(queue, config=config, spawn=spawn)
+        if args.roll:
+            result = supervisor.roll(args.roll)
+            print(
+                f"rolled fleet to {args.roll!r}: replaced "
+                f"{len(result['replaced'])} worker(s) "
+                f"({', '.join(result['replaced']) or 'none'})"
+            )
+            return 0
+        import time as _time
+
+        remaining = args.ticks
+        try:
+            while True:
+                d = supervisor.tick().as_dict()
+                if d["spawned"] or d["drained"] or d["dead"]:
+                    print(
+                        f"supervisor: backlog={d['backlog']} "
+                        f"live={d['live']} desired={d['desired']} "
+                        f"spawned={d['spawned']} drained={d['drained']} "
+                        f"dead={d['dead']}"
+                    )
+                if remaining is not None:
+                    remaining -= 1
+                    if remaining <= 0:
+                        break
+                _time.sleep(args.interval)
+        except KeyboardInterrupt:
+            print("supervisor: interrupted (fleet keeps running)")
     return 0
 
 
 def cmd_store_render(args) -> int:
     """Re-render a stored run as an SVG heatmap."""
-    from repro.store import ResultStore
+    from repro.store import open_store
     from repro.viz import stored_heatmap_figure
 
-    with ResultStore(args.db) as store:
+    with open_store(args.db) as store:
         figure = stored_heatmap_figure(store, args.run, metric=args.metric)
         figure.save(args.out)
     print(f"wrote {args.metric} heatmap of run {args.run!r} to {args.out}")
@@ -1596,6 +1700,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--threaded", action="store_true",
                    help="serve on the thread-per-connection front end "
                    "instead of the asyncio front door")
+    p.add_argument("--shards", type=int, default=None,
+                   help="open/create the warehouse as a sharded layout "
+                   "with this many shards (a directory of shard-NNN.db "
+                   "files; trials are hash-routed, meta stays in shard 0)")
     p.set_defaults(fn=cmd_fabric_serve)
 
     p = fabric_sub.add_parser(
@@ -1620,13 +1728,63 @@ def build_parser() -> argparse.ArgumentParser:
                    help="exit at the first empty poll (drain mode)")
     p.add_argument("--max-tasks", type=int, default=None,
                    help="exit after handling this many tasks")
+    p.add_argument("--version", dest="worker_version", default="",
+                   help="code version stamped in the worker registry "
+                   "(rolling upgrades drain workers on stale versions)")
+    p.add_argument("--drain-policy", choices=("finish", "handback"),
+                   default="finish",
+                   help="on drain: finish the current lease (default) "
+                   "or hand it back retryably and exit at once")
     p.set_defaults(fn=cmd_fabric_worker)
 
     p = fabric_sub.add_parser(
-        "status", help="queue depth, tenants and live leases"
+        "status", help="queue depth, tenants, live leases and workers"
     )
     p.add_argument("--url", required=True, help="coordinator base URL")
     p.set_defaults(fn=cmd_fabric_status)
+
+    p = fabric_sub.add_parser(
+        "drain", help="ask one worker to finish its lease and exit"
+    )
+    p.add_argument("--url", required=True, help="coordinator base URL")
+    p.add_argument("worker", help="registered worker name")
+    p.set_defaults(fn=cmd_fabric_drain)
+
+    p = fabric_sub.add_parser(
+        "supervise",
+        help="fleet supervisor: liveness, autoscaling, rolling upgrade",
+    )
+    p.add_argument("--db", required=True,
+                   help="the coordinator's warehouse (registry + queue)")
+    p.add_argument("--url", required=True,
+                   help="coordinator base URL handed to spawned workers")
+    p.add_argument("--min-workers", type=int, default=1)
+    p.add_argument("--max-workers", type=int, default=4)
+    p.add_argument("--backlog-per-worker", type=int, default=2,
+                   help="pending+leased tasks each worker should absorb")
+    p.add_argument("--heartbeat-timeout", type=float, default=60.0,
+                   help="heartbeat age past which a worker is declared "
+                   "dead and reaped from the registry")
+    p.add_argument("--fleet-version", default="",
+                   help="version stamped on workers this supervisor spawns")
+    p.add_argument("--roll", default=None, metavar="VERSION",
+                   help="perform a lease-safe rolling upgrade to VERSION "
+                   "and exit (spawn replacement, await heartbeat, drain "
+                   "old, await exit — one worker at a time)")
+    p.add_argument("--store", default=None,
+                   help="--store passed to spawned workers (shared-store "
+                   "mode); omit for remote result bundles")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="--jobs passed to spawned workers")
+    p.add_argument("--poll", type=float, default=0.5,
+                   help="--poll passed to spawned workers")
+    p.add_argument("--ttl", type=float, default=30.0,
+                   help="--ttl passed to spawned workers")
+    p.add_argument("--interval", type=float, default=2.0,
+                   help="seconds between supervision ticks")
+    p.add_argument("--ticks", type=int, default=None,
+                   help="stop after this many ticks (default: run forever)")
+    p.set_defaults(fn=cmd_fabric_supervise)
 
     p = sub.add_parser(
         "chaos",

@@ -32,6 +32,7 @@ import os
 import queue
 import time
 import warnings
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
@@ -229,10 +230,12 @@ class Executor:
         self._owns_store = False
         self.store_sink: Optional[StoreSink] = None
         if store is not None:
-            from repro.store.warehouse import ResultStore
+            if isinstance(store, (str, Path)):
+                # Autodetects sharded layouts (a shards.json directory)
+                # as well as classic single-file warehouses.
+                from repro.store.sharded import open_store
 
-            if not isinstance(store, ResultStore):
-                store = ResultStore(store)
+                store = open_store(store)
                 self._owns_store = True
             self.store_sink = StoreSink(store, run_name=store_run)
         self.telemetry = CampaignTelemetry()

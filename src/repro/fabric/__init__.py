@@ -10,6 +10,8 @@ Layers (each importable on its own):
 * :mod:`repro.fabric.coordinator` — the service scheduler dispatching
   into the queue instead of in-process threads.
 * :mod:`repro.fabric.worker` — the lease → execute → report agent.
+* :mod:`repro.fabric.supervisor` — fleet liveness, autoscaling off the
+  tenant-backlog gauges, and lease-safe rolling drain/upgrade.
 * :mod:`repro.fabric.frontdoor` — asyncio HTTP front end over the
   shared service router.
 
@@ -30,6 +32,7 @@ _EXPORTS = {
     "QuotaExceeded": "repro.fabric.queue",
     "DEFAULT_MAX_ATTEMPTS": "repro.fabric.queue",
     "export_bundle": "repro.fabric.wire",
+    "export_bundles": "repro.fabric.wire",
     "ingest_bundle": "repro.fabric.wire",
     "encode_bundle": "repro.fabric.wire",
     "decode_bundle": "repro.fabric.wire",
@@ -39,6 +42,9 @@ _EXPORTS = {
     "LocalTransport": "repro.fabric.worker",
     "HttpTransport": "repro.fabric.worker",
     "lease_to_wire": "repro.fabric.worker",
+    "FleetSupervisor": "repro.fabric.supervisor",
+    "SupervisorConfig": "repro.fabric.supervisor",
+    "FleetDecision": "repro.fabric.supervisor",
     "FabricFrontDoor": "repro.fabric.frontdoor",
 }
 

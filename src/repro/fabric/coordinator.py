@@ -170,17 +170,22 @@ class Coordinator(Scheduler):
                 self._emit(job, {"event": "state", "state": PENDING})
 
     def lease_task(
-        self, owner: str, ttl_s: Optional[float] = None
+        self, owner: str, ttl_s: Optional[float] = None, version: str = ""
     ) -> Optional[Lease]:
-        """Claim the next task for a worker; None when the queue is idle."""
+        """Claim the next task for a worker.
+
+        Returns None when the queue is idle, or ``{"drain": True}``
+        when the worker carries a durable drain directive — it gets the
+        exit order instead of work.
+        """
         ttl = float(ttl_s or self.lease_ttl_s)
         with self._work_queue() as q:
             expired = q.sweep()
-            lease = q.lease(owner, ttl_s=ttl)
+            lease = q.lease(owner, ttl_s=ttl, version=version)
         if expired:
             self._reconcile_expired(expired)
-        if lease is None:
-            return None
+        if lease is None or isinstance(lease, dict):
+            return lease
         job = self.job(lease.campaign)
         if job is not None:
             with self._lock:
@@ -251,9 +256,9 @@ class Coordinator(Scheduler):
         re-runs the task and the content-addressed rows dedupe."""
         summary = dict(summary or {})
         if bundle is not None:
-            from repro.store.warehouse import ResultStore
+            from repro.store.sharded import open_store
 
-            with ResultStore(self.store_path) as store:
+            with open_store(self.store_path) as store:
                 summary["ingest"] = ingest_bundle(store, bundle)
         with self._work_queue() as q:
             outcome = q.complete(campaign, lease_id, summary)
@@ -293,6 +298,23 @@ class Coordinator(Scheduler):
             self._finish(job, FAILED, error)
         return outcome
 
+    # ------------------------------------------------------ fleet registry
+
+    def drain_worker(self, name: str) -> dict:
+        """Set the durable drain directive for one worker; it observes
+        it on its next heartbeat or lease request."""
+        with self._work_queue() as q:
+            return q.drain_worker(name)
+
+    def deregister_worker(self, name: str) -> None:
+        """A worker's clean exit (or the supervisor reaping a dead one)."""
+        with self._work_queue() as q:
+            q.deregister_worker(name)
+
+    def workers(self, include_exited: bool = False) -> List[dict]:
+        with self._work_queue() as q:
+            return q.workers(include_exited=include_exited)
+
     # -------------------------------------------------------------- status
 
     def fabric_status(self) -> dict:
@@ -306,9 +328,11 @@ class Coordinator(Scheduler):
         data = super().metrics()
         status = self.fabric_status()
         data["fabric"] = status
-        data["workers"] = len(
-            {lease["owner"] for lease in status["leases"] if lease["owner"]}
-        )
+        registered = {w["name"] for w in status.get("workers", [])}
+        leased = {
+            lease["owner"] for lease in status["leases"] if lease["owner"]
+        }
+        data["workers"] = len(registered | leased)
         return data
 
     # ------------------------------------------------------------ shutdown

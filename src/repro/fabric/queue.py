@@ -16,9 +16,18 @@ file with one retry discipline.  Lease semantics are at-least-once:
   twice (stale lease + fresh lease) dedupes to identical rows and the
   second completion is acknowledged as a duplicate, never an error.
 
-Every statement that touches ``fabric_tasks`` / ``fabric_tenants`` lives
-in this module; the ``queue-sql-confinement`` lint rule keeps it that
-way so lease invariants can be audited in one file.
+The queue also keeps the fleet's durable worker registry
+(``fabric_workers``): every lease and heartbeat stamps the calling
+worker's ``last_seen``, so heartbeat *ages* — not process handles — are
+the fleet's liveness signal, and the ``draining`` state is a durable
+drain directive the worker observes on its next heartbeat (finish or
+hand back the lease, then exit).  A supervisor that crashes loses
+nothing: the registry and directives live in the warehouse.
+
+Every statement that touches ``fabric_tasks`` / ``fabric_tenants`` /
+``fabric_workers`` lives in this module; the ``queue-sql-confinement``
+lint rule keeps it that way so lease invariants can be audited in one
+file.
 """
 
 from __future__ import annotations
@@ -39,6 +48,12 @@ FAILED = "failed"
 CANCELLED = "cancelled"
 
 TERMINAL = (DONE, FAILED, CANCELLED)
+
+# Worker registry states.  active -> draining -> exited; a worker that
+# re-registers (new process, same name) returns to active.
+WORKER_ACTIVE = "active"
+WORKER_DRAINING = "draining"
+WORKER_EXITED = "exited"
 
 #: Default number of executions (including lease expiries) before a task
 #: is declared failed rather than re-queued.
@@ -114,11 +129,15 @@ class WorkQueue:
         max_attempts: int = DEFAULT_MAX_ATTEMPTS,
         clock: Callable[[], float] = default_clock,
     ):
-        if isinstance(store, ResultStore):
+        if isinstance(store, ResultStore) or hasattr(store, "write_transaction"):
+            # A ResultStore, or anything mirroring its transaction seam
+            # (a ShardedResultStore delegates to its meta shard).
             self._store = store
             self._owns_store = False
         else:
-            self._store = ResultStore(store)
+            from repro.store.sharded import open_store
+
+            self._store = open_store(store)
             self._owns_store = True
         self.max_attempts = int(max_attempts)
         self._clock = clock
@@ -165,6 +184,133 @@ class WorkQueue:
             " VALUES (?, ?)",
             (name, self._clock()),
         )
+
+    # ------------------------------------------------------------- workers
+
+    def _touch_worker(
+        self, conn, name: str, now: float, version: Optional[str] = None
+    ) -> str:
+        """Upsert the worker's registry row and stamp ``last_seen``.
+
+        Returns the worker's current state.  A worker whose row says
+        ``exited`` and shows up again is a restarted process: it
+        re-activates (fresh ``started_at``).  ``draining`` is sticky —
+        only an explicit re-register clears it — so a drain directive
+        can never be lost to a concurrently arriving heartbeat.
+        """
+        conn.execute(
+            "INSERT INTO fabric_workers (name, version, state, started_at,"
+            " last_seen) VALUES (?, ?, ?, ?, ?)"
+            " ON CONFLICT(name) DO UPDATE SET last_seen = excluded.last_seen,"
+            " version = CASE WHEN excluded.version != ''"
+            "   THEN excluded.version ELSE fabric_workers.version END,"
+            " state = CASE WHEN fabric_workers.state = ?"
+            "   THEN ? ELSE fabric_workers.state END,"
+            " started_at = CASE WHEN fabric_workers.state = ?"
+            "   THEN excluded.started_at ELSE fabric_workers.started_at END",
+            (
+                name, version or "", WORKER_ACTIVE, now, now,
+                WORKER_EXITED, WORKER_ACTIVE, WORKER_EXITED,
+            ),
+        )
+        return conn.execute(
+            "SELECT state FROM fabric_workers WHERE name = ?", (name,)
+        ).fetchone()["state"]
+
+    def register_worker(self, name: str, version: str = "") -> dict:
+        """Explicitly (re-)register a worker as active.
+
+        Unlike the lease/heartbeat touch this *clears* a drain directive
+        — it is the "new code version taking over" half of a rolling
+        upgrade, so the restarted process starts with a clean state.
+        """
+        now = self._clock()
+
+        def txn(conn):
+            conn.execute(
+                "INSERT INTO fabric_workers (name, version, state,"
+                " started_at, last_seen) VALUES (?, ?, ?, ?, ?)"
+                " ON CONFLICT(name) DO UPDATE SET"
+                " version = excluded.version, state = excluded.state,"
+                " started_at = excluded.started_at,"
+                " last_seen = excluded.last_seen",
+                (name, version, WORKER_ACTIVE, now, now),
+            )
+
+        self._store.write_transaction(txn)
+        info = self.worker_info(name)
+        assert info is not None
+        return info
+
+    def deregister_worker(self, name: str) -> None:
+        """Record a clean worker exit (keeps the row for fleet history)."""
+        now = self._clock()
+        self._store.write_transaction(
+            lambda conn: conn.execute(
+                "UPDATE fabric_workers SET state = ?, last_seen = ?"
+                " WHERE name = ?",
+                (WORKER_EXITED, now, name),
+            )
+        )
+
+    def drain_worker(self, name: str) -> dict:
+        """Set the durable drain directive for ``name``.
+
+        The worker sees ``drain: true`` on its next heartbeat or lease
+        poll, finishes (or hands back) its current lease, and exits.
+        Draining a worker the registry has never seen creates the row,
+        so a directive can be issued before the first heartbeat lands.
+        """
+        now = self._clock()
+
+        def txn(conn):
+            conn.execute(
+                "INSERT INTO fabric_workers (name, state, started_at,"
+                " last_seen) VALUES (?, ?, ?, ?)"
+                " ON CONFLICT(name) DO UPDATE SET state = ?",
+                (name, WORKER_DRAINING, now, now, WORKER_DRAINING),
+            )
+
+        self._store.write_transaction(txn)
+        info = self.worker_info(name)
+        assert info is not None
+        return info
+
+    def worker_info(self, name: str) -> Optional[dict]:
+        workers = {w["name"]: w for w in self.workers(include_exited=True)}
+        return workers.get(name)
+
+    def workers(self, include_exited: bool = False) -> List[dict]:
+        """The fleet registry with live heartbeat ages and lease counts."""
+        now = self._clock()
+
+        def txn(conn):
+            sql = (
+                "SELECT w.name, w.version, w.state, w.started_at,"
+                " w.last_seen, w.leases_total,"
+                " SUM(CASE WHEN k.state = ? THEN 1 ELSE 0 END) AS leases"
+                " FROM fabric_workers w LEFT JOIN fabric_tasks k"
+                " ON k.lease_owner = w.name GROUP BY w.name ORDER BY w.name"
+            )
+            out = []
+            for row in conn.execute(sql, (LEASED,)):
+                if row["state"] == WORKER_EXITED and not include_exited:
+                    continue
+                out.append(
+                    {
+                        "name": row["name"],
+                        "version": row["version"],
+                        "state": row["state"],
+                        "started_at": row["started_at"],
+                        "last_seen": row["last_seen"],
+                        "heartbeat_age_s": round(now - row["last_seen"], 3),
+                        "leases": int(row["leases"] or 0),
+                        "leases_total": int(row["leases_total"] or 0),
+                    }
+                )
+            return out
+
+        return self._store.read_transaction(txn)
 
     # ------------------------------------------------------------- enqueue
 
@@ -315,11 +461,26 @@ class WorkQueue:
             )
         return winner["name"]
 
-    def lease(self, owner: str, ttl_s: float = 30.0) -> Optional[Lease]:
-        """Atomically claim the next task for ``owner``, or ``None``."""
+    def lease(
+        self,
+        owner: str,
+        ttl_s: float = 30.0,
+        version: Optional[str] = None,
+    ) -> Union[Lease, dict, None]:
+        """Atomically claim the next task for ``owner``.
+
+        Returns the :class:`Lease`, or ``None`` when the queue is idle,
+        or the directive dict ``{"drain": True}`` when ``owner`` is
+        under a drain directive — a draining worker gets no new work,
+        only the instruction to finish up and exit.  The call also
+        stamps the worker's registry row (liveness is heartbeat *age*,
+        and an idle worker's polls count as heartbeats).
+        """
         now = self._clock()
 
         def txn(conn):
+            if self._touch_worker(conn, owner, now, version) == WORKER_DRAINING:
+                return {"drain": True}
             self._sweep_expired(conn, now)
             tenant = self._pick_tenant(conn)
             if tenant is None:
@@ -341,6 +502,11 @@ class WorkQueue:
                 " updated_at = ? WHERE id = ?",
                 (LEASED, attempt, lease_id, owner, now + ttl_s, now, row["id"]),
             )
+            conn.execute(
+                "UPDATE fabric_workers SET leases_total = leases_total + 1"
+                " WHERE name = ?",
+                (owner,),
+            )
             return Lease(
                 campaign=row["campaign"],
                 lease_id=lease_id,
@@ -355,25 +521,45 @@ class WorkQueue:
     def heartbeat(
         self, campaign: str, lease_id: str, ttl_s: float = 30.0
     ) -> Dict[str, bool]:
-        """Extend a live lease.  Returns ``{"ok", "cancel"}`` — ``ok`` is
-        False when the lease was lost (expired and re-leased elsewhere),
-        which tells the worker to abandon the campaign."""
+        """Extend a live lease.  Returns ``{"ok", "cancel", "drain"}`` —
+        ``ok`` is False when the lease was lost (expired and re-leased
+        elsewhere), which tells the worker to abandon the campaign;
+        ``drain`` is True when the worker is under a drain directive
+        (finish this lease, then exit).
+
+        The expiry sweep runs *first, inside this same transaction*: a
+        heartbeat landing at or after the expiry instant observes its
+        lease already returned to pending (lease_id cleared) and is
+        rejected, so a late beat can neither extend a lease the sweep
+        would have reclaimed nor resurrect one already re-leased — the
+        two orderings of "sweep vs. heartbeat in the same window" are
+        collapsed into one.
+        """
         now = self._clock()
 
         def txn(conn):
+            self._sweep_expired(conn, now)
             row = conn.execute(
-                "SELECT state, lease_id, cancel_requested FROM fabric_tasks"
-                " WHERE campaign = ?",
+                "SELECT state, lease_id, lease_owner, cancel_requested"
+                " FROM fabric_tasks WHERE campaign = ?",
                 (campaign,),
             ).fetchone()
             if row is None or row["state"] != LEASED or row["lease_id"] != lease_id:
-                return {"ok": False, "cancel": True}
+                return {"ok": False, "cancel": True, "drain": False}
+            drain = (
+                self._touch_worker(conn, row["lease_owner"], now)
+                == WORKER_DRAINING
+            )
             conn.execute(
                 "UPDATE fabric_tasks SET lease_expires_at = ?, updated_at = ?"
                 " WHERE campaign = ?",
                 (now + ttl_s, now, campaign),
             )
-            return {"ok": True, "cancel": bool(row["cancel_requested"])}
+            return {
+                "ok": True,
+                "cancel": bool(row["cancel_requested"]),
+                "drain": drain,
+            }
 
         return self._store.write_transaction(txn)
 
@@ -505,7 +691,8 @@ class WorkQueue:
 
     def status(self) -> dict:
         """Queue snapshot: per-state counts, per-tenant backlog and
-        quota/deficit state, live leases with owner and expiry."""
+        quota/deficit state, live leases with owner and expiry, and the
+        fleet registry with per-worker heartbeat ages and lease counts."""
         now = self._clock()
 
         def txn(conn):
@@ -556,11 +743,32 @@ class WorkQueue:
                     (LEASED,),
                 )
             ]
+            workers = []
+            for row in conn.execute(
+                "SELECT w.name, w.version, w.state, w.last_seen,"
+                " w.leases_total,"
+                " SUM(CASE WHEN k.state = ? THEN 1 ELSE 0 END) AS leases"
+                " FROM fabric_workers w LEFT JOIN fabric_tasks k"
+                " ON k.lease_owner = w.name WHERE w.state != ?"
+                " GROUP BY w.name ORDER BY w.name",
+                (LEASED, WORKER_EXITED),
+            ):
+                workers.append(
+                    {
+                        "name": row["name"],
+                        "version": row["version"],
+                        "state": row["state"],
+                        "heartbeat_age_s": round(now - row["last_seen"], 3),
+                        "leases": int(row["leases"] or 0),
+                        "leases_total": int(row["leases_total"] or 0),
+                    }
+                )
             return {
                 "depth": states.get(PENDING, 0) + states.get(LEASED, 0),
                 "states": states,
                 "tenants": tenants,
                 "leases": leases,
+                "workers": workers,
             }
 
         return self._store.write_transaction(txn)
@@ -578,5 +786,8 @@ __all__ = [
     "FAILED",
     "CANCELLED",
     "TERMINAL",
+    "WORKER_ACTIVE",
+    "WORKER_DRAINING",
+    "WORKER_EXITED",
     "DEFAULT_MAX_ATTEMPTS",
 ]

@@ -29,6 +29,44 @@ from repro.store.warehouse import ResultStore
 BUNDLE_VERSION = 1
 
 
+def _encode_trial(value: np.ndarray) -> dict:
+    array = np.ascontiguousarray(value)
+    return {
+        "dtype": array.dtype.str,
+        "shape": list(array.shape),
+        "data": base64.b64encode(array.tobytes()).decode("ascii"),
+    }
+
+
+def _run_measurements(store: ResultStore, info) -> List[dict]:
+    grouped: Dict[tuple, dict] = {}
+    for row in store.query(run=info):
+        ident = (
+            row.stack,
+            row.cca,
+            row.variant,
+            row.bandwidth_mbps,
+            row.rtt_ms,
+            row.buffer_bdp,
+            row.condition,
+        )
+        slot = grouped.setdefault(
+            ident,
+            {
+                "stack": row.stack,
+                "cca": row.cca,
+                "variant": row.variant,
+                "bandwidth_mbps": row.bandwidth_mbps,
+                "rtt_ms": row.rtt_ms,
+                "buffer_bdp": row.buffer_bdp,
+                "condition": row.condition,
+                "metrics": {},
+            },
+        )
+        slot["metrics"][row.metric] = row.value
+    return list(grouped.values())
+
+
 def export_bundle(store: ResultStore, runs: Iterable[str]) -> dict:
     """Package the named runs (trials + measurements) from ``store``."""
     run_records: List[dict] = []
@@ -42,46 +80,14 @@ def export_bundle(store: ResultStore, runs: Iterable[str]) -> dict:
             value = store.get_trial(key, strict=True)
             if value is None:
                 continue
-            array = np.ascontiguousarray(value)
-            trials[key] = {
-                "dtype": array.dtype.str,
-                "shape": list(array.shape),
-                "data": base64.b64encode(array.tobytes()).decode("ascii"),
-            }
-        measurements: List[dict] = []
-        grouped: Dict[tuple, dict] = {}
-        for row in store.query(run=info):
-            ident = (
-                row.stack,
-                row.cca,
-                row.variant,
-                row.bandwidth_mbps,
-                row.rtt_ms,
-                row.buffer_bdp,
-                row.condition,
-            )
-            slot = grouped.setdefault(
-                ident,
-                {
-                    "stack": row.stack,
-                    "cca": row.cca,
-                    "variant": row.variant,
-                    "bandwidth_mbps": row.bandwidth_mbps,
-                    "rtt_ms": row.rtt_ms,
-                    "buffer_bdp": row.buffer_bdp,
-                    "condition": row.condition,
-                    "metrics": {},
-                },
-            )
-            slot["metrics"][row.metric] = row.value
-        measurements.extend(grouped.values())
+            trials[key] = _encode_trial(value)
         run_records.append(
             {
                 "name": info.name,
                 "note": info.note,
                 "config": info.config or {},
                 "trial_keys": keys,
-                "measurements": measurements,
+                "measurements": _run_measurements(store, info),
             }
         )
     return {
@@ -89,6 +95,50 @@ def export_bundle(store: ResultStore, runs: Iterable[str]) -> dict:
         "runs": run_records,
         "trials": trials,
     }
+
+
+def export_bundles(
+    store: ResultStore,
+    runs: Iterable[str],
+    max_trials_per_bundle: int = 256,
+):
+    """Stream the named runs as a sequence of bounded bundles.
+
+    The sharded warehouse's merge path uses this to keep cross-shard
+    compaction at O(bundle) memory regardless of campaign size: each
+    yielded bundle carries at most ``max_trials_per_bundle`` payloads,
+    the run's measurements ride only in its first bundle, and every
+    bundle is independently replayable by :func:`ingest_bundle` — an
+    interrupted stream re-run from the start lands idempotently.
+    """
+    limit = max(1, int(max_trials_per_bundle))
+    for name in runs:
+        info = store.run(name)
+        keys = store.trial_keys(info)
+        record = {
+            "name": info.name,
+            "note": info.note,
+            "config": info.config or {},
+            "measurements": _run_measurements(store, info),
+        }
+        # Even a run with no trials yields one bundle, so the run row
+        # and its measurements always reach the destination.
+        chunks = [keys[i : i + limit] for i in range(0, len(keys), limit)] or [[]]
+        for chunk in chunks:
+            trials: Dict[str, dict] = {}
+            for key in chunk:
+                value = store.get_trial(key, strict=True)
+                if value is None:
+                    continue
+                trials[key] = _encode_trial(value)
+            yield {
+                "version": BUNDLE_VERSION,
+                "runs": [dict(record, trial_keys=list(chunk))],
+                "trials": trials,
+            }
+            # Measurements are idempotent upserts, but re-sending them
+            # with every chunk would be pure overhead.
+            record = dict(record, measurements=[])
 
 
 def ingest_bundle(store: ResultStore, bundle: dict) -> Dict[str, int]:
@@ -154,6 +204,7 @@ def decode_bundle(text: str) -> dict:
 __all__ = [
     "BUNDLE_VERSION",
     "export_bundle",
+    "export_bundles",
     "ingest_bundle",
     "encode_bundle",
     "decode_bundle",

@@ -21,6 +21,14 @@ and the task returns to the queue for the next worker.  Completed
 trials are already durable (shared mode) or recomputed deterministically
 (remote mode), and content-addressed keys dedupe either way.  All HTTP
 calls ride the unified :class:`repro.faults.RetryPolicy`.
+
+Drain is the *graceful* exit the supervisor uses for scale-down and
+rolling upgrades: a ``{"drain": true}`` lease response or a heartbeat
+carrying ``drain`` tells the worker to stop taking work.  Under the
+default ``finish`` policy it completes the lease it holds first; under
+``handback`` it fails the lease retryable immediately.  Either way it
+deregisters and exits, so nothing is lost (the queue keeps the task)
+and nothing doubles (content-addressed trials dedupe).
 """
 
 from __future__ import annotations
@@ -45,6 +53,10 @@ class _CancelRequested(Exception):
     """The campaign was cancelled; abort at the trial boundary."""
 
 
+class _DrainHandback(Exception):
+    """Drain directive under the handback policy: return the lease."""
+
+
 def lease_to_wire(lease) -> dict:
     """Flatten a :class:`repro.fabric.queue.Lease` for JSON transport."""
     payload = lease.spec if isinstance(lease.spec, dict) else {}
@@ -65,9 +77,15 @@ class LocalTransport:
     def __init__(self, coordinator):
         self._coordinator = coordinator
 
-    def lease(self, worker: str, ttl_s: float) -> Optional[dict]:
-        lease = self._coordinator.lease_task(worker, ttl_s=ttl_s)
-        return None if lease is None else lease_to_wire(lease)
+    def lease(
+        self, worker: str, ttl_s: float, version: str = ""
+    ) -> Optional[dict]:
+        lease = self._coordinator.lease_task(
+            worker, ttl_s=ttl_s, version=version
+        )
+        if lease is None or isinstance(lease, dict):
+            return lease  # idle, or a {"drain": True} directive
+        return lease_to_wire(lease)
 
     def heartbeat(
         self,
@@ -99,6 +117,10 @@ class LocalTransport:
             campaign, lease_id, error, retryable=retryable
         )
         return {"outcome": outcome}
+
+    def deregister(self, worker: str) -> dict:
+        self._coordinator.deregister_worker(worker)
+        return {"ok": True}
 
 
 class HttpTransport:
@@ -134,9 +156,13 @@ class HttpTransport:
 
         return self._retry.call(fn, retryable=retryable)
 
-    def lease(self, worker: str, ttl_s: float) -> Optional[dict]:
+    def lease(
+        self, worker: str, ttl_s: float, version: str = ""
+    ) -> Optional[dict]:
         return self._call(
-            lambda: self.client.fabric_lease(worker, ttl_s=ttl_s)
+            lambda: self.client.fabric_lease(
+                worker, ttl_s=ttl_s, version=version
+            )
         )
 
     def heartbeat(
@@ -175,6 +201,9 @@ class HttpTransport:
             )
         )
 
+    def deregister(self, worker: str) -> dict:
+        return self._call(lambda: self.client.fabric_deregister(worker))
+
 
 class FabricWorker:
     """Lease loop: claim a campaign, execute it, report, repeat."""
@@ -188,10 +217,17 @@ class FabricWorker:
         jobs: int = 1,
         poll_s: float = 0.5,
         ttl_s: float = 30.0,
+        version: str = "",
+        drain_policy: str = "finish",
         sleep: Callable[[float], None] = default_sleep,
         clock: Callable[[], float] = default_clock,
         log: Optional[Callable[[str], None]] = None,
     ):
+        if drain_policy not in ("finish", "handback"):
+            raise ValueError(
+                f"drain_policy must be 'finish' or 'handback', "
+                f"got {drain_policy!r}"
+            )
         self.transport = transport
         self.name = name
         self.store_path = str(store_path) if store_path else None
@@ -199,6 +235,17 @@ class FabricWorker:
         self.jobs = max(1, int(jobs))
         self.poll_s = float(poll_s)
         self.ttl_s = float(ttl_s)
+        #: Code version reported on every lease request; the supervisor
+        #: uses it to pick rolling-upgrade victims.
+        self.version = str(version)
+        #: What a drain directive does to a held lease: ``finish`` runs
+        #: it to completion before exiting (nothing recomputed),
+        #: ``handback`` fails it retryable immediately (fastest exit,
+        #: the next worker re-runs it — content addressing dedupes).
+        self.drain_policy = drain_policy
+        #: True once a drain directive has been observed; the lease loop
+        #: exits and the worker deregisters.
+        self.drained = False
         self._sleep = sleep
         self._clock = clock
         self._log = log or (lambda msg: None)
@@ -220,13 +267,21 @@ class FabricWorker:
         handled = 0
         while not self._stop.is_set():
             try:
-                lease = self.transport.lease(self.name, self.ttl_s)
+                lease = self.transport.lease(
+                    self.name, self.ttl_s, self.version
+                )
             except ServiceError as exc:
                 self._log(f"{self.name}: lease failed ({exc}); backing off")
                 if once:
                     break
                 self._sleep(self.poll_s)
                 continue
+            if isinstance(lease, dict) and lease.get("drain"):
+                # Durable drain directive instead of work: we hold no
+                # lease right now, so exit immediately.
+                self._log(f"{self.name}: drain directive; exiting")
+                self.drained = True
+                break
             if lease is None:
                 if once:
                     break
@@ -234,8 +289,22 @@ class FabricWorker:
                 continue
             self._run_lease(lease)
             handled += 1
+            if self.drained:
+                self._log(
+                    f"{self.name}: drained after finishing "
+                    f"{lease['campaign']}; exiting"
+                )
+                break
             if max_tasks is not None and handled >= max_tasks:
                 break
+        if self.drained:
+            # Hand the registry slot back so the supervisor's roll can
+            # proceed; best-effort — an unreachable coordinator just
+            # leaves the row to age out by heartbeat timeout.
+            try:
+                self.transport.deregister(self.name)
+            except (ServiceError, OSError) as exc:
+                self._log(f"{self.name}: deregister lost: {exc}")
         return handled
 
     # ------------------------------------------------------------ one lease
@@ -247,7 +316,7 @@ class FabricWorker:
             f"{self.name}: leased {campaign} "
             f"(attempt {lease.get('attempt')})"
         )
-        state = {"abort": False, "cancel": False}
+        state = {"abort": False, "cancel": False, "drain": False}
         pending: List[dict] = []
         lock = threading.Lock()
         stop_beat = threading.Event()
@@ -272,6 +341,8 @@ class FabricWorker:
                 state["abort"] = True
             if beat.get("cancel", False):
                 state["cancel"] = True
+            if beat.get("drain", False):
+                state["drain"] = True
 
         def beat_loop() -> None:
             # Three beats per TTL: one lost heartbeat never kills a lease.
@@ -293,6 +364,8 @@ class FabricWorker:
                 raise _LeaseLost()
             if state["cancel"]:
                 raise _CancelRequested()
+            if state["drain"] and self.drain_policy == "handback":
+                raise _DrainHandback()
 
         beater = threading.Thread(
             target=beat_loop, name=f"{self.name}-heartbeat", daemon=True
@@ -308,6 +381,18 @@ class FabricWorker:
                 campaign, lease_id, "cancelled by request", retryable=False
             )
             return
+        except _DrainHandback:
+            # Hand the lease back retryable: the task requeues for a
+            # surviving worker, and content-addressed trials mean the
+            # partial work already done is never recomputed into
+            # different bytes.
+            self._log(f"{self.name}: draining; handing back {campaign}")
+            self._report_fail(
+                campaign, lease_id, "drained: lease handed back",
+                retryable=True,
+            )
+            self.drained = True
+            return
         except Exception as exc:  # noqa: BLE001 - report typed failure
             self._report_fail(
                 campaign, lease_id, f"{type(exc).__name__}: {exc}",
@@ -318,6 +403,10 @@ class FabricWorker:
             stop_beat.set()
             beater.join(timeout=5.0)
         send_beat()  # final flush so watchers see the last trials
+        if state["drain"]:
+            # Finish-then-exit: the lease ran to completion below; the
+            # run loop exits once this report lands.
+            self.drained = True
         if state["abort"]:
             return  # completion would be stale; the new lease owns it
         try:
@@ -339,7 +428,7 @@ class FabricWorker:
 
     def _execute(self, lease: dict, progress):
         from repro.exec import Executor
-        from repro.store import ResultStore, StoreCache
+        from repro.store import StoreCache, open_store
 
         spec = parse_campaign_spec(lease["spec"])
         if self.store_path is not None:
@@ -352,7 +441,7 @@ class FabricWorker:
             scratch.mkdir(parents=True, exist_ok=True)
             store_file = str(scratch / f"{lease['campaign']}.db")
             bundle_runs = spec.run_names()
-        with ResultStore(store_file) as store:
+        with open_store(store_file) as store:
             cache = StoreCache(store)
             with Executor(
                 jobs=self.jobs,

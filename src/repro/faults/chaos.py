@@ -35,8 +35,11 @@ import numpy as np
 from repro.faults import inject
 from repro.faults.breaker import reset_breakers
 from repro.faults.plan import (
+    FAULT_DRAIN_DURING_LEASE,
     FAULT_HTTP_DISCONNECT,
     FAULT_LEASE_EXPIRY,
+    FAULT_SHARD_LOSS,
+    FAULT_SUPERVISOR_SIGKILL,
     FAULT_WORKER_HANG,
     FAULT_WORKER_SIGKILL,
     FaultPlan,
@@ -433,6 +436,10 @@ def _store_snaps(path: Path) -> Dict[str, _Snap]:
 def _fabric_baseline(spec: dict, basedir: Path) -> Dict[str, _Snap]:
     """Run the fabric chaos campaign fault-free through the
     single-process scheduler; its store is the bit-identity reference."""
+    return _fabric_baselines([spec], basedir)
+
+
+def _fabric_baselines(specs: List[dict], basedir: Path) -> Dict[str, _Snap]:
     import time
 
     from repro.harness.cache import cache_dir_override
@@ -443,14 +450,51 @@ def _fabric_baseline(spec: dict, basedir: Path) -> Dict[str, _Snap]:
     store_path = basedir / "baseline.db"
     with cache_dir_override(basedir / "baseline-cache"):
         scheduler = Scheduler(str(store_path), workers=1)
-        job = scheduler.submit(parse_campaign_spec(spec))
-        deadline = time.monotonic() + 300.0
-        while time.monotonic() < deadline:
-            if scheduler.job(job.id).state in TERMINAL_STATES:
-                break
-            default_sleep(0.05)
+        for spec in specs:
+            job = scheduler.submit(parse_campaign_spec(spec))
+            deadline = time.monotonic() + 300.0
+            while time.monotonic() < deadline:
+                if scheduler.job(job.id).state in TERMINAL_STATES:
+                    break
+                default_sleep(0.05)
         scheduler.shutdown(drain=True, timeout=30.0)
     return _store_snaps(store_path)
+
+
+def _check_fabric_job(
+    store_path: Path,
+    campaign_id: str,
+    coordinator,
+    outcome: FaultOutcome,
+    min_attempts: int = 2,
+    max_attempts: Optional[int] = None,
+) -> None:
+    """One campaign's half of the fabric invariant: it completed, and
+    its lease turned over exactly as the fault class demands."""
+    from repro.fabric.queue import WorkQueue
+
+    job = coordinator.job(campaign_id)
+    if job is None or job.state != "done":
+        state = job.state if job else "missing"
+        outcome.violations.append(
+            f"campaign did not complete after the fault: {state}"
+        )
+    with WorkQueue(str(store_path)) as q:
+        task = q.task(campaign_id)
+    attempts = task.attempts if task else 0
+    if attempts < min_attempts:
+        outcome.violations.append(
+            f"the lease never turned over (attempts={attempts})"
+        )
+    elif max_attempts is not None and attempts > max_attempts:
+        outcome.violations.append(
+            f"the lease turned over under the fault "
+            f"(attempts={attempts}) — work ran twice"
+        )
+    else:
+        outcome.note = (
+            outcome.note + "  " if outcome.note else ""
+        ) + f"attempts={attempts}"
 
 
 def _check_fabric_outcome(
@@ -462,25 +506,9 @@ def _check_fabric_outcome(
 ) -> None:
     """The fabric invariant: campaign done after >= 2 lease attempts,
     and the store matches the fault-free baseline bit-for-bit."""
-    from repro.fabric.queue import WorkQueue
-
-    job = coordinator.job(campaign_id)
-    if job is None or job.state != "done":
-        state = job.state if job else "missing"
-        outcome.violations.append(
-            f"campaign did not complete after the fault: {state}"
-        )
-    with WorkQueue(str(classdir / "store.db")) as q:
-        task = q.task(campaign_id)
-    attempts = task.attempts if task else 0
-    if attempts < 2:
-        outcome.violations.append(
-            f"the lease never turned over (attempts={attempts})"
-        )
-    else:
-        outcome.note = (
-            outcome.note + "  " if outcome.note else ""
-        ) + f"attempts={attempts}"
+    _check_fabric_job(
+        classdir / "store.db", campaign_id, coordinator, outcome
+    )
     violations, missing = _check_store(
         classdir / "store.db", baseline, set(), set()
     )
@@ -645,6 +673,441 @@ def _run_worker_sigkill_class(
         app.stop(drain=False)
 
 
+def _run_shard_loss_class(
+    plan: FaultPlan,
+    classdir: Path,
+    duration_s: float,
+    trials: int,
+    outcome: FaultOutcome,
+) -> None:
+    """shard-loss: a campaign lands across a 3-shard warehouse, then one
+    non-meta shard file is deleted.  Reads of lost-shard trials must
+    raise a typed :class:`ShardLostError` (never a silent gap), the
+    run's report must carry the partial flag with the exact missing
+    keys, and ``recover_shard`` + a fault-free re-run must restore the
+    store bit-identical to the baseline."""
+    import threading
+    import time
+
+    from repro.fabric.coordinator import Coordinator
+    from repro.fabric.worker import FabricWorker, LocalTransport
+    from repro.harness.cache import cache_dir_override
+    from repro.service.scheduler import TERMINAL_STATES, Scheduler
+    from repro.service.specs import parse_campaign_spec
+    from repro.store import ShardLostError, open_store, shard_index
+
+    spec = _fabric_spec(duration_s, trials)
+    baseline = _fabric_baseline(spec, classdir / "baseline")
+    root = classdir / "store"
+    open_store(root, shards=3).close()
+    coordinator = Coordinator(str(root), lease_ttl_s=10.0, max_attempts=3)
+    try:
+        with cache_dir_override(classdir / "cache"):
+            job = coordinator.submit(parse_campaign_spec(spec))
+            worker = FabricWorker(
+                LocalTransport(coordinator),
+                name="chaos-shard-w1",
+                store_path=str(root),
+                poll_s=0.05,
+                ttl_s=10.0,
+            )
+            thread = threading.Thread(target=worker.run, daemon=True)
+            thread.start()
+            deadline = time.monotonic() + 300.0
+            while time.monotonic() < deadline:
+                if coordinator.job(job.id).state in TERMINAL_STATES:
+                    break
+                default_sleep(0.05)
+            worker.stop()
+            thread.join(timeout=10.0)
+    finally:
+        coordinator.shutdown(drain=False)
+    if coordinator.job(job.id).state != "done":
+        outcome.violations.append(
+            f"sharded campaign never completed: {coordinator.job(job.id).state}"
+        )
+        return
+
+    # Pre-fault sanity: the sharded store must already match baseline.
+    with open_store(root) as store:
+        shards = store.shards
+        for key, snap in sorted(baseline.items()):
+            value = store.get_trial(key)
+            if value is None or _snap(value) != snap:
+                outcome.violations.append(
+                    f"sharded trial {key} differs pre-fault"
+                )
+    if outcome.violations:
+        return
+
+    # The fault: delete the first non-meta shard holding a trial (or
+    # shard 1 if routing put everything on the meta shard).
+    victim = next(
+        (
+            shard_index(key, shards)
+            for key in sorted(baseline)
+            if shard_index(key, shards) != 0
+        ),
+        1,
+    )
+    lost_keys = sorted(
+        k for k in baseline if shard_index(k, shards) == victim
+    )
+    for suffix in ("", "-wal", "-shm"):
+        path = root / f"shard-{victim:03d}.db{suffix}"
+        if path.exists():
+            path.unlink()
+    outcome.fires = 1
+
+    with open_store(root) as store:
+        if victim not in store.lost_shards:
+            outcome.violations.append(
+                f"deleted shard {victim} not detected as lost"
+            )
+        if store.integrity_ok():
+            outcome.violations.append(
+                "integrity_ok() still true with a lost shard"
+            )
+        report = store.run_report(spec["run"])
+        if sorted(report["missing"]) != lost_keys:
+            outcome.violations.append(
+                f"run_report missing={report['missing']} != "
+                f"expected {lost_keys}"
+            )
+        if bool(report["partial"]) != bool(lost_keys):
+            outcome.violations.append(
+                f"run_report partial={report['partial']} with "
+                f"{len(lost_keys)} lost trial(s)"
+            )
+        for key in lost_keys:
+            try:
+                store.get_trial(key)
+            except ShardLostError as exc:
+                if exc.shard != victim:
+                    outcome.violations.append(
+                        f"ShardLostError names shard {exc.shard}, "
+                        f"not {victim}"
+                    )
+            else:
+                outcome.violations.append(
+                    f"read of lost-shard trial {key} returned without "
+                    "a typed error (silent gap)"
+                )
+        for key in sorted(set(baseline) - set(lost_keys)):
+            value = store.get_trial(key)
+            if value is None or _snap(value) != baseline[key]:
+                outcome.violations.append(
+                    f"live-shard trial {key} unreadable after the fault"
+                )
+        healed = store.recover_shard(victim)
+        if sorted(healed["missing"]) != lost_keys:
+            outcome.violations.append(
+                f"recover_shard missing={healed['missing']} != "
+                f"expected {lost_keys}"
+            )
+
+    # Recovery: fault-free re-run over the recovered store refills only
+    # the lost payloads (content-addressed identity dedupes the rest).
+    import time as _time
+
+    with cache_dir_override(classdir / "heal-cache"):
+        scheduler = Scheduler(str(root), workers=1)
+        job2 = scheduler.submit(parse_campaign_spec(spec))
+        deadline = _time.monotonic() + 300.0
+        while _time.monotonic() < deadline:
+            if scheduler.job(job2.id).state in TERMINAL_STATES:
+                break
+            default_sleep(0.05)
+        scheduler.shutdown(drain=True, timeout=30.0)
+
+    with open_store(root) as store:
+        if not store.integrity_ok():
+            outcome.violations.append("store degraded after recovery")
+        report = store.run_report(spec["run"])
+        if report["partial"]:
+            outcome.violations.append(
+                f"run still partial after recovery: {report['missing']}"
+            )
+        for key, snap in sorted(baseline.items()):
+            value = store.get_trial(key)
+            if value is None:
+                outcome.violations.append(
+                    f"trial {key} missing after recovery"
+                )
+            elif _snap(value) != snap:
+                outcome.violations.append(
+                    f"trial {key} differs from baseline after recovery"
+                )
+    outcome.note = (
+        f"shard {victim} lost with {len(lost_keys)} trial(s), recovered"
+    )
+    if not outcome.violations:
+        outcome.recovered = True
+
+
+def _run_drain_during_lease_class(
+    plan: FaultPlan,
+    classdir: Path,
+    duration_s: float,
+    trials: int,
+    outcome: FaultOutcome,
+) -> None:
+    """drain-during-lease: the leaseholder gets a durable drain
+    directive mid-lease.  It must finish that lease (attempts stays 1 —
+    nothing handed over, nothing doubled), deregister and exit; a
+    second worker started after the drain absorbs the remaining
+    campaign.  The store must match the fault-free baseline exactly."""
+    import threading
+    import time
+
+    from repro.fabric.coordinator import Coordinator
+    from repro.fabric.worker import FabricWorker, LocalTransport
+    from repro.harness.cache import cache_dir_override
+    from repro.service.scheduler import TERMINAL_STATES
+    from repro.service.specs import parse_campaign_spec
+
+    spec_a = _fabric_spec(duration_s, trials)
+    spec_b = dict(
+        _fabric_spec(duration_s + 0.5, trials), run="chaos-fabric-b"
+    )
+    baseline = _fabric_baselines([spec_a, spec_b], classdir / "baseline")
+    store_path = classdir / "store.db"
+    coordinator = Coordinator(str(store_path), lease_ttl_s=10.0, max_attempts=3)
+    victim_thread = None
+    rescuer = None
+    rescuer_thread = None
+    try:
+        with cache_dir_override(classdir / "cache"):
+            job_a = coordinator.submit(parse_campaign_spec(spec_a))
+            job_b = coordinator.submit(parse_campaign_spec(spec_b))
+            victim = FabricWorker(
+                LocalTransport(coordinator),
+                name="chaos-drain-victim",
+                store_path=str(store_path),
+                poll_s=0.05,
+                ttl_s=10.0,
+            )
+            victim_thread = threading.Thread(target=victim.run, daemon=True)
+            victim_thread.start()
+            # Wait until the victim actually holds a lease, then drain
+            # it mid-flight.
+            deadline = time.monotonic() + 60.0
+            leased = False
+            while time.monotonic() < deadline:
+                leases = coordinator.fabric_status()["leases"]
+                if any(l["owner"] == victim.name for l in leases):
+                    leased = True
+                    break
+                default_sleep(0.02)
+            if not leased:
+                outcome.violations.append("victim never held a lease")
+                victim.stop()
+                return
+            coordinator.drain_worker(victim.name)
+            outcome.fires = 1
+            rescuer = FabricWorker(
+                LocalTransport(coordinator),
+                name="chaos-drain-rescuer",
+                store_path=str(store_path),
+                poll_s=0.05,
+                ttl_s=10.0,
+            )
+            rescuer_thread = threading.Thread(target=rescuer.run, daemon=True)
+            rescuer_thread.start()
+            seen_owners: Dict[str, set] = {}
+            deadline = time.monotonic() + 300.0
+            while time.monotonic() < deadline:
+                for lease in coordinator.fabric_status()["leases"]:
+                    seen_owners.setdefault(
+                        lease["campaign"], set()
+                    ).add(lease["owner"])
+                states = {
+                    coordinator.job(job_a.id).state,
+                    coordinator.job(job_b.id).state,
+                }
+                if states <= set(TERMINAL_STATES):
+                    break
+                default_sleep(0.05)
+            # The drained victim must exit on its own (never killed).
+            victim_thread.join(timeout=60.0)
+            if victim_thread.is_alive():
+                outcome.violations.append(
+                    "drained worker never exited on its own"
+                )
+                victim.stop()
+            elif not victim.drained:
+                outcome.violations.append(
+                    "victim exited without observing the drain directive"
+                )
+            rescuer.stop()
+            rescuer_thread.join(timeout=10.0)
+        # The drained worker deregistered: no active registry row left.
+        active = [
+            w["name"]
+            for w in coordinator.workers()
+            if w["name"] == victim.name
+        ]
+        if active:
+            outcome.violations.append(
+                f"drained worker still registered: {active}"
+            )
+        # Its lease was finished, not handed over: exactly one attempt.
+        _check_fabric_job(
+            store_path, job_a.id, coordinator, outcome,
+            min_attempts=1, max_attempts=1,
+        )
+        _check_fabric_job(
+            store_path, job_b.id, coordinator, outcome,
+            min_attempts=1, max_attempts=1,
+        )
+        # The rescuer (not the drained victim) ran the second campaign:
+        # a draining worker's lease request gets the exit directive, so
+        # the victim must never appear as job B's leaseholder.
+        if victim.name in seen_owners.get(job_b.id, set()):
+            outcome.violations.append(
+                "drained worker leased new work after the directive"
+            )
+        violations, missing = _check_store(
+            store_path, baseline, set(), set()
+        )
+        outcome.violations += violations
+        outcome.violations += [
+            f"trial {k} missing after the drain" for k in missing
+        ]
+        if not outcome.violations:
+            outcome.recovered = True
+    finally:
+        coordinator.shutdown(drain=False)
+
+
+def _run_supervisor_sigkill_class(
+    plan: FaultPlan,
+    classdir: Path,
+    duration_s: float,
+    trials: int,
+    outcome: FaultOutcome,
+) -> None:
+    """supervisor-sigkill: a real ``repro fabric supervise`` subprocess
+    spawns the fleet, then dies by SIGKILL mid-campaign.  The workers it
+    spawned are untouched (they answer to the registry, not the
+    supervisor), the campaign completes on a single lease attempt, and
+    a replacement supervisor adopts the same fleet by reading the same
+    warehouse — then drains it clean."""
+    import os
+    import signal
+    import subprocess
+    import sys
+    import time
+
+    from repro.fabric.coordinator import Coordinator
+    from repro.fabric.queue import WorkQueue
+    from repro.fabric.supervisor import FleetSupervisor, SupervisorConfig
+    from repro.harness.cache import CACHE_DIR_ENV, cache_dir_override
+    from repro.service.scheduler import TERMINAL_STATES
+    from repro.service.server import ServiceApp
+    from repro.service.specs import parse_campaign_spec
+
+    spec = _fabric_spec(duration_s, trials)
+    baseline = _fabric_baseline(spec, classdir / "baseline")
+    store_path = classdir / "store.db"
+    coordinator = Coordinator(str(store_path), lease_ttl_s=10.0, max_attempts=3)
+    app = ServiceApp(str(store_path), port=0, scheduler=coordinator)
+    app.start()
+    proc = None
+    try:
+        with cache_dir_override(classdir / "cache"):
+            job = coordinator.submit(parse_campaign_spec(spec))
+            env = dict(os.environ)
+            env[CACHE_DIR_ENV] = str(classdir / "fleet-cache")
+            proc = subprocess.Popen(
+                [
+                    sys.executable, "-m", "repro", "fabric", "supervise",
+                    "--db", str(store_path), "--url", app.url,
+                    "--store", str(store_path),
+                    "--min-workers", "1", "--max-workers", "2",
+                    "--interval", "0.1", "--ttl", "10.0",
+                    "--poll", "0.05",
+                ],
+                env=env,
+                stdout=subprocess.DEVNULL,
+                stderr=subprocess.DEVNULL,
+            )
+            # Kill the supervisor the moment its spawned worker holds
+            # the lease: fleet alive, campaign in flight, supervisor
+            # gone without cleanup.
+            leased = False
+            deadline = time.monotonic() + 120.0
+            while time.monotonic() < deadline:
+                if coordinator.fabric_status()["leases"]:
+                    leased = True
+                    break
+                default_sleep(0.02)
+            if not leased:
+                outcome.violations.append(
+                    "supervised worker never leased the task"
+                )
+                return
+            os.kill(proc.pid, signal.SIGKILL)
+            proc.wait(timeout=30.0)
+            outcome.fires = 1
+            deadline = time.monotonic() + 300.0
+            while time.monotonic() < deadline:
+                if coordinator.job(job.id).state in TERMINAL_STATES:
+                    break
+                default_sleep(0.05)
+        # A replacement supervisor adopts the orphaned fleet from the
+        # registry alone (its handles dict starts empty) and retires it.
+        with WorkQueue(str(store_path)) as queue:
+            replacement = FleetSupervisor(
+                queue,
+                config=SupervisorConfig(min_workers=0, max_workers=2),
+            )
+            adopted = [
+                w["name"]
+                for w in replacement.fleet()
+                if w["state"] == "active"
+            ]
+            if not adopted:
+                outcome.violations.append(
+                    "replacement supervisor found no live workers in "
+                    "the registry"
+                )
+            for name in adopted:
+                queue.drain_worker(name)
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline:
+                if not [
+                    w for w in queue.workers() if w["state"] == "active"
+                ]:
+                    break
+                default_sleep(0.1)
+            leftover = [
+                w["name"] for w in queue.workers() if w["state"] == "active"
+            ]
+            if leftover:
+                outcome.violations.append(
+                    f"orphaned workers never drained: {leftover}"
+                )
+        outcome.note = f"adopted {len(adopted)} worker(s) after the kill"
+        _check_fabric_job(
+            store_path, job.id, coordinator, outcome,
+            min_attempts=1, max_attempts=1,
+        )
+        violations, missing = _check_store(
+            store_path, baseline, set(), set()
+        )
+        outcome.violations += violations
+        outcome.violations += [
+            f"trial {k} missing after the kill" for k in missing
+        ]
+        if not outcome.violations:
+            outcome.recovered = True
+    finally:
+        if proc is not None and proc.poll() is None:
+            proc.kill()
+        app.stop(drain=False)
+
+
 def run_chaos(
     matrix: str = "smoke",
     workdir: Optional[Union[str, Path]] = None,
@@ -695,6 +1158,18 @@ def run_chaos(
                 )
             elif fault == FAULT_WORKER_SIGKILL:
                 _run_worker_sigkill_class(
+                    plan, classdir, duration_s, trials, outcome
+                )
+            elif fault == FAULT_SHARD_LOSS:
+                _run_shard_loss_class(
+                    plan, classdir, duration_s, trials, outcome
+                )
+            elif fault == FAULT_SUPERVISOR_SIGKILL:
+                _run_supervisor_sigkill_class(
+                    plan, classdir, duration_s, trials, outcome
+                )
+            elif fault == FAULT_DRAIN_DURING_LEASE:
+                _run_drain_during_lease_class(
                     plan, classdir, duration_s, trials, outcome
                 )
             else:

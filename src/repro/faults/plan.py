@@ -47,6 +47,9 @@ FAULT_CLOCK_SKEW = "clock-skew"
 FAULT_HTTP_DISCONNECT = "http-disconnect"
 FAULT_LEASE_EXPIRY = "lease-expiry"
 FAULT_WORKER_SIGKILL = "worker-sigkill"
+FAULT_SHARD_LOSS = "shard-loss"
+FAULT_SUPERVISOR_SIGKILL = "supervisor-sigkill"
+FAULT_DRAIN_DURING_LEASE = "drain-during-lease"
 
 #: Every fault class, in documentation order.  New classes append: the
 #: per-class schedule mix uses positional indices, and appending keeps
@@ -64,6 +67,9 @@ FAULT_CLASSES = (
     FAULT_HTTP_DISCONNECT,
     FAULT_LEASE_EXPIRY,
     FAULT_WORKER_SIGKILL,
+    FAULT_SHARD_LOSS,
+    FAULT_SUPERVISOR_SIGKILL,
+    FAULT_DRAIN_DURING_LEASE,
 )
 
 
@@ -213,6 +219,21 @@ def _single_class_plan(fault: str, seed: int) -> FaultPlan:
         # subprocess mid-lease; the rule documents the schedule (first
         # lease dies) rather than firing through the in-process seam.
         rules = (rule(fault, "fabric.worker.process", hits=(1,)),)
+    elif fault == FAULT_SHARD_LOSS:
+        # Filesystem-level: the chaos driver deletes one non-meta shard
+        # of a sharded warehouse after the campaign lands; the rule
+        # documents the schedule (first shard touched is lost).
+        rules = (rule(fault, "store.shard.file", hits=(1,)),)
+    elif fault == FAULT_SUPERVISOR_SIGKILL:
+        # Process-level: the fleet supervisor dies mid-campaign; the
+        # registry (not the corpse's memory) is the fleet's truth, so a
+        # replacement adopts the same workers.
+        rules = (rule(fault, "fabric.supervisor.process", hits=(1,)),)
+    elif fault == FAULT_DRAIN_DURING_LEASE:
+        # Registry-level: the leaseholder gets a durable drain directive
+        # mid-lease; it must finish that lease (never hand it to a
+        # second attempt) and then exit.
+        rules = (rule(fault, "fabric.worker.drain", hits=(1,)),)
     else:  # pragma: no cover - FAULT_CLASSES is exhaustive
         raise ValueError(f"unknown fault class {fault!r}")
     return FaultPlan(name=fault, rules=rules, seed=seed)
@@ -229,6 +250,18 @@ MATRIX_CLASSES = {
         FAULT_JOURNAL_CORRUPT,
         FAULT_LEASE_EXPIRY,
         FAULT_WORKER_SIGKILL,
+    ),
+    # The fleet recovery proofs: sharded-warehouse loss, supervisor
+    # death, drain racing a live lease.  ``fleet-smoke`` is the CI cut
+    # (no subprocess supervisor, so it stays fast).
+    "fleet": (
+        FAULT_SHARD_LOSS,
+        FAULT_SUPERVISOR_SIGKILL,
+        FAULT_DRAIN_DURING_LEASE,
+    ),
+    "fleet-smoke": (
+        FAULT_SHARD_LOSS,
+        FAULT_DRAIN_DURING_LEASE,
     ),
     "default": FAULT_CLASSES,
 }
@@ -261,6 +294,9 @@ __all__ = [
     "FAULT_HTTP_DISCONNECT",
     "FAULT_LEASE_EXPIRY",
     "FAULT_WORKER_SIGKILL",
+    "FAULT_SHARD_LOSS",
+    "FAULT_SUPERVISOR_SIGKILL",
+    "FAULT_DRAIN_DURING_LEASE",
     "FaultRule",
     "FaultPlan",
     "FaultMatrix",

@@ -214,8 +214,11 @@ class CliDocCoverageRule(Rule):
 
 
 #: The fabric queue tables and the only modules allowed to name them in
-#: SQL (the queue itself, and the schema migration ladder).
-QUEUE_TABLES = ("fabric_tasks", "fabric_tenants")
+#: SQL (the queue itself, and the schema migration ladder).  The worker
+#: registry rides the same confinement: drain directives and liveness
+#: stamps must go through WorkQueue so their invariants audit in one
+#: file.
+QUEUE_TABLES = ("fabric_tasks", "fabric_tenants", "fabric_workers")
 _QUEUE_SQL_ALLOWED = {
     "fabric/queue.py",
     "store/schema.py",

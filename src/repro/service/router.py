@@ -114,9 +114,11 @@ class ServiceRouter:
     # ------------------------------------------------------------ plumbing
 
     def _store(self):
-        from repro.store import ResultStore
+        from repro.store import open_store
 
-        return ResultStore(self.store_path)
+        # Autodetects sharded layouts (shards.json directory) as well
+        # as classic single-file warehouses.
+        return open_store(self.store_path)
 
     def _fabric(self):
         """The scheduler's fabric protocol surface, or None when this is
@@ -175,6 +177,8 @@ class ServiceRouter:
             return self._campaign_events(parts[1], query, accept)
         if parts == ["fabric", "status"]:
             return self._fabric_status()
+        if parts == ["fabric", "workers"]:
+            return self._fabric_workers(query)
         if parts == ["runs"]:
             return self._runs()
         if len(parts) == 3 and parts[0] == "runs" and parts[2].startswith("metrics"):
@@ -205,6 +209,13 @@ class ServiceRouter:
             and parts[3] in ("heartbeat", "complete", "fail")
         ):
             return self._fabric_task_call(parts[2], parts[3], payload)
+        if (
+            len(parts) == 4
+            and parts[0] == "fabric"
+            and parts[1] == "workers"
+            and parts[3] in ("drain", "deregister")
+        ):
+            return self._fabric_worker_call(parts[2], parts[3])
         return error_response(
             404, f"no such resource: POST /{'/'.join(parts)}"
         )
@@ -277,11 +288,14 @@ class ServiceRouter:
             )
         status = fabric.fabric_status()
         metrics = fabric.metrics()
+        # ``workers`` is the fleet registry list from the queue snapshot;
+        # the scalar count (registered + leasing) goes out separately so
+        # it cannot shadow the per-worker rows.
         return json_response(
             200,
             {
                 **status,
-                "workers": metrics.get("workers", 0),
+                "workers_total": metrics.get("workers", 0),
                 "campaign_states": metrics.get("campaign_states", {}),
             },
         )
@@ -299,10 +313,15 @@ class ServiceRouter:
         worker = str(payload.get("worker") or "anonymous")
         ttl_s = payload.get("ttl_s")
         lease = fabric.lease_task(
-            worker, ttl_s=float(ttl_s) if ttl_s else None
+            worker,
+            ttl_s=float(ttl_s) if ttl_s else None,
+            version=str(payload.get("version") or ""),
         )
         if lease is None:
             return no_content()
+        if isinstance(lease, dict):
+            # A durable drain directive instead of work.
+            return json_response(200, lease)
         return json_response(200, lease_to_wire(lease))
 
     def _fabric_task_call(
@@ -343,15 +362,46 @@ class ServiceRouter:
         )
         return json_response(200, {"outcome": outcome})
 
+    def _fabric_workers(self, query: Dict[str, str]) -> Response:
+        fabric = self._fabric()
+        if fabric is None or not hasattr(fabric, "workers"):
+            return error_response(
+                404, "fabric endpoints need a coordinator-backed service"
+            )
+        include_exited = query.get("all") == "1"
+        return json_response(
+            200, {"workers": fabric.workers(include_exited=include_exited)}
+        )
+
+    def _fabric_worker_call(self, worker: str, action: str) -> Response:
+        fabric = self._fabric()
+        if fabric is None or not hasattr(fabric, "drain_worker"):
+            return error_response(
+                404, "fabric endpoints need a coordinator-backed service"
+            )
+        if action == "drain":
+            return json_response(200, fabric.drain_worker(worker))
+        fabric.deregister_worker(worker)
+        return json_response(200, {"ok": True, "worker": worker})
+
     # ------------------------------------------------------------- healthz
 
     def _healthz(self) -> Response:
         from repro.faults.breaker import degraded
 
+        shard_report = None
         with self._store() as store:
+            if hasattr(store, "check_shards"):
+                store.check_shards()
+                shard_report = store.shard_report()
             ok = store.integrity_ok()
         open_breakers = degraded()
-        if not ok:
+        if not ok and shard_report and shard_report["lost"]:
+            # Lost shard files: reads fail typed and runs are flagged
+            # partial, but the service keeps answering for every other
+            # shard — distinct from single-file corruption.
+            status = "store-degraded"
+        elif not ok:
             status = "store-corrupt"
         elif open_breakers:
             # Open circuit breakers (store sink spilling, journal down):
@@ -361,22 +411,28 @@ class ServiceRouter:
         else:
             status = "ok"
         metrics = self.scheduler.metrics()
-        return json_response(
-            500 if not ok else 200,
-            {
-                "status": status,
-                "degraded": open_breakers,
-                "store": self.store_path,
-                "queue_depth": metrics["queue_depth"],
-                "running": metrics["running"],
-                "uptime_s": round(metrics["uptime_s"], 3),
-            },
-        )
+        body = {
+            "status": status,
+            "degraded": open_breakers,
+            "store": self.store_path,
+            "queue_depth": metrics["queue_depth"],
+            "running": metrics["running"],
+            "uptime_s": round(metrics["uptime_s"], 3),
+        }
+        if shard_report is not None:
+            body["shards"] = shard_report
+        fabric = self._fabric()
+        if fabric is not None and hasattr(fabric, "workers"):
+            body["fleet"] = fabric.workers()
+        return json_response(500 if not ok else 200, body)
 
     def _prometheus(self) -> Response:
         m = self.scheduler.metrics()
+        shard_report = None
         with self._store() as store:
             counts = store.counts()
+            if hasattr(store, "shard_report"):
+                shard_report = store.shard_report()
         lines = [
             "# HELP repro_queue_depth Campaigns waiting to run.",
             "# TYPE repro_queue_depth gauge",
@@ -443,6 +499,48 @@ class ServiceRouter:
                     f'repro_fabric_tenant_done{{tenant="{tenant}"}} '
                     f"{fabric['tenants'][tenant]['done']}"
                 )
+            fleet = fabric.get("workers") or []
+            lines += [
+                "# HELP repro_fabric_fleet_workers Registered non-exited"
+                " workers by state.",
+                "# TYPE repro_fabric_fleet_workers gauge",
+            ]
+            by_state: Dict[str, int] = {}
+            for worker in fleet:
+                by_state[worker["state"]] = by_state.get(worker["state"], 0) + 1
+            for state in sorted(by_state):
+                lines.append(
+                    f'repro_fabric_fleet_workers{{state="{state}"}} '
+                    f"{by_state[state]}"
+                )
+            lines += [
+                "# HELP repro_fabric_worker_heartbeat_age_seconds Seconds"
+                " since each worker's last queue contact.",
+                "# TYPE repro_fabric_worker_heartbeat_age_seconds gauge",
+                "# HELP repro_fabric_worker_leases Leases currently held"
+                " per worker.",
+                "# TYPE repro_fabric_worker_leases gauge",
+            ]
+            for worker in fleet:
+                name = worker["name"]
+                lines.append(
+                    "repro_fabric_worker_heartbeat_age_seconds"
+                    f'{{worker="{name}"}} {worker["heartbeat_age_s"]:.3f}'
+                )
+                lines.append(
+                    f'repro_fabric_worker_leases{{worker="{name}"}} '
+                    f"{worker['leases']}"
+                )
+        if shard_report is not None:
+            lines += [
+                "# HELP repro_store_shards Configured warehouse shards.",
+                "# TYPE repro_store_shards gauge",
+                f"repro_store_shards {shard_report['shards']}",
+                "# HELP repro_store_shards_lost Shards whose database"
+                " file is missing.",
+                "# TYPE repro_store_shards_lost gauge",
+                f"repro_store_shards_lost {len(shard_report['lost'])}",
+            ]
         return text_response(
             200, "\n".join(lines) + "\n", "text/plain; version=0.0.4"
         )

@@ -188,11 +188,12 @@ class Scheduler:
         # campaign — the breaker opens, /healthz reports degraded, and
         # resume_pending simply re-runs the campaign (idempotent thanks
         # to warehouse dedup).
-        from repro.store.warehouse import ResultStore, StoreError
+        from repro.store.sharded import open_store
+        from repro.store.warehouse import StoreError
 
         def write():
             inject.fault_point("service.journal", event=event)
-            with ResultStore(self.store_path) as store:
+            with open_store(self.store_path) as store:
                 store.record_event(
                     event,
                     campaign=job.id,
@@ -282,12 +283,12 @@ class Scheduler:
         ``started``.  Returns the resumed campaign ids (in original
         submission order).
         """
-        from repro.store.warehouse import ResultStore
+        from repro.store.sharded import open_store
 
         inject.fault_point("service.resume")
         last: Dict[str, Tuple[str, dict]] = {}
         order: List[str] = []
-        with ResultStore(self.store_path) as store:
+        with open_store(self.store_path) as store:
             journal = store.events()
         for event in journal:
             name = event.get("event", "")
@@ -461,7 +462,7 @@ class Scheduler:
 
     def _run_campaign(self, job: CampaignJob) -> dict:
         from repro.exec import Executor
-        from repro.store import ResultStore, StoreCache
+        from repro.store import StoreCache, open_store
 
         def progress(record, done, total):
             with self._lock:
@@ -487,7 +488,7 @@ class Scheduler:
         # simulation (the service's whole-campaign dedup), and computed
         # trials write through to the warehouse as they complete, so an
         # interrupted campaign loses nothing it finished.
-        with ResultStore(self.store_path) as store:
+        with open_store(self.store_path) as store:
             cache = StoreCache(store)
             with Executor(
                 jobs=self.exec_jobs,

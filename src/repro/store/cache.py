@@ -40,8 +40,16 @@ class StoreCache(ResultCache):
         super().__init__(
             directory=directory, enabled=enabled, max_entries=max_entries
         )
-        self._owns_store = not isinstance(store, ResultStore)
-        self.store = store if isinstance(store, ResultStore) else ResultStore(store)
+        if isinstance(store, (str, Path)):
+            from repro.store.sharded import open_store
+
+            self._owns_store = True
+            self.store = open_store(store)
+        else:
+            # A ResultStore or anything store-shaped (the sharded
+            # facade routes trials transparently).
+            self._owns_store = False
+            self.store = store
         #: Counters for telemetry: how many lookups the warehouse served
         #: and how many payloads were persisted through this cache.
         self.store_hits = 0

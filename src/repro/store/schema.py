@@ -45,6 +45,20 @@ Tables
     tenant (deficit-round-robin weight and deficit, quotas).  All SQL
     against these tables lives in :mod:`repro.fabric.queue` — the
     ``queue-sql-confinement`` lint rule enforces that.
+``fabric_workers`` (v3)
+    The fleet registry: one row per worker process that has ever talked
+    to the queue (code version, lifecycle state, start/last-seen
+    timestamps, lifetime lease counter).  Heartbeat ages computed from
+    ``last_seen`` drive supervisor liveness decisions, and the
+    ``draining`` state is the durable drain directive workers observe on
+    their next heartbeat.  Confined to :mod:`repro.fabric.queue` by the
+    same lint rule as the queue tables.
+``shard_links`` (v3)
+    The sharded warehouse's run→trial link table: like ``run_trials``
+    but without the foreign key into ``trials``, because in a
+    :class:`repro.store.sharded.ShardedResultStore` the meta shard
+    links payloads that live in other shard files.  Unused (empty) in
+    single-file stores.
 """
 
 from __future__ import annotations
@@ -53,7 +67,7 @@ import sqlite3
 from typing import Callable, List
 
 #: Version written to ``PRAGMA user_version`` by the newest code.
-STORE_SCHEMA_VERSION = 2
+STORE_SCHEMA_VERSION = 3
 
 
 class SchemaError(RuntimeError):
@@ -171,10 +185,46 @@ def _migrate_1_to_2(conn: sqlite3.Connection) -> None:
     conn.executescript(_FABRIC_DDL)
 
 
+_FLEET_DDL = """
+CREATE TABLE IF NOT EXISTS fabric_workers (
+    name         TEXT PRIMARY KEY,
+    version      TEXT NOT NULL DEFAULT '',
+    state        TEXT NOT NULL DEFAULT 'active',
+    started_at   REAL NOT NULL,
+    last_seen    REAL NOT NULL,
+    leases_total INTEGER NOT NULL DEFAULT 0
+);
+
+CREATE INDEX IF NOT EXISTS idx_fabric_workers_state
+    ON fabric_workers (state, last_seen);
+
+CREATE TABLE IF NOT EXISTS shard_links (
+    run_id      INTEGER NOT NULL REFERENCES runs(id) ON DELETE CASCADE,
+    trial_key   TEXT NOT NULL,
+    PRIMARY KEY (run_id, trial_key)
+);
+"""
+
+
+def _migrate_2_to_3(conn: sqlite3.Connection) -> None:
+    """v3: the fleet's durable worker registry (liveness + drain) and
+    the sharded warehouse's cross-shard run→trial link table.
+
+    ``shard_links`` is ``run_trials`` minus the foreign key into
+    ``trials``: in a sharded layout the meta shard records links for
+    payloads that live in *other* shard files, so the key cannot
+    reference a local ``trials`` row.  Keeping the complete link set in
+    the meta shard is what makes degraded-mode reads honest — a lost
+    shard's runs still know exactly which trials they are missing.
+    """
+    conn.executescript(_FLEET_DDL)
+
+
 #: ``MIGRATIONS[i]`` upgrades a version-``i`` database to ``i + 1``.
 MIGRATIONS: List[Callable[[sqlite3.Connection], None]] = [
     _migrate_0_to_1,
     _migrate_1_to_2,
+    _migrate_2_to_3,
 ]
 
 

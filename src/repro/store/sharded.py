@@ -1,0 +1,696 @@
+"""Sharded warehouses: N ``ResultStore`` shards behind one store facade.
+
+A single warehouse file is the fabric's storage bottleneck *and* its
+single point of loss: every content-addressed trial payload of every
+campaign funnels through one SQLite WAL.  :class:`ShardedResultStore`
+splits the payload plane across N shard files while keeping the
+*control* plane — runs, run→trial links, measurements, baselines,
+events, and the fabric queue tables — in shard 0 (the **meta shard**):
+
+* Trial payloads route to ``shard-<i>.db`` by a stable hash of their
+  content-addressed identity (:func:`shard_index`), so any process that
+  knows the key knows the shard — no directory service, no rebalancing
+  protocol.
+* Every run→trial link lives in the meta shard even when the payload
+  lives elsewhere.  That asymmetry is what makes **degraded mode**
+  honest: when a shard file is lost, the meta shard still knows exactly
+  which trials a run *should* have, so reads fail with a typed
+  :class:`ShardLostError` and :meth:`run_report` flags the run as
+  partial with the precise missing keys — never a silent gap.
+* Writes are payload-first: ``put_trial`` lands the payload in its
+  shard *before* linking it in the meta shard.  A crash between the two
+  leaves an orphan payload (healed by ``gc`` or the re-run's
+  ``INSERT OR IGNORE``), never a link pointing at nothing.
+* Cross-shard merge/compaction (:meth:`merge_to`) streams the fabric's
+  export-bundle wire format run-by-run into a destination store.
+  Bundles replay idempotently, so a merge interrupted at any byte is
+  simply re-run — crash consistency by content addressing, the same
+  property the at-least-once work queue leans on.
+
+``gc`` is the one operation where naive per-shard reasoning corrupts:
+a non-meta shard holds payloads but no links, so ``ResultStore.gc`` run
+*inside* one shard would purge every payload another shard's runs still
+reference.  :meth:`ShardedResultStore.gc` therefore computes the
+referenced-key set from the meta shard's links and deletes only
+genuinely unlinked payloads in each shard.
+
+:func:`open_store` is the polymorphic front door the scheduler, router,
+coordinator and workers use: a path to a ``shards.json`` directory opens
+sharded, anything else opens the classic single-file store.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sqlite3
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.store.warehouse import ResultStore, RunInfo, StoreError
+
+#: Manifest filename marking a directory as a shard root.
+SHARD_MANIFEST = "shards.json"
+
+#: Manifest format version.
+SHARD_LAYOUT_VERSION = 1
+
+
+class ShardLostError(StoreError):
+    """A read or write needed a shard whose database file is gone.
+
+    Carries ``shard`` (the index) and ``key`` (the trial identity that
+    routed there, when the failure is key-specific) so callers can
+    report *which* slice of the warehouse is dark and schedule
+    recomputation for exactly the affected trials.
+    """
+
+    def __init__(self, message: str, shard: int, key: Optional[str] = None):
+        super().__init__(message)
+        self.shard = shard
+        self.key = key
+
+
+def shard_index(key: str, shards: int) -> int:
+    """Stable shard routing for a content-addressed trial identity.
+
+    SHA-256 keeps the placement independent of Python's per-process
+    ``hash()`` randomisation: every worker, coordinator, and recovery
+    tool derives the same shard for the same key, forever.
+    """
+    digest = hashlib.sha256(key.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % int(shards)
+
+
+def shard_path(root: Union[str, Path], index: int) -> Path:
+    return Path(root) / f"shard-{index:03d}.db"
+
+
+class ShardedResultStore:
+    """A :class:`ResultStore`-shaped facade over N warehouse shards.
+
+    Parameters
+    ----------
+    root:
+        Directory holding ``shards.json`` plus the shard files.  When
+        the manifest does not exist yet, ``shards`` must be given and
+        the layout is created.
+    shards:
+        Shard count when *creating* a new layout.  When opening an
+        existing layout it is optional and, if given, must match the
+        manifest (the count is immutable — routing depends on it).
+    """
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        shards: Optional[int] = None,
+        timeout_s: float = 30.0,
+        retry=None,
+        strict_payloads: bool = False,
+    ):
+        self.path = Path(root)
+        self.strict_payloads = bool(strict_payloads)
+        self._timeout_s = timeout_s
+        self._retry_policy = retry
+        manifest = self.path / SHARD_MANIFEST
+        if manifest.exists():
+            spec = json.loads(manifest.read_text())
+            found = int(spec.get("shards", 0))
+            if found < 1:
+                raise StoreError(f"corrupt shard manifest: {manifest}")
+            if shards is not None and int(shards) != found:
+                raise StoreError(
+                    f"shard count is immutable: manifest says {found}, "
+                    f"caller asked for {shards} (routing would change)"
+                )
+            self.shards = found
+            creating = False
+        else:
+            if shards is None or int(shards) < 1:
+                raise StoreError(
+                    f"no {SHARD_MANIFEST} under {self.path} and no shard "
+                    "count given — pass shards=N to create a new layout"
+                )
+            self.shards = int(shards)
+            creating = True
+            self.path.mkdir(parents=True, exist_ok=True)
+            manifest.write_text(
+                json.dumps(
+                    {"version": SHARD_LAYOUT_VERSION, "shards": self.shards},
+                    sort_keys=True,
+                )
+                + "\n"
+            )
+        #: Shard index -> open ResultStore; lost shards are absent.
+        self._shards: Dict[int, ResultStore] = {}
+        #: Indices whose database file is missing or unopenable.  A lost
+        #: shard is *never* silently recreated — an empty file would
+        #: turn data loss into silently absent trials.  Recovery is the
+        #: explicit :meth:`recover_shard`.
+        self.lost_shards: List[int] = []
+        for index in range(self.shards):
+            file = shard_path(self.path, index)
+            if not creating and not file.exists():
+                self.lost_shards.append(index)
+                continue
+            try:
+                self._shards[index] = ResultStore(
+                    file,
+                    timeout_s=timeout_s,
+                    retry=retry,
+                    strict_payloads=strict_payloads,
+                )
+            except (StoreError, sqlite3.Error):
+                self.lost_shards.append(index)
+        if 0 not in self._shards:
+            # Without the meta shard there are no runs, links, or queue
+            # tables to degrade *to* — nothing can be answered honestly.
+            raise ShardLostError(
+                f"meta shard 0 of {self.path} is lost; restore the file "
+                "or recover_shard(0) on a fresh layout",
+                shard=0,
+            )
+
+    # ------------------------------------------------------------- plumbing
+
+    @property
+    def _meta(self) -> ResultStore:
+        return self._shards[0]
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.lost_shards)
+
+    def _shard_for(self, key: str) -> Tuple[int, ResultStore]:
+        index = shard_index(key, self.shards)
+        store = self._shards.get(index)
+        if store is None:
+            raise ShardLostError(
+                f"trial {key!r} routes to lost shard {index} of {self.path}",
+                shard=index,
+                key=key,
+            )
+        return index, store
+
+    def check_shards(self) -> List[int]:
+        """Re-probe shard files; returns the (updated) lost list.
+
+        An open SQLite connection keeps writing to an unlinked inode, so
+        a shard deleted *underneath* a live process is only noticed by
+        re-checking the path.  Chaos drivers and ``healthz`` call this.
+        """
+        for index in list(self._shards):
+            if not shard_path(self.path, index).exists():
+                self._shards[index].close()
+                del self._shards[index]
+                if index not in self.lost_shards:
+                    self.lost_shards.append(index)
+        self.lost_shards.sort()
+        if 0 in self.lost_shards:
+            raise ShardLostError(
+                f"meta shard 0 of {self.path} was lost while open",
+                shard=0,
+            )
+        return list(self.lost_shards)
+
+    def recover_shard(self, index: int) -> Dict[str, object]:
+        """Recreate a lost shard as an *empty* database and report what
+        must be recomputed.
+
+        The meta shard still links every trial the lost shard held, so
+        the report's ``missing`` keys are exactly the recompute set —
+        re-running the affected campaigns refills the shard through the
+        normal content-addressed insert path.
+        """
+        if index == 0:
+            raise StoreError("meta shard 0 cannot be recovered in place")
+        if index not in self.lost_shards:
+            raise StoreError(f"shard {index} is not lost")
+        self._shards[index] = ResultStore(
+            shard_path(self.path, index),
+            timeout_s=self._timeout_s,
+            retry=self._retry_policy,
+            strict_payloads=self.strict_payloads,
+        )
+        self.lost_shards.remove(index)
+        missing = [
+            key
+            for key in self._linked_keys()
+            if shard_index(key, self.shards) == index
+        ]
+        self._meta.record_event(
+            "shard_recovered",
+            payload={"shard": index, "missing": len(missing)},
+        )
+        return {"shard": index, "missing": missing}
+
+    def shard_report(self) -> Dict[str, object]:
+        """Layout + health summary for ``healthz`` and the CLI."""
+        sizes = {}
+        trials = {}
+        for index in range(self.shards):
+            file = shard_path(self.path, index)
+            sizes[index] = file.stat().st_size if file.exists() else 0
+            shard = self._shards.get(index)
+            if shard is not None:
+                trials[index] = int(
+                    shard.read_transaction(
+                        lambda conn: conn.execute(
+                            "SELECT COUNT(*) FROM trials"
+                        ).fetchone()[0]
+                    )
+                )
+        return {
+            "root": str(self.path),
+            "shards": self.shards,
+            "lost": list(self.lost_shards),
+            "degraded": self.degraded,
+            "sizes": sizes,
+            "trials": trials,
+        }
+
+    def close(self) -> None:
+        for shard in self._shards.values():
+            shard.close()
+
+    def __enter__(self) -> "ShardedResultStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------- meta-shard delegation
+    #
+    # Control-plane state lives wholly in shard 0, including the fabric
+    # queue/registry tables — WorkQueue binds to these seams unchanged.
+
+    def write_transaction(self, fn):
+        return self._meta.write_transaction(fn)
+
+    def read_transaction(self, fn):
+        return self._meta.read_transaction(fn)
+
+    def ensure_run(self, name, note="", config=None) -> RunInfo:
+        return self._meta.ensure_run(name, note=note, config=config)
+
+    def run(self, ref) -> RunInfo:
+        return self._meta.run(ref)
+
+    def has_run(self, name: str) -> bool:
+        return self._meta.has_run(name)
+
+    def runs(self) -> List[RunInfo]:
+        return self._meta.runs()
+
+    def record_metrics(self, *args, **kwargs):
+        return self._meta.record_metrics(*args, **kwargs)
+
+    def record_metrics_raw(self, *args, **kwargs):
+        return self._meta.record_metrics_raw(*args, **kwargs)
+
+    def record_measurement(self, *args, **kwargs):
+        return self._meta.record_measurement(*args, **kwargs)
+
+    def query(self, *args, **kwargs):
+        return self._meta.query(*args, **kwargs)
+
+    def metric_table(self, *args, **kwargs):
+        return self._meta.metric_table(*args, **kwargs)
+
+    def set_baseline(self, name, run) -> None:
+        self._meta.set_baseline(name, run)
+
+    def baseline_run(self, name):
+        return self._meta.baseline_run(name)
+
+    def baselines(self):
+        return self._meta.baselines()
+
+    def record_event(self, event, campaign="", payload=None, run=None) -> None:
+        self._meta.record_event(event, campaign=campaign, payload=payload, run=run)
+
+    def events(self, campaign=None) -> List[dict]:
+        return self._meta.events(campaign=campaign)
+
+    def link_trial(self, run, key: str) -> None:
+        self._link_many(run, [key])
+
+    def _link_many(self, run, keys: List[str]) -> None:
+        """Record run→trial links in the meta shard's ``shard_links``.
+
+        ``run_trials`` cannot hold these rows: its foreign key into
+        ``trials`` assumes the payload is local, and here it usually
+        lives in another shard file.
+        """
+        if not keys:
+            return
+        run_id = self._meta.run(run).id
+        self._meta.write_transaction(
+            lambda conn: conn.executemany(
+                "INSERT OR IGNORE INTO shard_links (run_id, trial_key) "
+                "VALUES (?, ?)",
+                [(run_id, key) for key in keys],
+            )
+        )
+
+    # ------------------------------------------------------------- trials
+
+    def put_trial(
+        self,
+        key: str,
+        value: np.ndarray,
+        seed: Optional[int] = None,
+        label: str = "",
+        run=None,
+    ) -> bool:
+        """Route the payload to its shard, then link in the meta shard.
+
+        Payload-first ordering: a crash after the shard write but before
+        the link leaves an orphan payload that ``gc`` can collect and a
+        re-run's identical insert dedupes against — the opposite order
+        could leave a link promising a payload that never landed.
+        """
+        _, shard = self._shard_for(key)
+        created = shard.put_trial(key, value, seed=seed, label=label, run=None)
+        if run is not None:
+            self._link_many(run, [key])
+        return created
+
+    def put_trials(self, items: Iterable[Tuple[str, np.ndarray]], run=None) -> int:
+        grouped: Dict[int, List[Tuple[str, np.ndarray]]] = {}
+        keys: List[str] = []
+        for key, value in items:
+            grouped.setdefault(shard_index(key, self.shards), []).append(
+                (key, value)
+            )
+            keys.append(key)
+        created = 0
+        for index, group in sorted(grouped.items()):
+            shard = self._shards.get(index)
+            if shard is None:
+                raise ShardLostError(
+                    f"{len(group)} trial(s) route to lost shard {index} "
+                    f"of {self.path}",
+                    shard=index,
+                    key=group[0][0],
+                )
+            created += shard.put_trials(group, run=None)
+        if run is not None:
+            self._link_many(run, keys)
+        return created
+
+    def get_trial(
+        self, key: str, strict: Optional[bool] = None
+    ) -> Optional[np.ndarray]:
+        _, shard = self._shard_for(key)
+        return shard.get_trial(key, strict=strict)
+
+    def has_trial(self, key: str) -> bool:
+        _, shard = self._shard_for(key)
+        return shard.has_trial(key)
+
+    def trial_keys(self, run=None) -> List[str]:
+        """Keys for ``run`` come from the meta shard's links, so they
+        are *complete even in degraded mode* — that completeness is what
+        lets :meth:`run_report` name the missing trials.  With no run,
+        only live shards can answer (lost payload keys are unknowable
+        outside run links)."""
+        if run is not None:
+            run_id = self._meta.run(run).id
+            rows = self._meta.read_transaction(
+                lambda conn: conn.execute(
+                    "SELECT trial_key FROM shard_links WHERE run_id = ? "
+                    "ORDER BY trial_key",
+                    (run_id,),
+                ).fetchall()
+            )
+            return [row[0] for row in rows]
+        keys: List[str] = []
+        for index in sorted(self._shards):
+            keys.extend(self._shards[index].trial_keys())
+        return sorted(keys)
+
+    def _linked_keys(self) -> List[str]:
+        """Every trial key any run references, from the meta shard's
+        ``shard_links`` plus (defensively) any classic ``run_trials``
+        rows a shard was given before joining this layout."""
+        linked = set(
+            row[0]
+            for row in self._meta.read_transaction(
+                lambda conn: conn.execute(
+                    "SELECT DISTINCT trial_key FROM shard_links"
+                ).fetchall()
+            )
+        )
+        for index in sorted(self._shards):
+            for info in self._shards[index].runs():
+                linked.update(self._shards[index].trial_keys(info))
+        return sorted(linked)
+
+    def run_report(self, run) -> Dict[str, object]:
+        """Per-run completeness: which linked trials are readable.
+
+        The honest degraded-mode answer: ``partial`` is True when any
+        linked payload is unreadable, ``missing`` names the keys, and
+        ``lost_shards`` the dark slices.  Callers presenting results
+        from a degraded warehouse surface this instead of pretending
+        the run is whole.
+        """
+        linked = self.trial_keys(run)
+        missing: List[str] = []
+        for key in linked:
+            index = shard_index(key, self.shards)
+            shard = self._shards.get(index)
+            if shard is None or not shard.has_trial(key):
+                missing.append(key)
+        return {
+            "run": self._meta.run(run).name,
+            "trials": len(linked),
+            "present": len(linked) - len(missing),
+            "missing": missing,
+            "partial": bool(missing),
+            "lost_shards": list(self.lost_shards),
+        }
+
+    # ----------------------------------------------------------------- gc
+
+    def gc(self, dry_run: bool = False) -> Dict[str, int]:
+        """Cross-shard-aware garbage collection.
+
+        The referenced set comes from the *meta* shard's links — running
+        ``ResultStore.gc`` inside an individual non-meta shard would see
+        an empty ``run_trials`` table and purge payloads other shards'
+        runs still reference.  Lost shards are skipped entirely (there
+        is nothing to collect and nothing must be created).
+        """
+        referenced = set(self._linked_keys())
+        report = {
+            "trials_total": 0,
+            "unlinked": 0,
+            "unlinked_bytes": 0,
+            "purged": 0,
+            "size_before": 0,
+            "size_after": 0,
+            "dry_run": int(dry_run),
+            "shards": self.shards,
+            "lost_shards": len(self.lost_shards),
+        }
+        for index in sorted(self._shards):
+            shard = self._shards[index]
+            report["size_before"] += (
+                shard.path.stat().st_size if shard.path.exists() else 0
+            )
+            keys = shard.trial_keys()
+            report["trials_total"] += len(keys)
+            dead = [key for key in keys if key not in referenced]
+            report["unlinked"] += len(dead)
+            if dead:
+                report["unlinked_bytes"] += int(
+                    shard.read_transaction(
+                        lambda conn: sum(
+                            int(
+                                conn.execute(
+                                    "SELECT COALESCE(SUM(LENGTH(payload)), 0) "
+                                    "FROM trials WHERE key IN (%s)"
+                                    % ",".join("?" * len(chunk)),
+                                    chunk,
+                                ).fetchone()[0]
+                            )
+                            for chunk in _chunks(dead, 400)
+                        )
+                    )
+                )
+            if not dry_run and dead:
+                report["purged"] += int(
+                    shard.write_transaction(
+                        lambda conn: conn.executemany(
+                            "DELETE FROM trials WHERE key = ?",
+                            [(key,) for key in dead],
+                        ).rowcount
+                    )
+                )
+            if not dry_run:
+                # VACUUM must run outside a transaction; the read seam
+                # applies only the retry policy, no BEGIN.
+                shard.read_transaction(lambda conn: conn.execute("VACUUM"))
+            report["size_after"] += (
+                shard.path.stat().st_size if shard.path.exists() else 0
+            )
+        return report
+
+    # ------------------------------------------------------------- summary
+
+    def counts(self) -> Dict[str, int]:
+        """Aggregate row counts: control plane from meta, trials summed
+        across live shards."""
+        out = self._meta.counts()
+        out["trials"] = 0
+        for index in sorted(self._shards):
+            out["trials"] += int(
+                self._shards[index].read_transaction(
+                    lambda conn: conn.execute(
+                        "SELECT COUNT(*) FROM trials"
+                    ).fetchone()[0]
+                )
+            )
+        out["shards"] = self.shards
+        out["lost_shards"] = len(self.lost_shards)
+        return out
+
+    def integrity_ok(self) -> bool:
+        """A degraded warehouse is not intact: lost shards fail the
+        check (healthz goes red) even though degraded reads keep
+        working."""
+        if self.lost_shards:
+            return False
+        return all(shard.integrity_ok() for shard in self._shards.values())
+
+    # -------------------------------------------------------------- merge
+
+    def merge_to(
+        self,
+        dest: ResultStore,
+        runs: Optional[Iterable[str]] = None,
+        allow_partial: bool = False,
+    ) -> Dict[str, int]:
+        """Stream every run into ``dest`` via the export-bundle format.
+
+        Run-by-run streaming bounds memory to one run's payloads;
+        bundle replay is idempotent by content address, so a merge that
+        crashes at any point is crash-consistent: re-running it lands on
+        rows that already hold identical bytes.  Reads from a lost shard
+        raise :class:`ShardLostError` unless ``allow_partial`` — then
+        the missing trials are skipped and counted, and the report (and
+        a ``merge_partial`` event in ``dest``) says exactly how many.
+        """
+        from repro.fabric.wire import export_bundles, ingest_bundle
+
+        names = (
+            [info.name for info in self.runs()] if runs is None else list(runs)
+        )
+        source = _PartialReadView(self) if allow_partial else self
+        totals = {
+            "runs": 0,
+            "trials": 0,
+            "trials_deduped": 0,
+            "measurements": 0,
+            "skipped": 0,
+        }
+        merged: set = set()
+        for bundle in export_bundles(source, names):
+            counters = ingest_bundle(dest, bundle)
+            for field in ("trials", "trials_deduped", "measurements"):
+                totals[field] += counters[field]
+            merged.update(record["name"] for record in bundle["runs"])
+        totals["runs"] = len(merged)
+        if allow_partial:
+            totals["skipped"] = getattr(source, "skipped", 0)
+        event = "merge_partial" if totals["skipped"] else "merge_complete"
+        dest.record_event(event, payload=dict(totals, source=str(self.path)))
+        return totals
+
+
+class _PartialReadView:
+    """Read adapter for ``allow_partial`` merges: lost-shard reads
+    become skips (``export_bundles`` drops ``None`` payloads) instead of
+    raising, while every skip is counted so the merge report stays
+    honest."""
+
+    def __init__(self, store: ShardedResultStore):
+        self._store = store
+        self.skipped = 0
+
+    def run(self, ref):
+        return self._store.run(ref)
+
+    def trial_keys(self, run=None):
+        return self._store.trial_keys(run)
+
+    def query(self, *args, **kwargs):
+        return self._store.query(*args, **kwargs)
+
+    def get_trial(self, key, strict=None):
+        try:
+            return self._store.get_trial(key, strict=strict)
+        except ShardLostError:
+            self.skipped += 1
+            return None
+
+    # counts() used only by diagnostics; delegate for completeness.
+    def counts(self):
+        return self._store.counts()
+
+
+def _chunks(seq: List[str], size: int) -> Iterable[List[str]]:
+    for start in range(0, len(seq), size):
+        yield seq[start : start + size]
+
+
+def open_store(
+    path: Union[str, Path],
+    shards: Optional[int] = None,
+    timeout_s: float = 30.0,
+    retry=None,
+    strict_payloads: bool = False,
+) -> Union[ResultStore, ShardedResultStore]:
+    """Open a warehouse at ``path``, sharded or classic, autodetected.
+
+    * ``path`` is a directory with ``shards.json`` → sharded.
+    * ``shards`` given (> 1, or ≥ 1 with a directory path) → create or
+      open a sharded layout rooted there.
+    * otherwise → classic single-file :class:`ResultStore`.
+    """
+    p = Path(path)
+    if (p / SHARD_MANIFEST).exists() or p.is_dir():
+        return ShardedResultStore(
+            p,
+            shards=shards,
+            timeout_s=timeout_s,
+            retry=retry,
+            strict_payloads=strict_payloads,
+        )
+    if shards is not None and int(shards) > 1:
+        return ShardedResultStore(
+            p,
+            shards=shards,
+            timeout_s=timeout_s,
+            retry=retry,
+            strict_payloads=strict_payloads,
+        )
+    return ResultStore(
+        p, timeout_s=timeout_s, retry=retry, strict_payloads=strict_payloads
+    )
+
+
+__all__ = [
+    "SHARD_MANIFEST",
+    "SHARD_LAYOUT_VERSION",
+    "ShardLostError",
+    "ShardedResultStore",
+    "shard_index",
+    "shard_path",
+    "open_store",
+]

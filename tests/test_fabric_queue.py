@@ -50,7 +50,7 @@ def test_lease_lifecycle(q):
     assert lease.attempt == 1
     assert q.task("c1").state == LEASED
     beat = q.heartbeat("c1", lease.lease_id, ttl_s=30.0)
-    assert beat == {"ok": True, "cancel": False}
+    assert beat == {"ok": True, "cancel": False, "drain": False}
     assert q.complete("c1", lease.lease_id, {"cells": 1}) == "done"
     done = q.task("c1")
     assert done.state == DONE
@@ -141,7 +141,7 @@ def test_cancel_pending_and_leased(q):
     assert lease.campaign == "c2"
     assert q.cancel("c2") == "cancel-requested"
     beat = q.heartbeat("c2", lease.lease_id)
-    assert beat == {"ok": True, "cancel": True}
+    assert beat == {"ok": True, "cancel": True, "drain": False}
     assert q.complete("c1", "any") == "cancelled"
 
 
@@ -204,3 +204,129 @@ def test_status_snapshot(q, clock):
     assert live["campaign"] == lease.campaign
     assert live["owner"] == "w1"
     assert 0 < live["expires_in_s"] <= 30.0
+
+
+# ----------------------------------------------------------- fleet registry
+
+
+def test_lease_touch_registers_worker(q, clock):
+    q.enqueue("c1", SPEC)
+    q.lease("w1", ttl_s=30.0)
+    (worker,) = q.workers()
+    assert worker["name"] == "w1"
+    assert worker["state"] == "active"
+    assert worker["heartbeat_age_s"] == 0.0
+    assert worker["leases"] == 1
+    assert worker["leases_total"] == 1
+
+
+def test_heartbeat_age_tracks_fake_clock(q, clock):
+    q.register_worker("w1")
+    clock.advance(12.5)
+    assert q.worker_info("w1")["heartbeat_age_s"] == 12.5
+    q.enqueue("c1", SPEC)
+    lease = q.lease("w1", ttl_s=30.0)
+    assert q.worker_info("w1")["heartbeat_age_s"] == 0.0
+    clock.advance(5.0)
+    q.heartbeat("c1", lease.lease_id, ttl_s=30.0)
+    assert q.worker_info("w1")["heartbeat_age_s"] == 0.0
+
+
+def test_drain_directive_surfaces_on_heartbeat(q):
+    q.enqueue("c1", SPEC)
+    lease = q.lease("w1", ttl_s=30.0)
+    q.drain_worker("w1")
+    beat = q.heartbeat("c1", lease.lease_id, ttl_s=30.0)
+    assert beat == {"ok": True, "cancel": False, "drain": True}
+    # The directive never revokes the lease: the worker finishes it.
+    assert q.complete("c1", lease.lease_id, {"cells": 1}) == "done"
+
+
+def test_draining_worker_gets_exit_order_instead_of_work(q):
+    q.enqueue("c1", SPEC)
+    q.drain_worker("w1")
+    assert q.lease("w1", ttl_s=30.0) == {"drain": True}
+    # The task is untouched, and another worker picks it up.
+    assert q.task("c1").state == PENDING
+    lease = q.lease("w2", ttl_s=30.0)
+    assert lease.campaign == "c1"
+
+
+def test_drain_is_sticky_against_concurrent_heartbeat(q):
+    """The race audit: a heartbeat arriving after the drain directive
+    must not flip the worker back to active."""
+    q.enqueue("c1", SPEC)
+    lease = q.lease("w1", ttl_s=30.0)
+    q.drain_worker("w1")
+    for _ in range(3):
+        beat = q.heartbeat("c1", lease.lease_id, ttl_s=30.0)
+        assert beat["drain"] is True
+    assert q.worker_info("w1")["state"] == "draining"
+
+
+def test_register_clears_drain_for_replacement(q):
+    """Re-registering is the new code version taking over: the restarted
+    process starts active even if the old row said draining."""
+    q.drain_worker("w1")
+    info = q.register_worker("w1", version="v2")
+    assert info["state"] == "active"
+    assert info["version"] == "v2"
+
+
+def test_drain_before_first_heartbeat_is_durable(q):
+    q.drain_worker("w-unborn")
+    assert q.worker_info("w-unborn")["state"] == "draining"
+    assert q.lease("w-unborn", ttl_s=30.0) == {"drain": True}
+
+
+def test_deregister_keeps_history_but_hides_worker(q):
+    q.register_worker("w1")
+    q.deregister_worker("w1")
+    assert q.workers() == []
+    info = q.worker_info("w1")
+    assert info is not None and info["state"] == "exited"
+
+
+def test_exited_worker_reactivates_on_new_lease(q, clock):
+    q.register_worker("w1")
+    q.deregister_worker("w1")
+    q.enqueue("c1", SPEC)
+    q.lease("w1", ttl_s=30.0)
+    assert q.worker_info("w1")["state"] == "active"
+
+
+def test_heartbeat_after_expiry_sweeps_first(q, clock):
+    """Regression for the heartbeat/expiry race: a heartbeat landing at
+    (or after) the expiry instant must observe the sweep, not resurrect
+    the lease it lost."""
+    q.enqueue("c1", SPEC)
+    lease = q.lease("w1", ttl_s=30.0)
+    clock.advance(30.0)  # expiry is inclusive: lease_expires_at <= now
+    beat = q.heartbeat("c1", lease.lease_id, ttl_s=30.0)
+    assert beat["ok"] is False
+    task = q.task("c1")
+    assert task.state == PENDING and task.lease_id is None
+    # The next lease is attempt 2 under a fresh lease id.
+    release = q.lease("w2", ttl_s=30.0)
+    assert release.attempt == 2
+    assert release.lease_id != lease.lease_id
+
+
+def test_expired_worker_lease_count_drops(q, clock):
+    q.enqueue("c1", SPEC)
+    q.lease("w1", ttl_s=30.0)
+    assert q.worker_info("w1")["leases"] == 1
+    clock.advance(31.0)
+    q.sweep()
+    assert q.worker_info("w1")["leases"] == 0
+
+
+def test_status_includes_fleet_registry(q, clock):
+    q.enqueue("c1", SPEC)
+    q.lease("w1", ttl_s=30.0)
+    q.drain_worker("w2")
+    status = q.status()
+    by_name = {w["name"]: w for w in status["workers"]}
+    assert by_name["w1"]["state"] == "active"
+    assert by_name["w1"]["leases"] == 1
+    assert by_name["w2"]["state"] == "draining"

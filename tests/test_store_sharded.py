@@ -1,0 +1,352 @@
+"""Sharded warehouses: routing, degraded reads, recovery, merge, gc.
+
+The contract under test is the honest-degradation one: losing a shard
+never silently narrows a result set — reads of lost payloads raise a
+typed :class:`ShardLostError`, per-run reports carry a ``partial`` flag
+with the exact missing keys, and recovery (``recover_shard`` plus a
+re-run or merge) restores the store bit-identically.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.store import (
+    ResultStore,
+    ShardLostError,
+    ShardedResultStore,
+    StoreError,
+    open_store,
+    shard_index,
+)
+
+SHARDS = 3
+
+
+def payload(i: int) -> np.ndarray:
+    return np.full((4,), float(i))
+
+
+@pytest.fixture
+def root(tmp_path):
+    return tmp_path / "warehouse"
+
+
+@pytest.fixture
+def store(root):
+    with open_store(root, shards=SHARDS) as s:
+        yield s
+
+
+def fill(store, n=12, run="r1"):
+    run_ref = store.ensure_run(run)
+    keys = [f"trial-{i:02d}" for i in range(n)]
+    for i, key in enumerate(keys):
+        store.put_trial(key, payload(i), run=run_ref)
+    return keys
+
+
+def lost_and_live(keys, victim):
+    lost = [k for k in keys if shard_index(k, SHARDS) == victim]
+    live = [k for k in keys if shard_index(k, SHARDS) != victim]
+    return lost, live
+
+
+def victim_shard(keys):
+    """First non-meta shard holding at least one of ``keys``."""
+    for key in keys:
+        index = shard_index(key, SHARDS)
+        if index != 0:
+            return index
+    pytest.skip("routing put every key on the meta shard")
+
+
+def drop_shard(root, index):
+    for suffix in ("", "-wal", "-shm"):
+        path = root / f"shard-{index:03d}.db{suffix}"
+        if path.exists():
+            path.unlink()
+
+
+class TestRoutingAndDispatch:
+    def test_shard_index_is_stable_and_bounded(self):
+        for key in ("a", "b", "trial-07", "x" * 64):
+            index = shard_index(key, SHARDS)
+            assert 0 <= index < SHARDS
+            assert index == shard_index(key, SHARDS)
+
+    def test_trials_spread_across_shards(self, store):
+        keys = fill(store, 24)
+        used = {shard_index(k, SHARDS) for k in keys}
+        assert len(used) > 1
+
+    def test_open_store_plain_file_is_classic_store(self, tmp_path):
+        with open_store(tmp_path / "flat.db") as s:
+            assert isinstance(s, ResultStore)
+
+    def test_open_store_detects_manifest(self, root, store):
+        store.put_trial("k", payload(1))
+        with open_store(root) as reopened:
+            assert isinstance(reopened, ShardedResultStore)
+            assert reopened.shards == SHARDS
+            assert reopened.has_trial("k")
+
+    def test_shard_count_is_immutable(self, root, store):
+        with pytest.raises(StoreError):
+            ShardedResultStore(root, shards=SHARDS + 2)
+
+    def test_round_trip_is_bit_identical(self, store):
+        keys = fill(store, 8)
+        for i, key in enumerate(keys):
+            value = store.get_trial(key)
+            assert value.tobytes() == payload(i).tobytes()
+
+    def test_run_links_are_complete(self, store):
+        keys = fill(store, 10, run="linked")
+        assert store.trial_keys("linked") == sorted(keys)
+        report = store.run_report("linked")
+        assert report["trials"] == 10
+        assert report["partial"] is False and report["missing"] == []
+
+    def test_counts_sum_shards(self, store):
+        fill(store, 9)
+        counts = store.counts()
+        assert counts["trials"] == 9
+        assert counts["shards"] == SHARDS
+        assert counts["lost_shards"] == 0
+
+
+class TestDegradedReads:
+    def test_lost_shard_detected_on_open(self, root, store):
+        keys = fill(store)
+        victim = victim_shard(keys)
+        store.close()
+        drop_shard(root, victim)
+        with open_store(root) as degraded:
+            assert degraded.degraded
+            assert victim in degraded.lost_shards
+            assert not degraded.integrity_ok()
+
+    def test_reads_of_lost_trials_raise_typed(self, root, store):
+        keys = fill(store)
+        victim = victim_shard(keys)
+        lost, live = lost_and_live(keys, victim)
+        store.close()
+        drop_shard(root, victim)
+        with open_store(root) as degraded:
+            for key in lost:
+                with pytest.raises(ShardLostError) as excinfo:
+                    degraded.get_trial(key)
+                assert excinfo.value.shard == victim
+                assert excinfo.value.key == key
+            for key in live:
+                assert degraded.get_trial(key) is not None
+
+    def test_run_report_names_missing_keys(self, root, store):
+        keys = fill(store, run="r1")
+        victim = victim_shard(keys)
+        lost, _live = lost_and_live(keys, victim)
+        store.close()
+        drop_shard(root, victim)
+        with open_store(root) as degraded:
+            report = degraded.run_report("r1")
+            assert report["partial"] is True
+            assert report["missing"] == sorted(lost)
+            assert report["lost_shards"] == [victim]
+            # Run links live on the meta shard, so the key list is
+            # complete even while the payload shard is dark.
+            assert degraded.trial_keys("r1") == sorted(keys)
+
+    def test_lost_shard_never_silently_recreated(self, root, store):
+        keys = fill(store)
+        victim = victim_shard(keys)
+        store.close()
+        drop_shard(root, victim)
+        with open_store(root) as degraded:
+            assert victim in degraded.lost_shards
+        # Opening did not fabricate an empty shard file.
+        assert not (root / f"shard-{victim:03d}.db").exists()
+
+    def test_meta_shard_loss_is_fatal(self, root, store):
+        fill(store)
+        store.close()
+        drop_shard(root, 0)
+        with pytest.raises(ShardLostError) as excinfo:
+            ShardedResultStore(root)
+        assert excinfo.value.shard == 0
+
+    def test_check_shards_catches_deletion_while_open(self, root, store):
+        keys = fill(store)
+        victim = victim_shard(keys)
+        drop_shard(root, victim)
+        assert victim in store.check_shards()
+        assert victim in store.lost_shards
+
+
+class TestRecovery:
+    def test_recover_shard_reports_missing_keys(self, root, store):
+        keys = fill(store, run="r1")
+        victim = victim_shard(keys)
+        lost, _ = lost_and_live(keys, victim)
+        store.close()
+        drop_shard(root, victim)
+        with open_store(root) as degraded:
+            healed = degraded.recover_shard(victim)
+            assert healed["shard"] == victim
+            assert sorted(healed["missing"]) == sorted(lost)
+            # Shard exists again, empty; re-putting payloads heals it.
+            for key in lost:
+                i = int(key.split("-")[1])
+                degraded.put_trial(key, payload(i))
+            assert degraded.run_report("r1")["partial"] is False
+            assert degraded.integrity_ok()
+
+    def test_recover_refuses_meta_shard(self, store):
+        with pytest.raises(StoreError):
+            store.recover_shard(0)
+
+    def test_recover_live_shard_refused(self, store):
+        fill(store)
+        with pytest.raises(StoreError):
+            store.recover_shard(1)
+
+
+class TestMerge:
+    def test_merge_to_single_file_is_bit_identical(self, tmp_path, store):
+        keys = fill(store, run="r1")
+        store.record_metrics_raw(
+            store.ensure_run("r1"),
+            stack="quiche",
+            cca="cubic",
+            metrics={"throughput_mbps": 9.5},
+            bandwidth_mbps=20.0,
+            rtt_ms=10.0,
+            buffer_bdp=1.0,
+        )
+        with ResultStore(tmp_path / "merged.db") as dest:
+            report = store.merge_to(dest)
+            assert report["trials"] == len(keys)
+            for i, key in enumerate(sorted(keys)):
+                idx = int(key.split("-")[1])
+                assert dest.get_trial(key).tobytes() == payload(idx).tobytes()
+            assert dest.trial_keys("r1") == sorted(keys)
+            assert len(dest.query(run="r1")) == 1
+
+    def test_merge_is_idempotent(self, tmp_path, store):
+        keys = fill(store, run="r1")
+        with ResultStore(tmp_path / "merged.db") as dest:
+            store.merge_to(dest)
+            again = store.merge_to(dest)
+            assert again["trials"] == 0
+            assert again["trials_deduped"] == len(keys)
+            assert dest.counts()["trials"] == len(keys)
+
+    def test_strict_merge_raises_on_lost_shard(self, tmp_path, root, store):
+        keys = fill(store, run="r1")
+        victim = victim_shard(keys)
+        store.close()
+        drop_shard(root, victim)
+        with open_store(root) as degraded:
+            with ResultStore(tmp_path / "merged.db") as dest:
+                with pytest.raises(ShardLostError):
+                    degraded.merge_to(dest)
+
+    def test_partial_merge_counts_skips(self, tmp_path, root, store):
+        keys = fill(store, run="r1")
+        victim = victim_shard(keys)
+        lost, live = lost_and_live(keys, victim)
+        store.close()
+        drop_shard(root, victim)
+        with open_store(root) as degraded:
+            with ResultStore(tmp_path / "merged.db") as dest:
+                report = degraded.merge_to(dest, allow_partial=True)
+                assert report["skipped"] == len(lost)
+                for key in live:
+                    assert dest.has_trial(key)
+                for key in lost:
+                    assert not dest.has_trial(key)
+                # The merge is honest about what it dropped.
+                events = [
+                    e for e in dest.events() if e["event"] == "merge_partial"
+                ]
+                assert events
+
+
+class TestGc:
+    def test_gc_never_purges_cross_shard_references(self, store):
+        """The satellite invariant: run links live on the meta shard,
+        payloads on others — gc of any one shard must consult the
+        cross-shard referenced set, never just its own run_trials."""
+        keys = fill(store, 12, run="r1")
+        report = store.gc()
+        assert report["purged"] == 0
+        for key in keys:
+            assert store.has_trial(key)
+
+    def test_gc_purges_only_unlinked(self, store):
+        keys = fill(store, 6, run="r1")
+        orphans = [f"orphan-{i}" for i in range(4)]
+        for i, key in enumerate(orphans):
+            store.put_trial(key, payload(100 + i))  # no run link
+        report = store.gc()
+        assert report["purged"] == len(orphans)
+        for key in keys:
+            assert store.has_trial(key)
+        for key in orphans:
+            assert not store.has_trial(key)
+
+    def test_gc_dry_run_touches_nothing(self, store):
+        fill(store, 4, run="r1")
+        store.put_trial("orphan", payload(99))
+        report = store.gc(dry_run=True)
+        assert report["dry_run"] == 1
+        assert report["unlinked"] == 1
+        assert store.has_trial("orphan")
+
+    def test_gc_skips_lost_shards(self, root, store):
+        keys = fill(store, 12, run="r1")
+        victim = victim_shard(keys)
+        store.close()
+        drop_shard(root, victim)
+        with open_store(root) as degraded:
+            report = degraded.gc()
+            assert report["lost_shards"] == 1
+            assert report["purged"] == 0
+
+    def test_gc_leaves_sideline_spill_untouched(self, root, store):
+        """A sideline spill next to the warehouse is recovery input:
+        gc must never unlink or rewrite it, and it must stay replayable
+        afterwards."""
+        from repro.store import ingest_sideline
+
+        fill(store, 4, run="r1")
+        spill = root.parent / f"{root.name}.sideline.jsonl"
+        record = {
+            "kind": "trial",
+            "key": "spilled-1",
+            "dtype": "<f8",
+            "shape": [2],
+            "data": "AAAAAAAA8D8AAAAAAAAAQA==",  # [1.0, 2.0]
+        }
+        spill.write_text(json.dumps(record) + "\n")
+        before = spill.read_bytes()
+        store.gc()
+        assert spill.read_bytes() == before
+        report = ingest_sideline(store, spill)
+        assert report.trials == 1
+        assert store.get_trial("spilled-1").tolist() == [1.0, 2.0]
+
+    def test_gc_on_classic_store_ignores_shard_dirs(self, tmp_path):
+        """A plain warehouse file gc must not wander into a sibling
+        sharded layout's directory."""
+        flat = tmp_path / "flat.db"
+        with open_store(flat) as classic:
+            classic.put_trial("k", payload(1), run=classic.ensure_run("r"))
+        sharded_root = tmp_path / "sharded"
+        with open_store(sharded_root, shards=2) as sharded:
+            sharded.put_trial("other", payload(2))
+        with open_store(flat) as classic:
+            classic.gc()
+        with open_store(sharded_root) as sharded:
+            assert sharded.has_trial("other")
